@@ -1,0 +1,148 @@
+//! Profile comparison: side-by-side views of two runs (baseline vs
+//! variant), the analysis behind the paper's Table 2/Table 3 narratives.
+
+use ktau_core::snapshot::ProfileSnapshot;
+use ktau_core::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// One event row of a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Event name.
+    pub name: String,
+    /// Baseline inclusive time.
+    pub base_ns: Ns,
+    /// Variant inclusive time.
+    pub variant_ns: Ns,
+    /// Baseline call count.
+    pub base_count: u64,
+    /// Variant call count.
+    pub variant_count: u64,
+}
+
+impl CompareRow {
+    /// `variant / base` time ratio (∞ → f64::INFINITY, 0/0 → 1).
+    pub fn ratio(&self) -> f64 {
+        match (self.base_ns, self.variant_ns) {
+            (0, 0) => 1.0,
+            (0, _) => f64::INFINITY,
+            (b, v) => v as f64 / b as f64,
+        }
+    }
+
+    /// Absolute time delta (variant − base), signed nanoseconds.
+    pub fn delta_ns(&self) -> i128 {
+        self.variant_ns as i128 - self.base_ns as i128
+    }
+}
+
+/// Compares the kernel events of two profiles; rows sorted by the absolute
+/// time delta, largest first.  Events present in only one profile appear
+/// with zeros on the other side.
+pub fn compare_kernel_events(base: &ProfileSnapshot, variant: &ProfileSnapshot) -> Vec<CompareRow> {
+    let mut names: Vec<&str> = base
+        .kernel_events
+        .iter()
+        .chain(variant.kernel_events.iter())
+        .map(|r| r.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut rows: Vec<CompareRow> = names
+        .into_iter()
+        .map(|name| {
+            let b = base.kernel_event(name).map(|r| r.stats).unwrap_or_default();
+            let v = variant
+                .kernel_event(name)
+                .map(|r| r.stats)
+                .unwrap_or_default();
+            CompareRow {
+                name: name.to_owned(),
+                base_ns: b.incl_ns,
+                variant_ns: v.incl_ns,
+                base_count: b.count,
+                variant_count: v.count,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.delta_ns().unsigned_abs()));
+    rows
+}
+
+/// Renders a comparison as a fixed-width table.
+pub fn render_comparison(title: &str, rows: &[CompareRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("== {title} ==\n");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>12} {:>8} {:>12}",
+        "event", "base s", "variant s", "ratio", "delta s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12.3} {:>12.3} {:>8.2} {:>+12.3}",
+            r.name,
+            r.base_ns as f64 / 1e9,
+            r.variant_ns as f64 / 1e9,
+            r.ratio(),
+            r.delta_ns() as f64 / 1e9
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktau_core::event::{EventKind, EventRegistry, Group};
+    use ktau_core::measure::{ProbeEngine, TaskMeasurement};
+
+    fn snap(pairs: &[(&'static str, u64)]) -> ProfileSnapshot {
+        let mut reg = EventRegistry::new();
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        let mut t = 0;
+        for (name, dur) in pairs {
+            let id = reg.register(name, Group::Syscall, EventKind::EntryExit);
+            eng.kernel_entry(&mut m, id, Group::Syscall, t);
+            eng.kernel_exit(&mut m, id, Group::Syscall, t + dur);
+            t += dur + 1;
+        }
+        ProfileSnapshot::capture(1, "x", 0, t, &m, &reg)
+    }
+
+    #[test]
+    fn compare_matches_by_name_and_sorts_by_delta() {
+        let base = snap(&[("a", 100), ("b", 1_000)]);
+        let variant = snap(&[("a", 150), ("b", 5_000), ("c", 10)]);
+        let rows = compare_kernel_events(&base, &variant);
+        assert_eq!(rows[0].name, "b"); // delta 4000 dominates
+        assert_eq!(rows[0].ratio(), 5.0);
+        let c = rows.iter().find(|r| r.name == "c").unwrap();
+        assert_eq!(c.base_ns, 0);
+        assert_eq!(c.ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_zero_ratio_is_one() {
+        let r = CompareRow {
+            name: "x".into(),
+            base_ns: 0,
+            variant_ns: 0,
+            base_count: 0,
+            variant_count: 0,
+        };
+        assert_eq!(r.ratio(), 1.0);
+        assert_eq!(r.delta_ns(), 0);
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let base = snap(&[("a", 100)]);
+        let variant = snap(&[("a", 200)]);
+        let out = render_comparison("t", &compare_kernel_events(&base, &variant));
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("2.00"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # ktau-analysis — profile/trace analysis and presentation
+//!
+//! Stands in for the TAU tool chain the paper leans on (ParaProf for
+//! profiles, Vampir/Jumpshot for traces, gnuplot for the CDF figures):
+//!
+//! * [`stats`] — summaries, empirical CDFs (with quantiles and a
+//!   bimodality measure), histograms;
+//! * [`render`] — text bargraphs, CDF tables, histogram charts, merged
+//!   trace timelines, and CSV emitters.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod render;
+pub mod stats;
+
+pub use compare::{compare_kernel_events, render_comparison, CompareRow};
+pub use render::{
+    bargraph, cdf_csv, cdf_table, histogram_chart, kernel_wide_bars, ns_to_s, timeline, trace_csv,
+};
+pub use stats::{cdf, histogram, summarize, Cdf, Histogram, Summary};

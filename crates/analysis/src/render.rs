@@ -1,0 +1,268 @@
+//! Text renderers standing in for ParaProf bargraphs, Vampir timelines and
+//! gnuplot CDFs: every figure of the paper is regenerated as plain text
+//! plus CSV series.
+
+use crate::stats::{Cdf, Histogram};
+use ktau_core::snapshot::{NamedTraceRecord, ProfileSnapshot};
+use ktau_core::time::{Ns, NS_PER_SEC};
+use ktau_core::TracePoint;
+use std::fmt::Write as _;
+
+/// Renders a horizontal bargraph: one `(label, value)` row per line, bars
+/// scaled to the maximum value.
+pub fn bargraph(title: &str, rows: &[(String, f64)], unit: &str) -> String {
+    let mut out = format!("== {title} ==\n");
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0).min(28);
+    for (label, v) in rows {
+        let bar_len = if max > 0.0 {
+            ((v / max) * 50.0).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} | {bar:<50} {v:>12.3} {unit}",
+            label = truncate(label, label_w),
+            bar = "#".repeat(bar_len),
+        );
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+/// Renders a CDF family as a fixed-quantile table: one column per series,
+/// one row per quantile — the textual equivalent of the paper's CDF plots.
+pub fn cdf_table(title: &str, series: &[(String, Cdf)], unit: &str) -> String {
+    let mut out = format!("== {title} (values in {unit}) ==\n");
+    let _ = write!(out, "{:>8}", "quantile");
+    for (name, _) in series {
+        let _ = write!(out, " {:>18}", truncate(name, 18));
+    }
+    out.push('\n');
+    for q in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0] {
+        let _ = write!(out, "{q:>8.2}");
+        for (_, c) in series {
+            let _ = write!(out, " {:>18.3}", c.quantile(q));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Emits a CDF family as CSV (`value,fraction` per series stanza) for
+/// external plotting.
+pub fn cdf_csv(series: &[(String, Cdf)]) -> String {
+    let mut out = String::from("series,value,fraction\n");
+    for (name, c) in series {
+        for &(v, f) in &c.points {
+            let _ = writeln!(out, "{name},{v},{f}");
+        }
+    }
+    out
+}
+
+/// Renders a histogram as a vertical-ish text chart (bin ranges + bars).
+pub fn histogram_chart(title: &str, h: &Histogram, unit: &str) -> String {
+    let mut out = format!("== {title} ==\n");
+    let max = h.counts.iter().copied().max().unwrap_or(0);
+    for (i, &c) in h.counts.iter().enumerate() {
+        let lo = h.lo + i as f64 * h.width;
+        let hi = lo + h.width;
+        let bar = if max > 0 {
+            "#".repeat((c as f64 / max as f64 * 40.0).round() as usize)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "[{lo:>10.2}, {hi:>10.2}) {unit} | {bar:<40} {c}");
+    }
+    out
+}
+
+/// Renders a merged trace timeline (the Fig 2-E view): indented
+/// entry/exit events with relative microsecond timestamps.
+pub fn timeline(title: &str, records: &[&NamedTraceRecord]) -> String {
+    let mut out = format!("== {title} ==\n");
+    let t0 = records.first().map(|r| r.ts_ns).unwrap_or(0);
+    let mut depth = 0usize;
+    for r in records {
+        let rel_us = (r.ts_ns - t0) as f64 / 1_000.0;
+        match r.point {
+            TracePoint::Entry => {
+                let _ = writeln!(
+                    out,
+                    "{rel_us:>12.2} us {:indent$}> {} [{}]",
+                    "",
+                    r.name,
+                    r.group,
+                    indent = depth * 2
+                );
+                depth += 1;
+            }
+            TracePoint::Exit => {
+                depth = depth.saturating_sub(1);
+                let _ = writeln!(
+                    out,
+                    "{rel_us:>12.2} us {:indent$}< {}",
+                    "",
+                    r.name,
+                    indent = depth * 2
+                );
+            }
+            TracePoint::Atomic(v) => {
+                let _ = writeln!(
+                    out,
+                    "{rel_us:>12.2} us {:indent$}* {} = {v}",
+                    "",
+                    r.name,
+                    indent = depth * 2
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Emits a trace snapshot as CSV (`ts_ns,event,group,kind,value`), the
+/// interchange format for external timeline viewers (the role Vampir/
+/// Jumpshot play in the paper).
+pub fn trace_csv(trace: &ktau_core::snapshot::TraceSnapshot) -> String {
+    let mut out = String::from("ts_ns,event,group,kind,value\n");
+    for r in &trace.records {
+        let (kind, value) = match r.point {
+            TracePoint::Entry => ("entry", String::new()),
+            TracePoint::Exit => ("exit", String::new()),
+            TracePoint::Atomic(v) => ("atomic", v.to_string()),
+        };
+        let _ = writeln!(out, "{},{},{},{kind},{value}", r.ts_ns, r.name, r.group);
+    }
+    out
+}
+
+/// Kernel-wide view of one node as a bargraph of kernel event exclusive
+/// times (the Fig 2-A per-node panel).
+pub fn kernel_wide_bars(snap: &ProfileSnapshot) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> = snap
+        .kernel_events
+        .iter()
+        .map(|r| (r.name.clone(), ns_to_s(r.stats.excl_ns)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    rows
+}
+
+/// Seconds from nanoseconds.
+pub fn ns_to_s(ns: Ns) -> f64 {
+    ns as f64 / NS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::cdf;
+    use ktau_core::Group;
+
+    #[test]
+    fn bargraph_scales_to_max() {
+        let g = bargraph(
+            "t",
+            &[("a".into(), 10.0), ("b".into(), 5.0)],
+            "s",
+        );
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[1].matches('#').count() == 50);
+        assert!(lines[2].matches('#').count() == 25);
+    }
+
+    #[test]
+    fn cdf_table_has_all_quantile_rows() {
+        let t = cdf_table("x", &[("s".into(), cdf(&[1.0, 2.0, 3.0]))], "s");
+        assert_eq!(t.lines().count(), 2 + 9);
+        assert!(t.contains("0.50"));
+    }
+
+    #[test]
+    fn cdf_csv_lists_every_point() {
+        let t = cdf_csv(&[("s".into(), cdf(&[1.0, 2.0]))]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("s,1,0.5"));
+    }
+
+    #[test]
+    fn timeline_nests_entries() {
+        let recs = vec![
+            NamedTraceRecord {
+                ts_ns: 1_000,
+                name: "MPI_Send".into(),
+                group: Group::Mpi,
+                point: TracePoint::Entry,
+            },
+            NamedTraceRecord {
+                ts_ns: 2_000,
+                name: "sys_writev".into(),
+                group: Group::Syscall,
+                point: TracePoint::Entry,
+            },
+            NamedTraceRecord {
+                ts_ns: 3_000,
+                name: "sys_writev".into(),
+                group: Group::Syscall,
+                point: TracePoint::Exit,
+            },
+            NamedTraceRecord {
+                ts_ns: 4_000,
+                name: "MPI_Send".into(),
+                group: Group::Mpi,
+                point: TracePoint::Exit,
+            },
+        ];
+        let refs: Vec<&NamedTraceRecord> = recs.iter().collect();
+        let t = timeline("merged", &refs);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[1].contains("> MPI_Send"));
+        assert!(lines[2].contains("  > sys_writev"));
+        assert!(lines[4].contains("< MPI_Send"));
+    }
+
+    #[test]
+    fn trace_csv_emits_all_records() {
+        let t = ktau_core::snapshot::TraceSnapshot {
+            pid: 1,
+            comm: "x".into(),
+            node: 0,
+            lost: 0,
+            records: vec![
+                NamedTraceRecord {
+                    ts_ns: 5,
+                    name: "tcp_v4_rcv".into(),
+                    group: Group::Tcp,
+                    point: TracePoint::Entry,
+                },
+                NamedTraceRecord {
+                    ts_ns: 9,
+                    name: "net_rx_bytes".into(),
+                    group: Group::Tcp,
+                    point: TracePoint::Atomic(1460),
+                },
+            ],
+        };
+        let csv = trace_csv(&t);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("5,tcp_v4_rcv,tcp,entry,"));
+        assert!(csv.contains("9,net_rx_bytes,tcp,atomic,1460"));
+    }
+
+    #[test]
+    fn histogram_chart_renders_all_bins() {
+        let h = crate::stats::histogram(&[1.0, 2.0, 9.0], 3);
+        let t = histogram_chart("h", &h, "s");
+        assert_eq!(t.lines().count(), 4);
+    }
+}

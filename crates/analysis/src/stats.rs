@@ -1,0 +1,238 @@
+//! Sample statistics, CDFs and histograms for profile analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes summary statistics (all zeros for an empty sample).
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary::default();
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        n,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    }
+}
+
+/// An empirical CDF: sorted `(value, fraction ≤ value)` points, one per
+/// sample (the form the paper's Figures 5–10 plot).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    /// `(value, cumulative fraction)` pairs, non-decreasing in both.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Builds the empirical CDF of a sample set.
+///
+/// ```
+/// let c = ktau_analysis::cdf(&[3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(c.median(), 2.0);
+/// assert_eq!(c.at(2.5), 0.5);
+/// ```
+pub fn cdf(samples: &[f64]) -> Cdf {
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    Cdf {
+        points: v
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n as f64))
+            .collect(),
+    }
+}
+
+impl Cdf {
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        match self
+            .points
+            .iter()
+            .rposition(|&(v, _)| v <= x)
+        {
+            Some(i) => self.points[i].1,
+            None => 0.0,
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * self.points.len() as f64).ceil() as usize)
+            .clamp(1, self.points.len())
+            - 1;
+        self.points[idx].0
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// A crude bimodality check: the largest gap between consecutive sample
+    /// values, relative to the full range.  Distinct clusters (like the
+    /// paper's Fig 8 interrupt imbalance) show a dominant gap.
+    pub fn largest_relative_gap(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let lo = self.points.first().unwrap().0;
+        let hi = self.points.last().unwrap().0;
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut max_gap = 0.0f64;
+        for w in self.points.windows(2) {
+            max_gap = max_gap.max(w[1].0 - w[0].0);
+        }
+        max_gap / (hi - lo)
+    }
+}
+
+/// A histogram with equal-width bins.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+}
+
+/// Builds a histogram with `bins` equal-width bins spanning the sample
+/// range (a single bin when all values coincide).
+pub fn histogram(samples: &[f64], bins: usize) -> Histogram {
+    assert!(bins > 0, "need at least one bin");
+    if samples.is_empty() {
+        return Histogram {
+            lo: 0.0,
+            width: 1.0,
+            counts: vec![0; bins],
+        };
+    }
+    let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi <= lo {
+        let mut counts = vec![0; bins];
+        counts[0] = samples.len() as u64;
+        return Histogram {
+            lo,
+            width: 1.0,
+            counts,
+        };
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0u64; bins];
+    for &x in samples {
+        let mut b = ((x - lo) / width) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    Histogram { lo, width, counts }
+}
+
+impl Histogram {
+    /// `(bin center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c))
+            .collect()
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let c = cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert!(c.points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(c.points.last().unwrap().1, 1.0);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = cdf(&(1..=100).map(|x| x as f64).collect::<Vec<_>>());
+        assert_eq!(c.median(), 50.0);
+        assert_eq!(c.quantile(0.9), 90.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn bimodal_gap_detection() {
+        let mut xs: Vec<f64> = (0..50).map(|i| 1.0 + i as f64 * 0.01).collect();
+        xs.extend((0..50).map(|i| 10.0 + i as f64 * 0.01));
+        let gap = cdf(&xs).largest_relative_gap();
+        assert!(gap > 0.8, "{gap}");
+        let uni: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(cdf(&uni).largest_relative_gap() < 0.05);
+    }
+
+    #[test]
+    fn histogram_bins_cover_range() {
+        let h = histogram(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], 5);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts, vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_degenerate_cases() {
+        let h = histogram(&[], 4);
+        assert_eq!(h.total(), 0);
+        let h = histogram(&[7.0, 7.0], 4);
+        assert_eq!(h.counts[0], 2);
+    }
+}

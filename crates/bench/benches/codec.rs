@@ -1,0 +1,38 @@
+//! Profile snapshot codec throughput (what a KTAUD sweep pays per process).
+use criterion::{criterion_group, criterion_main, Criterion};
+use ktau_core::event::{EventKind, EventRegistry, Group};
+use ktau_core::measure::{ProbeEngine, TaskMeasurement};
+use ktau_core::snapshot::{decode_profile, encode_profile, profile_to_ascii, ProfileSnapshot};
+use std::hint::black_box;
+
+fn sample() -> ProfileSnapshot {
+    let mut reg = EventRegistry::new();
+    let eng = ProbeEngine::prof_all();
+    let mut m = TaskMeasurement::profiling();
+    for i in 0..40 {
+        let name = format!("event_{i}");
+        let id = reg.register(&name, Group::Syscall, EventKind::EntryExit);
+        for k in 0..10u64 {
+            eng.kernel_entry(&mut m, id, Group::Syscall, k * 100);
+            eng.kernel_exit(&mut m, id, Group::Syscall, k * 100 + 50);
+        }
+    }
+    ProfileSnapshot::capture(42, "bench", 0, 1_000_000, &m, &reg)
+}
+
+fn bench(c: &mut Criterion) {
+    let snap = sample();
+    let bytes = encode_profile(&snap);
+    c.bench_function("encode_profile_40_events", |b| {
+        b.iter(|| black_box(encode_profile(black_box(&snap))))
+    });
+    c.bench_function("decode_profile_40_events", |b| {
+        b.iter(|| black_box(decode_profile(black_box(&bytes)).unwrap()))
+    });
+    c.bench_function("profile_to_ascii_40_events", |b| {
+        b.iter(|| black_box(profile_to_ascii(black_box(&snap))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion companion to Table 4: the cost of one enabled/disabled probe
+//! pair, plus the atomic and interval probes.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ktau_core::control::{InstrumentationControl, OverheadModel};
+use ktau_core::event::{EventId, Group};
+use ktau_core::measure::{ProbeEngine, TaskMeasurement};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let enabled = ProbeEngine::prof_all();
+    let disabled = ProbeEngine::new(InstrumentationControl::ktau_off(), OverheadModel::default());
+    let ev = EventId(0);
+
+    let mut m = TaskMeasurement::profiling();
+    let mut t = 0u64;
+    c.bench_function("probe_start_stop_enabled", |b| {
+        b.iter(|| {
+            enabled.kernel_entry(black_box(&mut m), ev, Group::Syscall, t);
+            enabled.kernel_exit(black_box(&mut m), ev, Group::Syscall, t + 1);
+            t += 2;
+        })
+    });
+
+    let mut m2 = TaskMeasurement::profiling();
+    c.bench_function("probe_start_stop_disabled", |b| {
+        b.iter(|| {
+            disabled.kernel_entry(black_box(&mut m2), ev, Group::Syscall, 0);
+            disabled.kernel_exit(black_box(&mut m2), ev, Group::Syscall, 1);
+        })
+    });
+
+    let mut m3 = TaskMeasurement::profiling();
+    c.bench_function("probe_atomic_enabled", |b| {
+        b.iter(|| {
+            enabled.kernel_atomic(black_box(&mut m3), ev, Group::Tcp, 1460, 0);
+        })
+    });
+
+    let mut m4 = TaskMeasurement::profiling();
+    let mut now = 0u64;
+    c.bench_function("probe_sched_interval", |b| {
+        b.iter(|| {
+            enabled.kernel_interval(black_box(&mut m4), ev, Group::Scheduler, 100, now);
+            now += 200;
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

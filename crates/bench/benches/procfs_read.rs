@@ -1,0 +1,35 @@
+//! Cost of the session-less /proc/ktau two-phase profile read.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec, Op, OpList, TaskSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut spec = ClusterSpec::chiba(1);
+    spec.noise = NoiseSpec::silent();
+    let mut cluster = Cluster::new(spec);
+    let pid = cluster.spawn(
+        0,
+        TaskSpec::app(
+            "w",
+            Box::new(OpList::new(
+                (0..200).map(|_| Op::SyscallNull).collect::<Vec<_>>(),
+            )),
+        ),
+    );
+    cluster.run_until_apps_exit(100 * NS_PER_SEC);
+    let now = cluster.now();
+    c.bench_function("proc_profile_two_phase_read", |b| {
+        b.iter(|| {
+            let node = cluster.node(0);
+            let size = node.proc_profile_size(pid, now).unwrap();
+            black_box(node.proc_profile_read(pid, size, now).unwrap())
+        })
+    });
+    c.bench_function("kernel_wide_snapshot", |b| {
+        b.iter(|| black_box(cluster.node(0).kernel_wide_snapshot(now)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

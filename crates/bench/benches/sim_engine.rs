@@ -1,0 +1,39 @@
+//! Event throughput of the simulation engine itself: how many virtual
+//! kernel events per second of host time the DES core sustains.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec, Op, OpList, TaskSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("sim_1s_two_nodes_stream", |b| {
+        b.iter_batched(
+            || {
+                let mut spec = ClusterSpec::chiba(2);
+                spec.noise = NoiseSpec::silent();
+                let mut cluster = Cluster::new(spec);
+                let conn = cluster.open_conn(0, 1);
+                cluster.spawn(
+                    0,
+                    TaskSpec::app(
+                        "tx",
+                        Box::new(OpList::new(vec![Op::Send { conn, bytes: 2_000_000 }])),
+                    ),
+                );
+                cluster.spawn(
+                    1,
+                    TaskSpec::app(
+                        "rx",
+                        Box::new(OpList::new(vec![Op::Recv { conn, bytes: 2_000_000 }])),
+                    ),
+                );
+                cluster
+            },
+            |mut cluster| black_box(cluster.run_until_apps_exit(100 * NS_PER_SEC)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the per-process circular trace buffer.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ktau_core::event::EventId;
+use ktau_core::trace::{TraceBuffer, TracePoint, TraceRecord};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_with_overwrite", |b| {
+        let mut tb = TraceBuffer::new(4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            tb.push(black_box(TraceRecord {
+                ts_ns: i,
+                event: EventId((i % 32) as u32),
+                point: TracePoint::Entry,
+            }));
+            i += 1;
+        })
+    });
+    g.bench_function("drain_4096", |b| {
+        b.iter_with_setup(
+            || {
+                let mut tb = TraceBuffer::new(4096);
+                for i in 0..4096u64 {
+                    tb.push(TraceRecord {
+                        ts_ns: i,
+                        event: EventId(0),
+                        point: TracePoint::Entry,
+                    });
+                }
+                tb
+            },
+            |mut tb| black_box(tb.drain()),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: perturbation as a function of per-probe cost.  Sweeps the
+//! Table-4 start/stop costs by a multiplier and reports the resulting
+//! application slowdown — the design trade-off behind "compile it in and
+//! leave it disabled".
+use ktau_core::control::{InstrumentationControl, OverheadModel};
+use ktau_core::time::NS_PER_SEC;
+use ktau_mpi::{launch, Layout};
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec};
+use ktau_workloads::LuParams;
+
+fn run(control: InstrumentationControl, overhead: OverheadModel) -> f64 {
+    let mut spec = ClusterSpec::chiba(4);
+    spec.noise = NoiseSpec::silent();
+    spec.control = control;
+    spec.overhead = overhead;
+    let mut p = LuParams::tiny(2, 2);
+    p.iters = 4;
+    p.nz = 40;
+    p.rhs_cycles = 225_000_000;
+    p.plane_cycles = 2_250_000;
+    let mut cluster = Cluster::new(spec);
+    launch(&mut cluster, "lu", &Layout::one_per_node(4), p.apps());
+    cluster.run_until_apps_exit(3_600 * NS_PER_SEC) as f64 / NS_PER_SEC as f64
+}
+
+fn main() {
+    let base = run(InstrumentationControl::base(), OverheadModel::default());
+    println!("Ablation: slowdown vs per-probe cost multiplier (ProfAll, small LU)");
+    println!("{:<22} {:>10} {:>9}", "probe cost", "exec s", "% slow");
+    println!("{:<22} {:>10.3} {:>8.2}%", "compiled out (Base)", base, 0.0);
+    for mult in [0u64, 1, 2, 5, 10, 50] {
+        let m = OverheadModel {
+            start_cycles: 244 * mult,
+            stop_cycles: 295 * mult,
+            atomic_cycles: 180 * mult,
+            disabled_check_cycles: 4,
+            trace_record_cycles: 120 * mult,
+        };
+        let t = run(InstrumentationControl::prof_all(), m);
+        println!(
+            "{:<22} {:>10.3} {:>8.2}%",
+            format!("{}x paper Table 4", mult),
+            t,
+            (t - base) / base * 100.0
+        );
+    }
+    let t = run(InstrumentationControl::ktau_off(), OverheadModel::default());
+    println!("{:<22} {:>10.3} {:>8.2}%", "KtauOff (flag checks)", t, (t - base) / base * 100.0);
+}

@@ -1,0 +1,41 @@
+//! Ablation: trace-ring capacity vs record loss for a fixed workload —
+//! quantifying the paper's "trace data may be lost if the buffer is not
+//! read fast enough" design choice.
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec, Op, OpList, TaskSpec};
+
+fn main() {
+    println!("Ablation: trace buffer capacity vs loss (traced sender, 4 MB transfer)");
+    println!("{:<12} {:>10} {:>10} {:>9}", "capacity", "kept", "lost", "loss %");
+    for cap in [256usize, 1024, 4096, 16384, 65536, 262144] {
+        let mut spec = ClusterSpec::chiba(2);
+        spec.noise = NoiseSpec::silent();
+        spec.trace_capacity = Some(cap);
+        let mut c = Cluster::new(spec);
+        let conn = c.open_conn(0, 1);
+        let pid = c.spawn(
+            0,
+            TaskSpec::app(
+                "tx",
+                Box::new(OpList::new(vec![Op::Send { conn, bytes: 4_000_000 }])),
+            )
+            .traced(),
+        );
+        c.spawn(
+            1,
+            TaskSpec::app("rx", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 4_000_000 }]))),
+        );
+        c.run_until_apps_exit(600 * NS_PER_SEC);
+        let t = c.node_mut(0).proc_trace_read(pid).unwrap();
+        let total = t.records.len() as u64 + t.lost;
+        println!(
+            "{:<12} {:>10} {:>10} {:>8.1}%",
+            cap,
+            t.records.len(),
+            t.lost,
+            t.lost as f64 / total as f64 * 100.0
+        );
+    }
+    println!("\nreading: an unread ring must be sized for the full burst, or drained");
+    println!("periodically by KTAUD — the paper's rationale for the daemon.");
+}

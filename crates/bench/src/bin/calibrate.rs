@@ -1,0 +1,26 @@
+//! Calibration probe: wall-clock cost and virtual duration of the full-size
+//! LU runs, used to tune workload constants. Not part of the figure set.
+use ktau_core::time::{fmt_secs, NS_PER_SEC};
+use ktau_mpi::{launch, Layout};
+use ktau_oskern::{Cluster, ClusterSpec};
+use ktau_workloads::LuParams;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("128x1");
+    let p = LuParams::class_c_128();
+    let t0 = Instant::now();
+    let (mut cluster, layout) = match which {
+        "128x1" => (Cluster::new(ClusterSpec::chiba(128)), Layout::one_per_node(128)),
+        "64x2" => (Cluster::new(ClusterSpec::chiba(64)), Layout::cyclic(64, 128)),
+        other => panic!("unknown config {other}"),
+    };
+    launch(&mut cluster, "lu.C.128", &layout, p.apps());
+    let end = cluster.run_until_apps_exit(100_000 * NS_PER_SEC);
+    println!(
+        "{which}: virtual {} s, wall {:.1} s",
+        fmt_secs(end),
+        t0.elapsed().as_secs_f64()
+    );
+}

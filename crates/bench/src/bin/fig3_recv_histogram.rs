@@ -1,0 +1,28 @@
+//! Figure 3: histogram of MPI_Recv exclusive time across the 128 ranks of
+//! the 64x2 Anomaly run; the two outliers are the ranks on the faulty node.
+use ktau_analysis::{histogram, histogram_chart};
+use ktau_bench::{lu_record, Config};
+
+fn main() {
+    let rec = lu_record(Config::C64x2Anomaly);
+    let samples: Vec<f64> = rec
+        .ranks
+        .iter()
+        .map(|r| r.mpi_recv_excl_ns as f64 / 1e9)
+        .collect();
+    let h = histogram(&samples, 12);
+    print!("{}", histogram_chart("Fig 3: MPI_Recv exclusive time (64x2 Anomaly)", &h, "s"));
+    // Identify the outliers, as the paper does.
+    let mut by_time: Vec<(u32, f64)> = rec
+        .ranks
+        .iter()
+        .map(|r| (r.rank, r.mpi_recv_excl_ns as f64 / 1e9))
+        .collect();
+    by_time.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("\nleft-most outliers (least MPI_Recv time):");
+    for (rank, s) in by_time.iter().take(2) {
+        let node = rec.ranks.iter().find(|r| r.rank == *rank).unwrap().node;
+        println!("  rank {rank:>3}  {s:>9.2} s   (node ccn{node})");
+    }
+    println!("paper: ranks 61 and 125, both on node ccn10");
+}

@@ -1,0 +1,19 @@
+//! Runs every experiment once, populating the results cache that the
+//! per-figure binaries read.
+use ktau_bench::{lu_record, sweep_record, Config};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    for cfg in Config::TABLE2 {
+        let r = lu_record(cfg);
+        println!("LU      {:<18} {:>9.2} s   [{:>6.1} s wall]", cfg.label(), r.exec_s, t0.elapsed().as_secs_f64());
+    }
+    for cfg in Config::TABLE2 {
+        let r = sweep_record(cfg);
+        println!("Sweep3D {:<18} {:>9.2} s   [{:>6.1} s wall]", cfg.label(), r.exec_s, t0.elapsed().as_secs_f64());
+    }
+    let r = sweep_record(Config::C128x1PinIrqCpu1);
+    println!("Sweep3D {:<18} {:>9.2} s   [{:>6.1} s wall]", Config::C128x1PinIrqCpu1.label(), r.exec_s, t0.elapsed().as_secs_f64());
+    println!("cache populated under results/");
+}

@@ -1,0 +1,107 @@
+//! `runKtau` (paper §4.5): "created in a manner similar to the Unix time
+//! command.  time spawns a child process, executes the required job within
+//! that process, and then gathers rudimentary performance data after the
+//! child process completes.  runktau does the same, except it extracts the
+//! process's detailed KTAU profile."
+//!
+//! Usage: `runktau [workload] [--counters] [--ascii]`
+//! where `workload` is one of the built-in jobs below (default `mixed`).
+
+use ktau_analysis::ns_to_s;
+use ktau_core::snapshot::profile_to_ascii;
+use ktau_core::time::{NS_PER_SEC};
+use ktau_oskern::{Cluster, ClusterSpec, Op, OpList, TaskSpec};
+use ktau_user::run_ktau;
+
+fn workload(name: &str) -> Option<Vec<Op>> {
+    let sec = 450_000_000u64; // cycles per second at 450 MHz
+    Some(match name {
+        // A bit of everything: the default demo.
+        "mixed" => vec![
+            Op::UserEnter("main"),
+            Op::Compute(sec),
+            Op::SyscallNull,
+            Op::PageFault,
+            Op::Sleep(NS_PER_SEC / 2),
+            Op::SignalSelf,
+            Op::Compute(sec / 2),
+            Op::UserExit("main"),
+        ],
+        // Pure compute: shows how little kernel time a clean job has.
+        "compute" => vec![Op::Compute(3 * sec)],
+        // Syscall-heavy: the lat_syscall shape.
+        "syscalls" => (0..5_000).map(|_| Op::SyscallNull).collect(),
+        // Sleeper: dominated by voluntary scheduling.
+        "sleeper" => vec![
+            Op::Sleep(NS_PER_SEC),
+            Op::Compute(sec / 10),
+            Op::Sleep(NS_PER_SEC),
+        ],
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_counters = args.iter().any(|a| a == "--counters");
+    let ascii = args.iter().any(|a| a == "--ascii");
+    let job = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("mixed");
+    let Some(ops) = workload(job) else {
+        eprintln!("unknown workload {job:?}; available: mixed compute syscalls sleeper");
+        std::process::exit(2);
+    };
+
+    let mut cluster = Cluster::new(ClusterSpec::chiba(1));
+    let spec = TaskSpec::app(job, Box::new(OpList::new(ops)));
+    let snap = run_ktau(&mut cluster, 0, spec, 3_600 * NS_PER_SEC).expect("job failed");
+
+    if ascii {
+        // The libKtau ASCII wire format, as a command-line client would dump.
+        print!("{}", profile_to_ascii(&snap));
+        return;
+    }
+
+    println!(
+        "runktau: {} (pid {}) finished at {:.3} virtual seconds\n",
+        snap.comm,
+        snap.pid,
+        cluster.now() as f64 / 1e9
+    );
+    println!("kernel profile:");
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12}",
+        "event", "calls", "incl s", "excl s", "mean us"
+    );
+    let mut rows = snap.kernel_events.clone();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.stats.incl_ns));
+    for r in &rows {
+        println!(
+            "{:<18} {:>8} {:>12.4} {:>12.4} {:>12.2}",
+            r.name,
+            r.stats.count,
+            ns_to_s(r.stats.incl_ns),
+            ns_to_s(r.stats.excl_ns),
+            r.stats.mean_incl_ns() / 1_000.0
+        );
+    }
+    if !snap.user_events.is_empty() {
+        println!("\nuser (TAU) profile:");
+        for r in &snap.user_events {
+            println!(
+                "{:<18} {:>8} {:>12.4}",
+                r.name,
+                r.stats.count,
+                ns_to_s(r.stats.incl_ns)
+            );
+        }
+    }
+    if show_counters {
+        let pid = ktau_oskern::Pid(snap.pid);
+        let c = cluster.node(0).proc_counters(pid).expect("counters");
+        println!("\nOS counters: {c:#?}");
+    }
+}

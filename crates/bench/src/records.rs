@@ -1,0 +1,242 @@
+//! Serializable result records for the experiment harness, extracted from
+//! finished cluster runs and cached as JSON so each expensive simulation
+//! runs once while many figures read from it.
+
+use ktau_core::snapshot::ProfileSnapshot;
+use ktau_core::time::{Ns, NS_PER_SEC};
+use ktau_core::Group;
+use ktau_mpi::JobHandle;
+use ktau_oskern::{probe_names, Cluster, TaskKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-rank measurements harvested from its KTAU/TAU profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankRecord {
+    /// MPI rank.
+    pub rank: u32,
+    /// Node the rank ran on.
+    pub node: u32,
+    /// Pid on that node.
+    pub pid: u32,
+    /// Total voluntary scheduling (yield-the-CPU) time.
+    pub vol_ns: Ns,
+    /// Voluntary switch count.
+    pub vol_count: u64,
+    /// Total involuntary scheduling (preemption) time.
+    pub invol_ns: Ns,
+    /// Preemption count.
+    pub invol_count: u64,
+    /// Hard-IRQ time experienced by the rank.
+    pub irq_ns: Ns,
+    /// Hard-IRQ activations experienced.
+    pub irq_count: u64,
+    /// `MPI_Recv` exclusive time (user level).
+    pub mpi_recv_excl_ns: Ns,
+    /// `MPI_Recv` call count.
+    pub mpi_recv_count: u64,
+    /// Kernel call groups inside `MPI_Recv`: (group label, count, ns).
+    pub recv_groups: Vec<(String, u64, Ns)>,
+    /// Kernel TCP calls attributed inside the compute routine (Fig 9).
+    pub tcp_in_compute_count: u64,
+    /// `tcp_v4_rcv` exclusive time in this rank's kernel profile.
+    pub tcp_excl_ns: Ns,
+    /// `tcp_v4_rcv` activations in this rank's kernel profile.
+    pub tcp_count: u64,
+}
+
+impl RankRecord {
+    /// Mean exclusive time per kernel TCP call, microseconds.
+    pub fn tcp_us_per_call(&self) -> f64 {
+        if self.tcp_count == 0 {
+            0.0
+        } else {
+            self.tcp_excl_ns as f64 / self.tcp_count as f64 / 1_000.0
+        }
+    }
+}
+
+/// One process of a node-activity view (Fig 7 / Fig 2-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeProcRecord {
+    /// Pid.
+    pub pid: u32,
+    /// Command name.
+    pub comm: String,
+    /// Process kind label (`app`/`daemon`/`idle`).
+    pub kind: String,
+    /// CPU seconds consumed.
+    pub cpu_s: f64,
+    /// Kernel-mode time recorded by KTAU, seconds.
+    pub kernel_s: f64,
+}
+
+/// A complete experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Application name (`lu` / `sweep3d`).
+    pub app: String,
+    /// Configuration label (e.g. `64x2 Pinned`).
+    pub config: String,
+    /// Total execution time, seconds.
+    pub exec_s: f64,
+    /// Per-rank measurements.
+    pub ranks: Vec<RankRecord>,
+    /// All-process view of the anomalous node, when one exists.
+    pub anomaly_node_procs: Vec<NodeProcRecord>,
+}
+
+/// Harvests one rank's record from the cluster.
+pub fn extract_rank(
+    cluster: &Cluster,
+    rank: u32,
+    node: u32,
+    pid: ktau_oskern::Pid,
+    compute_routine: &str,
+) -> RankRecord {
+    let snap = cluster
+        .node(node)
+        .profile_snapshot(pid, cluster.now())
+        .expect("rank profile vanished");
+    let ev = |name: &str| snap.kernel_event(name).map(|r| r.stats).unwrap_or_default();
+    let vol = ev(probe_names::SCHEDULE_VOL);
+    let invol = ev(probe_names::SCHEDULE);
+    let irq = ev(probe_names::DO_IRQ);
+    let tcp = ev(probe_names::TCP_V4_RCV);
+    let recv = snap
+        .user_event("MPI_Recv")
+        .map(|r| r.stats)
+        .unwrap_or_default();
+    let recv_groups = snap
+        .call_groups_in("MPI_Recv")
+        .into_iter()
+        .map(|(g, c, ns)| (g.label().to_owned(), c, ns))
+        .collect();
+    let tcp_in_compute = tcp_count_in(&snap, compute_routine);
+    RankRecord {
+        rank,
+        node,
+        pid: pid.0,
+        vol_ns: vol.incl_ns,
+        vol_count: vol.count,
+        invol_ns: invol.incl_ns,
+        invol_count: invol.count,
+        irq_ns: irq.incl_ns,
+        irq_count: irq.count,
+        mpi_recv_excl_ns: recv.excl_ns,
+        mpi_recv_count: recv.count,
+        recv_groups,
+        tcp_in_compute_count: tcp_in_compute,
+        tcp_excl_ns: tcp.excl_ns,
+        tcp_count: tcp.count,
+    }
+}
+
+fn tcp_count_in(snap: &ProfileSnapshot, routine: &str) -> u64 {
+    snap.merged
+        .iter()
+        .filter(|m| {
+            m.user.as_deref() == Some(routine)
+                && m.kernel_group == Group::Tcp
+                && m.kernel == probe_names::TCP_V4_RCV
+        })
+        .map(|m| m.count)
+        .sum()
+}
+
+/// Harvests the all-process activity view of one node (Fig 7).
+pub fn extract_node_procs(cluster: &Cluster, node: u32) -> Vec<NodeProcRecord> {
+    let n = cluster.node(node);
+    let mut rows: Vec<NodeProcRecord> = n
+        .pids()
+        .into_iter()
+        .filter_map(|pid| {
+            let t = n.task(pid)?;
+            let snap = n.profile_snapshot(pid, cluster.now()).ok()?;
+            Some(NodeProcRecord {
+                pid: pid.0,
+                comm: t.comm.clone(),
+                kind: match t.kind {
+                    TaskKind::App => "app",
+                    TaskKind::Daemon => "daemon",
+                    TaskKind::Idle => "idle",
+                }
+                .to_owned(),
+                cpu_s: t.cpu_ns as f64 / NS_PER_SEC as f64,
+                kernel_s: snap.kernel_total_ns() as f64 / NS_PER_SEC as f64,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.cpu_s.partial_cmp(&a.cpu_s).unwrap());
+    rows
+}
+
+/// Harvests the whole job.
+pub fn extract_run(
+    cluster: &Cluster,
+    app: &str,
+    config: &str,
+    exec_ns: Ns,
+    job: &JobHandle,
+    compute_routine: &str,
+    anomaly_node: Option<u32>,
+) -> RunRecord {
+    let ranks = job
+        .iter()
+        .map(|(r, node, pid)| extract_rank(cluster, r.0, node, pid, compute_routine))
+        .collect();
+    RunRecord {
+        app: app.to_owned(),
+        config: config.to_owned(),
+        exec_s: exec_ns as f64 / NS_PER_SEC as f64,
+        ranks,
+        anomaly_node_procs: anomaly_node
+            .map(|n| extract_node_procs(cluster, n))
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_us_per_call_handles_zero() {
+        let r = RankRecord {
+            rank: 0,
+            node: 0,
+            pid: 0,
+            vol_ns: 0,
+            vol_count: 0,
+            invol_ns: 0,
+            invol_count: 0,
+            irq_ns: 0,
+            irq_count: 0,
+            mpi_recv_excl_ns: 0,
+            mpi_recv_count: 0,
+            recv_groups: vec![],
+            tcp_in_compute_count: 0,
+            tcp_excl_ns: 56_000,
+            tcp_count: 0,
+        };
+        assert_eq!(r.tcp_us_per_call(), 0.0);
+        let r2 = RankRecord {
+            tcp_count: 2,
+            ..r
+        };
+        assert_eq!(r2.tcp_us_per_call(), 28.0);
+    }
+
+    #[test]
+    fn run_record_json_roundtrip() {
+        let rec = RunRecord {
+            app: "lu".into(),
+            config: "128x1".into(),
+            exec_s: 295.6,
+            ranks: vec![],
+            anomaly_node_procs: vec![],
+        };
+        let s = serde_json::to_string(&rec).unwrap();
+        let back: RunRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(rec, back);
+    }
+}

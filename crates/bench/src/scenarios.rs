@@ -1,0 +1,299 @@
+//! The paper's experiment configurations as runnable scenarios.
+
+use crate::records::{extract_run, RunRecord};
+use ktau_core::control::InstrumentationControl;
+use ktau_core::time::{Ns, NS_PER_SEC};
+use ktau_core::Group;
+use ktau_mpi::{launch, Layout};
+use ktau_oskern::{Cluster, ClusterSpec, IrqPolicy};
+use ktau_workloads::{LuParams, SweepParams};
+use std::path::{Path, PathBuf};
+
+/// The anomalous Chiba node index: ranks 61 and 125 of a 128-rank cyclic
+/// job land on it, matching the paper's outlier ranks.
+pub const ANOMALY_NODE: u32 = 61;
+
+/// Table 2 / §5.2 cluster configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// 128 nodes, one rank each.
+    C128x1,
+    /// 64 nodes, two ranks each, with the faulty single-CPU node.
+    C64x2Anomaly,
+    /// 64 nodes, two ranks each (fault removed).
+    C64x2,
+    /// 64x2 with ranks pinned one per CPU.
+    C64x2Pinned,
+    /// 64x2 pinned with irq-balancing enabled.
+    C64x2PinIbal,
+    /// 128x1 with both the rank and every IRQ pinned to CPU 1 (Fig 9/10's
+    /// control configuration).
+    C128x1PinIrqCpu1,
+}
+
+impl Config {
+    /// Label used in the paper's tables/figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Config::C128x1 => "128x1",
+            Config::C64x2Anomaly => "64x2 Anomaly",
+            Config::C64x2 => "64x2",
+            Config::C64x2Pinned => "64x2 Pinned",
+            Config::C64x2PinIbal => "64x2 Pin,I-Bal",
+            Config::C128x1PinIrqCpu1 => "128x1 Pin,IRQ CPU1",
+        }
+    }
+
+    /// The Table 2 rows, in paper order.
+    pub const TABLE2: [Config; 5] = [
+        Config::C128x1,
+        Config::C64x2Anomaly,
+        Config::C64x2,
+        Config::C64x2Pinned,
+        Config::C64x2PinIbal,
+    ];
+
+    /// Cluster spec + rank layout for a 128-rank job under this config.
+    pub fn cluster_and_layout(&self) -> (ClusterSpec, Layout) {
+        match self {
+            Config::C128x1 => (ClusterSpec::chiba(128), Layout::one_per_node(128)),
+            Config::C128x1PinIrqCpu1 => {
+                let mut spec = ClusterSpec::chiba(128);
+                for n in &mut spec.nodes {
+                    n.irq = IrqPolicy::PinnedTo(1);
+                }
+                (spec, Layout::one_per_node(128).pinned_to(1))
+            }
+            Config::C64x2Anomaly => {
+                let mut spec = ClusterSpec::chiba(64);
+                spec.nodes[ANOMALY_NODE as usize].detected_cpus = Some(1);
+                (spec, Layout::cyclic(64, 128))
+            }
+            Config::C64x2 => (ClusterSpec::chiba(64), Layout::cyclic(64, 128)),
+            Config::C64x2Pinned => (ClusterSpec::chiba(64), Layout::cyclic(64, 128).pinned(64)),
+            Config::C64x2PinIbal => {
+                let mut spec = ClusterSpec::chiba(64);
+                for n in &mut spec.nodes {
+                    n.irq = IrqPolicy::Balanced;
+                }
+                (spec, Layout::cyclic(64, 128).pinned(64))
+            }
+        }
+    }
+
+    /// The anomalous node to snapshot, if this config has one.
+    pub fn anomaly_node(&self) -> Option<u32> {
+        matches!(self, Config::C64x2Anomaly).then_some(ANOMALY_NODE)
+    }
+}
+
+/// Generous virtual deadline for full-size runs.
+const DEADLINE: Ns = 3_600 * NS_PER_SEC;
+
+/// Runs NPB LU under a configuration and harvests the record.
+pub fn run_lu(cfg: Config, params: LuParams) -> RunRecord {
+    let (spec, layout) = cfg.cluster_and_layout();
+    let mut cluster = Cluster::new(spec);
+    let job = launch(&mut cluster, "lu.C.128", &layout, params.apps());
+    let end = cluster.run_until_apps_exit(DEADLINE);
+    extract_run(
+        &cluster,
+        "lu",
+        cfg.label(),
+        end,
+        &job,
+        "jacld",
+        cfg.anomaly_node(),
+    )
+}
+
+/// Runs Sweep3D under a configuration and harvests the record.
+pub fn run_sweep(cfg: Config, params: SweepParams) -> RunRecord {
+    let (spec, layout) = cfg.cluster_and_layout();
+    let mut cluster = Cluster::new(spec);
+    let job = launch(&mut cluster, "sweep3d", &layout, params.apps());
+    let end = cluster.run_until_apps_exit(DEADLINE);
+    extract_run(
+        &cluster,
+        "sweep3d",
+        cfg.label(),
+        end,
+        &job,
+        "sweep",
+        cfg.anomaly_node(),
+    )
+}
+
+/// The Table 3 instrumentation configurations, in paper order.
+pub fn table3_controls() -> Vec<(&'static str, InstrumentationControl)> {
+    vec![
+        ("Base", InstrumentationControl::base()),
+        ("Ktau Off", InstrumentationControl::ktau_off()),
+        ("ProfAll", {
+            // All kernel groups on, user-level TAU off.
+            InstrumentationControl::new(
+                ktau_core::GroupSet::all(),
+                ktau_core::GroupSet::all_kernel(),
+                ktau_core::GroupSet::all(),
+            )
+        }),
+        ("ProfSched", InstrumentationControl::only(&[Group::Scheduler])),
+        ("ProfAll+Tau", InstrumentationControl::prof_all()),
+    ]
+}
+
+/// Runs the Table 3 perturbation study for LU on 16 nodes (16x1):
+/// `(label, exec seconds)` per configuration.
+pub fn run_table3_lu(params: LuParams) -> Vec<(String, f64)> {
+    table3_controls()
+        .into_iter()
+        .map(|(label, control)| {
+            let mut spec = ClusterSpec::chiba(16);
+            spec.control = control;
+            let mut cluster = Cluster::new(spec);
+            let layout = Layout::one_per_node(16);
+            launch(&mut cluster, "lu.C.16", &layout, params.apps());
+            let end = cluster.run_until_apps_exit(DEADLINE);
+            (label.to_owned(), end as f64 / NS_PER_SEC as f64)
+        })
+        .collect()
+}
+
+/// Runs the Table 3 Sweep3D column (Base vs ProfAll+Tau at 128 ranks).
+pub fn run_table3_sweep(params: SweepParams) -> Vec<(String, f64)> {
+    [
+        ("Base", InstrumentationControl::base()),
+        ("ProfAll+Tau", InstrumentationControl::prof_all()),
+    ]
+    .into_iter()
+    .map(|(label, control)| {
+        let mut spec = ClusterSpec::chiba(128);
+        spec.control = control;
+        let mut cluster = Cluster::new(spec);
+        launch(
+            &mut cluster,
+            "sweep3d",
+            &Layout::one_per_node(128),
+            params.apps(),
+        );
+        let end = cluster.run_until_apps_exit(DEADLINE);
+        (label.to_owned(), end as f64 / NS_PER_SEC as f64)
+    })
+    .collect()
+}
+
+/// Directory run records are cached in (`KTAU_RESULTS` env override).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("KTAU_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Loads a cached record, or computes and caches it.  `KTAU_RERUN=1`
+/// forces recomputation.
+pub fn cached(key: &str, compute: impl FnOnce() -> RunRecord) -> RunRecord {
+    let dir = results_dir();
+    let path = dir.join(format!("{key}.json"));
+    let rerun = std::env::var_os("KTAU_RERUN").is_some();
+    if !rerun {
+        if let Some(rec) = load_record(&path) {
+            return rec;
+        }
+    }
+    let rec = compute();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(s) = serde_json::to_string_pretty(&rec) {
+            let _ = std::fs::write(&path, s);
+        }
+    }
+    rec
+}
+
+fn load_record(path: &Path) -> Option<RunRecord> {
+    let s = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&s).ok()
+}
+
+/// Cached LU run for a config at paper scale.
+pub fn lu_record(cfg: Config) -> RunRecord {
+    let key = format!("lu_{}", cfg.label().replace([' ', ','], "_"));
+    cached(&key, || {
+        eprintln!("[run] LU {} (cache miss, simulating…)", cfg.label());
+        run_lu(cfg, LuParams::class_c_128())
+    })
+}
+
+/// Cached Sweep3D run for a config at paper scale.
+pub fn sweep_record(cfg: Config) -> RunRecord {
+    let key = format!("sweep_{}", cfg.label().replace([' ', ','], "_"));
+    cached(&key, || {
+        eprintln!("[run] Sweep3D {} (cache miss, simulating…)", cfg.label());
+        run_sweep(cfg, SweepParams::paper_128())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_labels_match_paper() {
+        let labels: Vec<&str> = Config::TABLE2.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["128x1", "64x2 Anomaly", "64x2", "64x2 Pinned", "64x2 Pin,I-Bal"]
+        );
+    }
+
+    #[test]
+    fn anomaly_config_marks_node_61_single_cpu() {
+        let (spec, layout) = Config::C64x2Anomaly.cluster_and_layout();
+        assert_eq!(spec.nodes[61].detected_cpus, Some(1));
+        assert_eq!(layout.ranks_on(61).len(), 2);
+        assert_eq!(Config::C64x2Anomaly.anomaly_node(), Some(61));
+        assert_eq!(Config::C64x2.anomaly_node(), None);
+    }
+
+    #[test]
+    fn pin_ibal_balances_every_node() {
+        let (spec, layout) = Config::C64x2PinIbal.cluster_and_layout();
+        assert!(spec.nodes.iter().all(|n| n.irq == IrqPolicy::Balanced));
+        assert!(layout.places.iter().all(|p| p.pin.is_some()));
+    }
+
+    #[test]
+    fn table3_has_five_paper_configs() {
+        let c = table3_controls();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c[0].0, "Base");
+        assert_eq!(c[4].0, "ProfAll+Tau");
+        // ProfAll must not enable user-level instrumentation.
+        let prof_all = &c[2].1;
+        assert_eq!(
+            prof_all.status(Group::User),
+            ktau_core::ProbeStatus::Disabled
+        );
+        assert_eq!(
+            prof_all.status(Group::Tcp),
+            ktau_core::ProbeStatus::Enabled
+        );
+    }
+
+    #[test]
+    fn small_lu_run_produces_full_record() {
+        let rec = run_lu_small();
+        assert_eq!(rec.ranks.len(), 4);
+        assert!(rec.exec_s > 0.0);
+        assert!(rec.ranks.iter().any(|r| r.mpi_recv_count > 0));
+    }
+
+    fn run_lu_small() -> RunRecord {
+        let mut spec = ClusterSpec::chiba(4);
+        spec.noise = ktau_oskern::NoiseSpec::silent();
+        let mut cluster = Cluster::new(spec);
+        let p = LuParams::tiny(2, 2);
+        let job = launch(&mut cluster, "lu", &Layout::one_per_node(4), p.apps());
+        let end = cluster.run_until_apps_exit(DEADLINE);
+        extract_run(&cluster, "lu", "test", end, &job, "jacld", None)
+    }
+}

@@ -1,0 +1,352 @@
+//! Three-level instrumentation control (paper §4.1 and §5.3).
+//!
+//! KTAU probes are controlled at three levels, mirroring the paper's
+//! perturbation-study configurations:
+//!
+//! 1. **Compile time** — groups not compiled in have *zero* cost
+//!    (configuration `Base`).
+//! 2. **Boot time** — compiled-in groups may boot disabled; each probe then
+//!    costs only a runtime flag check (configuration `Ktau Off`).
+//! 3. **Run time** — enabled groups can be toggled while running (the
+//!    paper's stated future direction of dynamic measurement control;
+//!    implemented here).
+//!
+//! Per-probe measurement cost is described by [`OverheadModel`]; the
+//! simulated kernel charges those cycles to virtual time so perturbation is
+//! an emergent property of a run rather than a constant.
+
+use crate::event::Group;
+use crate::time::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// A set of instrumentation groups, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroupSet(u32);
+
+impl GroupSet {
+    /// The empty set.
+    pub const EMPTY: GroupSet = GroupSet(0);
+
+    /// Every group.
+    pub fn all() -> Self {
+        let mut s = GroupSet(0);
+        for g in Group::ALL {
+            s.insert(g);
+        }
+        s
+    }
+
+    /// All kernel-side groups (excludes user/MPI).
+    pub fn all_kernel() -> Self {
+        let mut s = GroupSet(0);
+        for g in Group::KERNEL {
+            s.insert(g);
+        }
+        s
+    }
+
+    /// A set containing exactly the given groups.
+    pub fn of(groups: &[Group]) -> Self {
+        let mut s = GroupSet(0);
+        for &g in groups {
+            s.insert(g);
+        }
+        s
+    }
+
+    /// Adds a group.
+    pub fn insert(&mut self, g: Group) {
+        self.0 |= g.bit();
+    }
+
+    /// Removes a group.
+    pub fn remove(&mut self, g: Group) {
+        self.0 &= !g.bit();
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, g: Group) -> bool {
+        self.0 & g.bit() != 0
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: GroupSet) -> GroupSet {
+        GroupSet(self.0 & other.0)
+    }
+
+    /// True when no group is present.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates member groups in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Group> + '_ {
+        Group::ALL.into_iter().filter(|g| self.contains(*g))
+    }
+}
+
+/// Status of a probe as determined by the three control levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeStatus {
+    /// Not compiled in: the probe does not exist, zero cost.
+    CompiledOut,
+    /// Compiled in but disabled (boot or runtime): costs one flag check.
+    Disabled,
+    /// Fully active: measurement runs and costs start/stop cycles.
+    Enabled,
+}
+
+/// The three-level control state for one kernel instance.
+///
+/// ```
+/// use ktau_core::control::{InstrumentationControl, ProbeStatus};
+/// use ktau_core::event::Group;
+///
+/// let mut ctl = InstrumentationControl::prof_all();
+/// ctl.runtime_disable(Group::Tcp);   // dynamic control: no reboot needed
+/// assert_eq!(ctl.status(Group::Tcp), ProbeStatus::Disabled);
+/// assert_eq!(ctl.status(Group::Scheduler), ProbeStatus::Enabled);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumentationControl {
+    compiled: GroupSet,
+    boot_enabled: GroupSet,
+    runtime_enabled: GroupSet,
+}
+
+impl InstrumentationControl {
+    /// Everything compiled in and enabled (the paper's `ProfAll`).
+    pub fn prof_all() -> Self {
+        InstrumentationControl {
+            compiled: GroupSet::all(),
+            boot_enabled: GroupSet::all(),
+            runtime_enabled: GroupSet::all(),
+        }
+    }
+
+    /// Nothing compiled in (the paper's `Base`, a vanilla kernel).
+    pub fn base() -> Self {
+        InstrumentationControl {
+            compiled: GroupSet::EMPTY,
+            boot_enabled: GroupSet::EMPTY,
+            runtime_enabled: GroupSet::EMPTY,
+        }
+    }
+
+    /// Compiled in but all instrumentation off via boot flags (`Ktau Off`).
+    pub fn ktau_off() -> Self {
+        InstrumentationControl {
+            compiled: GroupSet::all(),
+            boot_enabled: GroupSet::EMPTY,
+            runtime_enabled: GroupSet::EMPTY,
+        }
+    }
+
+    /// Compiled in with only the given groups enabled (e.g. `ProfSched` =
+    /// `only(&[Group::Scheduler])`).
+    pub fn only(groups: &[Group]) -> Self {
+        let set = GroupSet::of(groups);
+        InstrumentationControl {
+            compiled: GroupSet::all(),
+            boot_enabled: set,
+            runtime_enabled: set,
+        }
+    }
+
+    /// Custom control state.
+    pub fn new(compiled: GroupSet, boot_enabled: GroupSet, runtime_enabled: GroupSet) -> Self {
+        InstrumentationControl {
+            compiled,
+            boot_enabled,
+            runtime_enabled,
+        }
+    }
+
+    /// Compile-time configured groups.
+    pub fn compiled(&self) -> GroupSet {
+        self.compiled
+    }
+
+    /// Groups enabled at boot.
+    pub fn boot_enabled(&self) -> GroupSet {
+        self.boot_enabled.intersect(self.compiled)
+    }
+
+    /// Groups currently measuring.
+    pub fn active(&self) -> GroupSet {
+        self.runtime_enabled
+            .intersect(self.boot_enabled)
+            .intersect(self.compiled)
+    }
+
+    /// Runtime toggle (dynamic measurement control): enables a group that is
+    /// compiled in and boot-enabled.  Returns whether the group is now
+    /// active.
+    pub fn runtime_enable(&mut self, g: Group) -> bool {
+        self.runtime_enabled.insert(g);
+        self.status(g) == ProbeStatus::Enabled
+    }
+
+    /// Runtime toggle: disables a group without reboot or recompilation.
+    pub fn runtime_disable(&mut self, g: Group) {
+        self.runtime_enabled.remove(g);
+    }
+
+    /// Resolves the status of a probe in the given group.
+    #[inline]
+    pub fn status(&self, g: Group) -> ProbeStatus {
+        if !self.compiled.contains(g) {
+            ProbeStatus::CompiledOut
+        } else if self.boot_enabled.contains(g) && self.runtime_enabled.contains(g) {
+            ProbeStatus::Enabled
+        } else {
+            ProbeStatus::Disabled
+        }
+    }
+}
+
+/// Per-operation measurement costs in CPU cycles, charged to virtual time by
+/// the simulated kernel whenever a probe fires.
+///
+/// Defaults follow the paper's Table 4 (start ≈ 244 cycles, stop ≈ 295
+/// cycles on the 450 MHz Chiba nodes) plus a small flag-check cost for
+/// disabled probes and an atomic-event cost between start and stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Cost of an enabled entry probe.
+    pub start_cycles: Cycles,
+    /// Cost of an enabled exit probe.
+    pub stop_cycles: Cycles,
+    /// Cost of an enabled atomic-event probe.
+    pub atomic_cycles: Cycles,
+    /// Cost of hitting a compiled-in but disabled probe (flag check).
+    pub disabled_check_cycles: Cycles,
+    /// Extra cost when a trace record is also emitted.
+    pub trace_record_cycles: Cycles,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            start_cycles: 244,
+            stop_cycles: 295,
+            atomic_cycles: 180,
+            disabled_check_cycles: 4,
+            trace_record_cycles: 120,
+        }
+    }
+}
+
+impl OverheadModel {
+    /// A model with zero costs (for tests that want pure measurement).
+    pub fn free() -> Self {
+        OverheadModel {
+            start_cycles: 0,
+            stop_cycles: 0,
+            atomic_cycles: 0,
+            disabled_check_cycles: 0,
+            trace_record_cycles: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groupset_insert_remove_contains() {
+        let mut s = GroupSet::EMPTY;
+        assert!(!s.contains(Group::Scheduler));
+        s.insert(Group::Scheduler);
+        s.insert(Group::Tcp);
+        assert!(s.contains(Group::Scheduler));
+        assert!(s.contains(Group::Tcp));
+        s.remove(Group::Scheduler);
+        assert!(!s.contains(Group::Scheduler));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn groupset_all_contains_every_group() {
+        let s = GroupSet::all();
+        for g in Group::ALL {
+            assert!(s.contains(g));
+        }
+    }
+
+    #[test]
+    fn groupset_iter_matches_membership() {
+        let s = GroupSet::of(&[Group::Irq, Group::Timer]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![Group::Irq, Group::Timer]);
+    }
+
+    #[test]
+    fn base_compiles_everything_out() {
+        let c = InstrumentationControl::base();
+        for g in Group::ALL {
+            assert_eq!(c.status(g), ProbeStatus::CompiledOut);
+        }
+    }
+
+    #[test]
+    fn ktau_off_is_disabled_not_compiled_out() {
+        let c = InstrumentationControl::ktau_off();
+        for g in Group::ALL {
+            assert_eq!(c.status(g), ProbeStatus::Disabled);
+        }
+    }
+
+    #[test]
+    fn prof_all_enables_everything() {
+        let c = InstrumentationControl::prof_all();
+        for g in Group::ALL {
+            assert_eq!(c.status(g), ProbeStatus::Enabled);
+        }
+    }
+
+    #[test]
+    fn prof_sched_enables_only_scheduler() {
+        let c = InstrumentationControl::only(&[Group::Scheduler]);
+        assert_eq!(c.status(Group::Scheduler), ProbeStatus::Enabled);
+        assert_eq!(c.status(Group::Tcp), ProbeStatus::Disabled);
+    }
+
+    #[test]
+    fn runtime_toggle_without_reboot() {
+        let mut c = InstrumentationControl::prof_all();
+        c.runtime_disable(Group::Tcp);
+        assert_eq!(c.status(Group::Tcp), ProbeStatus::Disabled);
+        assert!(c.runtime_enable(Group::Tcp));
+        assert_eq!(c.status(Group::Tcp), ProbeStatus::Enabled);
+    }
+
+    #[test]
+    fn runtime_enable_cannot_override_boot_disable() {
+        let mut c = InstrumentationControl::ktau_off();
+        assert!(!c.runtime_enable(Group::Scheduler));
+        assert_eq!(c.status(Group::Scheduler), ProbeStatus::Disabled);
+    }
+
+    #[test]
+    fn active_is_triple_intersection() {
+        let c = InstrumentationControl::new(
+            GroupSet::of(&[Group::Scheduler, Group::Irq]),
+            GroupSet::of(&[Group::Scheduler, Group::Tcp]),
+            GroupSet::all(),
+        );
+        assert!(c.active().contains(Group::Scheduler));
+        assert!(!c.active().contains(Group::Irq));
+        assert!(!c.active().contains(Group::Tcp));
+    }
+
+    #[test]
+    fn overhead_model_defaults_match_paper_table4_scale() {
+        let m = OverheadModel::default();
+        assert_eq!(m.start_cycles, 244);
+        assert_eq!(m.stop_cycles, 295);
+        assert!(m.disabled_check_cycles < 10);
+    }
+}

@@ -1,0 +1,303 @@
+//! Instrumentation events and the event-mapping registry.
+//!
+//! The paper's *event mapping* macro assigns each instrumentation point a
+//! unique identity on first activation: a global mapping index is incremented
+//! and cached in a static per-probe variable, and the resulting id indexes the
+//! per-process performance tables.  [`EventRegistry`] reproduces that scheme:
+//! `register` is idempotent per name and hands out dense ids in first-seen
+//! order.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier for an instrumentation point (the "instrumentation ID"
+/// bound from the global mapping index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// Index into per-process event tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+/// How an instrumentation point measures (paper §4.1: entry/exit event macro
+/// vs atomic event macro).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Paired entry/exit measurement producing inclusive/exclusive times.
+    EntryExit,
+    /// Stand-alone event carrying a value (e.g. packet size).
+    Atomic,
+}
+
+/// Instrumentation groups.  Compile-time configuration enables or disables
+/// whole groups (paper §4.1: "instrumentation points are grouped based on
+/// various aspects of the kernel's operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Group {
+    /// `schedule()` and friends.
+    Scheduler = 0,
+    /// System call entry/exit.
+    Syscall = 1,
+    /// Hard interrupt handling (`do_IRQ`, handlers).
+    Irq = 2,
+    /// Softirq / bottom-half handling.
+    BottomHalf = 3,
+    /// Socket layer (`sock_sendmsg`, `sock_recvmsg`).
+    Socket = 4,
+    /// TCP protocol work (`tcp_sendmsg`, `tcp_v4_rcv`).
+    Tcp = 5,
+    /// Exception handling (page faults &c).
+    Exception = 6,
+    /// Signal delivery.
+    Signal = 7,
+    /// Timer tick / time keeping.
+    Timer = 8,
+    /// User-level routines measured by TAU (not kernel groups, but they share
+    /// the event space so merged views can index uniformly).
+    User = 9,
+    /// MPI library routines (user level).
+    Mpi = 10,
+    /// Anything else.
+    Other = 11,
+}
+
+impl Group {
+    /// All groups, in id order.
+    pub const ALL: [Group; 12] = [
+        Group::Scheduler,
+        Group::Syscall,
+        Group::Irq,
+        Group::BottomHalf,
+        Group::Socket,
+        Group::Tcp,
+        Group::Exception,
+        Group::Signal,
+        Group::Timer,
+        Group::User,
+        Group::Mpi,
+        Group::Other,
+    ];
+
+    /// The kernel-side groups (excludes `User`/`Mpi`).
+    pub const KERNEL: [Group; 10] = [
+        Group::Scheduler,
+        Group::Syscall,
+        Group::Irq,
+        Group::BottomHalf,
+        Group::Socket,
+        Group::Tcp,
+        Group::Exception,
+        Group::Signal,
+        Group::Timer,
+        Group::Other,
+    ];
+
+    /// Stable bit position for [`crate::control::GroupSet`].
+    #[inline]
+    pub fn bit(self) -> u32 {
+        1u32 << (self as u8)
+    }
+
+    /// True for groups measured in kernel mode.
+    pub fn is_kernel(self) -> bool {
+        !matches!(self, Group::User | Group::Mpi)
+    }
+
+    /// Short label used in reports (matches the paper's call-group displays).
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::Scheduler => "schedule",
+            Group::Syscall => "syscall",
+            Group::Irq => "irq",
+            Group::BottomHalf => "bottom_half",
+            Group::Socket => "socket",
+            Group::Tcp => "tcp",
+            Group::Exception => "exception",
+            Group::Signal => "signal",
+            Group::Timer => "timer",
+            Group::User => "user",
+            Group::Mpi => "mpi",
+            Group::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Descriptor of a registered instrumentation point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventDesc {
+    /// Dense id (position in the registry).
+    pub id: EventId,
+    /// Symbolic name, e.g. `"schedule"` or `"tcp_v4_rcv"`.
+    pub name: String,
+    /// Instrumentation group the point belongs to.
+    pub group: Group,
+    /// Entry/exit or atomic.
+    pub kind: EventKind,
+}
+
+/// The kernel's event-mapping table: name → dense [`EventId`].
+///
+/// One registry exists per simulated kernel (per node); ids are only
+/// meaningful relative to their registry, exactly as the paper's global
+/// mapping index is only meaningful within one booted kernel.
+#[derive(Debug, Default, Clone)]
+pub struct EventRegistry {
+    events: Vec<EventDesc>,
+    by_name: HashMap<String, EventId>,
+}
+
+impl EventRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) an instrumentation point.  The first call for
+    /// a name claims the next mapping index; later calls return the cached
+    /// id.  Group/kind must match on re-registration — a mismatch is an
+    /// instrumentation bug and panics in debug fashion.
+    pub fn register(&mut self, name: &str, group: Group, kind: EventKind) -> EventId {
+        if let Some(&id) = self.by_name.get(name) {
+            let d = &self.events[id.index()];
+            assert!(
+                d.group == group && d.kind == kind,
+                "event {name:?} re-registered with different group/kind"
+            );
+            return id;
+        }
+        let id = EventId(self.events.len() as u32);
+        self.events.push(EventDesc {
+            id,
+            name: name.to_owned(),
+            group,
+            kind,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an id by name without registering.
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Descriptor for an id. Panics if the id is not from this registry.
+    pub fn desc(&self, id: EventId) -> &EventDesc {
+        &self.events[id.index()]
+    }
+
+    /// Descriptor by id, if present.
+    pub fn get(&self, id: EventId) -> Option<&EventDesc> {
+        self.events.get(id.index())
+    }
+
+    /// Number of registered events (== next mapping index).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates descriptors in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventDesc> {
+        self.events.iter()
+    }
+
+    /// All ids belonging to a group.
+    pub fn ids_in_group(&self, group: Group) -> Vec<EventId> {
+        self.events
+            .iter()
+            .filter(|d| d.group == group)
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_ids_in_first_seen_order() {
+        let mut r = EventRegistry::new();
+        let a = r.register("schedule", Group::Scheduler, EventKind::EntryExit);
+        let b = r.register("do_IRQ", Group::Irq, EventKind::EntryExit);
+        let c = r.register("net_rx_bytes", Group::Tcp, EventKind::Atomic);
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn register_is_idempotent_per_name() {
+        let mut r = EventRegistry::new();
+        let a = r.register("schedule", Group::Scheduler, EventKind::EntryExit);
+        let b = r.register("schedule", Group::Scheduler, EventKind::EntryExit);
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn register_conflicting_group_panics() {
+        let mut r = EventRegistry::new();
+        r.register("schedule", Group::Scheduler, EventKind::EntryExit);
+        r.register("schedule", Group::Irq, EventKind::EntryExit);
+    }
+
+    #[test]
+    fn lookup_and_desc_agree() {
+        let mut r = EventRegistry::new();
+        let id = r.register("tcp_v4_rcv", Group::Tcp, EventKind::EntryExit);
+        assert_eq!(r.lookup("tcp_v4_rcv"), Some(id));
+        assert_eq!(r.desc(id).name, "tcp_v4_rcv");
+        assert_eq!(r.lookup("nope"), None);
+        assert!(r.get(EventId(99)).is_none());
+    }
+
+    #[test]
+    fn ids_in_group_filters() {
+        let mut r = EventRegistry::new();
+        let s = r.register("schedule", Group::Scheduler, EventKind::EntryExit);
+        let v = r.register("schedule_vol", Group::Scheduler, EventKind::EntryExit);
+        r.register("do_IRQ", Group::Irq, EventKind::EntryExit);
+        assert_eq!(r.ids_in_group(Group::Scheduler), vec![s, v]);
+    }
+
+    #[test]
+    fn group_bits_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for g in Group::ALL {
+            assert!(seen.insert(g.bit()), "duplicate bit for {g}");
+        }
+    }
+
+    #[test]
+    fn kernel_groups_exclude_user_levels() {
+        for g in Group::KERNEL {
+            assert!(g.is_kernel());
+        }
+        assert!(!Group::User.is_kernel());
+        assert!(!Group::Mpi.is_kernel());
+    }
+}

@@ -1,0 +1,44 @@
+//! # ktau-core — the KTAU measurement framework
+//!
+//! Rust reproduction of the measurement layer from *"Kernel-Level Measurement
+//! for Integrated Parallel Performance Views: the KTAU Project"* (CLUSTER
+//! 2006).  This crate contains everything that, in the paper, is compiled
+//! into the Linux kernel plus the data model shared with user space:
+//!
+//! * [`event`] — instrumentation points and the event-mapping registry
+//!   (global mapping index → dense ids);
+//! * [`control`] — compile-time / boot-time / run-time instrumentation
+//!   control and the per-probe [`control::OverheadModel`];
+//! * [`profile`] — per-process profiles with inclusive/exclusive times
+//!   derived from an activation stack, plus atomic-event statistics;
+//! * [`trace`] — fixed-size circular per-process trace buffers with loss
+//!   accounting;
+//! * [`measure`] — the probe engine gluing the above together and charging
+//!   probe costs back to (virtual) time, which makes measurement
+//!   perturbation an emergent property of a run;
+//! * [`snapshot`] — serializable profile/trace snapshots and the binary and
+//!   ASCII codecs used across the `/proc/ktau` boundary;
+//! * [`time`] — virtual-time units, CPU frequency conversion, and host
+//!   clocks for real overhead measurement.
+//!
+//! The simulated kernel (`ktau-oskern`) embeds this crate at its
+//! instrumentation points; user-space clients (`ktau-user`) consume the
+//! snapshots.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod event;
+pub mod measure;
+pub mod profile;
+pub mod snapshot;
+pub mod time;
+pub mod trace;
+
+pub use control::{GroupSet, InstrumentationControl, OverheadModel, ProbeStatus};
+pub use event::{EventDesc, EventId, EventKind, EventRegistry, Group};
+pub use measure::{MergedStats, ProbeCost, ProbeEngine, TaskMeasurement};
+pub use profile::{AtomicStats, EntryExitStats, Profile, ProfileError};
+pub use snapshot::{ProfileSnapshot, TraceSnapshot};
+pub use time::{CpuFreq, Cycles, HostClock, Ns, TimeSource};
+pub use trace::{TraceBuffer, TracePoint, TraceRecord};

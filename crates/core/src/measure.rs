@@ -1,0 +1,461 @@
+//! The KTAU measurement system (paper §4.2): couples instrumentation control,
+//! per-probe overheads, per-task profiles/traces, and merged user/kernel
+//! attribution.
+//!
+//! The simulated kernel calls [`ProbeEngine`] methods at every
+//! instrumentation point.  Each call updates the task's
+//! [`TaskMeasurement`] and returns the probe's own cost in cycles, which the
+//! kernel charges to virtual time — measurement perturbation is therefore an
+//! emergent property of each run (the subject of the paper's §5.3).
+
+use crate::control::{InstrumentationControl, OverheadModel, ProbeStatus};
+use crate::event::{EventId, Group};
+use crate::profile::Profile;
+use crate::time::{Cycles, Ns};
+use crate::trace::{TraceBuffer, TracePoint, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics for one (user routine × kernel event) cell of the merged view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergedStats {
+    /// Completed kernel activations attributed to the user routine.
+    pub count: u64,
+    /// Inclusive kernel nanoseconds attributed to the user routine.
+    pub ns: Ns,
+}
+
+/// Key of the merged map: which user routine was active (`None` when the
+/// process was outside any instrumented user routine) and which kernel event
+/// fired.
+pub type MergedKey = (Option<EventId>, EventId);
+
+/// Measurement state attached to each task's process control block.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMeasurement {
+    /// Kernel-mode profile (KTAU).
+    pub kernel: Profile,
+    /// User-mode profile (TAU).
+    pub user: Profile,
+    /// Optional per-process circular trace buffer.
+    pub trace: Option<TraceBuffer>,
+    /// Merged attribution: kernel activity within each user routine, one
+    /// cell per kernel event.  Cells of *nested* events overlap their
+    /// parents (e.g. `tcp_v4_rcv` time is also inside `do_softirq`), which
+    /// is what call-group displays want; use [`TaskMeasurement::wall`] for
+    /// non-overlapping totals.
+    pub merged: HashMap<MergedKey, MergedStats>,
+    /// Non-overlapping kernel wall time per user routine (outermost kernel
+    /// activations and scheduling intervals only) — the basis for the
+    /// merged view's corrected "true exclusive time".
+    pub wall: HashMap<Option<EventId>, Ns>,
+}
+
+impl TaskMeasurement {
+    /// Profiling-only measurement state.
+    pub fn profiling() -> Self {
+        Self::default()
+    }
+
+    /// Measurement state with tracing enabled (`capacity` records).
+    pub fn with_trace(capacity: usize) -> Self {
+        TaskMeasurement {
+            trace: Some(TraceBuffer::new(capacity)),
+            ..Self::default()
+        }
+    }
+
+    fn merged_add(&mut self, kernel_ev: EventId, ns: Ns) {
+        let key = (self.user.top(), kernel_ev);
+        let cell = self.merged.entry(key).or_default();
+        cell.count += 1;
+        cell.ns += ns;
+    }
+
+    fn wall_add(&mut self, ns: Ns) {
+        *self.wall.entry(self.user.top()).or_default() += ns;
+    }
+
+    /// Total (non-overlapping) kernel wall time inside a given user routine.
+    pub fn kernel_ns_in_user(&self, user: EventId) -> Ns {
+        self.wall.get(&Some(user)).copied().unwrap_or(0)
+    }
+
+    /// Merged stats for a specific (user routine, kernel event) pair.
+    pub fn merged_stats(&self, user: Option<EventId>, kernel: EventId) -> MergedStats {
+        self.merged
+            .get(&(user, kernel))
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// Outcome of a probe call: the cycles the probe itself consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeCost(pub Cycles);
+
+/// The measurement engine for one kernel instance.
+#[derive(Debug, Clone)]
+pub struct ProbeEngine {
+    control: InstrumentationControl,
+    overhead: OverheadModel,
+}
+
+impl ProbeEngine {
+    /// Builds an engine from a control configuration and overhead model.
+    pub fn new(control: InstrumentationControl, overhead: OverheadModel) -> Self {
+        ProbeEngine { control, overhead }
+    }
+
+    /// Engine with everything enabled and default (Table 4) overheads.
+    pub fn prof_all() -> Self {
+        Self::new(InstrumentationControl::prof_all(), OverheadModel::default())
+    }
+
+    /// Access to the control state (e.g. `/proc/ktau` control writes).
+    pub fn control(&self) -> &InstrumentationControl {
+        &self.control
+    }
+
+    /// Mutable control state for runtime enable/disable.
+    pub fn control_mut(&mut self) -> &mut InstrumentationControl {
+        &mut self.control
+    }
+
+    /// The overhead model in force.
+    pub fn overhead(&self) -> &OverheadModel {
+        &self.overhead
+    }
+
+    /// Replaces the overhead model (tests, what-if studies).
+    pub fn set_overhead(&mut self, m: OverheadModel) {
+        self.overhead = m;
+    }
+
+    #[inline]
+    fn trace_push(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        point: TracePoint,
+        now: Ns,
+    ) -> Cycles {
+        if let Some(tb) = m.trace.as_mut() {
+            tb.push(TraceRecord {
+                ts_ns: now,
+                event: ev,
+                point,
+            });
+            self.overhead.trace_record_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Kernel entry/exit probe pair: entry half.
+    #[inline]
+    pub fn kernel_entry(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        group: Group,
+        now: Ns,
+    ) -> ProbeCost {
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => ProbeCost(0),
+            ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
+            ProbeStatus::Enabled => {
+                m.kernel.start(ev, now);
+                let t = self.trace_push(m, ev, TracePoint::Entry, now);
+                ProbeCost(self.overhead.start_cycles + t)
+            }
+        }
+    }
+
+    /// Kernel entry/exit probe pair: exit half.  Returns the probe cost; the
+    /// measured inclusive time is folded into the profile and, when the
+    /// completed activation is the outermost kernel activation, attributed to
+    /// the active user routine in the merged view.
+    #[inline]
+    pub fn kernel_exit(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        group: Group,
+        now: Ns,
+    ) -> ProbeCost {
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => ProbeCost(0),
+            ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
+            ProbeStatus::Enabled => {
+                match m.kernel.stop(ev, now) {
+                    Ok(info) => {
+                        // Attribute the event's own time (minus nested
+                        // scheduling intervals, which kernel_interval
+                        // attributes separately) to the active user routine.
+                        if !info.recursive {
+                            m.merged_add(ev, info.incl_ns - info.interval_ns);
+                        }
+                        if m.kernel.depth() == 0 {
+                            m.wall_add(info.incl_ns - info.interval_ns);
+                        }
+                    }
+                    Err(e) => {
+                        // An instrumentation bug in the simulated kernel —
+                        // surface loudly in debug builds, ignore in release
+                        // like the real kernel would.
+                        debug_assert!(false, "kernel probe nesting error: {e}");
+                    }
+                }
+                let t = self.trace_push(m, ev, TracePoint::Exit, now);
+                ProbeCost(self.overhead.stop_cycles + t)
+            }
+        }
+    }
+
+    /// Kernel atomic-event probe.
+    #[inline]
+    pub fn kernel_atomic(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        group: Group,
+        value: u64,
+        now: Ns,
+    ) -> ProbeCost {
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => ProbeCost(0),
+            ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
+            ProbeStatus::Enabled => {
+                m.kernel.atomic(ev, value);
+                let t = self.trace_push(m, ev, TracePoint::Atomic(value), now);
+                ProbeCost(self.overhead.atomic_cycles + t)
+            }
+        }
+    }
+
+    /// Scheduler interval probe: records a completed switched-out interval
+    /// (`schedule` / `schedule_vol`) of `duration` ending at `now`.
+    #[inline]
+    pub fn kernel_interval(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        group: Group,
+        duration: Ns,
+        now: Ns,
+    ) -> ProbeCost {
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => ProbeCost(0),
+            ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
+            ProbeStatus::Enabled => {
+                m.kernel.add_interval(ev, duration);
+                m.merged_add(ev, duration);
+                m.wall_add(duration);
+                let t = self.trace_push(m, ev, TracePoint::Atomic(duration), now);
+                ProbeCost(self.overhead.start_cycles + self.overhead.stop_cycles + t)
+            }
+        }
+    }
+
+    /// User-level (TAU) entry probe.  Controlled by the `User`/`Mpi` groups
+    /// so the perturbation study can toggle application instrumentation
+    /// independently of kernel instrumentation (`ProfAll` vs `ProfAll+Tau`).
+    #[inline]
+    pub fn user_entry(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        group: Group,
+        now: Ns,
+    ) -> ProbeCost {
+        debug_assert!(!group.is_kernel(), "user probe with kernel group");
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => ProbeCost(0),
+            ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
+            ProbeStatus::Enabled => {
+                m.user.start(ev, now);
+                let t = self.trace_push(m, ev, TracePoint::Entry, now);
+                ProbeCost(self.overhead.start_cycles + t)
+            }
+        }
+    }
+
+    /// User-level (TAU) exit probe.
+    #[inline]
+    pub fn user_exit(
+        &self,
+        m: &mut TaskMeasurement,
+        ev: EventId,
+        group: Group,
+        now: Ns,
+    ) -> ProbeCost {
+        debug_assert!(!group.is_kernel(), "user probe with kernel group");
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => ProbeCost(0),
+            ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
+            ProbeStatus::Enabled => {
+                if let Err(e) = m.user.stop(ev, now) {
+                    debug_assert!(false, "user probe nesting error: {e}");
+                }
+                let t = self.trace_push(m, ev, TracePoint::Exit, now);
+                ProbeCost(self.overhead.stop_cycles + t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::GroupSet;
+
+    fn ev(i: u32) -> EventId {
+        EventId(i)
+    }
+
+    #[test]
+    fn enabled_probes_measure_and_cost_cycles() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        let c1 = eng.kernel_entry(&mut m, ev(0), Group::Syscall, 100);
+        let c2 = eng.kernel_exit(&mut m, ev(0), Group::Syscall, 400);
+        assert_eq!(c1.0, 244);
+        assert_eq!(c2.0, 295);
+        assert_eq!(m.kernel.entry_stats(ev(0)).incl_ns, 300);
+    }
+
+    #[test]
+    fn disabled_probes_cost_only_flag_check() {
+        let eng = ProbeEngine::new(
+            InstrumentationControl::ktau_off(),
+            OverheadModel::default(),
+        );
+        let mut m = TaskMeasurement::profiling();
+        let c = eng.kernel_entry(&mut m, ev(0), Group::Syscall, 0);
+        assert_eq!(c.0, 4);
+        assert_eq!(m.kernel.entry_stats(ev(0)).count, 0);
+    }
+
+    #[test]
+    fn compiled_out_probes_are_free() {
+        let eng = ProbeEngine::new(InstrumentationControl::base(), OverheadModel::default());
+        let mut m = TaskMeasurement::profiling();
+        let c = eng.kernel_entry(&mut m, ev(0), Group::Syscall, 0);
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn partial_group_enable_prof_sched() {
+        let eng = ProbeEngine::new(
+            InstrumentationControl::only(&[Group::Scheduler]),
+            OverheadModel::default(),
+        );
+        let mut m = TaskMeasurement::profiling();
+        eng.kernel_interval(&mut m, ev(1), Group::Scheduler, 500, 1_000);
+        eng.kernel_entry(&mut m, ev(0), Group::Tcp, 1_000);
+        eng.kernel_exit(&mut m, ev(0), Group::Tcp, 2_000);
+        assert_eq!(m.kernel.entry_stats(ev(1)).incl_ns, 500);
+        assert_eq!(m.kernel.entry_stats(ev(0)).count, 0);
+    }
+
+    #[test]
+    fn merged_attribution_to_active_user_routine() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        let mpi_recv = ev(10);
+        let sys_read = ev(20);
+        eng.user_entry(&mut m, mpi_recv, Group::Mpi, 0);
+        eng.kernel_entry(&mut m, sys_read, Group::Syscall, 100);
+        eng.kernel_exit(&mut m, sys_read, Group::Syscall, 700);
+        eng.user_exit(&mut m, mpi_recv, Group::Mpi, 1_000);
+        let s = m.merged_stats(Some(mpi_recv), sys_read);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.ns, 600);
+        assert_eq!(m.kernel_ns_in_user(mpi_recv), 600);
+    }
+
+    #[test]
+    fn merged_attribution_outside_user_routine_uses_none() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        eng.kernel_entry(&mut m, ev(5), Group::Irq, 0);
+        eng.kernel_exit(&mut m, ev(5), Group::Irq, 50);
+        assert_eq!(m.merged_stats(None, ev(5)).ns, 50);
+    }
+
+    #[test]
+    fn nested_kernel_events_attribute_per_event_and_wall_once() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        let outer = ev(1);
+        let inner = ev(2);
+        eng.kernel_entry(&mut m, outer, Group::Syscall, 0);
+        eng.kernel_entry(&mut m, inner, Group::Tcp, 10);
+        eng.kernel_exit(&mut m, inner, Group::Tcp, 90);
+        eng.kernel_exit(&mut m, outer, Group::Syscall, 100);
+        // Every completing event gets its own merged cell (call-group
+        // displays want the nested tcp work visible)...
+        assert_eq!(m.merged_stats(None, outer).ns, 100);
+        assert_eq!(m.merged_stats(None, inner).ns, 80);
+        // ...while the non-overlapping wall total counts the outermost only.
+        assert_eq!(m.wall.get(&None).copied().unwrap_or(0), 100);
+    }
+
+    #[test]
+    fn descheduled_time_inside_syscall_not_double_counted_in_merged() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        let mpi_recv = ev(10);
+        let sys_read = ev(20);
+        let sched_vol = ev(30);
+        eng.user_entry(&mut m, mpi_recv, Group::Mpi, 0);
+        eng.kernel_entry(&mut m, sys_read, Group::Syscall, 100);
+        // Blocked for 700ns inside the read: recorded as schedule_vol.
+        eng.kernel_interval(&mut m, sched_vol, Group::Scheduler, 700, 800);
+        eng.kernel_exit(&mut m, sys_read, Group::Syscall, 1_100);
+        eng.user_exit(&mut m, mpi_recv, Group::Mpi, 1_200);
+        // Total kernel time in MPI_Recv must equal the syscall's wall time
+        // (1000ns), split between schedule (700) and the syscall rest (300).
+        assert_eq!(m.merged_stats(Some(mpi_recv), sched_vol).ns, 700);
+        assert_eq!(m.merged_stats(Some(mpi_recv), sys_read).ns, 300);
+        assert_eq!(m.kernel_ns_in_user(mpi_recv), 1_000);
+    }
+
+    #[test]
+    fn tracing_adds_cost_and_records() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::with_trace(16);
+        let c = eng.kernel_entry(&mut m, ev(0), Group::Tcp, 5);
+        assert_eq!(c.0, 244 + 120);
+        eng.kernel_exit(&mut m, ev(0), Group::Tcp, 9);
+        let tb = m.trace.as_ref().unwrap();
+        assert_eq!(tb.len(), 2);
+        let recs: Vec<_> = tb.iter().collect();
+        assert_eq!(recs[0].point, TracePoint::Entry);
+        assert_eq!(recs[1].point, TracePoint::Exit);
+    }
+
+    #[test]
+    fn atomic_probe_records_value() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        eng.kernel_atomic(&mut m, ev(3), Group::Tcp, 1460, 7);
+        assert_eq!(m.kernel.atomic_stats(ev(3)).sum, 1460);
+    }
+
+    #[test]
+    fn user_groups_follow_their_own_control() {
+        // Kernel groups on, user groups off: ProfAll (without +Tau).
+        let ctl = InstrumentationControl::new(
+            GroupSet::all(),
+            GroupSet::all_kernel(),
+            GroupSet::all(),
+        );
+        let eng = ProbeEngine::new(ctl, OverheadModel::default());
+        let mut m = TaskMeasurement::profiling();
+        let c = eng.user_entry(&mut m, ev(0), Group::User, 0);
+        assert_eq!(c.0, 4); // disabled check only
+        assert_eq!(m.user.depth(), 0);
+    }
+}

@@ -1,0 +1,567 @@
+//! Per-process profile data structures (paper §4.2).
+//!
+//! A [`Profile`] holds, for every instrumentation event, inclusive and
+//! exclusive time plus call counts, computed from an *activation stack* the
+//! measurement system keeps while entry/exit probes fire; plus value
+//! statistics for atomic events.  The same structure serves both kernel-mode
+//! measurement (KTAU, attached to the task structure in the PCB) and
+//! user-mode measurement (TAU), which is what makes merged views possible.
+
+use crate::event::EventId;
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one entry/exit event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EntryExitStats {
+    /// Number of completed activations.
+    pub count: u64,
+    /// Total inclusive time (outermost activations only, so recursion does
+    /// not double-count).
+    pub incl_ns: Ns,
+    /// Total exclusive time (time not spent in nested instrumented events).
+    pub excl_ns: Ns,
+    /// Smallest single inclusive time observed.
+    pub min_incl_ns: Ns,
+    /// Largest single inclusive time observed.
+    pub max_incl_ns: Ns,
+}
+
+impl EntryExitStats {
+    fn record(&mut self, incl: Ns, excl: Ns, outermost: bool) {
+        self.count += 1;
+        self.excl_ns += excl;
+        if outermost {
+            self.incl_ns += incl;
+            if self.count == 1 || incl < self.min_incl_ns {
+                self.min_incl_ns = incl;
+            }
+            if incl > self.max_incl_ns {
+                self.max_incl_ns = incl;
+            }
+        }
+    }
+
+    /// Mean inclusive time per call, zero when never called.
+    pub fn mean_incl_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.incl_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Mean exclusive time per call, zero when never called.
+    pub fn mean_excl_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.excl_ns as f64 / self.count as f64
+        }
+    }
+
+    fn absorb(&mut self, o: &EntryExitStats) {
+        if o.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *o;
+            return;
+        }
+        self.count += o.count;
+        self.incl_ns += o.incl_ns;
+        self.excl_ns += o.excl_ns;
+        self.min_incl_ns = self.min_incl_ns.min(o.min_incl_ns);
+        self.max_incl_ns = self.max_incl_ns.max(o.max_incl_ns);
+    }
+}
+
+/// Statistics for one atomic event (paper: "values specific to kernel
+/// operation, such as the sizes of network packets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AtomicStats {
+    /// Number of occurrences.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Minimum recorded value.
+    pub min: u64,
+    /// Maximum recorded value.
+    pub max: u64,
+}
+
+impl AtomicStats {
+    fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean value, zero when never recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn absorb(&mut self, o: &AtomicStats) {
+        if o.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *o;
+            return;
+        }
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// One frame of the activation (instrumentation) stack.
+#[derive(Debug, Clone, Copy)]
+struct Activation {
+    event: EventId,
+    entry_ns: Ns,
+    /// Inclusive time of already-completed children, used to derive the
+    /// parent's exclusive time.
+    child_ns: Ns,
+    /// Scheduling intervals (`add_interval`) recorded anywhere inside this
+    /// activation while it was the outermost frame; lets merged attribution
+    /// avoid counting descheduled time both as `schedule` and as part of
+    /// the enclosing syscall.
+    interval_ns: Ns,
+    /// Whether an activation of the same event was already on the stack.
+    recursive: bool,
+}
+
+/// Result of closing an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopInfo {
+    /// Inclusive time of the completed activation.
+    pub incl_ns: Ns,
+    /// Scheduling-interval time that elapsed inside it (see
+    /// [`Profile::add_interval`]).
+    pub interval_ns: Ns,
+    /// Whether an activation of the same event enclosed this one.
+    pub recursive: bool,
+}
+
+/// Errors from incorrect probe nesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// `stop` fired with an empty activation stack.
+    StopWithoutStart(EventId),
+    /// `stop` fired for a different event than the stack top.
+    MismatchedStop {
+        /// Event the probe tried to stop.
+        stopped: EventId,
+        /// Event actually on top of the stack.
+        expected: EventId,
+    },
+    /// Timestamp went backwards relative to the activation entry.
+    TimeWentBackwards,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::StopWithoutStart(e) => write!(f, "stop({e}) without start"),
+            ProfileError::MismatchedStop { stopped, expected } => {
+                write!(f, "stop({stopped}) but stack top is {expected}")
+            }
+            ProfileError::TimeWentBackwards => write!(f, "exit timestamp before entry"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A per-process (or aggregated) performance profile.
+///
+/// ```
+/// use ktau_core::profile::Profile;
+/// use ktau_core::event::EventId;
+///
+/// let mut p = Profile::new();
+/// p.start(EventId(0), 0);        // enter syscall at t=0
+/// p.start(EventId(1), 100);      // enter nested tcp work
+/// p.stop(EventId(1), 400).unwrap();
+/// p.stop(EventId(0), 1_000).unwrap();
+/// let outer = p.entry_stats(EventId(0));
+/// assert_eq!(outer.incl_ns, 1_000);
+/// assert_eq!(outer.excl_ns, 700);  // child time carved out
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    entries: Vec<EntryExitStats>,
+    atomics: Vec<AtomicStats>,
+    stack: Vec<Activation>,
+    /// Per-event count of activations currently on the stack (recursion
+    /// tracking).
+    active: Vec<u32>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn ensure_entry(&mut self, id: EventId) {
+        if self.entries.len() <= id.index() {
+            self.entries.resize(id.index() + 1, EntryExitStats::default());
+        }
+        if self.active.len() <= id.index() {
+            self.active.resize(id.index() + 1, 0);
+        }
+    }
+
+    #[inline]
+    fn ensure_atomic(&mut self, id: EventId) {
+        if self.atomics.len() <= id.index() {
+            self.atomics.resize(id.index() + 1, AtomicStats::default());
+        }
+    }
+
+    /// Entry probe: pushes an activation at time `now`.
+    pub fn start(&mut self, event: EventId, now: Ns) {
+        self.ensure_entry(event);
+        let recursive = self.active[event.index()] > 0;
+        self.active[event.index()] += 1;
+        self.stack.push(Activation {
+            event,
+            entry_ns: now,
+            child_ns: 0,
+            interval_ns: 0,
+            recursive,
+        });
+    }
+
+    /// Exit probe: pops the activation, updating inclusive/exclusive stats.
+    /// Returns the completed activation's inclusive time and the scheduling
+    /// interval time it contained.
+    pub fn stop(&mut self, event: EventId, now: Ns) -> Result<StopInfo, ProfileError> {
+        let top = match self.stack.last() {
+            None => return Err(ProfileError::StopWithoutStart(event)),
+            Some(t) => *t,
+        };
+        if top.event != event {
+            return Err(ProfileError::MismatchedStop {
+                stopped: event,
+                expected: top.event,
+            });
+        }
+        if now < top.entry_ns {
+            return Err(ProfileError::TimeWentBackwards);
+        }
+        self.stack.pop();
+        self.active[event.index()] -= 1;
+        let incl = now - top.entry_ns;
+        let excl = incl.saturating_sub(top.child_ns);
+        self.entries[event.index()].record(incl, excl, !top.recursive);
+        if let Some(parent) = self.stack.last_mut() {
+            // A recursive child's inclusive time is already inside the outer
+            // activation of the same event; still credit it to the direct
+            // parent so the parent's exclusive time stays correct.
+            parent.child_ns += incl;
+        }
+        Ok(StopInfo {
+            incl_ns: incl,
+            interval_ns: top.interval_ns,
+            recursive: top.recursive,
+        })
+    }
+
+    /// Atomic-event probe.
+    pub fn atomic(&mut self, event: EventId, value: u64) {
+        self.ensure_atomic(event);
+        self.atomics[event.index()].record(value);
+    }
+
+    /// Adds externally-computed entry/exit statistics (used by the scheduler,
+    /// which measures switched-out intervals rather than nested activations).
+    pub fn add_interval(&mut self, event: EventId, duration: Ns) {
+        self.ensure_entry(event);
+        self.entries[event.index()].record(duration, duration, true);
+        // Credit the interval as child time of any live activation so that
+        // e.g. time descheduled inside a syscall is not double-counted as
+        // syscall exclusive time.
+        if let Some(top) = self.stack.last_mut() {
+            top.child_ns += duration;
+        }
+        // The interval is wall time inside *every* live activation.
+        for f in &mut self.stack {
+            f.interval_ns += duration;
+        }
+    }
+
+    /// Current activation-stack depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The event on top of the activation stack, if any.
+    pub fn top(&self) -> Option<EventId> {
+        self.stack.last().map(|a| a.event)
+    }
+
+    /// The *bottom* (outermost) activation — for user profiles this is the
+    /// current top-level routine.
+    pub fn outermost(&self) -> Option<EventId> {
+        self.stack.first().map(|a| a.event)
+    }
+
+    /// Entry/exit stats for an event (default if never fired).
+    pub fn entry_stats(&self, event: EventId) -> EntryExitStats {
+        self.entries
+            .get(event.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Atomic stats for an event (default if never fired).
+    pub fn atomic_stats(&self, event: EventId) -> AtomicStats {
+        self.atomics
+            .get(event.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Iterates `(EventId, stats)` for events with at least one completion.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (EventId, &EntryExitStats)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(i, s)| (EventId(i as u32), s))
+    }
+
+    /// Iterates `(EventId, stats)` for atomic events with occurrences.
+    pub fn iter_atomics(&self) -> impl Iterator<Item = (EventId, &AtomicStats)> {
+        self.atomics
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(i, s)| (EventId(i as u32), s))
+    }
+
+    /// Total exclusive time across all events — for a quiescent profile this
+    /// equals total instrumented wall time.
+    pub fn total_excl_ns(&self) -> Ns {
+        self.entries.iter().map(|s| s.excl_ns).sum()
+    }
+
+    /// Merges another profile's statistics into this one (kernel-wide view
+    /// aggregation).  Activation stacks are not merged; both profiles should
+    /// be quiescent or the in-flight activations are simply ignored.
+    pub fn absorb(&mut self, other: &Profile) {
+        if self.entries.len() < other.entries.len() {
+            self.entries
+                .resize(other.entries.len(), EntryExitStats::default());
+        }
+        for (i, s) in other.entries.iter().enumerate() {
+            self.entries[i].absorb(s);
+        }
+        if self.atomics.len() < other.atomics.len() {
+            self.atomics
+                .resize(other.atomics.len(), AtomicStats::default());
+        }
+        for (i, s) in other.atomics.iter().enumerate() {
+            self.atomics[i].absorb(s);
+        }
+    }
+
+    /// Clears all statistics but keeps allocation (profile reset control op).
+    pub fn reset(&mut self) {
+        for e in &mut self.entries {
+            *e = EntryExitStats::default();
+        }
+        for a in &mut self.atomics {
+            *a = AtomicStats::default();
+        }
+        // In-flight activations remain so nesting stays consistent, but their
+        // child accumulation restarts.
+        for f in &mut self.stack {
+            f.child_ns = 0;
+            f.interval_ns = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> EventId {
+        EventId(i)
+    }
+
+    #[test]
+    fn simple_start_stop_records_incl_and_excl() {
+        let mut p = Profile::new();
+        p.start(ev(0), 100);
+        let info = p.stop(ev(0), 350).unwrap();
+        assert_eq!(info.incl_ns, 250);
+        assert_eq!(info.interval_ns, 0);
+        let s = p.entry_stats(ev(0));
+        assert_eq!(s.count, 1);
+        assert_eq!(s.incl_ns, 250);
+        assert_eq!(s.excl_ns, 250);
+        assert_eq!(s.min_incl_ns, 250);
+        assert_eq!(s.max_incl_ns, 250);
+    }
+
+    #[test]
+    fn nesting_splits_exclusive_time() {
+        let mut p = Profile::new();
+        p.start(ev(0), 0); // parent
+        p.start(ev(1), 100); // child
+        p.stop(ev(1), 400).unwrap();
+        p.stop(ev(0), 1000).unwrap();
+        let parent = p.entry_stats(ev(0));
+        let child = p.entry_stats(ev(1));
+        assert_eq!(parent.incl_ns, 1000);
+        assert_eq!(parent.excl_ns, 700);
+        assert_eq!(child.incl_ns, 300);
+        assert_eq!(child.excl_ns, 300);
+    }
+
+    #[test]
+    fn recursion_counts_inclusive_once() {
+        let mut p = Profile::new();
+        p.start(ev(0), 0);
+        p.start(ev(0), 10);
+        p.stop(ev(0), 90).unwrap();
+        p.stop(ev(0), 100).unwrap();
+        let s = p.entry_stats(ev(0));
+        assert_eq!(s.count, 2);
+        // Inclusive counted only for the outermost activation.
+        assert_eq!(s.incl_ns, 100);
+        // Exclusive: inner 80 + outer (100 - 80) = 100.
+        assert_eq!(s.excl_ns, 100);
+    }
+
+    #[test]
+    fn mismatched_stop_is_an_error() {
+        let mut p = Profile::new();
+        p.start(ev(0), 0);
+        assert_eq!(
+            p.stop(ev(1), 10),
+            Err(ProfileError::MismatchedStop {
+                stopped: ev(1),
+                expected: ev(0)
+            })
+        );
+        assert_eq!(
+            Profile::new().stop(ev(3), 10),
+            Err(ProfileError::StopWithoutStart(ev(3)))
+        );
+    }
+
+    #[test]
+    fn time_backwards_is_an_error() {
+        let mut p = Profile::new();
+        p.start(ev(0), 100);
+        assert_eq!(p.stop(ev(0), 50), Err(ProfileError::TimeWentBackwards));
+    }
+
+    #[test]
+    fn atomic_stats_track_min_max_sum() {
+        let mut p = Profile::new();
+        p.atomic(ev(2), 1460);
+        p.atomic(ev(2), 40);
+        p.atomic(ev(2), 1000);
+        let s = p.atomic_stats(ev(2));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 2500);
+        assert_eq!(s.min, 40);
+        assert_eq!(s.max, 1460);
+        assert!((s.mean() - 833.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn add_interval_behaves_like_leaf_activation() {
+        let mut p = Profile::new();
+        p.add_interval(ev(5), 1_000);
+        p.add_interval(ev(5), 3_000);
+        let s = p.entry_stats(ev(5));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.incl_ns, 4_000);
+        assert_eq!(s.min_incl_ns, 1_000);
+        assert_eq!(s.max_incl_ns, 3_000);
+    }
+
+    #[test]
+    fn add_interval_inside_activation_reduces_parent_exclusive() {
+        let mut p = Profile::new();
+        p.start(ev(0), 0);
+        p.add_interval(ev(9), 400); // e.g. descheduled for 400ns inside syscall
+        p.stop(ev(0), 1000).unwrap();
+        assert_eq!(p.entry_stats(ev(0)).excl_ns, 600);
+        assert_eq!(p.entry_stats(ev(9)).incl_ns, 400);
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_extrema() {
+        let mut a = Profile::new();
+        a.start(ev(0), 0);
+        a.stop(ev(0), 100).unwrap();
+        let mut b = Profile::new();
+        b.start(ev(0), 0);
+        b.stop(ev(0), 300).unwrap();
+        b.atomic(ev(1), 7);
+        a.absorb(&b);
+        let s = a.entry_stats(ev(0));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.incl_ns, 400);
+        assert_eq!(s.min_incl_ns, 100);
+        assert_eq!(s.max_incl_ns, 300);
+        assert_eq!(a.atomic_stats(ev(1)).count, 1);
+    }
+
+    #[test]
+    fn reset_clears_stats_but_keeps_stack() {
+        let mut p = Profile::new();
+        p.start(ev(0), 0);
+        p.start(ev(1), 5);
+        p.stop(ev(1), 10).unwrap();
+        p.reset();
+        assert_eq!(p.entry_stats(ev(1)).count, 0);
+        assert_eq!(p.depth(), 1);
+        p.stop(ev(0), 100).unwrap();
+        assert_eq!(p.entry_stats(ev(0)).count, 1);
+        // child time was reset too
+        assert_eq!(p.entry_stats(ev(0)).excl_ns, 100);
+    }
+
+    #[test]
+    fn outermost_and_top_report_stack_ends() {
+        let mut p = Profile::new();
+        assert_eq!(p.top(), None);
+        p.start(ev(3), 0);
+        p.start(ev(7), 1);
+        assert_eq!(p.outermost(), Some(ev(3)));
+        assert_eq!(p.top(), Some(ev(7)));
+    }
+
+    #[test]
+    fn total_excl_equals_elapsed_for_sequential_events() {
+        let mut p = Profile::new();
+        p.start(ev(0), 0);
+        p.stop(ev(0), 40).unwrap();
+        p.start(ev(1), 40);
+        p.stop(ev(1), 100).unwrap();
+        assert_eq!(p.total_excl_ns(), 100);
+    }
+}

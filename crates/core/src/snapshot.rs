@@ -1,0 +1,846 @@
+//! Serializable snapshots of per-process measurement data, plus the binary
+//! and ASCII codecs used across the `/proc/ktau` boundary (paper §4.3–4.4:
+//! libKtau provides "data conversion (ASCII to/from binary)").
+//!
+//! Snapshots resolve [`crate::event::EventId`]s to names so they remain
+//! meaningful outside the kernel instance that produced them.
+
+use crate::event::{EventDesc, EventRegistry, Group};
+use crate::measure::TaskMeasurement;
+use crate::profile::{AtomicStats, EntryExitStats};
+use crate::time::Ns;
+use crate::trace::{TracePoint, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes opening every binary-encoded snapshot.
+pub const BINARY_MAGIC: &[u8; 4] = b"KTAU";
+/// Binary format version.
+pub const BINARY_VERSION: u16 = 1;
+
+/// One entry/exit event row of a profile snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRow {
+    /// Event name (registry-resolved).
+    pub name: String,
+    /// Instrumentation group.
+    pub group: Group,
+    /// Measured statistics.
+    pub stats: EntryExitStats,
+}
+
+/// One atomic event row of a profile snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtomicRow {
+    /// Event name.
+    pub name: String,
+    /// Instrumentation group.
+    pub group: Group,
+    /// Value statistics.
+    pub stats: AtomicStats,
+}
+
+/// One merged (user routine × kernel event) row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedRow {
+    /// Active user routine name, `None` when outside instrumented user code.
+    pub user: Option<String>,
+    /// Kernel event name.
+    pub kernel: String,
+    /// Kernel event group.
+    pub kernel_group: Group,
+    /// Attributed activation count.
+    pub count: u64,
+    /// Attributed inclusive nanoseconds.
+    pub ns: Ns,
+}
+
+/// A complete per-process profile snapshot as read from `/proc/ktau/profile`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileSnapshot {
+    /// Process id.
+    pub pid: u32,
+    /// Command name.
+    pub comm: String,
+    /// Node (host) the process ran on.
+    pub node: u32,
+    /// Virtual time of the snapshot.
+    pub taken_ns: Ns,
+    /// Kernel-mode entry/exit rows.
+    pub kernel_events: Vec<EventRow>,
+    /// Kernel-mode atomic rows.
+    pub kernel_atomics: Vec<AtomicRow>,
+    /// User-mode (TAU) rows.
+    pub user_events: Vec<EventRow>,
+    /// Merged user/kernel attribution rows.
+    pub merged: Vec<MergedRow>,
+    /// Non-overlapping kernel wall time per user routine (`None` = outside
+    /// any instrumented routine).
+    pub kernel_wall: Vec<(Option<String>, Ns)>,
+}
+
+impl ProfileSnapshot {
+    /// Builds a snapshot from live measurement state, resolving names via the
+    /// kernel's registry.
+    pub fn capture(
+        pid: u32,
+        comm: &str,
+        node: u32,
+        taken_ns: Ns,
+        meas: &TaskMeasurement,
+        registry: &EventRegistry,
+    ) -> Self {
+        let name_of = |id| -> (String, Group) {
+            registry
+                .get(id)
+                .map(|d: &EventDesc| (d.name.clone(), d.group))
+                .unwrap_or_else(|| (format!("unknown_{}", id), Group::Other))
+        };
+        let mut kernel_events = Vec::new();
+        let mut kernel_atomics = Vec::new();
+        for (id, s) in meas.kernel.iter_entries() {
+            let (name, group) = name_of(id);
+            kernel_events.push(EventRow {
+                name,
+                group,
+                stats: *s,
+            });
+        }
+        for (id, s) in meas.kernel.iter_atomics() {
+            let (name, group) = name_of(id);
+            kernel_atomics.push(AtomicRow {
+                name,
+                group,
+                stats: *s,
+            });
+        }
+        let mut user_events = Vec::new();
+        for (id, s) in meas.user.iter_entries() {
+            let (name, group) = name_of(id);
+            user_events.push(EventRow {
+                name,
+                group,
+                stats: *s,
+            });
+        }
+        let mut merged: Vec<MergedRow> = meas
+            .merged
+            .iter()
+            .map(|((u, k), s)| {
+                let user = u.map(|id| name_of(id).0);
+                let (kernel, kernel_group) = name_of(*k);
+                MergedRow {
+                    user,
+                    kernel,
+                    kernel_group,
+                    count: s.count,
+                    ns: s.ns,
+                }
+            })
+            .collect();
+        merged.sort_by(|a, b| (&a.user, &a.kernel).cmp(&(&b.user, &b.kernel)));
+        let mut kernel_wall: Vec<(Option<String>, Ns)> = meas
+            .wall
+            .iter()
+            .map(|(u, ns)| (u.map(|id| name_of(id).0), *ns))
+            .collect();
+        kernel_wall.sort();
+        ProfileSnapshot {
+            pid,
+            comm: comm.to_owned(),
+            node,
+            taken_ns,
+            kernel_events,
+            kernel_atomics,
+            user_events,
+            merged,
+            kernel_wall,
+        }
+    }
+
+    /// Non-overlapping kernel wall time attributed inside `user` routine.
+    pub fn kernel_wall_in(&self, user: &str) -> Ns {
+        self.kernel_wall
+            .iter()
+            .filter(|(u, _)| u.as_deref() == Some(user))
+            .map(|(_, ns)| *ns)
+            .sum()
+    }
+
+    /// Total kernel-mode inclusive time of outermost events, a rough "time in
+    /// kernel" figure.
+    pub fn kernel_total_ns(&self) -> Ns {
+        self.kernel_events.iter().map(|r| r.stats.excl_ns).sum()
+    }
+
+    /// Looks up a kernel event row by name.
+    pub fn kernel_event(&self, name: &str) -> Option<&EventRow> {
+        self.kernel_events.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up a user event row by name.
+    pub fn user_event(&self, name: &str) -> Option<&EventRow> {
+        self.user_events.iter().find(|r| r.name == name)
+    }
+
+    /// Sums kernel time attributed inside `user` routine, grouped by kernel
+    /// group; returns `(group, count, ns)` rows sorted by descending time.
+    pub fn call_groups_in(&self, user: &str) -> Vec<(Group, u64, Ns)> {
+        let mut acc: std::collections::BTreeMap<Group, (u64, Ns)> = Default::default();
+        for row in &self.merged {
+            if row.user.as_deref() == Some(user) {
+                let e = acc.entry(row.kernel_group).or_default();
+                e.0 += row.count;
+                e.1 += row.ns;
+            }
+        }
+        let mut v: Vec<_> = acc.into_iter().map(|(g, (c, ns))| (g, c, ns)).collect();
+        v.sort_by_key(|&(_, _, ns)| std::cmp::Reverse(ns));
+        v
+    }
+}
+
+/// A trace snapshot (one drain of `/proc/ktau/trace` for one process).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    /// Process id.
+    pub pid: u32,
+    /// Command name.
+    pub comm: String,
+    /// Node the process ran on.
+    pub node: u32,
+    /// Records lost to ring overwrite before this read.
+    pub lost: u64,
+    /// Drained records with names resolved.
+    pub records: Vec<NamedTraceRecord>,
+}
+
+/// A trace record with its event name resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTraceRecord {
+    /// Virtual timestamp.
+    pub ts_ns: Ns,
+    /// Event name.
+    pub name: String,
+    /// Event group.
+    pub group: Group,
+    /// Entry / exit / atomic(value).
+    pub point: TracePoint,
+}
+
+impl TraceSnapshot {
+    /// Resolves raw records into a named snapshot.
+    pub fn from_records(
+        pid: u32,
+        comm: &str,
+        node: u32,
+        lost: u64,
+        records: &[TraceRecord],
+        registry: &EventRegistry,
+    ) -> Self {
+        let named = records
+            .iter()
+            .map(|r| {
+                let (name, group) = registry
+                    .get(r.event)
+                    .map(|d| (d.name.clone(), d.group))
+                    .unwrap_or_else(|| (format!("unknown_{}", r.event), Group::Other));
+                NamedTraceRecord {
+                    ts_ns: r.ts_ns,
+                    name,
+                    group,
+                    point: r.point,
+                }
+            })
+            .collect();
+        TraceSnapshot {
+            pid,
+            comm: comm.to_owned(),
+            node,
+            lost,
+            records: named,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Missing/incorrect magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended prematurely or contained malformed data.
+    Truncated,
+    /// A string field was not valid UTF-8 / a field failed to parse.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad KTAU magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported KTAU binary version {v}"),
+            CodecError::Truncated => write!(f, "truncated KTAU data"),
+            CodecError::BadField(s) => write!(f, "malformed field: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(256),
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadField("utf8"))
+    }
+}
+
+fn group_to_u8(g: Group) -> u8 {
+    g as u8
+}
+
+fn group_from_u8(v: u8) -> Result<Group, CodecError> {
+    Group::ALL
+        .into_iter()
+        .find(|g| *g as u8 == v)
+        .ok_or(CodecError::BadField("group"))
+}
+
+fn write_event_row(w: &mut Writer, r: &EventRow) {
+    w.str(&r.name);
+    w.u8(group_to_u8(r.group));
+    w.u64(r.stats.count);
+    w.u64(r.stats.incl_ns);
+    w.u64(r.stats.excl_ns);
+    w.u64(r.stats.min_incl_ns);
+    w.u64(r.stats.max_incl_ns);
+}
+
+fn read_event_row(r: &mut Reader<'_>) -> Result<EventRow, CodecError> {
+    Ok(EventRow {
+        name: r.str()?,
+        group: group_from_u8(r.u8()?)?,
+        stats: EntryExitStats {
+            count: r.u64()?,
+            incl_ns: r.u64()?,
+            excl_ns: r.u64()?,
+            min_incl_ns: r.u64()?,
+            max_incl_ns: r.u64()?,
+        },
+    })
+}
+
+/// Encodes a profile snapshot into the KTAU binary wire format.
+pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(BINARY_MAGIC);
+    w.u16(BINARY_VERSION);
+    w.u32(p.pid);
+    w.str(&p.comm);
+    w.u32(p.node);
+    w.u64(p.taken_ns);
+    w.u32(p.kernel_events.len() as u32);
+    for r in &p.kernel_events {
+        write_event_row(&mut w, r);
+    }
+    w.u32(p.kernel_atomics.len() as u32);
+    for r in &p.kernel_atomics {
+        w.str(&r.name);
+        w.u8(group_to_u8(r.group));
+        w.u64(r.stats.count);
+        w.u64(r.stats.sum);
+        w.u64(r.stats.min);
+        w.u64(r.stats.max);
+    }
+    w.u32(p.user_events.len() as u32);
+    for r in &p.user_events {
+        write_event_row(&mut w, r);
+    }
+    w.u32(p.merged.len() as u32);
+    for r in &p.merged {
+        match &r.user {
+            Some(u) => {
+                w.u8(1);
+                w.str(u);
+            }
+            None => w.u8(0),
+        }
+        w.str(&r.kernel);
+        w.u8(group_to_u8(r.kernel_group));
+        w.u64(r.count);
+        w.u64(r.ns);
+    }
+    w.u32(p.kernel_wall.len() as u32);
+    for (u, ns) in &p.kernel_wall {
+        match u {
+            Some(u) => {
+                w.u8(1);
+                w.str(u);
+            }
+            None => w.u8(0),
+        }
+        w.u64(*ns);
+    }
+    w.buf
+}
+
+/// Decodes a binary profile snapshot.
+pub fn decode_profile(bytes: &[u8]) -> Result<ProfileSnapshot, CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != BINARY_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let ver = r.u16()?;
+    if ver != BINARY_VERSION {
+        return Err(CodecError::BadVersion(ver));
+    }
+    let pid = r.u32()?;
+    let comm = r.str()?;
+    let node = r.u32()?;
+    let taken_ns = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut kernel_events = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        kernel_events.push(read_event_row(&mut r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut kernel_atomics = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        kernel_atomics.push(AtomicRow {
+            name: r.str()?,
+            group: group_from_u8(r.u8()?)?,
+            stats: AtomicStats {
+                count: r.u64()?,
+                sum: r.u64()?,
+                min: r.u64()?,
+                max: r.u64()?,
+            },
+        });
+    }
+    let n = r.u32()? as usize;
+    let mut user_events = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        user_events.push(read_event_row(&mut r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut merged = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let user = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            _ => return Err(CodecError::BadField("merged user tag")),
+        };
+        merged.push(MergedRow {
+            user,
+            kernel: r.str()?,
+            kernel_group: group_from_u8(r.u8()?)?,
+            count: r.u64()?,
+            ns: r.u64()?,
+        });
+    }
+    let n = r.u32()? as usize;
+    let mut kernel_wall = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let user = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            _ => return Err(CodecError::BadField("wall user tag")),
+        };
+        kernel_wall.push((user, r.u64()?));
+    }
+    Ok(ProfileSnapshot {
+        pid,
+        comm,
+        node,
+        taken_ns,
+        kernel_events,
+        kernel_atomics,
+        user_events,
+        merged,
+        kernel_wall,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ASCII codec
+// ---------------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace(' ', "\\s").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('s') => out.push(' '),
+                Some('n') => out.push('\n'),
+                Some('-') => out.push('-'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Encodes a profile snapshot in the line-oriented ASCII format libKtau's
+/// conversion helpers produce for command-line clients.
+pub fn profile_to_ascii(p: &ProfileSnapshot) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "ktau-profile v{BINARY_VERSION} pid {} comm {} node {} taken_ns {}\n",
+        p.pid,
+        escape(&p.comm),
+        p.node,
+        p.taken_ns
+    ));
+    for r in &p.kernel_events {
+        s.push_str(&format!(
+            "K {} {} {} {} {} {} {}\n",
+            escape(&r.name),
+            group_to_u8(r.group),
+            r.stats.count,
+            r.stats.incl_ns,
+            r.stats.excl_ns,
+            r.stats.min_incl_ns,
+            r.stats.max_incl_ns
+        ));
+    }
+    for r in &p.kernel_atomics {
+        s.push_str(&format!(
+            "A {} {} {} {} {} {}\n",
+            escape(&r.name),
+            group_to_u8(r.group),
+            r.stats.count,
+            r.stats.sum,
+            r.stats.min,
+            r.stats.max
+        ));
+    }
+    for r in &p.user_events {
+        s.push_str(&format!(
+            "U {} {} {} {} {} {} {}\n",
+            escape(&r.name),
+            group_to_u8(r.group),
+            r.stats.count,
+            r.stats.incl_ns,
+            r.stats.excl_ns,
+            r.stats.min_incl_ns,
+            r.stats.max_incl_ns
+        ));
+    }
+    for r in &p.merged {
+        // A literal routine name "-" must not collide with the None sentinel.
+        let user_field = match r.user.as_deref() {
+            None => "-".to_owned(),
+            Some("-") => "\\-".to_owned(),
+            Some(u) => escape(u),
+        };
+        s.push_str(&format!(
+            "M {} {} {} {} {}\n",
+            user_field,
+            escape(&r.kernel),
+            group_to_u8(r.kernel_group),
+            r.count,
+            r.ns
+        ));
+    }
+    for (u, ns) in &p.kernel_wall {
+        let user_field = match u.as_deref() {
+            None => "-".to_owned(),
+            Some("-") => "\\-".to_owned(),
+            Some(u) => escape(u),
+        };
+        s.push_str(&format!("W {user_field} {ns}\n"));
+    }
+    s
+}
+
+fn parse_u64(s: &str) -> Result<u64, CodecError> {
+    s.parse().map_err(|_| CodecError::BadField("number"))
+}
+
+fn parse_stats(fields: &[&str]) -> Result<EntryExitStats, CodecError> {
+    if fields.len() != 5 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(EntryExitStats {
+        count: parse_u64(fields[0])?,
+        incl_ns: parse_u64(fields[1])?,
+        excl_ns: parse_u64(fields[2])?,
+        min_incl_ns: parse_u64(fields[3])?,
+        max_incl_ns: parse_u64(fields[4])?,
+    })
+}
+
+/// Parses the ASCII profile format back into a snapshot.
+pub fn profile_from_ascii(text: &str) -> Result<ProfileSnapshot, CodecError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(CodecError::Truncated)?;
+    // header layout: ktau-profile v1 pid N comm C node N taken_ns N
+    let h: Vec<&str> = header.split(' ').collect();
+    if h.len() != 10 || h[0] != "ktau-profile" || h[2] != "pid" || h[4] != "comm" {
+        return Err(CodecError::BadMagic);
+    }
+    let ver: u16 = h[1]
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .ok_or(CodecError::BadField("version"))?;
+    if ver != BINARY_VERSION {
+        return Err(CodecError::BadVersion(ver));
+    }
+    let mut p = ProfileSnapshot {
+        pid: parse_u64(h[3])? as u32,
+        comm: unescape(h[5]),
+        node: parse_u64(h[7])? as u32,
+        taken_ns: parse_u64(h[9])?,
+        ..Default::default()
+    };
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(' ').collect();
+        match f[0] {
+            "K" | "U" => {
+                if f.len() != 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let row = EventRow {
+                    name: unescape(f[1]),
+                    group: group_from_u8(parse_u64(f[2])? as u8)?,
+                    stats: parse_stats(&f[3..8])?,
+                };
+                if f[0] == "K" {
+                    p.kernel_events.push(row);
+                } else {
+                    p.user_events.push(row);
+                }
+            }
+            "A" => {
+                if f.len() != 7 {
+                    return Err(CodecError::Truncated);
+                }
+                p.kernel_atomics.push(AtomicRow {
+                    name: unescape(f[1]),
+                    group: group_from_u8(parse_u64(f[2])? as u8)?,
+                    stats: AtomicStats {
+                        count: parse_u64(f[3])?,
+                        sum: parse_u64(f[4])?,
+                        min: parse_u64(f[5])?,
+                        max: parse_u64(f[6])?,
+                    },
+                });
+            }
+            "M" => {
+                if f.len() != 6 {
+                    return Err(CodecError::Truncated);
+                }
+                p.merged.push(MergedRow {
+                    user: if f[1] == "-" {
+                        None
+                    } else {
+                        Some(unescape(f[1]))
+                    },
+                    kernel: unescape(f[2]),
+                    kernel_group: group_from_u8(parse_u64(f[3])? as u8)?,
+                    count: parse_u64(f[4])?,
+                    ns: parse_u64(f[5])?,
+                });
+            }
+            "W" => {
+                if f.len() != 3 {
+                    return Err(CodecError::Truncated);
+                }
+                p.kernel_wall.push((
+                    if f[1] == "-" { None } else { Some(unescape(f[1])) },
+                    parse_u64(f[2])?,
+                ));
+            }
+            _ => return Err(CodecError::BadField("record tag")),
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::measure::{ProbeEngine, TaskMeasurement};
+
+    fn sample_snapshot() -> ProfileSnapshot {
+        let mut reg = EventRegistry::new();
+        let sched = reg.register("schedule", Group::Scheduler, EventKind::EntryExit);
+        let tcp = reg.register("tcp_v4_rcv", Group::Tcp, EventKind::EntryExit);
+        let bytes = reg.register("net_rx_bytes", Group::Tcp, EventKind::Atomic);
+        let mpi = reg.register("MPI_Recv", Group::Mpi, EventKind::EntryExit);
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        eng.user_entry(&mut m, mpi, Group::Mpi, 0);
+        eng.kernel_entry(&mut m, tcp, Group::Tcp, 100);
+        eng.kernel_atomic(&mut m, bytes, Group::Tcp, 1460, 150);
+        eng.kernel_exit(&mut m, tcp, Group::Tcp, 400);
+        eng.kernel_interval(&mut m, sched, Group::Scheduler, 5_000, 6_000);
+        eng.user_exit(&mut m, mpi, Group::Mpi, 10_000);
+        ProfileSnapshot::capture(4242, "lu.C.128 proc", 61, 10_000, &m, &reg)
+    }
+
+    #[test]
+    fn capture_resolves_names_and_groups() {
+        let p = sample_snapshot();
+        assert_eq!(p.pid, 4242);
+        assert!(p.kernel_event("tcp_v4_rcv").is_some());
+        assert!(p.kernel_event("schedule").is_some());
+        assert_eq!(p.user_event("MPI_Recv").unwrap().stats.count, 1);
+        assert_eq!(p.kernel_atomics[0].stats.sum, 1460);
+        let groups = p.call_groups_in("MPI_Recv");
+        assert_eq!(groups.len(), 2);
+        // schedule (5000ns) should outrank tcp (300ns)
+        assert_eq!(groups[0].0, Group::Scheduler);
+        assert_eq!(groups[0].2, 5_000);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let p = sample_snapshot();
+        let bytes = encode_profile(&p);
+        let q = decode_profile(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_version() {
+        let p = sample_snapshot();
+        let mut bytes = encode_profile(&p);
+        bytes[0] = b'X';
+        assert_eq!(decode_profile(&bytes), Err(CodecError::BadMagic));
+        let mut bytes = encode_profile(&p);
+        bytes[4] = 99;
+        assert!(matches!(
+            decode_profile(&bytes),
+            Err(CodecError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_everywhere() {
+        let p = sample_snapshot();
+        let bytes = encode_profile(&p);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_profile(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let p = sample_snapshot();
+        let text = profile_to_ascii(&p);
+        let q = profile_from_ascii(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn ascii_escapes_spaces_in_names() {
+        let p = sample_snapshot(); // comm contains a space
+        let text = profile_to_ascii(&p);
+        assert!(text.contains("lu.C.128\\sproc"));
+        assert_eq!(profile_from_ascii(&text).unwrap().comm, "lu.C.128 proc");
+    }
+
+    #[test]
+    fn ascii_rejects_garbage() {
+        assert!(profile_from_ascii("").is_err());
+        assert!(profile_from_ascii("not a profile\n").is_err());
+        let p = sample_snapshot();
+        let text = profile_to_ascii(&p).replace("K ", "Z ");
+        assert!(profile_from_ascii(&text).is_err());
+    }
+
+    #[test]
+    fn trace_snapshot_resolves_names() {
+        let mut reg = EventRegistry::new();
+        let tcp = reg.register("tcp_v4_rcv", Group::Tcp, EventKind::EntryExit);
+        let recs = vec![TraceRecord {
+            ts_ns: 7,
+            event: tcp,
+            point: TracePoint::Entry,
+        }];
+        let t = TraceSnapshot::from_records(1, "x", 0, 3, &recs, &reg);
+        assert_eq!(t.records[0].name, "tcp_v4_rcv");
+        assert_eq!(t.lost, 3);
+    }
+}

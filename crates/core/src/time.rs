@@ -1,0 +1,190 @@
+//! Virtual-time units used throughout the simulated cluster.
+//!
+//! KTAU measures with the hardware Time Stamp Counter (TSC on x86, Time Base
+//! on PowerPC).  In the simulation every node exposes a *virtual* TSC derived
+//! from the global virtual clock and the node's CPU frequency; on the host
+//! (for the Table 4 direct-overhead experiment) a real monotonic clock is
+//! used instead.  Both are expressed through [`TimeSource`].
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual nanoseconds since simulation start.
+pub type Ns = u64;
+
+/// CPU cycles (TSC units).
+pub type Cycles = u64;
+
+/// One second in nanoseconds.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+/// One millisecond in nanoseconds.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// One microsecond in nanoseconds.
+pub const NS_PER_US: u64 = 1_000;
+
+/// A CPU clock frequency; converts between cycles and nanoseconds without
+/// losing precision for the ranges the simulator uses (u128 intermediates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuFreq {
+    hz: u64,
+}
+
+impl CpuFreq {
+    /// Creates a frequency from Hertz. Panics on a zero frequency.
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "CPU frequency must be non-zero");
+        CpuFreq { hz }
+    }
+
+    /// Creates a frequency from megahertz (the unit `/proc/cpuinfo` reports).
+    pub fn from_mhz(mhz: u64) -> Self {
+        Self::from_hz(mhz * 1_000_000)
+    }
+
+    /// Frequency in Hertz.
+    pub fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// Frequency in megahertz, rounded down.
+    pub fn mhz(&self) -> u64 {
+        self.hz / 1_000_000
+    }
+
+    /// Converts a cycle count into nanoseconds (rounding to nearest).
+    pub fn cycles_to_ns(&self, cycles: Cycles) -> Ns {
+        ((cycles as u128 * NS_PER_SEC as u128 + (self.hz as u128 / 2)) / self.hz as u128) as Ns
+    }
+
+    /// Converts nanoseconds into cycles (rounding to nearest).
+    pub fn ns_to_cycles(&self, ns: Ns) -> Cycles {
+        ((ns as u128 * self.hz as u128 + (NS_PER_SEC as u128 / 2)) / NS_PER_SEC as u128) as Cycles
+    }
+}
+
+/// Anything that can report the current time in nanoseconds.
+///
+/// The simulated kernel passes explicit timestamps instead, but host-side
+/// measurement (Table 4) and the KTAUD daemon's real polling loop use this.
+pub trait TimeSource {
+    /// Current time in nanoseconds from an arbitrary but fixed origin.
+    fn now_ns(&self) -> Ns;
+}
+
+/// Host monotonic clock; used to measure the *real* cost of KTAU probes.
+#[derive(Debug, Clone)]
+pub struct HostClock {
+    origin: std::time::Instant,
+}
+
+impl HostClock {
+    /// A clock whose origin is the moment of construction.
+    pub fn new() -> Self {
+        HostClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for HostClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for HostClock {
+    fn now_ns(&self) -> Ns {
+        self.origin.elapsed().as_nanos() as Ns
+    }
+}
+
+/// Reads the host TSC where available, falling back to the monotonic clock
+/// scaled by an assumed 1 GHz on other architectures.  Only used by the
+/// direct-overhead experiment; simulation never touches it.
+#[inline]
+pub fn host_tsc() -> Cycles {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_rdtsc` has no preconditions; it reads a counter register.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Formats a nanosecond quantity as seconds with millisecond precision,
+/// e.g. `295.600`.
+pub fn fmt_secs(ns: Ns) -> String {
+    format!("{:.3}", ns as f64 / NS_PER_SEC as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_roundtrip_450mhz() {
+        let f = CpuFreq::from_mhz(450);
+        assert_eq!(f.mhz(), 450);
+        // 450 cycles == 1000 ns
+        assert_eq!(f.cycles_to_ns(450), 1000);
+        assert_eq!(f.ns_to_cycles(1000), 450);
+    }
+
+    #[test]
+    fn freq_rounds_to_nearest() {
+        let f = CpuFreq::from_mhz(450);
+        // 1 cycle at 450 MHz = 2.22 ns -> rounds to 2
+        assert_eq!(f.cycles_to_ns(1), 2);
+        // 1 ns = 0.45 cycles -> rounds to 0
+        assert_eq!(f.ns_to_cycles(1), 0);
+        assert_eq!(f.ns_to_cycles(2), 1);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow() {
+        let f = CpuFreq::from_mhz(2800);
+        let one_hour_ns = 3_600 * NS_PER_SEC;
+        let c = f.ns_to_cycles(one_hour_ns);
+        assert_eq!(c, 2_800_000_000 * 3_600);
+        assert_eq!(f.cycles_to_ns(c), one_hour_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = CpuFreq::from_hz(0);
+    }
+
+    #[test]
+    fn host_clock_is_monotonic() {
+        let c = HostClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn host_tsc_advances() {
+        let a = host_tsc();
+        // burn a little time
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = host_tsc();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn fmt_secs_formats_milliseconds() {
+        assert_eq!(fmt_secs(295_600_000_000), "295.600");
+        assert_eq!(fmt_secs(0), "0.000");
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests for the KTAU measurement framework invariants.
+
+use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
+use ktau_core::profile::Profile;
+use ktau_core::snapshot::{
+    decode_profile, encode_profile, profile_from_ascii, profile_to_ascii, AtomicRow, EventRow,
+    MergedRow, ProfileSnapshot,
+};
+use ktau_core::profile::{AtomicStats, EntryExitStats};
+use ktau_core::trace::{TraceBuffer, TracePoint, TraceRecord};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Trace ring invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The ring never holds more than capacity, `lost + len == total`, and
+    /// the surviving records are exactly the most recent ones in order.
+    #[test]
+    fn trace_ring_bounds_and_ordering(cap in 1usize..64, n in 0usize..300) {
+        let mut tb = TraceBuffer::new(cap);
+        for i in 0..n {
+            tb.push(TraceRecord { ts_ns: i as u64, event: EventId(0), point: TracePoint::Entry });
+        }
+        prop_assert!(tb.len() <= cap);
+        prop_assert_eq!(tb.lost() + tb.len() as u64, tb.total());
+        prop_assert_eq!(tb.total(), n as u64);
+        let drained = tb.drain();
+        let expect_start = n.saturating_sub(cap);
+        for (k, r) in drained.iter().enumerate() {
+            prop_assert_eq!(r.ts_ns, (expect_start + k) as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profile nesting invariants
+// ---------------------------------------------------------------------------
+
+/// A random well-formed nesting schedule: a sequence of starts/stops over a
+/// small event alphabet with strictly increasing timestamps.
+fn nesting_ops() -> impl Strategy<Value = Vec<(bool, u32)>> {
+    // Generate via a random walk that we then repair into well-formedness.
+    proptest::collection::vec((any::<bool>(), 0u32..6), 0..120).prop_map(|raw| {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        for (push, ev) in raw {
+            if push || stack.is_empty() {
+                stack.push(ev);
+                out.push((true, ev));
+            } else {
+                let top = stack.pop().unwrap();
+                out.push((false, top));
+            }
+        }
+        while let Some(top) = stack.pop() {
+            out.push((false, top));
+        }
+        out
+    })
+}
+
+proptest! {
+    /// For any well-nested schedule: exclusive ≤ inclusive per event, the sum
+    /// of exclusive time over all events equals total instrumented wall time,
+    /// and the stack drains to empty.
+    #[test]
+    fn profile_time_conservation(ops in nesting_ops(), step in 1u64..50) {
+        let mut p = Profile::new();
+        let mut t = 0u64;
+        let mut depth = 0usize;
+        let mut covered = 0u64; // wall time spent inside >=1 activation
+        for (is_start, ev) in &ops {
+            let prev = t;
+            t += step;
+            if depth > 0 {
+                covered += t - prev;
+            }
+            if *is_start {
+                p.start(EventId(*ev), t);
+                depth += 1;
+            } else {
+                p.stop(EventId(*ev), t).unwrap();
+                depth -= 1;
+            }
+        }
+        prop_assert_eq!(p.depth(), 0);
+        let mut excl_sum = 0u64;
+        for (id, s) in p.iter_entries() {
+            prop_assert!(s.excl_ns <= s.incl_ns + 1, "event {:?} excl>incl", id);
+            prop_assert!(s.min_incl_ns <= s.max_incl_ns);
+            excl_sum += s.excl_ns;
+        }
+        prop_assert_eq!(excl_sum, covered);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Registration is idempotent and ids stay dense and stable regardless of
+    /// the interleaving of duplicate names.
+    #[test]
+    fn registry_ids_dense_and_stable(names in proptest::collection::vec("[a-z_]{1,12}", 1..40)) {
+        let mut reg = EventRegistry::new();
+        let mut first_id: std::collections::HashMap<String, u32> = Default::default();
+        for n in &names {
+            let id = reg.register(n, Group::Other, EventKind::EntryExit);
+            let e = first_id.entry(n.clone()).or_insert(id.0);
+            prop_assert_eq!(*e, id.0);
+        }
+        prop_assert_eq!(reg.len(), first_id.len());
+        // ids are exactly 0..len
+        let mut ids: Vec<u32> = reg.iter().map(|d| d.id.0).collect();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..reg.len() as u32).collect();
+        prop_assert_eq!(ids, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec roundtrips over arbitrary snapshots
+// ---------------------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_. /-]{1,20}"
+}
+
+fn arb_group() -> impl Strategy<Value = Group> {
+    proptest::sample::select(Group::ALL.to_vec())
+}
+
+fn arb_event_row() -> impl Strategy<Value = EventRow> {
+    (arb_name(), arb_group(), any::<[u32; 5]>()).prop_map(|(name, group, v)| EventRow {
+        name,
+        group,
+        stats: EntryExitStats {
+            count: v[0] as u64,
+            incl_ns: v[1] as u64,
+            excl_ns: v[2] as u64,
+            min_incl_ns: v[3] as u64,
+            max_incl_ns: v[4] as u64,
+        },
+    })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = ProfileSnapshot> {
+    (
+        any::<u32>(),
+        arb_name(),
+        any::<u16>(),
+        any::<u32>(),
+        proptest::collection::vec(arb_event_row(), 0..10),
+        proptest::collection::vec(arb_event_row(), 0..10),
+        proptest::collection::vec(
+            (arb_name(), arb_group(), any::<[u32; 4]>()).prop_map(|(name, group, v)| AtomicRow {
+                name,
+                group,
+                stats: AtomicStats {
+                    count: v[0] as u64,
+                    sum: v[1] as u64,
+                    min: v[2] as u64,
+                    max: v[3] as u64,
+                },
+            }),
+            0..6,
+        ),
+        proptest::collection::vec(
+            (
+                proptest::option::of(arb_name()),
+                arb_name(),
+                arb_group(),
+                any::<u32>(),
+                any::<u32>(),
+            )
+                .prop_map(|(user, kernel, kernel_group, count, ns)| MergedRow {
+                    user,
+                    kernel,
+                    kernel_group,
+                    count: count as u64,
+                    ns: ns as u64,
+                }),
+            0..8,
+        ),
+        proptest::collection::vec(
+            (proptest::option::of(arb_name()), any::<u32>())
+                .prop_map(|(u, ns)| (u, ns as u64)),
+            0..6,
+        ),
+    )
+        .prop_map(
+            |(pid, comm, node, taken, kernel_events, user_events, kernel_atomics, merged, kernel_wall)| {
+                ProfileSnapshot {
+                    pid,
+                    comm,
+                    node: node as u32,
+                    taken_ns: taken as u64,
+                    kernel_events,
+                    kernel_atomics,
+                    user_events,
+                    merged,
+                    kernel_wall,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Binary codec roundtrips arbitrary snapshots exactly.
+    #[test]
+    fn binary_codec_roundtrip(p in arb_snapshot()) {
+        let bytes = encode_profile(&p);
+        let q = decode_profile(&bytes).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// ASCII codec roundtrips arbitrary snapshots exactly, including names
+    /// with spaces and slashes.
+    #[test]
+    fn ascii_codec_roundtrip(p in arb_snapshot()) {
+        let text = profile_to_ascii(&p);
+        let q = profile_from_ascii(&text).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Decoding any truncated binary prefix fails rather than panicking or
+    /// producing a bogus snapshot.
+    #[test]
+    fn binary_codec_rejects_prefixes(p in arb_snapshot(), frac in 0.0f64..1.0) {
+        let bytes = encode_profile(&p);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_profile(&bytes[..cut]).is_err());
+        }
+    }
+}

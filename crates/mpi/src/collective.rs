@@ -1,0 +1,119 @@
+//! Collective operations lowered to point-to-point patterns.
+//!
+//! Both `Barrier` and `Allreduce` use the dissemination pattern (the same
+//! shape MPICH uses for barriers): in round *k*, rank *r* sends to
+//! `(r + 2^k) mod P` and receives from `(r − 2^k) mod P`, for
+//! `ceil(log2 P)` rounds.  This works for any `P` and pairs distant ranks —
+//! which is exactly what routes traffic between co-located ranks in the
+//! 64x2 configurations.
+
+use crate::app::{MpiOp, Rank};
+
+/// Per-round (send-to, receive-from) peers of `rank` in a `size`-rank job.
+pub fn dissemination_peers(rank: Rank, size: u32) -> Vec<(Rank, Rank)> {
+    assert!(size > 0, "empty communicator");
+    assert!(rank.0 < size, "rank out of range");
+    let mut rounds = Vec::new();
+    let mut step = 1u32;
+    while step < size {
+        let to = Rank((rank.0 + step) % size);
+        let from = Rank((rank.0 + size - step % size) % size);
+        rounds.push((to, from));
+        step = step.saturating_mul(2);
+    }
+    rounds
+}
+
+/// A barrier message: small control payload.
+pub const BARRIER_BYTES: u64 = 16;
+
+/// Expands a barrier into p2p ops for one rank, bracketed as `MPI_Barrier`.
+pub fn barrier_ops(rank: Rank, size: u32) -> Vec<MpiOp> {
+    collective_ops(rank, size, BARRIER_BYTES, "MPI_Barrier")
+}
+
+/// Expands an allreduce into p2p ops for one rank (`bytes` per round),
+/// bracketed as `MPI_Allreduce`.
+pub fn allreduce_ops(rank: Rank, size: u32, bytes: u64) -> Vec<MpiOp> {
+    collective_ops(rank, size, bytes.max(BARRIER_BYTES), "MPI_Allreduce")
+}
+
+fn collective_ops(rank: Rank, size: u32, bytes: u64, name: &'static str) -> Vec<MpiOp> {
+    let mut ops = vec![MpiOp::Enter(name)];
+    if size > 1 {
+        for (to, from) in dissemination_peers(rank, size) {
+            // Send first everywhere: the eager protocol buffers small
+            // messages in the sndbuf, so send-first cannot deadlock, while
+            // any receive-first pairing can (e.g. two odd-rank peers at
+            // stride 2 would wait on each other forever).
+            ops.push(MpiOp::Send { to, bytes });
+            ops.push(MpiOp::Recv { from, bytes });
+            // Reduction work between rounds.
+            ops.push(MpiOp::Compute(1_000 + bytes / 8));
+        }
+    }
+    ops.push(MpiOp::Exit(name));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn peers_cover_log2_rounds() {
+        let r = dissemination_peers(Rank(0), 128);
+        assert_eq!(r.len(), 7);
+        let r = dissemination_peers(Rank(3), 5);
+        assert_eq!(r.len(), 3); // ceil(log2 5)
+    }
+
+    #[test]
+    fn peer_relation_is_symmetric_per_round() {
+        // If a sends to b in round k, then b receives from a in round k.
+        let size = 12u32;
+        for k in 0..4 {
+            for r in 0..size {
+                let me = dissemination_peers(Rank(r), size);
+                if k >= me.len() {
+                    continue;
+                }
+                let (to, _) = me[k];
+                let (_, peer_from) = dissemination_peers(to, size)[k];
+                assert_eq!(peer_from, Rank(r), "round {k} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_64_pairs_colocated_ranks_in_64x2() {
+        // ranks 61 and 125 sit on the same node under cyclic placement over
+        // 64 nodes; the 7th dissemination round pairs them.
+        let peers = dissemination_peers(Rank(61), 128);
+        let sends: HashSet<u32> = peers.iter().map(|(t, _)| t.0).collect();
+        assert!(sends.contains(&125));
+    }
+
+    #[test]
+    fn barrier_ops_balanced_sends_and_recvs() {
+        for size in [1u32, 2, 3, 8, 128] {
+            for r in 0..size.min(6) {
+                let ops = barrier_ops(Rank(r), size);
+                let sends = ops.iter().filter(|o| matches!(o, MpiOp::Send { .. })).count();
+                let recvs = ops.iter().filter(|o| matches!(o, MpiOp::Recv { .. })).count();
+                assert_eq!(sends, recvs);
+                assert_eq!(ops.first(), Some(&MpiOp::Enter("MPI_Barrier")));
+                assert_eq!(ops.last(), Some(&MpiOp::Exit("MPI_Barrier")));
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_local() {
+        let ops = allreduce_ops(Rank(0), 1, 64);
+        assert!(ops
+            .iter()
+            .all(|o| !matches!(o, MpiOp::Send { .. } | MpiOp::Recv { .. })));
+    }
+}

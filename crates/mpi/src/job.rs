@@ -1,0 +1,201 @@
+//! Job placement and launch: the paper's 128x1 / 64x2 configurations.
+
+use crate::app::{MpiApp, Rank};
+use crate::process::MpiProcess;
+use ktau_oskern::{Cluster, Pid, TaskSpec};
+use std::collections::HashMap;
+
+/// Where one rank runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Node index.
+    pub node: u32,
+    /// Optional CPU pin.
+    pub pin: Option<u8>,
+}
+
+/// A rank→node mapping for a whole job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Placement of each rank, indexed by rank.
+    pub places: Vec<Placement>,
+}
+
+impl Layout {
+    /// `nodes` ranks, one per node, unpinned (the paper's `128x1`).
+    pub fn one_per_node(nodes: u32) -> Self {
+        Layout {
+            places: (0..nodes)
+                .map(|n| Placement { node: n, pin: None })
+                .collect(),
+        }
+    }
+
+    /// `ranks` ranks distributed cyclically over `nodes` nodes, unpinned
+    /// (the paper's `64x2` when `ranks == 2 * nodes`): rank `r` runs on node
+    /// `r % nodes`, so ranks 61 and 125 share node 61 in a 128-rank job on
+    /// 64 nodes — the pairing behind the paper's anomaly investigation.
+    pub fn cyclic(nodes: u32, ranks: u32) -> Self {
+        Layout {
+            places: (0..ranks)
+                .map(|r| Placement {
+                    node: r % nodes,
+                    pin: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Pins every rank to CPU `(rank / nodes)` of its node: with cyclic
+    /// placement this is one rank per CPU (the paper's `64x2 Pinned`).
+    pub fn pinned(mut self, nodes: u32) -> Self {
+        for (r, p) in self.places.iter_mut().enumerate() {
+            p.pin = Some((r as u32 / nodes) as u8);
+        }
+        self
+    }
+
+    /// Pins every rank to one specific CPU (the paper's `128x1 Pin` variant).
+    pub fn pinned_to(mut self, cpu: u8) -> Self {
+        for p in self.places.iter_mut() {
+            p.pin = Some(cpu);
+        }
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.places.len() as u32
+    }
+
+    /// Ranks placed on a given node.
+    pub fn ranks_on(&self, node: u32) -> Vec<Rank> {
+        self.places
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.node == node)
+            .map(|(r, _)| Rank(r as u32))
+            .collect()
+    }
+}
+
+/// A launched job: where each rank lives, for post-run profile collection.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    /// The layout the job ran with.
+    pub layout: Layout,
+    /// `(node, pid)` of each rank, indexed by rank.
+    pub tasks: Vec<(u32, Pid)>,
+}
+
+impl JobHandle {
+    /// `(node, pid)` of one rank.
+    pub fn rank_task(&self, rank: Rank) -> (u32, Pid) {
+        self.tasks[rank.0 as usize]
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.tasks.len() as u32
+    }
+
+    /// Iterates `(rank, node, pid)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, u32, Pid)> + '_ {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(r, &(n, p))| (Rank(r as u32), n, p))
+    }
+}
+
+/// Launches an SPMD job: one [`MpiApp`] per rank (the `apps` vector length
+/// defines the job size and must match the layout), a full mesh of
+/// connections, and one process per rank named `{name}.{rank}`.
+pub fn launch(
+    cluster: &mut Cluster,
+    name: &str,
+    layout: &Layout,
+    apps: Vec<Box<dyn MpiApp>>,
+) -> JobHandle {
+    assert_eq!(
+        apps.len() as u32,
+        layout.size(),
+        "one app per rank required"
+    );
+    let size = layout.size();
+    for p in &layout.places {
+        assert!(
+            (p.node as usize) < cluster.num_nodes(),
+            "layout references node {} beyond cluster",
+            p.node
+        );
+    }
+    // Full mesh of simplex connections.
+    let mut conn = HashMap::new();
+    for a in 0..size {
+        for b in 0..size {
+            if a == b {
+                continue;
+            }
+            let id = cluster.open_conn(layout.places[a as usize].node, layout.places[b as usize].node);
+            conn.insert((Rank(a), Rank(b)), id);
+        }
+    }
+    let mut tasks = Vec::with_capacity(size as usize);
+    for (r, app) in apps.into_iter().enumerate() {
+        let rank = Rank(r as u32);
+        let place = layout.places[r];
+        let tx: HashMap<Rank, ktau_net::ConnId> = (0..size)
+            .filter(|&b| b != rank.0)
+            .map(|b| (Rank(b), conn[&(rank, Rank(b))]))
+            .collect();
+        let rx: HashMap<Rank, ktau_net::ConnId> = (0..size)
+            .filter(|&b| b != rank.0)
+            .map(|b| (Rank(b), conn[&(Rank(b), rank)]))
+            .collect();
+        let proc = MpiProcess::new(rank, size, app, tx, rx);
+        let mut spec = TaskSpec::app(format!("{name}.{r}"), Box::new(proc));
+        if let Some(cpu) = place.pin {
+            spec = spec.pinned(cpu);
+        }
+        let pid = cluster.spawn(place.node, spec);
+        tasks.push((place.node, pid));
+    }
+    JobHandle {
+        layout: layout.clone(),
+        tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_per_node_is_identity() {
+        let l = Layout::one_per_node(4);
+        assert_eq!(l.size(), 4);
+        assert_eq!(l.places[3], Placement { node: 3, pin: None });
+    }
+
+    #[test]
+    fn cyclic_pairs_r_and_r_plus_nodes() {
+        let l = Layout::cyclic(64, 128);
+        assert_eq!(l.places[61].node, 61);
+        assert_eq!(l.places[125].node, 61);
+        assert_eq!(l.ranks_on(61), vec![Rank(61), Rank(125)]);
+    }
+
+    #[test]
+    fn pinned_spreads_over_cpus() {
+        let l = Layout::cyclic(64, 128).pinned(64);
+        assert_eq!(l.places[61].pin, Some(0));
+        assert_eq!(l.places[125].pin, Some(1));
+    }
+
+    #[test]
+    fn pinned_to_forces_one_cpu() {
+        let l = Layout::one_per_node(8).pinned_to(1);
+        assert!(l.places.iter().all(|p| p.pin == Some(1)));
+    }
+}

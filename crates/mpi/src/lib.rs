@@ -1,0 +1,24 @@
+//! # ktau-mpi — a minimal MPI-like message-passing runtime
+//!
+//! The paper runs NPB LU and ASCI Sweep3D as MPI jobs over Ethernet; this
+//! crate supplies the equivalent runtime on top of the simulated kernels:
+//! ranks, rank→node placement (the 128x1 vs 64x2 configurations), blocking
+//! eager point-to-point built on per-pair TCP streams, and
+//! dissemination-pattern `Barrier`/`Allreduce`.
+//!
+//! Workloads are written against the [`MpiApp`] trait in MPI-level
+//! operations; [`MpiProcess`] lowers each into instrumented kernel ops
+//! (`MPI_Send` → `UserEnter("MPI_Send")`, packing compute, `sys_writev`, …)
+//! exactly as the TAU-instrumented MPICH stack does in the paper.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod collective;
+pub mod job;
+pub mod process;
+
+pub use app::{MpiApp, MpiOp, Rank};
+pub use collective::{allreduce_ops, barrier_ops, dissemination_peers};
+pub use job::{launch, JobHandle, Layout, Placement};
+pub use process::MpiProcess;

@@ -1,0 +1,192 @@
+//! Lowering MPI operations onto the simulated kernel.
+//!
+//! [`MpiProcess`] adapts an [`MpiApp`] into an [`ktau_oskern::Program`]: each
+//! MPI operation expands into TAU-instrumented user routines plus the socket
+//! ops the kernel lowers onto `sys_writev`/`sys_read`.  Library overhead
+//! (matching, packing) appears as small compute bursts inside the `MPI_*`
+//! routines, as a real MPICH would burn.
+
+use crate::app::{MpiApp, MpiOp, Rank};
+use crate::collective::{allreduce_ops, barrier_ops};
+use ktau_net::ConnId;
+use ktau_oskern::{Op, Program};
+use std::collections::{HashMap, VecDeque};
+
+/// Cycles of library overhead per send/recv call.
+pub const MPI_CALL_OVERHEAD_CYCLES: u64 = 2_500;
+/// Additional per-KiB packing cost (cycles).
+pub const MPI_PACK_CYCLES_PER_KIB: u64 = 120;
+
+/// The per-rank runtime: routes `Send{to}`/`Recv{from}` onto connection ids
+/// and expands collectives.
+pub struct MpiProcess {
+    rank: Rank,
+    size: u32,
+    app: Box<dyn MpiApp>,
+    /// `tx[to]` = connection this rank writes to reach rank `to`.
+    tx: HashMap<Rank, ConnId>,
+    /// `rx[from]` = connection this rank reads to hear rank `from`.
+    rx: HashMap<Rank, ConnId>,
+    pending: VecDeque<Op>,
+    finished: bool,
+}
+
+impl MpiProcess {
+    /// Builds the runtime for `rank` of a `size`-rank job with the given
+    /// connection maps.
+    pub fn new(
+        rank: Rank,
+        size: u32,
+        app: Box<dyn MpiApp>,
+        tx: HashMap<Rank, ConnId>,
+        rx: HashMap<Rank, ConnId>,
+    ) -> Self {
+        MpiProcess {
+            rank,
+            size,
+            app,
+            tx,
+            rx,
+            pending: VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn pack_cycles(bytes: u64) -> u64 {
+        MPI_CALL_OVERHEAD_CYCLES + bytes / 1024 * MPI_PACK_CYCLES_PER_KIB
+    }
+
+    fn expand(&mut self, op: MpiOp) {
+        match op {
+            MpiOp::Compute(c) => self.pending.push_back(Op::Compute(c)),
+            MpiOp::Enter(name) => self.pending.push_back(Op::UserEnter(name)),
+            MpiOp::Exit(name) => self.pending.push_back(Op::UserExit(name)),
+            MpiOp::Send { to, bytes } => {
+                let conn = *self
+                    .tx
+                    .get(&to)
+                    .unwrap_or_else(|| panic!("{} has no route to {to}", self.rank));
+                self.pending.push_back(Op::UserEnter("MPI_Send"));
+                self.pending.push_back(Op::Compute(Self::pack_cycles(bytes)));
+                self.pending.push_back(Op::Send { conn, bytes });
+                self.pending.push_back(Op::UserExit("MPI_Send"));
+            }
+            MpiOp::Recv { from, bytes } => {
+                let conn = *self
+                    .rx
+                    .get(&from)
+                    .unwrap_or_else(|| panic!("{} has no route from {from}", self.rank));
+                self.pending.push_back(Op::UserEnter("MPI_Recv"));
+                self.pending.push_back(Op::Recv { conn, bytes });
+                self.pending.push_back(Op::Compute(Self::pack_cycles(bytes)));
+                self.pending.push_back(Op::UserExit("MPI_Recv"));
+            }
+            MpiOp::Barrier => {
+                for sub in barrier_ops(self.rank, self.size) {
+                    self.expand(sub);
+                }
+            }
+            MpiOp::Allreduce { bytes } => {
+                for sub in allreduce_ops(self.rank, self.size, bytes) {
+                    self.expand(sub);
+                }
+            }
+            MpiOp::Sleep(ns) => self.pending.push_back(Op::Sleep(ns)),
+            MpiOp::Finish => {
+                self.finished = true;
+                self.pending.push_back(Op::Exit);
+            }
+        }
+    }
+}
+
+impl Program for MpiProcess {
+    fn next_op(&mut self) -> Op {
+        loop {
+            if let Some(op) = self.pending.pop_front() {
+                return op;
+            }
+            if self.finished {
+                return Op::Exit;
+            }
+            let next = self.app.next();
+            self.expand(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::MpiOpList;
+
+    fn proc_with(ops: Vec<MpiOp>) -> MpiProcess {
+        let mut tx = HashMap::new();
+        let mut rx = HashMap::new();
+        tx.insert(Rank(1), ConnId(0));
+        rx.insert(Rank(1), ConnId(1));
+        MpiProcess::new(Rank(0), 2, Box::new(MpiOpList::new(ops)), tx, rx)
+    }
+
+    #[test]
+    fn send_lowered_with_tau_brackets() {
+        let mut p = proc_with(vec![MpiOp::Send {
+            to: Rank(1),
+            bytes: 2048,
+        }]);
+        assert_eq!(p.next_op(), Op::UserEnter("MPI_Send"));
+        match p.next_op() {
+            Op::Compute(c) => assert!(c >= MPI_CALL_OVERHEAD_CYCLES),
+            o => panic!("expected pack compute, got {o:?}"),
+        }
+        assert_eq!(
+            p.next_op(),
+            Op::Send {
+                conn: ConnId(0),
+                bytes: 2048
+            }
+        );
+        assert_eq!(p.next_op(), Op::UserExit("MPI_Send"));
+        assert_eq!(p.next_op(), Op::Exit);
+        assert_eq!(p.next_op(), Op::Exit);
+    }
+
+    #[test]
+    fn recv_uses_rx_route() {
+        let mut p = proc_with(vec![MpiOp::Recv {
+            from: Rank(1),
+            bytes: 64,
+        }]);
+        assert_eq!(p.next_op(), Op::UserEnter("MPI_Recv"));
+        assert_eq!(
+            p.next_op(),
+            Op::Recv {
+                conn: ConnId(1),
+                bytes: 64
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unknown_destination_panics() {
+        let mut p = proc_with(vec![MpiOp::Send {
+            to: Rank(7),
+            bytes: 1,
+        }]);
+        p.next_op();
+    }
+
+    #[test]
+    fn barrier_expands_to_bracketed_p2p() {
+        let mut p = proc_with(vec![MpiOp::Barrier]);
+        assert_eq!(p.next_op(), Op::UserEnter("MPI_Barrier"));
+        // two-rank barrier: one round; send always precedes receive.
+        assert_eq!(p.next_op(), Op::UserEnter("MPI_Send"));
+    }
+}

@@ -1,0 +1,154 @@
+//! CPU cost model for the in-kernel network path.
+//!
+//! Costs are expressed in *cycles* so they scale with the node's clock; the
+//! kernel charges them to virtual time inside the corresponding KTAU
+//! instrumentation points (`sys_writev`, `sock_sendmsg`, `tcp_sendmsg`,
+//! `do_IRQ`, `do_softirq`, `tcp_v4_rcv`, `sys_read`).
+//!
+//! Two SMP effects reproduce the paper's §5.2 findings:
+//!
+//! * **Busy-SMP dilation** — per-segment TCP receive processing costs more
+//!   when both CPUs of a node run compute-bound work (memory-system and
+//!   cache contention; see the ~11.5 % per-call gap between the 64x2 and
+//!   128x1 configurations in Fig 10, and the paper's reference to TCP/IP
+//!   cache problems on SMP).
+//! * **Cross-CPU penalty** — when irq-balancing delivers a segment's bottom
+//!   half on a different CPU than the consuming task runs on, the cache
+//!   lines holding socket state travel between CPUs ("Data destined for a
+//!   thread running on CPU0 may be received by the kernel on CPU1 causing
+//!   cache related slowdowns").
+
+use crate::Cycles;
+
+/// Tunable cost model; defaults approximate a 450 MHz Pentium III running
+/// Linux 2.6 over Fast Ethernet (per-call TCP receive cost ≈ 27–36 µs, the
+/// range of the paper's Fig 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetCostModel {
+    /// `sys_writev` fixed overhead.
+    pub sys_writev_cycles: Cycles,
+    /// `sock_sendmsg` fixed overhead.
+    pub sock_sendmsg_cycles: Cycles,
+    /// `tcp_sendmsg` fixed cost per segment.
+    pub tcp_send_base_cycles: Cycles,
+    /// `tcp_sendmsg` copy/checksum cost per payload byte (milli-cycles).
+    pub tcp_send_mcycles_per_byte: u64,
+    /// `do_IRQ` + NIC handler fixed cost per interrupt.
+    pub irq_cycles: Cycles,
+    /// `do_softirq` dispatch fixed cost.
+    pub softirq_base_cycles: Cycles,
+    /// `tcp_v4_rcv` fixed cost per segment.
+    pub tcp_rcv_base_cycles: Cycles,
+    /// `tcp_v4_rcv` per payload byte cost (milli-cycles).
+    pub tcp_rcv_mcycles_per_byte: u64,
+    /// `sys_read` fixed overhead.
+    pub sys_read_cycles: Cycles,
+    /// `sys_read` copy-to-user cost per byte (milli-cycles).
+    pub read_copy_mcycles_per_byte: u64,
+    /// Multiplier (percent) applied to receive-side TCP work when the node
+    /// is compute-busy on all CPUs; 100 = no dilation.
+    pub busy_smp_dilation_pct: u32,
+    /// Multiplier (percent) applied when the bottom half runs on a
+    /// different CPU than the consuming task.
+    pub cross_cpu_penalty_pct: u32,
+}
+
+impl Default for NetCostModel {
+    fn default() -> Self {
+        NetCostModel {
+            sys_writev_cycles: 1_800,
+            sock_sendmsg_cycles: 1_200,
+            tcp_send_base_cycles: 4_500,
+            tcp_send_mcycles_per_byte: 2_000, // 2 cycles/byte
+            irq_cycles: 3_600,                // ~8 us at 450 MHz
+            softirq_base_cycles: 900,
+            tcp_rcv_base_cycles: 5_400,       // ~12 us
+            tcp_rcv_mcycles_per_byte: 4_800,  // 4.8 cycles/byte -> ~27.6 us/MSS
+            sys_read_cycles: 1_400,
+            read_copy_mcycles_per_byte: 1_500,
+            busy_smp_dilation_pct: 112,
+            cross_cpu_penalty_pct: 106,
+        }
+    }
+}
+
+fn per_byte(mcycles_per_byte: u64, bytes: u32) -> Cycles {
+    mcycles_per_byte * bytes as u64 / 1_000
+}
+
+impl NetCostModel {
+    /// Send-path cost of one segment inside `tcp_sendmsg`.
+    pub fn tcp_send_segment(&self, payload: u32) -> Cycles {
+        self.tcp_send_base_cycles + per_byte(self.tcp_send_mcycles_per_byte, payload)
+    }
+
+    /// Receive-path cost of one segment inside `tcp_v4_rcv`.
+    ///
+    /// * `busy_smp` — all CPUs of the node are running compute-bound tasks;
+    /// * `cross_cpu` — the softirq CPU differs from the consumer's CPU.
+    pub fn tcp_rcv_segment(&self, payload: u32, busy_smp: bool, cross_cpu: bool) -> Cycles {
+        let mut c = self.tcp_rcv_base_cycles + per_byte(self.tcp_rcv_mcycles_per_byte, payload);
+        if busy_smp {
+            c = c * self.busy_smp_dilation_pct as u64 / 100;
+        }
+        if cross_cpu {
+            c = c * self.cross_cpu_penalty_pct as u64 / 100;
+        }
+        c
+    }
+
+    /// Cost of `sys_read` consuming `bytes` from the socket queue.
+    pub fn read_copy(&self, bytes: u64) -> Cycles {
+        self.sys_read_cycles + self.read_copy_mcycles_per_byte * bytes / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rcv_cost_in_paper_range_at_450mhz() {
+        let m = NetCostModel::default();
+        let cycles = m.tcp_rcv_segment(crate::segment::MSS, false, false);
+        // 27-36 us at 450 MHz is 12_150..16_200 cycles
+        let us = cycles as f64 / 450.0;
+        assert!(
+            (25.0..33.0).contains(&us),
+            "per-segment rcv cost {us:.1} us outside expected band"
+        );
+    }
+
+    #[test]
+    fn busy_smp_dilation_is_about_11_percent() {
+        let m = NetCostModel::default();
+        let base = m.tcp_rcv_segment(1460, false, false) as f64;
+        let busy = m.tcp_rcv_segment(1460, true, false) as f64;
+        let pct = (busy - base) / base * 100.0;
+        assert!((10.0..14.0).contains(&pct), "dilation {pct:.1}%");
+    }
+
+    #[test]
+    fn cross_cpu_penalty_compounds() {
+        let m = NetCostModel::default();
+        let a = m.tcp_rcv_segment(1460, true, false);
+        let b = m.tcp_rcv_segment(1460, true, true);
+        assert!(b > a);
+        let plain = m.tcp_rcv_segment(1460, false, false);
+        assert_eq!(b, plain * 112 / 100 * 106 / 100);
+    }
+
+    #[test]
+    fn send_cost_scales_with_payload() {
+        let m = NetCostModel::default();
+        assert!(m.tcp_send_segment(1460) > m.tcp_send_segment(100));
+        assert_eq!(m.tcp_send_segment(0), m.tcp_send_base_cycles);
+    }
+
+    #[test]
+    fn read_copy_scales_with_bytes() {
+        let m = NetCostModel::default();
+        assert_eq!(m.read_copy(0), m.sys_read_cycles);
+        assert_eq!(m.read_copy(1000), m.sys_read_cycles + 1_500);
+    }
+}

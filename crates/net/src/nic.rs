@@ -1,0 +1,118 @@
+//! NIC transmit serialization.
+//!
+//! Each node has one NIC (the paper's Chiba nodes share a single 100 Mbit
+//! Ethernet interface between both CPUs — one of the suspected causes of the
+//! 64x2 slowdown).  The model is a work-conserving serial link: segments
+//! from all local connections are transmitted back-to-back at line rate, so
+//! co-located ranks queue behind each other.
+
+use crate::Ns;
+
+/// A network interface with a finite transmit rate.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    /// Transmit rate in bits per second.
+    bits_per_sec: u64,
+    /// Time at which the transmitter becomes free.
+    tx_free_at: Ns,
+    /// Total wire bytes ever transmitted.
+    total_wire_bytes: u64,
+    /// Total segments transmitted.
+    total_segments: u64,
+}
+
+impl Nic {
+    /// A NIC transmitting at `bits_per_sec` (e.g. `100_000_000` for the
+    /// paper's Fast Ethernet). Panics on a zero rate.
+    pub fn new(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "NIC rate must be non-zero");
+        Nic {
+            bits_per_sec,
+            tx_free_at: 0,
+            total_wire_bytes: 0,
+            total_segments: 0,
+        }
+    }
+
+    /// Serialization time for `wire_bytes` at line rate.
+    pub fn tx_time_ns(&self, wire_bytes: u32) -> Ns {
+        (wire_bytes as u128 * 8 * 1_000_000_000 / self.bits_per_sec as u128) as Ns
+    }
+
+    /// Enqueues a segment at `now`; returns the time its last bit leaves the
+    /// wire (when sndbuf space is released and the fabric starts counting
+    /// propagation latency).
+    pub fn enqueue(&mut self, now: Ns, wire_bytes: u32) -> Ns {
+        let start = self.tx_free_at.max(now);
+        let done = start + self.tx_time_ns(wire_bytes);
+        self.tx_free_at = done;
+        self.total_wire_bytes += wire_bytes as u64;
+        self.total_segments += 1;
+        done
+    }
+
+    /// Earliest time a new segment could start transmitting.
+    pub fn tx_free_at(&self) -> Ns {
+        self.tx_free_at
+    }
+
+    /// Total wire bytes transmitted.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.total_wire_bytes
+    }
+
+    /// Total segments transmitted.
+    pub fn total_segments(&self) -> u64 {
+        self.total_segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_matches_line_rate() {
+        let nic = Nic::new(100_000_000); // 100 Mbit/s
+        // 1538 wire bytes = 12304 bits -> 123.04 us
+        assert_eq!(nic.tx_time_ns(1538), 123_040);
+        // 100 Mbit/s == 12.5 MB/s: 1 byte = 80 ns
+        assert_eq!(nic.tx_time_ns(1), 80);
+    }
+
+    #[test]
+    fn back_to_back_segments_serialize() {
+        let mut nic = Nic::new(100_000_000);
+        let d1 = nic.enqueue(0, 1000);
+        let d2 = nic.enqueue(0, 1000);
+        assert_eq!(d1, 80_000);
+        assert_eq!(d2, 160_000);
+        assert_eq!(nic.total_segments(), 2);
+        assert_eq!(nic.total_wire_bytes(), 2000);
+    }
+
+    #[test]
+    fn idle_gap_resets_start_time() {
+        let mut nic = Nic::new(100_000_000);
+        nic.enqueue(0, 1000); // done at 80_000
+        let d = nic.enqueue(1_000_000, 1000);
+        assert_eq!(d, 1_080_000);
+    }
+
+    #[test]
+    fn departures_are_monotone() {
+        let mut nic = Nic::new(1_000_000_000);
+        let mut last = 0;
+        for i in 0..100u64 {
+            let d = nic.enqueue(i * 10, 100);
+            assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_rate_panics() {
+        let _ = Nic::new(0);
+    }
+}

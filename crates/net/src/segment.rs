@@ -1,0 +1,90 @@
+//! TCP segmentation.
+
+/// Maximum segment size for Ethernet-framed TCP (1500 MTU − 40 header).
+pub const MSS: u32 = 1460;
+
+/// Per-segment on-wire framing overhead: TCP/IP headers (40) plus Ethernet
+/// header + FCS + preamble/IFG (38).
+pub const WIRE_OVERHEAD: u32 = 78;
+
+/// One TCP segment travelling the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Connection the segment belongs to.
+    pub conn: crate::socket::ConnId,
+    /// Payload bytes.
+    pub payload: u32,
+    /// Per-connection sequence number (segment index, not byte offset).
+    pub seq: u64,
+}
+
+impl Segment {
+    /// Bytes the segment occupies on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload + WIRE_OVERHEAD
+    }
+}
+
+/// Splits a message into MSS-sized payload chunks (last chunk may be short).
+/// A zero-byte message produces no segments.
+pub fn segment_sizes(bytes: u64) -> impl Iterator<Item = u32> {
+    let full = bytes / MSS as u64;
+    let rem = (bytes % MSS as u64) as u32;
+    (0..full)
+        .map(|_| MSS)
+        .chain(std::iter::once(rem).filter(|&r| r > 0))
+}
+
+/// Number of segments a message of `bytes` occupies.
+pub fn segment_count(bytes: u64) -> u64 {
+    bytes.div_ceil(MSS as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::ConnId;
+
+    #[test]
+    fn exact_multiple_splits_evenly() {
+        let v: Vec<u32> = segment_sizes(2920).collect();
+        assert_eq!(v, vec![1460, 1460]);
+    }
+
+    #[test]
+    fn remainder_becomes_short_tail() {
+        let v: Vec<u32> = segment_sizes(3000).collect();
+        assert_eq!(v, vec![1460, 1460, 80]);
+    }
+
+    #[test]
+    fn small_message_is_one_segment() {
+        let v: Vec<u32> = segment_sizes(1).collect();
+        assert_eq!(v, vec![1]);
+    }
+
+    #[test]
+    fn zero_bytes_no_segments() {
+        assert_eq!(segment_sizes(0).count(), 0);
+        assert_eq!(segment_count(0), 0);
+    }
+
+    #[test]
+    fn sizes_sum_to_message_length() {
+        for n in [1u64, 100, 1459, 1460, 1461, 40_000, 1_000_000] {
+            let total: u64 = segment_sizes(n).map(|s| s as u64).sum();
+            assert_eq!(total, n);
+            assert_eq!(segment_sizes(n).count() as u64, segment_count(n));
+        }
+    }
+
+    #[test]
+    fn wire_bytes_adds_framing() {
+        let s = Segment {
+            conn: ConnId(0),
+            payload: 1460,
+            seq: 0,
+        };
+        assert_eq!(s.wire_bytes(), 1538);
+    }
+}

@@ -1,0 +1,182 @@
+//! Socket send/receive buffer models.
+//!
+//! Connections are simplex byte streams identified by a cluster-global
+//! [`ConnId`]; the MPI runtime opens one per ordered rank pair.  The sender
+//! side models `sndbuf` back-pressure (a blocked `sys_writev` is what turns
+//! into *voluntary* scheduling on the send path); the receiver side models
+//! the in-kernel receive queue that `tcp_v4_rcv` fills from softirq context
+//! and `sys_read` drains.
+
+/// Cluster-global simplex connection identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Sender-side socket state: bounds bytes queued toward the NIC.
+#[derive(Debug, Clone)]
+pub struct SocketTx {
+    capacity: u64,
+    in_flight: u64,
+    next_seq: u64,
+    total_sent: u64,
+}
+
+impl SocketTx {
+    /// A send buffer of `capacity` bytes. Panics on zero capacity.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "sndbuf capacity must be non-zero");
+        SocketTx {
+            capacity,
+            in_flight: 0,
+            next_seq: 0,
+            total_sent: 0,
+        }
+    }
+
+    /// Free space in the buffer.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.in_flight
+    }
+
+    /// Bytes currently queued but not yet on the wire.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Total payload bytes ever accepted.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Attempts to queue `bytes`; accepts up to the free space and returns
+    /// the number accepted (0 means the writer must block).
+    pub fn reserve(&mut self, bytes: u64) -> u64 {
+        let take = bytes.min(self.free());
+        self.in_flight += take;
+        self.total_sent += take;
+        take
+    }
+
+    /// Allocates the next segment sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Releases buffer space once a segment leaves the NIC.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.in_flight, "releasing more than in flight");
+        self.in_flight = self.in_flight.saturating_sub(bytes);
+    }
+}
+
+/// Receiver-side socket state: the kernel receive queue.
+#[derive(Debug, Clone, Default)]
+pub struct SocketRx {
+    available: u64,
+    expected_seq: u64,
+    total_received: u64,
+    total_consumed: u64,
+}
+
+impl SocketRx {
+    /// An empty receive queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes ready for `sys_read` to consume.
+    pub fn available(&self) -> u64 {
+        self.available
+    }
+
+    /// Total payload bytes ever delivered by the protocol.
+    pub fn total_received(&self) -> u64 {
+        self.total_received
+    }
+
+    /// Total payload bytes ever consumed by readers.
+    pub fn total_consumed(&self) -> u64 {
+        self.total_consumed
+    }
+
+    /// Delivers a segment from softirq context.  Enforces in-order delivery
+    /// (our fabric is lossless and FIFO); returns the new availability.
+    pub fn deliver(&mut self, seq: u64, payload: u32) -> u64 {
+        assert_eq!(
+            seq, self.expected_seq,
+            "out-of-order segment delivery (fabric must be FIFO)"
+        );
+        self.expected_seq += 1;
+        self.available += payload as u64;
+        self.total_received += payload as u64;
+        self.available
+    }
+
+    /// Consumes up to `wanted` bytes for a reader; returns bytes consumed
+    /// (0 means the reader must block).
+    pub fn consume(&mut self, wanted: u64) -> u64 {
+        let take = wanted.min(self.available);
+        self.available -= take;
+        self.total_consumed += take;
+        take
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_reserve_respects_capacity() {
+        let mut tx = SocketTx::new(1000);
+        assert_eq!(tx.reserve(600), 600);
+        assert_eq!(tx.reserve(600), 400);
+        assert_eq!(tx.reserve(600), 0);
+        assert_eq!(tx.in_flight(), 1000);
+        tx.release(250);
+        assert_eq!(tx.free(), 250);
+        assert_eq!(tx.total_sent(), 1000);
+    }
+
+    #[test]
+    fn tx_seq_numbers_are_sequential() {
+        let mut tx = SocketTx::new(10);
+        assert_eq!(tx.next_seq(), 0);
+        assert_eq!(tx.next_seq(), 1);
+        assert_eq!(tx.next_seq(), 2);
+    }
+
+    #[test]
+    fn rx_in_order_delivery_accumulates() {
+        let mut rx = SocketRx::new();
+        rx.deliver(0, 1460);
+        rx.deliver(1, 40);
+        assert_eq!(rx.available(), 1500);
+        assert_eq!(rx.consume(1000), 1000);
+        assert_eq!(rx.available(), 500);
+        assert_eq!(rx.consume(1000), 500);
+        assert_eq!(rx.consume(1), 0);
+        assert_eq!(rx.total_received(), 1500);
+        assert_eq!(rx.total_consumed(), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rx_rejects_out_of_order() {
+        let mut rx = SocketRx::new();
+        rx.deliver(1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn tx_zero_capacity_panics() {
+        let _ = SocketTx::new(0);
+    }
+}

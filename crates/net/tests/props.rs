@@ -1,0 +1,112 @@
+//! Property tests for the network substrate.
+
+use ktau_net::{segment_count, segment_sizes, Fabric, Nic, NetCostModel, SocketRx, SocketTx, MSS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Segment payloads always sum to the message length, never exceed MSS,
+    /// and only the final segment may be short.
+    #[test]
+    fn segmentation_conserves_bytes(n in 0u64..5_000_000) {
+        let sizes: Vec<u32> = segment_sizes(n).collect();
+        prop_assert_eq!(sizes.iter().map(|&s| s as u64).sum::<u64>(), n);
+        prop_assert_eq!(sizes.len() as u64, segment_count(n));
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert!(s <= MSS && s > 0);
+            if i + 1 < sizes.len() {
+                prop_assert_eq!(s, MSS);
+            }
+        }
+    }
+
+    /// NIC departures are monotone non-decreasing and the link is never
+    /// oversubscribed: total serialization time ≤ last departure − first start.
+    #[test]
+    fn nic_is_work_conserving(
+        arrivals in proptest::collection::vec((0u64..1_000_000, 1u32..2000), 1..100),
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        let mut nic = Nic::new(100_000_000);
+        let mut last = 0u64;
+        let mut busy = 0u64;
+        for &(t, bytes) in &sorted {
+            let d = nic.enqueue(t, bytes);
+            prop_assert!(d >= last);
+            prop_assert!(d >= t + nic.tx_time_ns(bytes));
+            busy += nic.tx_time_ns(bytes);
+            last = d;
+        }
+        let first_arrival = sorted[0].0;
+        prop_assert!(last >= first_arrival + busy || sorted.len() == 1);
+        prop_assert!(last <= sorted.last().unwrap().0 + busy,
+            "NIC idled while work was queued");
+    }
+
+    /// The tx window never goes negative or exceeds capacity, and every byte
+    /// reserved is eventually releasable.
+    #[test]
+    fn socket_tx_window_accounting(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..10_000), 1..200),
+        cap in 1u64..200_000,
+    ) {
+        let mut tx = SocketTx::new(cap);
+        let mut queued = 0u64;
+        for (is_reserve, n) in ops {
+            if is_reserve {
+                let got = tx.reserve(n);
+                prop_assert!(got <= n);
+                queued += got;
+            } else {
+                let rel = n.min(queued).min(tx.in_flight());
+                tx.release(rel);
+                queued -= rel;
+            }
+            prop_assert!(tx.in_flight() <= cap);
+            prop_assert_eq!(tx.in_flight(), queued);
+        }
+    }
+
+    /// End-to-end over rx: bytes delivered in order are fully consumable and
+    /// conserved.
+    #[test]
+    fn socket_rx_conserves_bytes(chunks in proptest::collection::vec(1u32..=MSS, 0..100)) {
+        let mut rx = SocketRx::new();
+        let mut total = 0u64;
+        for (i, &c) in chunks.iter().enumerate() {
+            rx.deliver(i as u64, c);
+            total += c as u64;
+        }
+        let mut consumed = 0u64;
+        while rx.available() > 0 {
+            consumed += rx.consume(777);
+        }
+        prop_assert_eq!(consumed, total);
+        prop_assert_eq!(rx.total_received(), total);
+    }
+
+    /// Receive cost is monotone in payload and strictly increased by both
+    /// SMP effects.
+    #[test]
+    fn rcv_cost_monotone(a in 0u32..=MSS, b in 0u32..=MSS) {
+        let m = NetCostModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.tcp_rcv_segment(lo, false, false) <= m.tcp_rcv_segment(hi, false, false));
+        prop_assert!(m.tcp_rcv_segment(a, true, false) >= m.tcp_rcv_segment(a, false, false));
+        prop_assert!(m.tcp_rcv_segment(a, true, true) >= m.tcp_rcv_segment(a, true, false));
+    }
+
+    /// Fabric arrival is latency-shifted and order-preserving.
+    #[test]
+    fn fabric_preserves_order(departs in proptest::collection::vec(0u64..1_000_000_000, 0..50),
+                              lat in 0u64..1_000_000) {
+        let f = Fabric::new(lat);
+        let mut sorted = departs.clone();
+        sorted.sort_unstable();
+        let arrivals: Vec<u64> = sorted.iter().map(|&d| f.arrival(d)).collect();
+        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        for (d, a) in sorted.iter().zip(&arrivals) {
+            prop_assert_eq!(a - d, lat);
+        }
+    }
+}

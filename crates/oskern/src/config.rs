@@ -1,0 +1,232 @@
+//! Cluster and node configuration.
+
+use ktau_core::control::{InstrumentationControl, OverheadModel};
+use ktau_core::time::{CpuFreq, Ns};
+use ktau_net::NetCostModel;
+use serde::{Deserialize, Serialize};
+
+/// How hardware interrupts are routed to CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IrqPolicy {
+    /// Default Linux behaviour on the paper's Chiba nodes: every device
+    /// interrupt is serviced by CPU 0.
+    AllToCpu0,
+    /// `irqbalance` enabled: interrupts are distributed round-robin over the
+    /// online CPUs.
+    Balanced,
+    /// All interrupts pinned to one specific CPU (the paper's
+    /// "128x1 Pin,IRQ CPU1" configuration).
+    PinnedTo(u8),
+}
+
+/// Static description of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Host name, e.g. `"ccn10"`.
+    pub name: String,
+    /// Physically present CPUs.
+    pub cpus: u8,
+    /// CPUs the OS actually detected at boot.  `None` means all of them;
+    /// `Some(1)` on a dual node reproduces the faulty Chiba node the paper's
+    /// §5.2 investigation uncovered through `/proc/cpuinfo`.
+    pub detected_cpus: Option<u8>,
+    /// CPU clock frequency.
+    pub freq: CpuFreq,
+    /// Interrupt routing policy.
+    pub irq: IrqPolicy,
+    /// Compute dilation (percent) applied to user-mode compute when more
+    /// than one CPU of the node runs a compute-bound task: these
+    /// Pentium-III-era SMPs share one front-side bus, so memory-bound HPC
+    /// code slows measurably once the second CPU is busy.  100 = no effect.
+    pub smp_compute_dilation_pct: u32,
+}
+
+impl NodeSpec {
+    /// A Chiba-City-like node: dual 450 MHz Pentium III, IRQs to CPU 0.
+    pub fn chiba(name: impl Into<String>) -> Self {
+        NodeSpec {
+            name: name.into(),
+            cpus: 2,
+            detected_cpus: None,
+            freq: CpuFreq::from_mhz(450),
+            irq: IrqPolicy::AllToCpu0,
+            smp_compute_dilation_pct: 118,
+        }
+    }
+
+    /// The "neutron" testbed node: 4-CPU 550 MHz Pentium III Xeon.
+    pub fn neutron(name: impl Into<String>) -> Self {
+        NodeSpec {
+            name: name.into(),
+            cpus: 4,
+            detected_cpus: None,
+            freq: CpuFreq::from_mhz(550),
+            irq: IrqPolicy::AllToCpu0,
+            smp_compute_dilation_pct: 112,
+        }
+    }
+
+    /// CPUs the scheduler will actually use.
+    pub fn online_cpus(&self) -> u8 {
+        self.detected_cpus.unwrap_or(self.cpus).min(self.cpus).max(1)
+    }
+}
+
+/// Scheduler tuning (Linux 2.6-era defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedParams {
+    /// Timer interrupt frequency (ticks per second).
+    pub hz: u32,
+    /// Timeslice length in ticks.
+    pub timeslice_ticks: u32,
+    /// Context-switch cost in cycles.
+    pub ctx_switch_cycles: u64,
+    /// Timer-tick handler cost in cycles.
+    pub tick_cycles: u64,
+    /// Extra cost when a task resumes on a different CPU than it last ran
+    /// on (cache working-set refill).
+    pub migration_cycles: u64,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        SchedParams {
+            hz: 100,
+            timeslice_ticks: 10, // 100 ms
+            ctx_switch_cycles: 2_000,
+            tick_cycles: 900,
+            migration_cycles: 60_000, // ~130 us at 450 MHz
+        }
+    }
+}
+
+impl SchedParams {
+    /// Tick period in nanoseconds.
+    pub fn tick_ns(&self) -> Ns {
+        1_000_000_000 / self.hz as Ns
+    }
+}
+
+/// Background OS noise: per-node daemons that periodically wake and burn a
+/// short CPU burst (kjournald, pdflush, sshd...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Daemons per node.
+    pub daemons_per_node: u32,
+    /// Mean sleep between daemon wakeups.
+    pub mean_period_ns: Ns,
+    /// Mean busy time per wakeup.
+    pub mean_busy_ns: Ns,
+}
+
+impl Default for NoiseSpec {
+    fn default() -> Self {
+        NoiseSpec {
+            daemons_per_node: 3,
+            mean_period_ns: 1_000_000_000, // 1 s
+            mean_busy_ns: 300_000,         // 0.3 ms
+        }
+    }
+}
+
+impl NoiseSpec {
+    /// No background noise at all.
+    pub fn silent() -> Self {
+        NoiseSpec {
+            daemons_per_node: 0,
+            mean_period_ns: 1_000_000_000,
+            mean_busy_ns: 0,
+        }
+    }
+}
+
+/// Full cluster description.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Per-node specs.
+    pub nodes: Vec<NodeSpec>,
+    /// One-way fabric latency.
+    pub fabric_latency_ns: Ns,
+    /// NIC line rate in bits per second.
+    pub nic_bits_per_sec: u64,
+    /// Socket send-buffer size in bytes.
+    pub sndbuf_bytes: u64,
+    /// KTAU instrumentation control configuration (per-run: Base, KtauOff,
+    /// ProfAll, ProfSched, ProfAll+Tau...).
+    pub control: InstrumentationControl,
+    /// Per-probe overhead model.
+    pub overhead: OverheadModel,
+    /// Network CPU cost model.
+    pub net_costs: NetCostModel,
+    /// Scheduler parameters.
+    pub sched: SchedParams,
+    /// Background noise.
+    pub noise: NoiseSpec,
+    /// Master seed for all pseudo-randomness (noise, jitter).
+    pub seed: u64,
+    /// Per-process trace buffer capacity; `None` disables tracing.
+    pub trace_capacity: Option<usize>,
+}
+
+impl ClusterSpec {
+    /// A homogeneous Chiba-like cluster of `n` dual-CPU nodes.
+    pub fn chiba(n: usize) -> Self {
+        ClusterSpec {
+            nodes: (0..n).map(|i| NodeSpec::chiba(format!("ccn{i}"))).collect(),
+            fabric_latency_ns: 60_000,
+            nic_bits_per_sec: 100_000_000,
+            sndbuf_bytes: 128 * 1024,
+            control: InstrumentationControl::prof_all(),
+            overhead: OverheadModel::default(),
+            net_costs: NetCostModel::default(),
+            sched: SchedParams::default(),
+            noise: NoiseSpec::default(),
+            seed: 0x5EED_0C7A,
+            trace_capacity: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chiba_node_defaults() {
+        let n = NodeSpec::chiba("ccn0");
+        assert_eq!(n.cpus, 2);
+        assert_eq!(n.online_cpus(), 2);
+        assert_eq!(n.freq.mhz(), 450);
+        assert_eq!(n.irq, IrqPolicy::AllToCpu0);
+    }
+
+    #[test]
+    fn faulty_node_detects_one_cpu() {
+        let mut n = NodeSpec::chiba("ccn10");
+        n.detected_cpus = Some(1);
+        assert_eq!(n.online_cpus(), 1);
+    }
+
+    #[test]
+    fn detected_cpus_clamped_to_physical() {
+        let mut n = NodeSpec::chiba("x");
+        n.detected_cpus = Some(9);
+        assert_eq!(n.online_cpus(), 2);
+        n.detected_cpus = Some(0);
+        assert_eq!(n.online_cpus(), 1);
+    }
+
+    #[test]
+    fn tick_period_from_hz() {
+        let s = SchedParams::default();
+        assert_eq!(s.tick_ns(), 10_000_000);
+    }
+
+    #[test]
+    fn chiba_cluster_spec_shape() {
+        let c = ClusterSpec::chiba(64);
+        assert_eq!(c.nodes.len(), 64);
+        assert_eq!(c.nic_bits_per_sec, 100_000_000);
+        assert!(c.trace_capacity.is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-task OS performance counters — the paper's §6 future-work item
+//! "performance counter access to KTAU", realized for the counters the
+//! simulated kernel can observe exactly.
+//!
+//! Counters complement the profile's timing data with event *rates* that
+//! user-space tools (and the `runKtau` wrapper) can read through procfs
+//! alongside `/proc/ktau/profile`.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic per-task counters maintained by the kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskCounters {
+    /// Times the task was placed on a different CPU than it last ran on.
+    pub migrations: u64,
+    /// Involuntary context switches (time-slice expiry / preemption).
+    pub preemptions: u64,
+    /// Voluntary context switches (blocking, sleeping, yielding).
+    pub voluntary_switches: u64,
+    /// System calls entered.
+    pub syscalls: u64,
+    /// Page faults taken.
+    pub page_faults: u64,
+    /// Signals delivered.
+    pub signals: u64,
+    /// Wakeups received while blocked.
+    pub wakeups: u64,
+    /// Hard interrupts serviced while the task was current.
+    pub interrupts: u64,
+}
+
+impl TaskCounters {
+    /// Element-wise difference (`self - earlier`), for interval analysis.
+    pub fn delta(&self, earlier: &TaskCounters) -> TaskCounters {
+        TaskCounters {
+            migrations: self.migrations - earlier.migrations,
+            preemptions: self.preemptions - earlier.preemptions,
+            voluntary_switches: self.voluntary_switches - earlier.voluntary_switches,
+            syscalls: self.syscalls - earlier.syscalls,
+            page_faults: self.page_faults - earlier.page_faults,
+            signals: self.signals - earlier.signals,
+            wakeups: self.wakeups - earlier.wakeups,
+            interrupts: self.interrupts - earlier.interrupts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_elementwise() {
+        let a = TaskCounters {
+            migrations: 5,
+            preemptions: 10,
+            voluntary_switches: 20,
+            syscalls: 100,
+            page_faults: 3,
+            signals: 1,
+            wakeups: 19,
+            interrupts: 50,
+        };
+        let b = TaskCounters {
+            migrations: 2,
+            preemptions: 4,
+            voluntary_switches: 10,
+            syscalls: 40,
+            page_faults: 1,
+            signals: 0,
+            wakeups: 9,
+            interrupts: 20,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.migrations, 3);
+        assert_eq!(d.syscalls, 60);
+        assert_eq!(d.interrupts, 30);
+    }
+}

@@ -1,0 +1,1102 @@
+//! One simulated SMP node: CPUs, runqueues, the scheduler, system calls,
+//! interrupt and softirq handling, and the in-kernel ends of the network
+//! stack — with KTAU instrumentation points compiled in at the same places
+//! the paper patches Linux.
+
+use crate::config::{IrqPolicy, NodeSpec, SchedParams};
+use crate::probes::KernelProbes;
+use crate::program::{Op, Program};
+use crate::sim::{Event, EventQueue};
+use crate::task::{
+    BlockedOn, OpState, Pid, SwitchOutReason, Task, TaskKind, TaskState,
+};
+use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
+use ktau_core::measure::{ProbeEngine, TaskMeasurement};
+use ktau_core::time::{CpuFreq, Cycles, Ns};
+use ktau_net::{segment_sizes, Fabric, NetCostModel, Nic, SocketRx, SocketTx, WIRE_OVERHEAD};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Per-CPU state.
+#[derive(Debug)]
+pub struct Cpu {
+    /// CPU index within the node.
+    pub id: u8,
+    /// Currently running task (`None` = idle).
+    pub current: Option<Pid>,
+    /// The per-CPU idle thread, for attribution of interrupt-context work
+    /// while idle.
+    pub idle_pid: Pid,
+    /// Generation counter invalidating stale `CpuDone` events.
+    pub gen: u64,
+    /// Interrupt/tick time stolen from the in-flight chunk, consumed when
+    /// its `CpuDone` fires.
+    pub steal_ns: Ns,
+    /// Small pending costs (context switches, probe calls made while
+    /// dispatching) folded into the next chunk.
+    pub carry_cycles: Cycles,
+    /// End of the current time-slice.
+    pub slice_end: Ns,
+    /// When the current task was switched in.
+    pub in_since: Ns,
+    /// When the CPU last became idle.
+    pub idle_since: Ns,
+    /// Accumulated idle time.
+    pub idle_ns: Ns,
+    /// True when a `CpuDone` is outstanding for the current chunk.
+    pub chunk_pending: bool,
+}
+
+struct TxState {
+    tx: SocketTx,
+    waiting_writer: Option<Pid>,
+}
+
+struct RxState {
+    rx: SocketRx,
+    waiting_reader: Option<Pid>,
+    /// The conn's habitual reader, for the cross-CPU cache penalty.
+    reader_pid: Option<Pid>,
+    /// Localhost connection: delivery skips the NIC hard-IRQ path.
+    loopback: bool,
+    /// Delayed-ACK parity: an ACK is generated every second data segment.
+    ack_pending: u8,
+}
+
+/// In-kernel latency of a localhost segment.
+const LOOPBACK_LATENCY_NS: Ns = 5_000;
+
+/// A simulated node (one kernel instance).
+pub struct Node {
+    /// Node index within the cluster.
+    pub id: u32,
+    /// Host name.
+    pub name: String,
+    /// Static spec.
+    pub spec: NodeSpec,
+    /// CPUs the OS detected and uses.
+    pub online: u8,
+    /// CPU clock.
+    pub freq: CpuFreq,
+    pub(crate) cpus: Vec<Cpu>,
+    pub(crate) runqueues: Vec<VecDeque<Pid>>,
+    pub(crate) tasks: BTreeMap<Pid, Task>,
+    next_pid: u32,
+    /// Kernel event registry (the event-mapping table).
+    pub registry: EventRegistry,
+    /// Pre-registered kernel probe ids.
+    pub probes: KernelProbes,
+    /// KTAU measurement engine.
+    pub engine: ProbeEngine,
+    pub(crate) nic: Nic,
+    sock_tx: HashMap<ktau_net::ConnId, TxState>,
+    sock_rx: HashMap<ktau_net::ConnId, RxState>,
+    irq_rr: u8,
+    pub(crate) sched: SchedParams,
+    pub(crate) net_costs: NetCostModel,
+    sndbuf_bytes: u64,
+    trace_capacity: Option<usize>,
+    /// App tasks that exited (drives cluster completion tracking).
+    pub(crate) apps_exited: u64,
+    /// Cache of user-routine name → event id to avoid registry lookups.
+    user_events: HashMap<&'static str, EventId>,
+    /// Probe to close when a `KernelBusy` chunk completes.
+    pending_kernel_exit: HashMap<Pid, (EventId, Group)>,
+}
+
+/// How to place a new task.
+pub struct TaskSpec {
+    /// Command name.
+    pub comm: String,
+    /// App or daemon.
+    pub kind: TaskKind,
+    /// The program body.
+    pub program: Box<dyn Program>,
+    /// Pin to a specific CPU (sets a single-bit affinity mask).
+    pub pin: Option<u8>,
+    /// Allocate a trace buffer for this process.
+    pub traced: bool,
+}
+
+impl TaskSpec {
+    /// An unpinned, untraced app task.
+    pub fn app(comm: impl Into<String>, program: Box<dyn Program>) -> Self {
+        TaskSpec {
+            comm: comm.into(),
+            kind: TaskKind::App,
+            program,
+            pin: None,
+            traced: false,
+        }
+    }
+
+    /// A daemon task.
+    pub fn daemon(comm: impl Into<String>, program: Box<dyn Program>) -> Self {
+        TaskSpec {
+            comm: comm.into(),
+            kind: TaskKind::Daemon,
+            program,
+            pin: None,
+            traced: false,
+        }
+    }
+
+    /// Pins the task to one CPU.
+    pub fn pinned(mut self, cpu: u8) -> Self {
+        self.pin = Some(cpu);
+        self
+    }
+
+    /// Enables tracing for the task.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+}
+
+impl Node {
+    pub(crate) fn boot(
+        id: u32,
+        spec: NodeSpec,
+        engine: ProbeEngine,
+        sched: SchedParams,
+        net_costs: NetCostModel,
+        sndbuf_bytes: u64,
+        nic_bits_per_sec: u64,
+        trace_capacity: Option<usize>,
+    ) -> Self {
+        let mut registry = EventRegistry::new();
+        let probes = KernelProbes::register(&mut registry);
+        let online = spec.online_cpus();
+        let mut node = Node {
+            id,
+            name: spec.name.clone(),
+            freq: spec.freq,
+            online,
+            cpus: Vec::new(),
+            runqueues: (0..online).map(|_| VecDeque::new()).collect(),
+            tasks: BTreeMap::new(),
+            next_pid: 1,
+            registry,
+            probes,
+            engine,
+            nic: Nic::new(nic_bits_per_sec),
+            sock_tx: HashMap::new(),
+            sock_rx: HashMap::new(),
+            irq_rr: 0,
+            sched,
+            net_costs,
+            sndbuf_bytes,
+            trace_capacity,
+            apps_exited: 0,
+            user_events: HashMap::new(),
+            pending_kernel_exit: HashMap::new(),
+            spec,
+        };
+        for c in 0..online {
+            let idle_pid = Pid(node.next_pid);
+            node.next_pid += 1;
+            let mut t = Task::new(
+                idle_pid,
+                format!("swapper/{c}"),
+                TaskKind::Idle,
+                None,
+                Task::pin_mask(c),
+                TaskMeasurement::profiling(),
+                0,
+            );
+            t.state = TaskState::Running;
+            node.tasks.insert(idle_pid, t);
+            node.cpus.push(Cpu {
+                id: c,
+                current: None,
+                idle_pid,
+                gen: 0,
+                steal_ns: 0,
+                carry_cycles: 0,
+                slice_end: 0,
+                in_since: 0,
+                idle_since: 0,
+                idle_ns: 0,
+                chunk_pending: false,
+            });
+        }
+        node
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// All pids ever created on the node, in creation order (including idle
+    /// threads and zombies).
+    pub fn pids(&self) -> Vec<Pid> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// A task by pid.
+    pub fn task(&self, pid: Pid) -> Option<&Task> {
+        self.tasks.get(&pid)
+    }
+
+    /// Mutable task access (used by `/proc/ktau` control and trace reads).
+    pub fn task_mut(&mut self, pid: Pid) -> Option<&mut Task> {
+        self.tasks.get_mut(&pid)
+    }
+
+    /// Per-CPU state (read-only).
+    pub fn cpu(&self, cpu: u8) -> &Cpu {
+        &self.cpus[cpu as usize]
+    }
+
+    /// Cycles → nanoseconds at this node's clock.
+    #[inline]
+    pub fn c2n(&self, c: Cycles) -> Ns {
+        self.freq.cycles_to_ns(c)
+    }
+
+    /// Nanoseconds → cycles at this node's clock.
+    #[inline]
+    pub fn n2c(&self, ns: Ns) -> Cycles {
+        self.freq.ns_to_cycles(ns)
+    }
+
+    /// Looks up (registering on first use) a user-routine event.  Routines
+    /// named `MPI_*` belong to the MPI group, everything else to `User`.
+    pub fn user_event(&mut self, name: &'static str) -> EventId {
+        if let Some(&id) = self.user_events.get(name) {
+            return id;
+        }
+        let group = if name.starts_with("MPI_") {
+            Group::Mpi
+        } else {
+            Group::User
+        };
+        let id = self.registry.register(name, group, EventKind::EntryExit);
+        self.user_events.insert(name, id);
+        id
+    }
+
+    // -- task lifecycle -----------------------------------------------------
+
+    /// Creates a task and enqueues it.  Its first dispatch happens on the
+    /// next scheduling opportunity (tick or idle CPU pickup).
+    pub(crate) fn spawn(&mut self, spec: TaskSpec, now: Ns, q: &mut EventQueue, fabric: &Fabric) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let affinity = match spec.pin {
+            Some(c) => {
+                assert!(c < self.online, "pin target CPU {c} not online");
+                Task::pin_mask(c)
+            }
+            None => Task::ANY_CPU,
+        };
+        let meas = match (spec.traced, self.trace_capacity) {
+            (true, Some(cap)) => TaskMeasurement::with_trace(cap),
+            (true, None) => TaskMeasurement::with_trace(4096),
+            _ => TaskMeasurement::profiling(),
+        };
+        let task = Task::new(pid, spec.comm, spec.kind, Some(spec.program), affinity, meas, now);
+        self.tasks.insert(pid, task);
+        let cpu = self.choose_wake_cpu(pid);
+        self.runqueues[cpu as usize].push_back(pid);
+        self.kick_if_idle(cpu, now, q, fabric);
+        pid
+    }
+
+    /// Picks a CPU for a newly runnable task: its last CPU if allowed and
+    /// idle, else any allowed idle CPU, else the allowed CPU with the
+    /// shortest queue.
+    fn choose_wake_cpu(&self, pid: Pid) -> u8 {
+        let t = &self.tasks[&pid];
+        let allowed: Vec<u8> = (0..self.online).filter(|&c| t.allowed_on(c)).collect();
+        assert!(!allowed.is_empty(), "task affinity excludes all online CPUs");
+        if allowed.contains(&t.last_cpu) && self.cpus[t.last_cpu as usize].current.is_none() {
+            return t.last_cpu;
+        }
+        if let Some(&c) = allowed
+            .iter()
+            .find(|&&c| self.cpus[c as usize].current.is_none())
+        {
+            return c;
+        }
+        if allowed.contains(&t.last_cpu) {
+            return t.last_cpu;
+        }
+        *allowed
+            .iter()
+            .min_by_key(|&&c| self.runqueues[c as usize].len())
+            .unwrap()
+    }
+
+    /// If `cpu` is idle, dispatch immediately.
+    fn kick_if_idle(&mut self, cpu: u8, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        if self.cpus[cpu as usize].current.is_none() {
+            self.reschedule(cpu, now, q, fabric);
+        }
+    }
+
+    // -- probes -------------------------------------------------------------
+
+    /// Fires a kernel entry probe on a task, returning the probe's cycles.
+    fn probe_enter(&mut self, pid: Pid, ev: EventId, group: Group, now: Ns) -> Cycles {
+        let t = self.tasks.get_mut(&pid).expect("probe on missing task");
+        self.engine.kernel_entry(&mut t.meas, ev, group, now).0
+    }
+
+    /// Fires a kernel exit probe.
+    fn probe_exit(&mut self, pid: Pid, ev: EventId, group: Group, now: Ns) -> Cycles {
+        let t = self.tasks.get_mut(&pid).expect("probe on missing task");
+        self.engine.kernel_exit(&mut t.meas, ev, group, now).0
+    }
+
+    /// Fires a kernel atomic probe.
+    fn probe_atomic(&mut self, pid: Pid, ev: EventId, group: Group, v: u64, now: Ns) -> Cycles {
+        let t = self.tasks.get_mut(&pid).expect("probe on missing task");
+        self.engine.kernel_atomic(&mut t.meas, ev, group, v, now).0
+    }
+
+    // -- scheduler ----------------------------------------------------------
+
+    /// Context switch: puts the next runnable task (if any) on `cpu`.
+    /// The outgoing task must already have been disposed of (blocked,
+    /// requeued, or dead) by the caller.
+    pub(crate) fn reschedule(&mut self, cpu: u8, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        let ci = cpu as usize;
+        debug_assert!(!self.cpus[ci].chunk_pending, "reschedule with chunk in flight");
+        let next = self.runqueues[ci].pop_front();
+        match next {
+            None => {
+                if self.cpus[ci].current.take().is_some() {
+                    self.cpus[ci].idle_since = now;
+                }
+                // Drop pending carry: the idle loop absorbs it.
+                self.cpus[ci].carry_cycles = 0;
+                self.cpus[ci].steal_ns = 0;
+            }
+            Some(pid) => {
+                let was_idle = self.cpus[ci].current.is_none();
+                if was_idle {
+                    let since = self.cpus[ci].idle_since;
+                    self.cpus[ci].idle_ns += now.saturating_sub(since);
+                }
+                // Record the switched-out interval on the incoming task:
+                // voluntary vs involuntary per why it left the CPU last time.
+                let (interval, probe_ev) = {
+                    let t = &self.tasks[&pid];
+                    let ev = match t.out_reason {
+                        SwitchOutReason::Voluntary => self.probes.schedule_vol,
+                        SwitchOutReason::Preempted => self.probes.schedule,
+                    };
+                    (now.saturating_sub(t.out_since), ev)
+                };
+                let t = self.tasks.get_mut(&pid).unwrap();
+                t.state = TaskState::Running;
+                let migrated = t.last_cpu != cpu && t.kind != TaskKind::Idle && t.cpu_ns > 0;
+                if migrated {
+                    t.counters.migrations += 1;
+                }
+                match t.out_reason {
+                    SwitchOutReason::Voluntary => t.counters.voluntary_switches += 1,
+                    SwitchOutReason::Preempted => t.counters.preemptions += 1,
+                }
+                t.last_cpu = cpu;
+                let cost = self
+                    .engine
+                    .kernel_interval(&mut t.meas, probe_ev, Group::Scheduler, interval, now)
+                    .0;
+                let c = &mut self.cpus[ci];
+                c.current = Some(pid);
+                c.carry_cycles += cost + self.sched.ctx_switch_cycles;
+                if migrated {
+                    // Cold caches on the new CPU: the task's working set
+                    // must be refilled before it runs at full speed.
+                    c.carry_cycles += self.sched.migration_cycles;
+                }
+                c.slice_end = now + self.sched.timeslice_ticks as u64 * self.sched.tick_ns();
+                c.in_since = now;
+                self.continue_task(cpu, now, q, fabric);
+            }
+        }
+    }
+
+    /// Takes the current task off `cpu` (charging its CPU time), leaving the
+    /// CPU vacant.  Caller decides what happens to the task and must then
+    /// reschedule.
+    fn switch_out(&mut self, cpu: u8, now: Ns, reason: SwitchOutReason) -> Pid {
+        let ci = cpu as usize;
+        let pid = self.cpus[ci].current.expect("switch_out of idle CPU");
+        let t = self.tasks.get_mut(&pid).unwrap();
+        t.out_reason = reason;
+        t.out_since = now;
+        t.cpu_ns += now.saturating_sub(self.cpus[ci].in_since);
+        self.cpus[ci].current = None;
+        self.cpus[ci].idle_since = now;
+        pid
+    }
+
+    /// Schedules a CPU-busy chunk of `cycles` (plus any pending carry) for
+    /// the current task, ending with a `CpuDone` event.
+    fn busy(&mut self, cpu: u8, cycles: Cycles, now: Ns, q: &mut EventQueue) {
+        let ci = cpu as usize;
+        let c = &mut self.cpus[ci];
+        let total = cycles + c.carry_cycles;
+        c.carry_cycles = 0;
+        let mut dur = self.freq.cycles_to_ns(total);
+        // Consume pre-accumulated steal immediately.
+        dur += c.steal_ns;
+        c.steal_ns = 0;
+        c.gen += 1;
+        c.chunk_pending = true;
+        q.push(
+            now + dur,
+            Event::CpuDone {
+                node: self.id,
+                cpu,
+                gen: c.gen,
+            },
+        );
+    }
+
+    // -- op state machine ---------------------------------------------------
+
+    /// Drives the current task of `cpu` from a "ready" op state until the
+    /// CPU becomes busy, the task blocks, or it exits.
+    pub(crate) fn continue_task(&mut self, cpu: u8, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        let ci = cpu as usize;
+        let mut inline_ops = 0u32;
+        loop {
+            let pid = match self.cpus[ci].current {
+                Some(p) => p,
+                None => return,
+            };
+            let op_state = self.tasks[&pid].op;
+            match op_state {
+                OpState::Fetch => {
+                    inline_ops += 1;
+                    if inline_ops > 100_000 {
+                        // Defensive: a pathological program issuing only
+                        // zero-cost ops would otherwise stall virtual time.
+                        self.busy(cpu, 1_000, now, q);
+                        return;
+                    }
+                    let op = self.tasks.get_mut(&pid).unwrap().fetch_op();
+                    if self.lower_op(cpu, pid, op, now, q, fabric) {
+                        return;
+                    }
+                }
+                OpState::Computing { remaining } => {
+                    // Cap the chunk at the time-slice boundary so slice
+                    // expiry can preempt user-mode compute.
+                    let slice_left = self.cpus[ci].slice_end.saturating_sub(now);
+                    let rem_ns = self.c2n(remaining);
+                    let chunk_ns = rem_ns.min(slice_left.max(self.sched.tick_ns() / 10));
+                    let chunk_cycles = self.n2c(chunk_ns);
+                    let after = remaining.saturating_sub(chunk_cycles);
+                    self.tasks.get_mut(&pid).unwrap().op = if after == 0 {
+                        // Whole burst fits in this chunk; Fetch next on done.
+                        OpState::Computing { remaining: 0 }
+                    } else {
+                        OpState::Computing { remaining: after }
+                    };
+                    // Shared front-side bus: compute dilates while another
+                    // CPU of this node is also running a compute-bound task.
+                    let others_busy = (0..self.online as usize).any(|c| {
+                        c != ci
+                            && self.cpus[c]
+                                .current
+                                .map(|p| self.tasks[&p].kind != TaskKind::Idle)
+                                .unwrap_or(false)
+                    });
+                    let effective = if others_busy {
+                        chunk_cycles * self.spec.smp_compute_dilation_pct as u64 / 100
+                    } else {
+                        chunk_cycles
+                    };
+                    self.busy(cpu, effective, now, q);
+                    return;
+                }
+                OpState::SendReserving { conn, remaining } => {
+                    if remaining == 0 {
+                        // Zero-byte writev: complete the syscall immediately.
+                        let mut c =
+                            self.probe_exit(pid, self.probes.sock_sendmsg, Group::Socket, now);
+                        c += self.probe_exit(pid, self.probes.sys_writev, Group::Syscall, now);
+                        self.cpus[ci].carry_cycles += c;
+                        self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                        continue;
+                    }
+                    let accepted = {
+                        let st = self.sock_tx.get_mut(&conn).expect("send on unknown conn");
+                        st.tx.reserve(remaining)
+                    };
+                    if accepted == 0 {
+                        // sndbuf full: block until TxDone frees space.
+                        self.sock_tx.get_mut(&conn).unwrap().waiting_writer = Some(pid);
+                        self.block_current(cpu, BlockedOn::TxSpace(conn), now, q, fabric);
+                        return;
+                    }
+                    self.start_send_chunk(cpu, pid, conn, accepted, remaining - accepted, now, q, fabric);
+                    return;
+                }
+                OpState::RecvWaiting { conn, remaining } => {
+                    if remaining == 0 {
+                        // Zero-byte read: returns immediately.
+                        let c = self.probe_exit(pid, self.probes.sys_read, Group::Syscall, now);
+                        self.cpus[ci].carry_cycles += c;
+                        self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                        continue;
+                    }
+                    let take = {
+                        let st = self.sock_rx.get_mut(&conn).expect("recv on unknown conn");
+                        st.reader_pid = Some(pid);
+                        st.rx.consume(remaining)
+                    };
+                    if take == 0 {
+                        self.sock_rx.get_mut(&conn).unwrap().waiting_reader = Some(pid);
+                        self.block_current(cpu, BlockedOn::RxData(conn), now, q, fabric);
+                        return;
+                    }
+                    let copy_cycles = self.net_costs.read_copy(take);
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::RecvCopying {
+                        conn,
+                        remaining_after: remaining - take,
+                    };
+                    self.busy(cpu, copy_cycles, now, q);
+                    return;
+                }
+                OpState::Sleeping => {
+                    // Woken from nanosleep: close the syscall and move on.
+                    let c = self.probe_exit(pid, self.probes.sys_nanosleep, Group::Syscall, now);
+                    self.cpus[ci].carry_cycles += c;
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                }
+                OpState::SendProcessing { .. }
+                | OpState::RecvCopying { .. }
+                | OpState::KernelBusy => {
+                    unreachable!("busy op state {op_state:?} reached continue_task")
+                }
+                OpState::Exited => unreachable!("dead task on CPU"),
+            }
+        }
+    }
+
+    /// Lowers a freshly fetched [`Op`].  Returns `true` when control must
+    /// leave the fetch loop (CPU busy, task blocked/exited/yielded).
+    fn lower_op(&mut self, cpu: u8, pid: Pid, op: Op, now: Ns, q: &mut EventQueue, fabric: &Fabric) -> bool {
+        let ci = cpu as usize;
+        match op {
+            Op::Compute(cycles) => {
+                self.tasks.get_mut(&pid).unwrap().op = OpState::Computing { remaining: cycles };
+                false
+            }
+            Op::UserEnter(name) => {
+                let ev = self.user_event(name);
+                let group = self.registry.desc(ev).group;
+                let t = self.tasks.get_mut(&pid).unwrap();
+                let c = self.engine.user_entry(&mut t.meas, ev, group, now).0;
+                self.cpus[ci].carry_cycles += c;
+                false
+            }
+            Op::UserExit(name) => {
+                let ev = self.user_event(name);
+                let group = self.registry.desc(ev).group;
+                let t = self.tasks.get_mut(&pid).unwrap();
+                let c = self.engine.user_exit(&mut t.meas, ev, group, now).0;
+                self.cpus[ci].carry_cycles += c;
+                false
+            }
+            Op::Send { conn, bytes } => {
+                self.tasks.get_mut(&pid).unwrap().counters.syscalls += 1;
+                let mut c = self.probe_enter(pid, self.probes.sys_writev, Group::Syscall, now);
+                c += self.probe_enter(pid, self.probes.sock_sendmsg, Group::Socket, now);
+                self.cpus[ci].carry_cycles +=
+                    c + self.net_costs.sys_writev_cycles + self.net_costs.sock_sendmsg_cycles;
+                self.tasks.get_mut(&pid).unwrap().op = OpState::SendReserving {
+                    conn,
+                    remaining: bytes,
+                };
+                false
+            }
+            Op::Recv { conn, bytes } => {
+                self.tasks.get_mut(&pid).unwrap().counters.syscalls += 1;
+                let c = self.probe_enter(pid, self.probes.sys_read, Group::Syscall, now);
+                self.cpus[ci].carry_cycles += c;
+                self.tasks.get_mut(&pid).unwrap().op = OpState::RecvWaiting {
+                    conn,
+                    remaining: bytes,
+                };
+                false
+            }
+            Op::Sleep(dur) => {
+                self.tasks.get_mut(&pid).unwrap().counters.syscalls += 1;
+                let c = self.probe_enter(pid, self.probes.sys_nanosleep, Group::Syscall, now);
+                self.cpus[ci].carry_cycles += c;
+                self.tasks.get_mut(&pid).unwrap().op = OpState::Sleeping;
+                q.push(now + dur, Event::Wake { node: self.id, pid });
+                self.block_current(cpu, BlockedOn::Timer, now, q, fabric);
+                true
+            }
+            Op::SyscallNull => {
+                self.kernel_busy_op(cpu, pid, self.probes.sys_getpid, Group::Syscall, 250, now, q)
+            }
+            Op::PageFault => self.kernel_busy_op(
+                cpu,
+                pid,
+                self.probes.do_page_fault,
+                Group::Exception,
+                1_200,
+                now,
+                q,
+            ),
+            Op::SignalSelf => {
+                self.kernel_busy_op(cpu, pid, self.probes.do_signal, Group::Signal, 900, now, q)
+            }
+            Op::Yield => {
+                let out = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
+                let t = self.tasks.get_mut(&out).unwrap();
+                t.state = TaskState::Runnable;
+                self.runqueues[ci].push_back(out);
+                self.reschedule(cpu, now, q, fabric);
+                true
+            }
+            Op::Exit => {
+                let out = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
+                let t = self.tasks.get_mut(&out).unwrap();
+                t.state = TaskState::Dead;
+                t.op = OpState::Exited;
+                t.exited_ns = now;
+                if t.kind == TaskKind::App {
+                    self.apps_exited += 1;
+                }
+                self.reschedule(cpu, now, q, fabric);
+                true
+            }
+        }
+    }
+
+    /// A short instrumented kernel path (null syscall / fault / signal).
+    fn kernel_busy_op(
+        &mut self,
+        cpu: u8,
+        pid: Pid,
+        ev: EventId,
+        group: Group,
+        cost: Cycles,
+        now: Ns,
+        q: &mut EventQueue,
+    ) -> bool {
+        {
+            let t = self.tasks.get_mut(&pid).unwrap();
+            match group {
+                Group::Syscall => t.counters.syscalls += 1,
+                Group::Exception => t.counters.page_faults += 1,
+                Group::Signal => t.counters.signals += 1,
+                _ => {}
+            }
+        }
+        let c = self.probe_enter(pid, ev, group, now);
+        self.cpus[cpu as usize].carry_cycles += c;
+        let t = self.tasks.get_mut(&pid).unwrap();
+        t.op = OpState::KernelBusy;
+        // Remember which probe to close at completion via a tiny table:
+        self.pending_kernel_exit.insert(pid, (ev, group));
+        self.busy(cpu, cost, now, q);
+        true
+    }
+
+    /// `tcp_sendmsg` over one accepted chunk: segments the bytes, charges
+    /// per-segment CPU cost, and hands segments to the NIC staggered by the
+    /// CPU time spent producing them.
+    #[allow(clippy::too_many_arguments)]
+    fn start_send_chunk(
+        &mut self,
+        cpu: u8,
+        pid: Pid,
+        conn: ktau_net::ConnId,
+        accepted: u64,
+        remaining_after: u64,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
+        let mut cost: Cycles = self.probe_enter(pid, self.probes.tcp_sendmsg, Group::Tcp, now);
+        let link = fabric.link(conn);
+        let sizes: Vec<u32> = segment_sizes(accepted).collect();
+        for payload in sizes {
+            cost += self.net_costs.tcp_send_segment(payload);
+            let t = now + self.c2n(cost);
+            cost += self.probe_atomic(
+                pid,
+                self.probes.net_tx_bytes,
+                Group::Tcp,
+                payload as u64,
+                t,
+            );
+            let seq = {
+                let st = self.sock_tx.get_mut(&conn).unwrap();
+                st.tx.next_seq()
+            };
+            let produced_at = now + self.c2n(cost);
+            let (depart, arrive) = if link.is_loopback() {
+                // Localhost: no NIC serialization, tiny in-kernel latency.
+                (produced_at, produced_at + LOOPBACK_LATENCY_NS)
+            } else {
+                // The segment reaches the NIC once the CPU has produced it.
+                let depart = self.nic.enqueue(produced_at, payload + WIRE_OVERHEAD);
+                (depart, fabric.arrival(depart))
+            };
+            q.push(
+                depart,
+                Event::TxDone {
+                    node: self.id,
+                    conn,
+                    payload,
+                },
+            );
+            q.push(
+                arrive,
+                Event::SegArrive {
+                    node: link.dst_node,
+                    conn,
+                    seq,
+                    payload,
+                },
+            );
+        }
+        self.tasks.get_mut(&pid).unwrap().op = OpState::SendProcessing {
+            conn,
+            remaining_after,
+        };
+        self.busy(cpu, cost, now, q);
+    }
+
+    /// Blocks the current task and reschedules.
+    fn block_current(&mut self, cpu: u8, on: BlockedOn, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        let pid = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
+        let t = self.tasks.get_mut(&pid).unwrap();
+        t.state = TaskState::Blocked;
+        t.blocked_on = Some(on);
+        self.reschedule(cpu, now, q, fabric);
+    }
+
+    // -- event handlers -----------------------------------------------------
+
+    /// Completion of the in-flight chunk on `cpu`.
+    pub(crate) fn on_cpu_done(&mut self, cpu: u8, gen: u64, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        let ci = cpu as usize;
+        if self.cpus[ci].gen != gen || !self.cpus[ci].chunk_pending {
+            return; // stale
+        }
+        // Interrupts stole time from this chunk: extend it.
+        if self.cpus[ci].steal_ns > 0 {
+            let s = self.cpus[ci].steal_ns;
+            self.cpus[ci].steal_ns = 0;
+            q.push(
+                now + s,
+                Event::CpuDone {
+                    node: self.id,
+                    cpu,
+                    gen,
+                },
+            );
+            return;
+        }
+        self.cpus[ci].chunk_pending = false;
+        let pid = match self.cpus[ci].current {
+            Some(p) => p,
+            None => return,
+        };
+        let op = self.tasks[&pid].op;
+        match op {
+            OpState::Computing { remaining } => {
+                if remaining == 0 {
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                } else if now >= self.cpus[ci].slice_end && !self.runqueues[ci].is_empty() {
+                    // Time-slice expiry with competition: involuntary switch.
+                    let out = self.switch_out(cpu, now, SwitchOutReason::Preempted);
+                    self.tasks.get_mut(&out).unwrap().state = TaskState::Runnable;
+                    self.runqueues[ci].push_back(out);
+                    self.reschedule(cpu, now, q, fabric);
+                    return;
+                } else if now >= self.cpus[ci].slice_end {
+                    // Nobody waiting: renew the slice and keep running.
+                    self.cpus[ci].slice_end =
+                        now + self.sched.timeslice_ticks as u64 * self.sched.tick_ns();
+                }
+            }
+            OpState::SendProcessing {
+                conn,
+                remaining_after,
+            } => {
+                let mut c = self.probe_exit(pid, self.probes.tcp_sendmsg, Group::Tcp, now);
+                if remaining_after == 0 {
+                    c += self.probe_exit(pid, self.probes.sock_sendmsg, Group::Socket, now);
+                    c += self.probe_exit(pid, self.probes.sys_writev, Group::Syscall, now);
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                } else {
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::SendReserving {
+                        conn,
+                        remaining: remaining_after,
+                    };
+                }
+                self.cpus[ci].carry_cycles += c;
+            }
+            OpState::RecvCopying {
+                conn,
+                remaining_after,
+            } => {
+                let mut c = self.probe_exit(pid, self.probes.sys_read, Group::Syscall, now);
+                if remaining_after == 0 {
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                } else {
+                    // The next blocking read is a fresh syscall.
+                    c += self.probe_enter(pid, self.probes.sys_read, Group::Syscall, now);
+                    self.tasks.get_mut(&pid).unwrap().op = OpState::RecvWaiting {
+                        conn,
+                        remaining: remaining_after,
+                    };
+                }
+                self.cpus[ci].carry_cycles += c;
+            }
+            OpState::KernelBusy => {
+                if let Some((ev, group)) = self.pending_kernel_exit.remove(&pid) {
+                    let c = self.probe_exit(pid, ev, group, now);
+                    self.cpus[ci].carry_cycles += c;
+                }
+                self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+            }
+            _ => {}
+        }
+        self.continue_task(cpu, now, q, fabric);
+    }
+
+    /// Timer tick on one CPU: charges the handler cost to whoever is
+    /// current, and performs idle load balancing.
+    pub(crate) fn on_tick(&mut self, cpu: u8, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        let ci = cpu as usize;
+        let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
+        self.tasks.get_mut(&attr_pid).unwrap().counters.interrupts += 1;
+        let mut cost = self.sched.tick_cycles;
+        cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
+        cost += self.probe_enter(attr_pid, self.probes.timer_interrupt, Group::Timer, now);
+        let end = now + self.c2n(cost);
+        cost += self.probe_exit(attr_pid, self.probes.timer_interrupt, Group::Timer, end);
+        cost += self.probe_exit(attr_pid, self.probes.do_irq, Group::Irq, end);
+        if self.cpus[ci].current.is_some() {
+            self.cpus[ci].steal_ns += self.c2n(cost);
+        }
+        // Idle balancing: pull a runnable task from the busiest other queue.
+        if self.cpus[ci].current.is_none() && self.runqueues[ci].is_empty() {
+            let donor = (0..self.online as usize)
+                .filter(|&o| o != ci)
+                .max_by_key(|&o| self.runqueues[o].len());
+            if let Some(o) = donor {
+                if !self.runqueues[o].is_empty() {
+                    let idx = self.runqueues[o]
+                        .iter()
+                        .position(|p| self.tasks[p].allowed_on(cpu));
+                    if let Some(idx) = idx {
+                        let pid = self.runqueues[o].remove(idx).unwrap();
+                        self.runqueues[ci].push_back(pid);
+                    }
+                }
+            }
+            self.reschedule(cpu, now, q, fabric);
+        }
+    }
+
+    /// A segment arrived at this node's NIC: hard IRQ → softirq → TCP
+    /// receive → socket queue → reader wakeup.
+    pub(crate) fn on_segment(
+        &mut self,
+        conn: ktau_net::ConnId,
+        seq: u64,
+        payload: u32,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
+        let loopback = self
+            .sock_rx
+            .get(&conn)
+            .map(|s| s.loopback)
+            .unwrap_or(false);
+        let cpu = self.route_irq();
+        let ci = cpu as usize;
+        let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
+
+        // Dilation inputs for the TCP cost model.
+        let busy_smp = self.online > 1
+            && (0..self.online as usize).all(|c| {
+                self.cpus[c]
+                    .current
+                    .map(|p| self.tasks[&p].kind != TaskKind::Idle)
+                    .unwrap_or(false)
+            });
+        let reader = self.sock_rx.get(&conn).and_then(|s| s.reader_pid);
+        let cross_cpu = reader
+            .map(|r| self.tasks[&r].last_cpu != cpu)
+            .unwrap_or(false);
+
+        // Hard IRQ (skipped entirely for localhost traffic).
+        let mut cost = 0;
+        if !loopback {
+            self.tasks.get_mut(&attr_pid).unwrap().counters.interrupts += 1;
+            cost += self.net_costs.irq_cycles;
+            cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
+            cost += self.probe_enter(attr_pid, self.probes.eth_rx_irq, Group::Irq, now);
+            let t = now + self.c2n(cost);
+            cost += self.probe_exit(attr_pid, self.probes.eth_rx_irq, Group::Irq, t);
+            cost += self.probe_exit(attr_pid, self.probes.do_irq, Group::Irq, t);
+        }
+        // Bottom half.
+        cost += self.net_costs.softirq_base_cycles;
+        let t = now + self.c2n(cost);
+        cost += self.probe_enter(attr_pid, self.probes.do_softirq, Group::BottomHalf, t);
+        cost += self.probe_enter(attr_pid, self.probes.tcp_v4_rcv, Group::Tcp, t);
+        cost += self.net_costs.tcp_rcv_segment(payload, busy_smp, cross_cpu);
+        cost += self.probe_atomic(
+            attr_pid,
+            self.probes.net_rx_bytes,
+            Group::Tcp,
+            payload as u64,
+            t,
+        );
+        let t = now + self.c2n(cost);
+        cost += self.probe_exit(attr_pid, self.probes.tcp_v4_rcv, Group::Tcp, t);
+        cost += self.probe_exit(attr_pid, self.probes.do_softirq, Group::BottomHalf, t);
+        let total_ns = self.c2n(cost);
+
+        if self.cpus[ci].current.is_some() {
+            self.cpus[ci].steal_ns += total_ns;
+        }
+
+        let st = self.sock_rx.get_mut(&conn).expect("segment for unknown conn");
+        st.rx.deliver(seq, payload);
+        if st.rx.available() > 0 {
+            if let Some(reader) = st.waiting_reader.take() {
+                q.push(now + total_ns, Event::Wake { node: self.id, pid: reader });
+            }
+        }
+        // Delayed ACK: every second data segment sends an ACK back through
+        // this node's NIC; the original sender pays protocol processing on
+        // arrival.  Loopback traffic is ACKed within the same softirq and
+        // needs no extra event.
+        if !loopback {
+            let st = self.sock_rx.get_mut(&conn).unwrap();
+            st.ack_pending += 1;
+            if st.ack_pending >= 2 {
+                st.ack_pending = 0;
+                let link = fabric.link(conn);
+                let ack_wire = 40 + ktau_net::WIRE_OVERHEAD;
+                let depart = self.nic.enqueue(now + total_ns, ack_wire);
+                q.push(
+                    fabric.arrival(depart),
+                    Event::AckArrive {
+                        node: link.src_node,
+                        conn,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A TCP ACK arrives: hard IRQ + softirq + header-only `tcp_v4_rcv`
+    /// charged to whoever is current on the interrupted CPU.
+    pub(crate) fn on_ack(&mut self, _conn: ktau_net::ConnId, now: Ns, _q: &mut EventQueue) {
+        let cpu = self.route_irq();
+        let ci = cpu as usize;
+        let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
+        let busy_smp = self.online > 1
+            && (0..self.online as usize).all(|c| {
+                self.cpus[c]
+                    .current
+                    .map(|p| self.tasks[&p].kind != TaskKind::Idle)
+                    .unwrap_or(false)
+            });
+        self.tasks.get_mut(&attr_pid).unwrap().counters.interrupts += 1;
+        let mut cost = self.net_costs.irq_cycles;
+        cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
+        cost += self.probe_enter(attr_pid, self.probes.eth_rx_irq, Group::Irq, now);
+        let t = now + self.c2n(cost);
+        cost += self.probe_exit(attr_pid, self.probes.eth_rx_irq, Group::Irq, t);
+        cost += self.probe_exit(attr_pid, self.probes.do_irq, Group::Irq, t);
+        cost += self.net_costs.softirq_base_cycles;
+        let t = now + self.c2n(cost);
+        cost += self.probe_enter(attr_pid, self.probes.do_softirq, Group::BottomHalf, t);
+        cost += self.probe_enter(attr_pid, self.probes.tcp_v4_rcv, Group::Tcp, t);
+        cost += self.net_costs.tcp_rcv_segment(0, busy_smp, false);
+        let t = now + self.c2n(cost);
+        cost += self.probe_exit(attr_pid, self.probes.tcp_v4_rcv, Group::Tcp, t);
+        cost += self.probe_exit(attr_pid, self.probes.do_softirq, Group::BottomHalf, t);
+        if self.cpus[ci].current.is_some() {
+            self.cpus[ci].steal_ns += self.c2n(cost);
+        }
+    }
+
+    /// NIC finished serializing a segment: release sndbuf space and wake a
+    /// blocked writer.
+    pub(crate) fn on_tx_done(&mut self, conn: ktau_net::ConnId, payload: u32, now: Ns, q: &mut EventQueue) {
+        let st = self.sock_tx.get_mut(&conn).expect("txdone for unknown conn");
+        st.tx.release(payload as u64);
+        if st.tx.free() > 0 {
+            if let Some(w) = st.waiting_writer.take() {
+                q.push(now, Event::Wake { node: self.id, pid: w });
+            }
+        }
+    }
+
+    /// Wake a blocked task (timer expiry, data arrival, sndbuf space).
+    pub(crate) fn on_wake(&mut self, pid: Pid, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        let t = match self.tasks.get_mut(&pid) {
+            Some(t) => t,
+            None => return,
+        };
+        if t.state != TaskState::Blocked {
+            return; // duplicate / racing wake
+        }
+        t.state = TaskState::Runnable;
+        t.blocked_on = None;
+        t.counters.wakeups += 1;
+        let cpu = self.choose_wake_cpu(pid);
+        self.runqueues[cpu as usize].push_back(pid);
+        self.kick_if_idle(cpu, now, q, fabric);
+    }
+
+    fn route_irq(&mut self) -> u8 {
+        match self.spec.irq {
+            IrqPolicy::AllToCpu0 => 0,
+            IrqPolicy::PinnedTo(c) => c.min(self.online - 1),
+            IrqPolicy::Balanced => {
+                let c = self.irq_rr % self.online;
+                self.irq_rr = self.irq_rr.wrapping_add(1);
+                c
+            }
+        }
+    }
+
+    // -- sockets -------------------------------------------------------------
+
+    /// Installs the sending end of a connection on this node.
+    pub(crate) fn add_tx(&mut self, conn: ktau_net::ConnId) {
+        self.sock_tx.insert(
+            conn,
+            TxState {
+                tx: SocketTx::new(self.sndbuf_bytes),
+                waiting_writer: None,
+            },
+        );
+    }
+
+    /// Installs the receiving end of a connection on this node.
+    pub(crate) fn add_rx(&mut self, conn: ktau_net::ConnId, loopback: bool) {
+        self.sock_rx.insert(
+            conn,
+            RxState {
+                rx: SocketRx::new(),
+                waiting_reader: None,
+                reader_pid: None,
+                loopback,
+                ack_pending: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Background OS noise and anomaly workloads.
+//!
+//! * Seeded daemon programs reproducing ordinary system activity (the paper
+//!   measures "a few hundred milliseconds worth of daemon activity" over a
+//!   ~400 s run);
+//! * the §5.1 "overhead process" — sleep 10 s, busy-loop 3 s — used in the
+//!   controlled experiments to plant a known performance artifact.
+
+use crate::config::NoiseSpec;
+use crate::program::{FnProgram, Op, Program};
+use ktau_core::time::{Ns, NS_PER_SEC};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Command names given to noise daemons, cycled in order.
+pub const DAEMON_NAMES: [&str; 6] = [
+    "kjournald",
+    "pdflush",
+    "sshd",
+    "crond",
+    "rpciod",
+    "kswapd",
+];
+
+/// A daemon that sleeps ~`mean_period_ns` then burns ~`mean_busy_ns`,
+/// forever, with seeded pseudo-random jitter (0.5×–1.5× of each mean).
+pub fn daemon_program(noise: NoiseSpec, seed: u64) -> Box<dyn Program> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sleeping = true;
+    let period = noise.mean_period_ns.max(1);
+    let busy = noise.mean_busy_ns;
+    Box::new(FnProgram(move || {
+        sleeping = !sleeping;
+        if !sleeping {
+            // We just woke; burn a jittered burst (expressed in cycles at a
+            // nominal 450 MHz so it is clock-independent enough).
+            let j = rng.gen_range(500..=1500) as u64;
+            let burst_ns = busy * j / 1000;
+            Op::Compute(burst_ns * 45 / 100)
+        } else {
+            let j = rng.gen_range(500..=1500) as u64;
+            Op::Sleep(period * j / 1000)
+        }
+    }))
+}
+
+/// The paper's anomaly: an "overhead" process that wakes every `sleep_ns`
+/// and runs a CPU-intensive busy loop for `busy_ns` (defaults: 10 s / 3 s).
+pub fn overhead_process(sleep_ns: Ns, busy_ns: Ns, freq_mhz: u64) -> Box<dyn Program> {
+    let cycles = busy_ns * freq_mhz / 1000;
+    let mut phase = 0u8;
+    Box::new(FnProgram(move || {
+        phase ^= 1;
+        if phase == 1 {
+            Op::Sleep(sleep_ns)
+        } else {
+            Op::Compute(cycles)
+        }
+    }))
+}
+
+/// Default §5.1 overhead process: sleep 10 s, busy 3 s.
+pub fn default_overhead_process(freq_mhz: u64) -> Box<dyn Program> {
+    overhead_process(10 * NS_PER_SEC, 3 * NS_PER_SEC, freq_mhz)
+}
+
+/// A daemon that periodically busy-loops, pinned use intended (the Fig 2-C
+/// cycle stealer): sleeps `period_ns`, burns `busy_ns`.
+pub fn cycle_stealer(period_ns: Ns, busy_ns: Ns, freq_mhz: u64) -> Box<dyn Program> {
+    overhead_process(period_ns, busy_ns, freq_mhz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_alternates_sleep_and_compute() {
+        let mut p = daemon_program(NoiseSpec::default(), 42);
+        let a = p.next_op();
+        let b = p.next_op();
+        match (a, b) {
+            (Op::Compute(_), Op::Sleep(_)) => {}
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemon_is_deterministic_per_seed() {
+        let mut a = daemon_program(NoiseSpec::default(), 7);
+        let mut b = daemon_program(NoiseSpec::default(), 7);
+        for _ in 0..10 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = daemon_program(NoiseSpec::default(), 8);
+        let differs = (0..10).any(|_| a.next_op() != c.next_op());
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn overhead_process_sleeps_10_burns_3() {
+        let mut p = default_overhead_process(450);
+        assert_eq!(p.next_op(), Op::Sleep(10 * NS_PER_SEC));
+        match p.next_op() {
+            Op::Compute(c) => {
+                // 3 s at 450 MHz = 1.35e9 cycles
+                assert_eq!(c, 1_350_000_000);
+            }
+            other => panic!("expected compute, got {other:?}"),
+        }
+        assert_eq!(p.next_op(), Op::Sleep(10 * NS_PER_SEC));
+    }
+}

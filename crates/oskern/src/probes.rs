@@ -1,0 +1,154 @@
+//! The fixed set of kernel instrumentation points compiled into the
+//! simulated kernel, mirroring where the KTAU patch instruments Linux:
+//! the scheduler (including the paper's added `schedule_vol()` point for
+//! voluntary switches), system-call entry/exit, `do_IRQ` and the timer
+//! interrupt, softirq bottom halves, the socket and TCP layers, exceptions,
+//! and signal delivery — plus atomic events for packet sizes.
+
+use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
+
+/// Event names, public so analysis code and tests refer to one set of
+/// spellings.
+pub mod names {
+    /// Involuntary context switch (time-slice expiry / preemption).
+    pub const SCHEDULE: &str = "schedule";
+    /// Voluntary context switch (blocked waiting for an event).
+    pub const SCHEDULE_VOL: &str = "schedule_vol";
+    /// Vector-write system call (MPI send path).
+    pub const SYS_WRITEV: &str = "sys_writev";
+    /// Read system call (MPI receive path).
+    pub const SYS_READ: &str = "sys_read";
+    /// Sleep system call.
+    pub const SYS_NANOSLEEP: &str = "sys_nanosleep";
+    /// Generic cheap system call (lmbench's `lat_syscall`).
+    pub const SYS_GETPID: &str = "sys_getpid";
+    /// Socket-layer send.
+    pub const SOCK_SENDMSG: &str = "sock_sendmsg";
+    /// TCP send processing.
+    pub const TCP_SENDMSG: &str = "tcp_sendmsg";
+    /// Hard-interrupt dispatch.
+    pub const DO_IRQ: &str = "do_IRQ";
+    /// Timer interrupt handler.
+    pub const TIMER_INTERRUPT: &str = "timer_interrupt";
+    /// NIC receive interrupt handler.
+    pub const ETH_RX_IRQ: &str = "eth_rx_irq";
+    /// Softirq dispatch loop.
+    pub const DO_SOFTIRQ: &str = "do_softirq";
+    /// TCP receive processing (NET_RX bottom half).
+    pub const TCP_V4_RCV: &str = "tcp_v4_rcv";
+    /// Page-fault exception handler.
+    pub const DO_PAGE_FAULT: &str = "do_page_fault";
+    /// Signal delivery.
+    pub const DO_SIGNAL: &str = "do_signal";
+    /// Atomic: payload bytes received per segment.
+    pub const NET_RX_BYTES: &str = "net_rx_bytes";
+    /// Atomic: payload bytes sent per segment.
+    pub const NET_TX_BYTES: &str = "net_tx_bytes";
+}
+
+/// Pre-resolved [`EventId`]s for every kernel instrumentation point of one
+/// kernel instance.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelProbes {
+    /// `schedule()` — involuntary switch interval.
+    pub schedule: EventId,
+    /// `schedule_vol()` — voluntary switch interval.
+    pub schedule_vol: EventId,
+    /// `sys_writev` entry/exit.
+    pub sys_writev: EventId,
+    /// `sys_read` entry/exit.
+    pub sys_read: EventId,
+    /// `sys_nanosleep` entry/exit.
+    pub sys_nanosleep: EventId,
+    /// `sys_getpid` entry/exit.
+    pub sys_getpid: EventId,
+    /// `sock_sendmsg` entry/exit.
+    pub sock_sendmsg: EventId,
+    /// `tcp_sendmsg` entry/exit.
+    pub tcp_sendmsg: EventId,
+    /// `do_IRQ` entry/exit.
+    pub do_irq: EventId,
+    /// Timer interrupt handler.
+    pub timer_interrupt: EventId,
+    /// NIC RX interrupt handler.
+    pub eth_rx_irq: EventId,
+    /// `do_softirq` entry/exit.
+    pub do_softirq: EventId,
+    /// `tcp_v4_rcv` entry/exit.
+    pub tcp_v4_rcv: EventId,
+    /// Page-fault handler.
+    pub do_page_fault: EventId,
+    /// Signal delivery.
+    pub do_signal: EventId,
+    /// Atomic: received payload bytes.
+    pub net_rx_bytes: EventId,
+    /// Atomic: sent payload bytes.
+    pub net_tx_bytes: EventId,
+}
+
+impl KernelProbes {
+    /// Registers every kernel instrumentation point, in a fixed order, into
+    /// a freshly-booted kernel's registry.
+    pub fn register(reg: &mut EventRegistry) -> Self {
+        use names::*;
+        use EventKind::{Atomic, EntryExit};
+        KernelProbes {
+            schedule: reg.register(SCHEDULE, Group::Scheduler, EntryExit),
+            schedule_vol: reg.register(SCHEDULE_VOL, Group::Scheduler, EntryExit),
+            sys_writev: reg.register(SYS_WRITEV, Group::Syscall, EntryExit),
+            sys_read: reg.register(SYS_READ, Group::Syscall, EntryExit),
+            sys_nanosleep: reg.register(SYS_NANOSLEEP, Group::Syscall, EntryExit),
+            sys_getpid: reg.register(SYS_GETPID, Group::Syscall, EntryExit),
+            sock_sendmsg: reg.register(SOCK_SENDMSG, Group::Socket, EntryExit),
+            tcp_sendmsg: reg.register(TCP_SENDMSG, Group::Tcp, EntryExit),
+            do_irq: reg.register(DO_IRQ, Group::Irq, EntryExit),
+            timer_interrupt: reg.register(TIMER_INTERRUPT, Group::Timer, EntryExit),
+            eth_rx_irq: reg.register(ETH_RX_IRQ, Group::Irq, EntryExit),
+            do_softirq: reg.register(DO_SOFTIRQ, Group::BottomHalf, EntryExit),
+            tcp_v4_rcv: reg.register(TCP_V4_RCV, Group::Tcp, EntryExit),
+            do_page_fault: reg.register(DO_PAGE_FAULT, Group::Exception, EntryExit),
+            do_signal: reg.register(DO_SIGNAL, Group::Signal, EntryExit),
+            net_rx_bytes: reg.register(NET_RX_BYTES, Group::Tcp, Atomic),
+            net_tx_bytes: reg.register(NET_TX_BYTES, Group::Tcp, Atomic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_stable_across_kernels() {
+        let mut a = EventRegistry::new();
+        let mut b = EventRegistry::new();
+        let pa = KernelProbes::register(&mut a);
+        let pb = KernelProbes::register(&mut b);
+        assert_eq!(pa.schedule, pb.schedule);
+        assert_eq!(pa.net_tx_bytes, pb.net_tx_bytes);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn groups_match_kernel_subsystems() {
+        let mut r = EventRegistry::new();
+        let p = KernelProbes::register(&mut r);
+        assert_eq!(r.desc(p.schedule_vol).group, Group::Scheduler);
+        assert_eq!(r.desc(p.tcp_v4_rcv).group, Group::Tcp);
+        assert_eq!(r.desc(p.do_softirq).group, Group::BottomHalf);
+        assert_eq!(r.desc(p.do_irq).group, Group::Irq);
+        assert_eq!(r.desc(p.do_page_fault).group, Group::Exception);
+        assert_eq!(r.desc(p.do_signal).group, Group::Signal);
+        assert_eq!(r.desc(p.net_rx_bytes).kind, EventKind::Atomic);
+    }
+
+    #[test]
+    fn reregistration_is_idempotent() {
+        let mut r = EventRegistry::new();
+        let p1 = KernelProbes::register(&mut r);
+        let len = r.len();
+        let p2 = KernelProbes::register(&mut r);
+        assert_eq!(r.len(), len);
+        assert_eq!(p1.tcp_v4_rcv, p2.tcp_v4_rcv);
+    }
+}

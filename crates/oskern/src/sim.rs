@@ -1,0 +1,392 @@
+//! The discrete-event simulation engine and the cluster it drives.
+//!
+//! A single global event queue in virtual nanoseconds, with a deterministic
+//! FIFO tie-break, advances every node's kernel.  All cross-node interaction
+//! goes through segment-arrival events produced by the NIC/fabric models.
+
+use crate::config::ClusterSpec;
+use crate::node::{Node, TaskSpec};
+use crate::task::{Pid, TaskState};
+use ktau_core::time::Ns;
+use ktau_net::{ConnId, Fabric};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Periodic timer interrupt on one CPU.
+    Tick {
+        /// Node index.
+        node: u32,
+        /// CPU index.
+        cpu: u8,
+    },
+    /// The in-flight CPU chunk completes.
+    CpuDone {
+        /// Node index.
+        node: u32,
+        /// CPU index.
+        cpu: u8,
+        /// Dispatch generation (stale events are dropped).
+        gen: u64,
+    },
+    /// A TCP segment arrives at a node's NIC.
+    SegArrive {
+        /// Destination node.
+        node: u32,
+        /// Connection.
+        conn: ConnId,
+        /// Per-connection segment sequence number.
+        seq: u64,
+        /// Payload bytes.
+        payload: u32,
+    },
+    /// The local NIC finished serializing a segment (sndbuf space freed).
+    TxDone {
+        /// Source node.
+        node: u32,
+        /// Connection.
+        conn: ConnId,
+        /// Payload bytes released.
+        payload: u32,
+    },
+    /// A TCP ACK arrives back at the sending node (pure protocol work, no
+    /// socket payload).
+    AckArrive {
+        /// Node that sent the original data (receives the ACK).
+        node: u32,
+        /// Connection the ACK belongs to.
+        conn: ConnId,
+    },
+    /// A blocked task becomes runnable.
+    Wake {
+        /// Node index.
+        node: u32,
+        /// Task to wake.
+        pid: Pid,
+    },
+}
+
+/// Priority queue of `(time, fifo-sequence, event)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Ns, u64, EventKeyed)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `Event` a total order for heap storage (the order among
+/// same-time same-seq events never matters because seq is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKeyed(u8, u32, u64, u64, u32);
+
+fn key_of(ev: &Event) -> EventKeyed {
+    match *ev {
+        Event::Tick { node, cpu } => EventKeyed(0, node, cpu as u64, 0, 0),
+        Event::CpuDone { node, cpu, gen } => EventKeyed(1, node, cpu as u64, gen, 0),
+        Event::SegArrive {
+            node,
+            conn,
+            seq,
+            payload,
+        } => EventKeyed(2, node, conn.0 as u64, seq, payload),
+        Event::TxDone {
+            node,
+            conn,
+            payload,
+        } => EventKeyed(3, node, conn.0 as u64, 0, payload),
+        Event::Wake { node, pid } => EventKeyed(4, node, pid.0 as u64, 0, 0),
+        Event::AckArrive { node, conn } => EventKeyed(5, node, conn.0 as u64, 0, 0),
+    }
+}
+
+fn event_of(k: EventKeyed) -> Event {
+    match k.0 {
+        0 => Event::Tick {
+            node: k.1,
+            cpu: k.2 as u8,
+        },
+        1 => Event::CpuDone {
+            node: k.1,
+            cpu: k.2 as u8,
+            gen: k.3,
+        },
+        2 => Event::SegArrive {
+            node: k.1,
+            conn: ConnId(k.2 as u32),
+            seq: k.3,
+            payload: k.4,
+        },
+        3 => Event::TxDone {
+            node: k.1,
+            conn: ConnId(k.2 as u32),
+            payload: k.4,
+        },
+        4 => Event::Wake {
+            node: k.1,
+            pid: Pid(k.2 as u32),
+        },
+        _ => Event::AckArrive {
+            node: k.1,
+            conn: ConnId(k.2 as u32),
+        },
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    pub fn push(&mut self, at: Ns, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, key_of(&ev))));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Ns, Event)> {
+        self.heap.pop().map(|Reverse((t, _, k))| (t, event_of(k)))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulated cluster: nodes, fabric, and the event loop.
+pub struct Cluster {
+    /// All nodes, indexed by node id.
+    nodes: Vec<Node>,
+    fabric: Fabric,
+    queue: EventQueue,
+    now: Ns,
+    apps_spawned: u64,
+    spec: ClusterSpec,
+}
+
+impl Cluster {
+    /// Boots a cluster from a spec: creates nodes, idle threads, and the
+    /// initial tick events (staggered across nodes and CPUs so the cluster's
+    /// timer interrupts are not phase-locked).
+    pub fn new(spec: ClusterSpec) -> Self {
+        let fabric = Fabric::new(spec.fabric_latency_ns);
+        let mut queue = EventQueue::new();
+        let mut nodes = Vec::with_capacity(spec.nodes.len());
+        for (i, ns) in spec.nodes.iter().enumerate() {
+            let engine =
+                ktau_core::measure::ProbeEngine::new(spec.control.clone(), spec.overhead);
+            let node = Node::boot(
+                i as u32,
+                ns.clone(),
+                engine,
+                spec.sched,
+                spec.net_costs,
+                spec.sndbuf_bytes,
+                spec.nic_bits_per_sec,
+                spec.trace_capacity,
+            );
+            let tick = spec.sched.tick_ns();
+            for c in 0..node.online {
+                // Deterministic stagger: nodes offset by a prime-ish stride,
+                // CPUs by half a tick.
+                let off = (i as u64 * 137_829 + c as u64 * tick / 2) % tick;
+                queue.push(off, Event::Tick {
+                    node: i as u32,
+                    cpu: c,
+                });
+            }
+            nodes.push(node);
+        }
+        let mut cluster = Cluster {
+            nodes,
+            fabric,
+            queue,
+            now: 0,
+            apps_spawned: 0,
+            spec,
+        };
+        cluster.spawn_noise();
+        cluster
+    }
+
+    fn spawn_noise(&mut self) {
+        use crate::noise;
+        let n = self.spec.noise;
+        if n.daemons_per_node == 0 {
+            return;
+        }
+        for node in 0..self.nodes.len() as u32 {
+            for d in 0..n.daemons_per_node {
+                let seed = self
+                    .spec
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((node as u64) << 16 | d as u64);
+                let prog = noise::daemon_program(n, seed);
+                let comm = noise::DAEMON_NAMES[d as usize % noise::DAEMON_NAMES.len()];
+                self.spawn(node, TaskSpec::daemon(format!("{comm}"), prog));
+            }
+        }
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable node access (procfs control, direct inspection).
+    pub fn node_mut(&mut self, id: u32) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// The cluster spec this was booted from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Opens a simplex connection between two nodes' kernels.  Loopback
+    /// (same node) connections bypass the NIC and hard IRQ.
+    pub fn open_conn(&mut self, src_node: u32, dst_node: u32) -> ConnId {
+        let conn = self.fabric.open(src_node, dst_node);
+        self.nodes[src_node as usize].add_tx(conn);
+        self.nodes[dst_node as usize].add_rx(conn, src_node == dst_node);
+        conn
+    }
+
+    /// Spawns a task on a node, returning its pid.
+    pub fn spawn(&mut self, node: u32, spec: TaskSpec) -> Pid {
+        if spec.kind == crate::task::TaskKind::App {
+            self.apps_spawned += 1;
+        }
+        let now = self.now;
+        let (n, q, f) = self.parts(node);
+        n.spawn(spec, now, q, f)
+    }
+
+    #[inline]
+    fn parts(&mut self, node: u32) -> (&mut Node, &mut EventQueue, &Fabric) {
+        (&mut self.nodes[node as usize], &mut self.queue, &self.fabric)
+    }
+
+    fn handle(&mut self, at: Ns, ev: Event) {
+        self.now = at;
+        match ev {
+            Event::Tick { node, cpu } => {
+                let tick_ns = self.spec.sched.tick_ns();
+                let (n, q, f) = self.parts(node);
+                n.on_tick(cpu, at, q, f);
+                q.push(at + tick_ns, Event::Tick { node, cpu });
+            }
+            Event::CpuDone { node, cpu, gen } => {
+                let (n, q, f) = self.parts(node);
+                n.on_cpu_done(cpu, gen, at, q, f);
+            }
+            Event::SegArrive {
+                node,
+                conn,
+                seq,
+                payload,
+            } => {
+                let (n, q, f) = self.parts(node);
+                n.on_segment(conn, seq, payload, at, q, f);
+            }
+            Event::AckArrive { node, conn } => {
+                let (n, q, _) = self.parts(node);
+                n.on_ack(conn, at, q);
+            }
+            Event::TxDone {
+                node,
+                conn,
+                payload,
+            } => {
+                let (n, q, _) = self.parts(node);
+                n.on_tx_done(conn, payload, at, q);
+            }
+            Event::Wake { node, pid } => {
+                let (n, q, f) = self.parts(node);
+                n.on_wake(pid, at, q, f);
+            }
+        }
+    }
+
+    /// Total app tasks that have exited across the cluster.
+    pub fn apps_exited(&self) -> u64 {
+        self.nodes.iter().map(|n| n.apps_exited).sum()
+    }
+
+    /// Runs until every spawned app task has exited, or until `deadline_ns`
+    /// of virtual time (whichever first).  Returns the finish time.
+    ///
+    /// Panics if the event queue drains with app tasks still alive (a
+    /// deadlock — e.g. mismatched sends/receives), identifying the stuck
+    /// tasks.
+    pub fn run_until_apps_exit(&mut self, deadline_ns: Ns) -> Ns {
+        while self.apps_exited() < self.apps_spawned {
+            match self.queue.pop() {
+                Some((t, ev)) => {
+                    if t > deadline_ns {
+                        let stuck = self.stuck_report();
+                        panic!(
+                            "virtual deadline {deadline_ns} ns exceeded (possible deadlock) with {} of {} app tasks remaining:\n{stuck}",
+                            self.apps_spawned - self.apps_exited(),
+                            self.apps_spawned
+                        );
+                    }
+                    self.handle(t, ev);
+                }
+                None => {
+                    let stuck = self.stuck_report();
+                    panic!("event queue drained with app tasks alive (deadlock):\n{stuck}");
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Runs for `dur` nanoseconds of virtual time.
+    pub fn run_for(&mut self, dur: Ns) -> Ns {
+        let end = self.now + dur;
+        while let Some(&Reverse((t, _, _))) = self.queue.heap.peek() {
+            if t > end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().unwrap();
+            self.handle(t, ev);
+        }
+        self.now = end;
+        end
+    }
+
+    fn stuck_report(&self) -> String {
+        let mut s = String::new();
+        for n in &self.nodes {
+            for (pid, t) in &n.tasks {
+                if t.kind == crate::task::TaskKind::App && t.state != TaskState::Dead {
+                    s.push_str(&format!(
+                        "  node {} ({}) pid {} {} state {:?} op {:?} blocked_on {:?}\n",
+                        n.id, n.name, pid, t.comm, t.state, t.op, t.blocked_on
+                    ));
+                }
+            }
+        }
+        s
+    }
+}

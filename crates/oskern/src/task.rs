@@ -1,0 +1,269 @@
+//! Tasks: the simulated process control block.
+//!
+//! On process creation KTAU "adds a measurement structure to the process's
+//! task structure in the Linux process control block" — here that is the
+//! [`ktau_core::TaskMeasurement`] field of [`Task`].
+
+use crate::counters::TaskCounters;
+use crate::program::{Op, Program};
+use ktau_core::measure::TaskMeasurement;
+use ktau_core::time::{Cycles, Ns};
+use ktau_net::ConnId;
+
+/// Per-node process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What kind of process this is (used by views and placement, not by the
+/// scheduler itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// An application process (e.g. an MPI rank).
+    App,
+    /// A background daemon.
+    Daemon,
+    /// A per-CPU idle thread (`swapper`).
+    Idle,
+}
+
+/// Scheduler-visible task state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Executing on a CPU.
+    Running,
+    /// On a runqueue waiting for a CPU.
+    Runnable,
+    /// Blocked on I/O, sleep, or an event.
+    Blocked,
+    /// Exited; kept as a zombie so its profile remains readable.
+    Dead,
+}
+
+/// Why a task last left a CPU — determines whether its next switch-in is
+/// recorded as `schedule` (involuntary) or `schedule_vol` (voluntary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutReason {
+    /// Preempted: time-slice expiry or a higher-priority runnable task.
+    Preempted,
+    /// Blocked or slept or yielded of its own accord.
+    Voluntary,
+}
+
+/// What a task is blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Waiting for receive data on a connection.
+    RxData(ConnId),
+    /// Waiting for sndbuf space on a connection.
+    TxSpace(ConnId),
+    /// Sleeping until a timer fires.
+    Timer,
+}
+
+/// In-progress execution state of the current op (survives preemption and
+/// blocking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpState {
+    /// No op in progress; ask the program for the next one.
+    Fetch,
+    /// User-mode compute with cycles still to burn.
+    Computing {
+        /// Remaining cycles of the burst.
+        remaining: Cycles,
+    },
+    /// In `sys_writev`, trying to reserve sndbuf space.
+    SendReserving {
+        /// Connection being written.
+        conn: ConnId,
+        /// Payload bytes still to hand to the socket.
+        remaining: u64,
+    },
+    /// In `tcp_sendmsg`, CPU busy segmenting an accepted chunk; afterwards
+    /// either loop back to reserving or finish the syscall.
+    SendProcessing {
+        /// Connection being written.
+        conn: ConnId,
+        /// Payload bytes that will still be unqueued when this chunk is done.
+        remaining_after: u64,
+    },
+    /// In `sys_read`, waiting for data (blocked if none available).
+    RecvWaiting {
+        /// Connection being read.
+        conn: ConnId,
+        /// Payload bytes still wanted by this `Recv` op.
+        remaining: u64,
+    },
+    /// In `sys_read`, CPU busy copying a chunk to user space.
+    RecvCopying {
+        /// Connection being read.
+        conn: ConnId,
+        /// Bytes still wanted after this copy completes.
+        remaining_after: u64,
+    },
+    /// In `sys_nanosleep`.
+    Sleeping,
+    /// Kernel busy on a miscellaneous syscall/exception/signal path; on
+    /// completion, fetch the next op.
+    KernelBusy,
+    /// The program is done.
+    Exited,
+}
+
+/// The task structure.
+pub struct Task {
+    /// Process id (per node).
+    pub pid: Pid,
+    /// Command name.
+    pub comm: String,
+    /// Process kind.
+    pub kind: TaskKind,
+    /// Scheduler state.
+    pub state: TaskState,
+    /// Allowed CPUs as a bitmask (`cpu_affinity`); pinning sets one bit.
+    pub affinity: u32,
+    /// CPU the task last ran on (weak affinity).
+    pub last_cpu: u8,
+    /// Remaining time-slice in ticks.
+    pub slice_left: u32,
+    /// Why the task last left a CPU.
+    pub out_reason: SwitchOutReason,
+    /// When the task last left a CPU (or became runnable for first run).
+    pub out_since: Ns,
+    /// What the task is blocked on, when [`TaskState::Blocked`].
+    pub blocked_on: Option<BlockedOn>,
+    /// Execution state of the current op.
+    pub op: OpState,
+    /// The program body (None for idle threads).
+    pub program: Option<Box<dyn Program>>,
+    /// KTAU + TAU measurement structure (the PCB extension).
+    pub meas: TaskMeasurement,
+    /// OS performance counters.
+    pub counters: TaskCounters,
+    /// Total CPU time consumed, for activity views.
+    pub cpu_ns: Ns,
+    /// Virtual time of task creation.
+    pub created_ns: Ns,
+    /// Virtual time of exit (0 while alive).
+    pub exited_ns: Ns,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("pid", &self.pid)
+            .field("comm", &self.comm)
+            .field("state", &self.state)
+            .field("op", &self.op)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Task {
+    /// Creates a runnable task.
+    pub fn new(
+        pid: Pid,
+        comm: impl Into<String>,
+        kind: TaskKind,
+        program: Option<Box<dyn Program>>,
+        affinity: u32,
+        meas: TaskMeasurement,
+        now: Ns,
+    ) -> Self {
+        Task {
+            pid,
+            comm: comm.into(),
+            kind,
+            state: TaskState::Runnable,
+            affinity,
+            last_cpu: 0,
+            slice_left: 0,
+            out_reason: SwitchOutReason::Voluntary,
+            out_since: now,
+            blocked_on: None,
+            op: OpState::Fetch,
+            program,
+            meas,
+            counters: TaskCounters::default(),
+            cpu_ns: 0,
+            created_ns: now,
+            exited_ns: 0,
+        }
+    }
+
+    /// True when the task may run on `cpu`.
+    #[inline]
+    pub fn allowed_on(&self, cpu: u8) -> bool {
+        self.affinity & (1 << cpu) != 0
+    }
+
+    /// Fetches the next op from the program; idle threads and finished
+    /// programs report `Exit` (idle threads are never asked in practice).
+    pub fn fetch_op(&mut self) -> Op {
+        match self.program.as_mut() {
+            Some(p) => p.next_op(),
+            None => Op::Exit,
+        }
+    }
+
+    /// An affinity mask allowing every CPU.
+    pub const ANY_CPU: u32 = u32::MAX;
+
+    /// An affinity mask pinning to one CPU.
+    pub fn pin_mask(cpu: u8) -> u32 {
+        1 << cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::OpList;
+
+    fn mk(affinity: u32) -> Task {
+        Task::new(
+            Pid(7),
+            "t",
+            TaskKind::App,
+            Some(Box::new(OpList::new(vec![Op::Compute(5)]))),
+            affinity,
+            TaskMeasurement::profiling(),
+            0,
+        )
+    }
+
+    #[test]
+    fn affinity_mask_checks() {
+        let t = mk(Task::pin_mask(1));
+        assert!(!t.allowed_on(0));
+        assert!(t.allowed_on(1));
+        let t = mk(Task::ANY_CPU);
+        assert!(t.allowed_on(0) && t.allowed_on(31));
+    }
+
+    #[test]
+    fn fetch_op_walks_program() {
+        let mut t = mk(Task::ANY_CPU);
+        assert_eq!(t.fetch_op(), Op::Compute(5));
+        assert_eq!(t.fetch_op(), Op::Exit);
+    }
+
+    #[test]
+    fn idle_task_has_no_program() {
+        let mut t = Task::new(
+            Pid(0),
+            "swapper/0",
+            TaskKind::Idle,
+            None,
+            Task::pin_mask(0),
+            TaskMeasurement::profiling(),
+            0,
+        );
+        assert_eq!(t.fetch_op(), Op::Exit);
+    }
+}

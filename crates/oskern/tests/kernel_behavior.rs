@@ -1,0 +1,394 @@
+//! Behavioural tests of the simulated kernel: scheduling semantics,
+//! network path, instrumentation control, and determinism.
+
+use ktau_core::control::InstrumentationControl;
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::probe_names as names;
+use ktau_oskern::{
+    Cluster, ClusterSpec, IrqPolicy, NoiseSpec, Op, OpList, TaskKind, TaskSpec,
+};
+
+fn quiet_spec(nodes: usize) -> ClusterSpec {
+    let mut s = ClusterSpec::chiba(nodes);
+    s.noise = NoiseSpec::silent();
+    s
+}
+
+/// One second of compute at 450 MHz.
+const SEC_CYCLES: u64 = 450_000_000;
+
+fn compute_task(secs: u64) -> TaskSpec {
+    TaskSpec::app(
+        format!("burn{secs}"),
+        Box::new(OpList::new(vec![Op::Compute(secs * SEC_CYCLES)])),
+    )
+}
+
+#[test]
+fn single_compute_task_runs_for_its_duration() {
+    let mut c = Cluster::new(quiet_spec(1));
+    c.spawn(0, compute_task(2));
+    let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+    // 2 s of work, plus tick steal (~0.02%) and scheduling slop.
+    let secs = end as f64 / NS_PER_SEC as f64;
+    assert!((2.0..2.1).contains(&secs), "took {secs}");
+}
+
+#[test]
+fn two_tasks_on_one_cpu_timeshare_and_preempt() {
+    let mut spec = quiet_spec(1);
+    spec.nodes[0].detected_cpus = Some(1); // single-CPU node
+    let mut c = Cluster::new(spec);
+    let a = c.spawn(0, compute_task(2));
+    let b = c.spawn(0, compute_task(2));
+    let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+    let secs = end as f64 / NS_PER_SEC as f64;
+    assert!((4.0..4.2).contains(&secs), "took {secs}");
+    // Both experienced involuntary scheduling (preemption).
+    let node = c.node(0);
+    for pid in [a, b] {
+        let snap = node.profile_snapshot(pid, c.now()).unwrap();
+        let sched = snap.kernel_event(names::SCHEDULE).expect("no schedule event");
+        assert!(sched.stats.count >= 5, "few preemptions: {}", sched.stats.count);
+        assert!(sched.stats.incl_ns > NS_PER_SEC, "little preempted time");
+    }
+}
+
+#[test]
+fn two_tasks_on_two_cpus_do_not_interfere() {
+    let mut c = Cluster::new(quiet_spec(1));
+    let a = c.spawn(0, compute_task(2));
+    let b = c.spawn(0, compute_task(2));
+    let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+    let secs = end as f64 / NS_PER_SEC as f64;
+    // Each task gets its own CPU but the shared front-side bus dilates
+    // compute by the configured 18% while both CPUs are busy.
+    assert!((2.3..2.5).contains(&secs), "took {secs}");
+    let node = c.node(0);
+    for pid in [a, b] {
+        let snap = node.profile_snapshot(pid, c.now()).unwrap();
+        let preempt_ns = snap
+            .kernel_event(names::SCHEDULE)
+            .map(|r| r.stats.incl_ns)
+            .unwrap_or(0);
+        assert!(preempt_ns < NS_PER_SEC / 10, "unexpected preemption {preempt_ns}");
+    }
+}
+
+#[test]
+fn pinning_forces_contention_even_with_free_cpu() {
+    let mut c = Cluster::new(quiet_spec(1));
+    c.spawn(0, compute_task(2).pinned(0));
+    c.spawn(0, compute_task(2).pinned(0));
+    let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+    let secs = end as f64 / NS_PER_SEC as f64;
+    assert!(secs > 3.9, "pinned tasks should contend, took {secs}");
+}
+
+#[test]
+fn send_recv_transfers_exact_bytes_across_nodes() {
+    let mut c = Cluster::new(quiet_spec(2));
+    let conn = c.open_conn(0, 1);
+    let msg = 1_000_000u64; // 1 MB
+    let sender = c.spawn(
+        0,
+        TaskSpec::app("sender", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+    );
+    let recver = c.spawn(
+        1,
+        TaskSpec::app("recver", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))),
+    );
+    let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+    // 1 MB at 12.5 MB/s is ≥ 80 ms of serialization.
+    assert!(end > 80_000_000, "finished impossibly fast: {end}");
+
+    let now = c.now();
+    let rx_snap = c.node(1).profile_snapshot(recver, now).unwrap();
+    // Receiver saw tcp_v4_rcv work... attributed to whoever was current; the
+    // receiver was blocked, so check the node-wide aggregate instead.
+    let agg = c.node(1).kernel_wide_snapshot(now);
+    let rx_bytes = agg
+        .kernel_atomics
+        .iter()
+        .find(|a| a.name == names::NET_RX_BYTES)
+        .expect("no rx byte accounting");
+    assert_eq!(rx_bytes.stats.sum, msg);
+    // sys_writev hands the socket sndbuf-sized chunks, each segmented
+    // separately, so the segment count is at least the ideal MSS split.
+    assert!(rx_bytes.stats.count >= ktau_net::segment_count(msg));
+    assert!(rx_bytes.stats.count <= ktau_net::segment_count(msg) + 64);
+
+    // Sender-side accounting.
+    let tx_snap = c.node(0).profile_snapshot(sender, now).unwrap();
+    let tx_bytes = tx_snap
+        .kernel_atomics
+        .iter()
+        .find(|a| a.name == names::NET_TX_BYTES)
+        .expect("no tx byte accounting");
+    assert_eq!(tx_bytes.stats.sum, msg);
+    assert!(tx_snap.kernel_event(names::TCP_SENDMSG).is_some());
+    assert!(tx_snap.kernel_event(names::SYS_WRITEV).is_some());
+
+    // Receiver blocked voluntarily while waiting.
+    let vol = rx_snap
+        .kernel_event(names::SCHEDULE_VOL)
+        .expect("receiver never blocked");
+    assert!(vol.stats.incl_ns > 10_000_000, "vol wait {}", vol.stats.incl_ns);
+}
+
+#[test]
+fn sndbuf_backpressure_blocks_writer() {
+    let mut c = Cluster::new(quiet_spec(2));
+    let conn = c.open_conn(0, 1);
+    let msg = 4 * 1024 * 1024u64; // far beyond the 128 KiB sndbuf
+    let sender = c.spawn(
+        0,
+        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+    );
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))),
+    );
+    c.run_until_apps_exit(100 * NS_PER_SEC);
+    let snap = c.node(0).profile_snapshot(sender, c.now()).unwrap();
+    let vol = snap.kernel_event(names::SCHEDULE_VOL).expect("writer never blocked");
+    assert!(vol.stats.count >= 3, "writer blocked only {} times", vol.stats.count);
+}
+
+#[test]
+fn irq_all_to_cpu0_lands_on_cpu0_tasks() {
+    let mut spec = quiet_spec(2);
+    spec.nodes[1].irq = IrqPolicy::AllToCpu0;
+    let mut c = Cluster::new(spec);
+    let conn = c.open_conn(0, 1);
+    let msg = 2_000_000u64;
+    c.spawn(
+        0,
+        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+    );
+    // Two compute hogs pinned to each CPU of node 1; the receiver also on
+    // node 1 pinned to CPU 1.
+    let hog0 = c.spawn(0 + 1, compute_task(3).pinned(0));
+    let hog1 = c.spawn(1, compute_task(3).pinned(1));
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))).pinned(1),
+    );
+    c.run_until_apps_exit(100 * NS_PER_SEC);
+    let now = c.now();
+    let irq0 = c
+        .node(1)
+        .profile_snapshot(hog0, now)
+        .unwrap()
+        .kernel_event(names::ETH_RX_IRQ)
+        .map(|r| r.stats.count)
+        .unwrap_or(0);
+    let irq1 = c
+        .node(1)
+        .profile_snapshot(hog1, now)
+        .unwrap()
+        .kernel_event(names::ETH_RX_IRQ)
+        .map(|r| r.stats.count)
+        .unwrap_or(0);
+    assert!(irq0 > 100, "cpu0 hog saw {irq0} rx interrupts");
+    assert_eq!(irq1, 0, "cpu1 hog should see no rx interrupts");
+}
+
+#[test]
+fn irq_balanced_spreads_interrupts() {
+    let mut spec = quiet_spec(2);
+    spec.nodes[1].irq = IrqPolicy::Balanced;
+    let mut c = Cluster::new(spec);
+    let conn = c.open_conn(0, 1);
+    let msg = 2_000_000u64;
+    c.spawn(
+        0,
+        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+    );
+    let hog0 = c.spawn(1, compute_task(3).pinned(0));
+    let hog1 = c.spawn(1, compute_task(3).pinned(1));
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))).pinned(1),
+    );
+    c.run_until_apps_exit(100 * NS_PER_SEC);
+    let now = c.now();
+    let count = |pid| {
+        c.node(1)
+            .profile_snapshot(pid, now)
+            .unwrap()
+            .kernel_event(names::ETH_RX_IRQ)
+            .map(|r| r.stats.count)
+            .unwrap_or(0)
+    };
+    let (a, b) = (count(hog0), count(hog1));
+    assert!(a > 100 && b > 100, "imbalanced: {a} vs {b}");
+    let ratio = a as f64 / b as f64;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn ktau_off_measures_nothing_but_runs_same_workload() {
+    let mut spec = quiet_spec(1);
+    spec.control = InstrumentationControl::ktau_off();
+    let mut c = Cluster::new(spec);
+    let pid = c.spawn(0, compute_task(1));
+    c.run_until_apps_exit(100 * NS_PER_SEC);
+    let snap = c.node(0).profile_snapshot(pid, c.now()).unwrap();
+    assert!(snap.kernel_events.is_empty(), "KtauOff should record nothing");
+}
+
+#[test]
+fn perturbation_prof_all_is_small_but_nonzero() {
+    let run = |control: InstrumentationControl| -> u64 {
+        let mut spec = quiet_spec(2);
+        spec.control = control;
+        let mut c = Cluster::new(spec);
+        let conn = c.open_conn(0, 1);
+        let fwd = c.open_conn(1, 0);
+        // ping-pong some messages plus compute
+        let mut ops0 = Vec::new();
+        let mut ops1 = Vec::new();
+        for _ in 0..50 {
+            ops0.push(Op::Compute(SEC_CYCLES / 100));
+            ops0.push(Op::Send { conn, bytes: 100_000 });
+            ops0.push(Op::Recv { conn: fwd, bytes: 100_000 });
+            ops1.push(Op::Compute(SEC_CYCLES / 100));
+            ops1.push(Op::Recv { conn, bytes: 100_000 });
+            ops1.push(Op::Send { conn: fwd, bytes: 100_000 });
+        }
+        c.spawn(0, TaskSpec::app("p0", Box::new(OpList::new(ops0))));
+        c.spawn(1, TaskSpec::app("p1", Box::new(OpList::new(ops1))));
+        c.run_until_apps_exit(1000 * NS_PER_SEC)
+    };
+    let base = run(InstrumentationControl::base());
+    let off = run(InstrumentationControl::ktau_off());
+    let all = run(InstrumentationControl::prof_all());
+    let off_slow = (off as f64 - base as f64) / base as f64 * 100.0;
+    let all_slow = (all as f64 - base as f64) / base as f64 * 100.0;
+    assert!(off_slow < 0.5, "KtauOff slowdown {off_slow:.3}%");
+    assert!(all_slow > 0.0, "ProfAll should perturb");
+    assert!(all_slow < 10.0, "ProfAll slowdown too large: {all_slow:.2}%");
+}
+
+#[test]
+fn identical_seeds_are_bit_deterministic() {
+    let run = || {
+        let mut spec = ClusterSpec::chiba(2); // with noise daemons
+        spec.seed = 42;
+        let mut c = Cluster::new(spec);
+        let conn = c.open_conn(0, 1);
+        c.spawn(
+            0,
+            TaskSpec::app("s", Box::new(OpList::new(vec![
+                Op::Compute(SEC_CYCLES / 10),
+                Op::Send { conn, bytes: 500_000 },
+            ]))),
+        );
+        let r = c.spawn(
+            1,
+            TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 500_000 }]))),
+        );
+        let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+        let snap = c.node(1).profile_snapshot(r, c.now()).unwrap();
+        (end, format!("{snap:?}"))
+    };
+    let (e1, s1) = run();
+    let (e2, s2) = run();
+    assert_eq!(e1, e2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn sleep_wakes_after_duration() {
+    let mut c = Cluster::new(quiet_spec(1));
+    c.spawn(
+        0,
+        TaskSpec::app("sleeper", Box::new(OpList::new(vec![Op::Sleep(NS_PER_SEC)]))),
+    );
+    let end = c.run_until_apps_exit(100 * NS_PER_SEC);
+    let secs = end as f64 / NS_PER_SEC as f64;
+    assert!((1.0..1.05).contains(&secs), "took {secs}");
+}
+
+#[test]
+fn exception_and_signal_paths_are_instrumented() {
+    let mut c = Cluster::new(quiet_spec(1));
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "faulty",
+            Box::new(OpList::new(vec![
+                Op::PageFault,
+                Op::SignalSelf,
+                Op::Yield,
+                Op::SyscallNull,
+            ])),
+        ),
+    );
+    c.run_until_apps_exit(10 * NS_PER_SEC);
+    let snap = c.node(0).profile_snapshot(pid, c.now()).unwrap();
+    assert_eq!(snap.kernel_event(names::DO_PAGE_FAULT).unwrap().stats.count, 1);
+    assert_eq!(snap.kernel_event(names::DO_SIGNAL).unwrap().stats.count, 1);
+    assert_eq!(snap.kernel_event(names::SYS_GETPID).unwrap().stats.count, 1);
+}
+
+#[test]
+fn user_routines_profile_with_true_exclusive_correction() {
+    let mut c = Cluster::new(quiet_spec(2));
+    let conn = c.open_conn(0, 1);
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "app",
+            Box::new(OpList::new(vec![
+                Op::UserEnter("main"),
+                Op::Compute(SEC_CYCLES / 10),
+                Op::UserEnter("MPI_Send"),
+                Op::Send { conn, bytes: 200_000 },
+                Op::UserExit("MPI_Send"),
+                Op::UserExit("main"),
+            ])),
+        ),
+    );
+    c.spawn(
+        1,
+        TaskSpec::app("peer", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 200_000 }]))),
+    );
+    c.run_until_apps_exit(100 * NS_PER_SEC);
+    let snap = c.node(0).profile_snapshot(pid, c.now()).unwrap();
+    let send = snap.user_event("MPI_Send").unwrap().stats;
+    assert_eq!(send.count, 1);
+    // Kernel time inside MPI_Send was attributed in the merged view.
+    let groups = snap.call_groups_in("MPI_Send");
+    assert!(!groups.is_empty(), "no kernel call groups inside MPI_Send");
+    // Per-group cells overlap (tcp nests inside syscall); the
+    // non-overlapping wall total must fit inside the routine.
+    let kernel_in_send = snap.kernel_wall_in("MPI_Send");
+    assert!(kernel_in_send > 0);
+    assert!(kernel_in_send <= send.incl_ns);
+    // Daemonless node: main's exclusive ≈ compute time.
+    let main = snap.user_event("main").unwrap().stats;
+    assert!(main.incl_ns >= send.incl_ns);
+}
+
+#[test]
+fn noise_daemons_show_up_in_process_views() {
+    let mut spec = ClusterSpec::chiba(1);
+    spec.noise.daemons_per_node = 2;
+    let mut c = Cluster::new(spec);
+    c.spawn(0, compute_task(3));
+    c.run_until_apps_exit(100 * NS_PER_SEC);
+    let node = c.node(0);
+    let daemons: Vec<_> = node
+        .pids()
+        .into_iter()
+        .filter(|&p| node.task(p).unwrap().kind == TaskKind::Daemon)
+        .collect();
+    assert_eq!(daemons.len(), 2);
+    let active = daemons
+        .iter()
+        .filter(|&&p| node.task(p).unwrap().cpu_ns > 0)
+        .count();
+    assert!(active >= 1, "no daemon ever ran");
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the simulated kernel: for arbitrary small
+//! workloads, fundamental conservation laws and measurement invariants must
+//! hold.
+
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::{
+    Cluster, ClusterSpec, NoiseSpec, Op, OpList, Pid, TaskKind, TaskSpec,
+};
+use proptest::prelude::*;
+
+/// A random short program from a constrained op alphabet (no network, so
+/// single-node runs cannot deadlock).
+fn arb_local_program() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1_000u64..200_000_000).prop_map(Op::Compute),
+            (1_000u64..200_000_000).prop_map(Op::Sleep),
+            Just(Op::SyscallNull),
+            Just(Op::Yield),
+            Just(Op::PageFault),
+            Just(Op::SignalSelf),
+        ],
+        1..12,
+    )
+}
+
+fn run_programs(progs: Vec<Vec<Op>>, cpus: Option<u8>) -> (Cluster, Vec<Pid>) {
+    let mut spec = ClusterSpec::chiba(1);
+    spec.noise = NoiseSpec::silent();
+    spec.nodes[0].detected_cpus = cpus;
+    let mut c = Cluster::new(spec);
+    let pids = progs
+        .into_iter()
+        .enumerate()
+        .map(|(i, ops)| c.spawn(0, TaskSpec::app(format!("p{i}"), Box::new(OpList::new(ops)))))
+        .collect();
+    c.run_until_apps_exit(3_600 * NS_PER_SEC);
+    (c, pids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every app exits; CPU time is conserved: the sum of all task CPU time
+    /// plus idle time does not exceed CPUs × wall (and covers most of it).
+    #[test]
+    fn cpu_time_conservation(progs in proptest::collection::vec(arb_local_program(), 1..5)) {
+        let n = progs.len();
+        let (c, pids) = run_programs(progs, None);
+        let wall = c.now();
+        let node = c.node(0);
+        for pid in &pids {
+            prop_assert_eq!(node.task(*pid).unwrap().state, ktau_oskern::TaskState::Dead);
+        }
+        let task_ns: u64 = node.pids().iter().map(|p| node.task(*p).unwrap().cpu_ns).sum();
+        // Include each still-idle CPU's open idle interval.
+        let idle_ns: u64 = (0..node.online)
+            .map(|i| {
+                let cpu = node.cpu(i);
+                cpu.idle_ns
+                    + if cpu.current.is_none() {
+                        wall.saturating_sub(cpu.idle_since)
+                    } else {
+                        0
+                    }
+            })
+            .sum();
+        let capacity = wall * node.online as u64;
+        prop_assert!(task_ns + idle_ns <= capacity + 1_000_000,
+            "overcommitted: tasks {task_ns} + idle {idle_ns} > {capacity}");
+        // Accounting should cover at least 95% of capacity (slop: in-flight
+        // chunks at the end, dispatch instants).
+        prop_assert!(task_ns + idle_ns >= capacity * 95 / 100,
+            "unaccounted time: tasks {task_ns} + idle {idle_ns} vs {capacity} ({n} progs)");
+    }
+
+    /// Profiles drain their activation stacks and never record more
+    /// exclusive than inclusive time; counters match profile counts.
+    #[test]
+    fn measurement_invariants(progs in proptest::collection::vec(arb_local_program(), 1..4)) {
+        let (c, pids) = run_programs(progs, Some(1));
+        let node = c.node(0);
+        for pid in pids {
+            let t = node.task(pid).unwrap();
+            prop_assert_eq!(t.meas.kernel.depth(), 0, "kernel stack not drained");
+            prop_assert_eq!(t.meas.user.depth(), 0, "user stack not drained");
+            let snap = node.profile_snapshot(pid, c.now()).unwrap();
+            for row in &snap.kernel_events {
+                prop_assert!(row.stats.excl_ns <= row.stats.incl_ns + 1);
+                prop_assert!(row.stats.min_incl_ns <= row.stats.max_incl_ns);
+            }
+            // Counter cross-checks: syscall counter ≥ getpid count, fault
+            // and signal counters equal their probe counts.
+            let counters = node.proc_counters(pid).unwrap();
+            let ev_count = |name: &str| snap.kernel_event(name).map(|r| r.stats.count).unwrap_or(0);
+            prop_assert!(counters.syscalls >= ev_count("sys_getpid"));
+            prop_assert_eq!(counters.page_faults, ev_count("do_page_fault"));
+            prop_assert_eq!(counters.signals, ev_count("do_signal"));
+            let switches = counters.preemptions + counters.voluntary_switches;
+            let sched_count = ev_count("schedule") + ev_count("schedule_vol");
+            prop_assert_eq!(switches, sched_count);
+        }
+    }
+
+    /// The same spec and programs replay to the identical finish time.
+    #[test]
+    fn determinism_under_arbitrary_programs(
+        progs in proptest::collection::vec(arb_local_program(), 1..4)
+    ) {
+        let (c1, _) = run_programs(progs.clone(), None);
+        let (c2, _) = run_programs(progs, None);
+        prop_assert_eq!(c1.now(), c2.now());
+    }
+
+    /// Total virtual duration is at least the critical path of the longest
+    /// single program's compute+sleep, and at least the total compute work
+    /// divided by the CPU count.
+    #[test]
+    fn duration_lower_bounds(progs in proptest::collection::vec(arb_local_program(), 1..5)) {
+        let freq = 450_000_000u64;
+        let longest: u64 = progs
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|op| match op {
+                        Op::Compute(c) => c * 1_000_000_000 / freq,
+                        Op::Sleep(ns) => *ns,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0);
+        let total_compute_ns: u64 = progs
+            .iter()
+            .flat_map(|ops| ops.iter())
+            .map(|op| match op {
+                Op::Compute(c) => c * 1_000_000_000 / freq,
+                _ => 0,
+            })
+            .sum();
+        let (c, _) = run_programs(progs, None);
+        prop_assert!(c.now() >= longest, "{} < {longest}", c.now());
+        prop_assert!(c.now() >= total_compute_ns / 2, "{} < {}", c.now(), total_compute_ns / 2);
+    }
+}
+
+/// Idle threads never appear on runqueues or accumulate app-like state.
+#[test]
+fn idle_threads_stay_special() {
+    let (c, _) = run_programs(vec![vec![Op::Compute(450_000_000)]], None);
+    let node = c.node(0);
+    for pid in node.pids() {
+        let t = node.task(pid).unwrap();
+        if t.kind == TaskKind::Idle {
+            assert_eq!(t.exited_ns, 0);
+            assert_ne!(t.state, ktau_oskern::TaskState::Dead);
+        }
+    }
+}

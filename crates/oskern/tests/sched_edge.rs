@@ -1,0 +1,169 @@
+//! Scheduler and kernel edge cases.
+
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::{
+    Cluster, ClusterSpec, IrqPolicy, NoiseSpec, Op, OpList, TaskSpec, TaskState,
+};
+
+fn quiet(n: usize) -> ClusterSpec {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    s
+}
+
+#[test]
+#[should_panic(expected = "not online")]
+fn pinning_to_offline_cpu_is_rejected() {
+    let mut spec = quiet(1);
+    spec.nodes[0].detected_cpus = Some(1);
+    let mut c = Cluster::new(spec);
+    c.spawn(
+        0,
+        TaskSpec::app("bad", Box::new(OpList::new(vec![Op::Exit]))).pinned(1),
+    );
+}
+
+#[test]
+fn pinned_irq_policy_clamps_to_online_cpus() {
+    // IRQs pinned to CPU 1 on a node that detected only one CPU must fall
+    // back to CPU 0 rather than panic.
+    let mut spec = quiet(2);
+    spec.nodes[1].detected_cpus = Some(1);
+    spec.nodes[1].irq = IrqPolicy::PinnedTo(1);
+    let mut c = Cluster::new(spec);
+    let conn = c.open_conn(0, 1);
+    c.spawn(
+        0,
+        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: 100_000 }]))),
+    );
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 100_000 }]))),
+    );
+    let end = c.run_until_apps_exit(60 * NS_PER_SEC);
+    assert!(end > 0);
+}
+
+#[test]
+fn tasks_outnumbering_cpus_all_finish() {
+    let mut c = Cluster::new(quiet(1));
+    let pids: Vec<_> = (0..10)
+        .map(|i| {
+            c.spawn(
+                0,
+                TaskSpec::app(
+                    format!("t{i}"),
+                    Box::new(OpList::new(vec![Op::Compute(45_000_000), Op::SyscallNull])),
+                ),
+            )
+        })
+        .collect();
+    c.run_until_apps_exit(600 * NS_PER_SEC);
+    for pid in pids {
+        assert_eq!(c.node(0).task(pid).unwrap().state, TaskState::Dead);
+    }
+}
+
+#[test]
+fn zero_cycle_compute_terminates() {
+    let mut c = Cluster::new(quiet(1));
+    c.spawn(
+        0,
+        TaskSpec::app(
+            "zero",
+            Box::new(OpList::new(vec![Op::Compute(0), Op::Compute(0), Op::Exit])),
+        ),
+    );
+    let end = c.run_until_apps_exit(10 * NS_PER_SEC);
+    assert!(end < NS_PER_SEC);
+}
+
+#[test]
+fn zero_byte_send_and_recv_complete() {
+    let mut c = Cluster::new(quiet(2));
+    let conn = c.open_conn(0, 1);
+    c.spawn(
+        0,
+        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: 0 }]))),
+    );
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 0 }]))),
+    );
+    let end = c.run_until_apps_exit(10 * NS_PER_SEC);
+    assert!(end < NS_PER_SEC);
+}
+
+#[test]
+fn counters_track_scheduling_and_wakeups() {
+    let mut spec = quiet(1);
+    spec.nodes[0].detected_cpus = Some(1);
+    let mut c = Cluster::new(spec);
+    let a = c.spawn(0, TaskSpec::app("a", Box::new(OpList::new(vec![Op::Compute(900_000_000)]))));
+    let b = c.spawn(
+        0,
+        TaskSpec::app(
+            "b",
+            Box::new(OpList::new(vec![
+                Op::Sleep(NS_PER_SEC / 10),
+                Op::Compute(900_000_000),
+            ])),
+        ),
+    );
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    let ca = c.node(0).proc_counters(a).unwrap();
+    let cb = c.node(0).proc_counters(b).unwrap();
+    assert!(ca.preemptions > 0, "a should be preempted by b");
+    assert!(cb.preemptions > 0, "b should be preempted by a");
+    assert!(cb.wakeups >= 1, "b slept and woke");
+    assert_eq!(cb.syscalls, 1, "one nanosleep");
+    // Single CPU: no migrations possible.
+    assert_eq!(ca.migrations + cb.migrations, 0);
+}
+
+#[test]
+fn migrations_counted_on_multi_cpu_contention() {
+    let mut c = Cluster::new(quiet(1));
+    // Three compute tasks on two CPUs: balancing must migrate someone.
+    let pids: Vec<_> = (0..3)
+        .map(|i| {
+            c.spawn(
+                0,
+                TaskSpec::app(format!("t{i}"), Box::new(OpList::new(vec![Op::Compute(900_000_000)]))),
+            )
+        })
+        .collect();
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    let total: u64 = pids
+        .iter()
+        .map(|&p| c.node(0).proc_counters(p).unwrap().migrations)
+        .sum();
+    assert!(total > 0, "expected at least one migration");
+}
+
+#[test]
+fn run_for_advances_exactly() {
+    let mut c = Cluster::new(quiet(1));
+    c.spawn(0, TaskSpec::app("bg", Box::new(OpList::new(vec![Op::Compute(u64::MAX / 4)]))));
+    let t1 = c.run_for(NS_PER_SEC);
+    assert_eq!(t1, NS_PER_SEC);
+    let t2 = c.run_for(NS_PER_SEC / 2);
+    assert_eq!(t2, NS_PER_SEC + NS_PER_SEC / 2);
+}
+
+#[test]
+fn deadline_panic_reports_blocked_tasks() {
+    let mut c = Cluster::new(quiet(2));
+    let conn = c.open_conn(0, 1);
+    c.spawn(
+        1,
+        TaskSpec::app("stuck", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 10 }]))),
+    );
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c.run_until_apps_exit(NS_PER_SEC);
+    }))
+    .unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("stuck"), "diagnostic missing task name: {msg}");
+    assert!(msg.contains("RxData"), "diagnostic missing blocked-on: {msg}");
+}

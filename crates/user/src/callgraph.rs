@@ -1,0 +1,207 @@
+//! Merged user/kernel call-path profiles — the paper's §6 future-work item
+//! "better support for merged user-kernel call-graph profiles".
+//!
+//! Computed offline from a per-process KTAU trace (the way TAU derives
+//! callpath profiles from traces): every entry/exit record extends or pops
+//! the merged call stack, producing one profile row per distinct root→leaf
+//! path across the user/kernel boundary, e.g.
+//! `MPI_Send => sys_writev => tcp_sendmsg`.
+
+use ktau_core::snapshot::TraceSnapshot;
+use ktau_core::time::Ns;
+use ktau_core::TracePoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One call-path row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallPathRow {
+    /// The path, outermost first (joined with ` => ` in displays).
+    pub path: Vec<String>,
+    /// Completed activations of this exact path.
+    pub calls: u64,
+    /// Inclusive time of the path's leaf activations.
+    pub incl_ns: Ns,
+    /// Exclusive time (inclusive minus instrumented children).
+    pub excl_ns: Ns,
+}
+
+impl CallPathRow {
+    /// `a => b => c` display form.
+    pub fn display(&self) -> String {
+        self.path.join(" => ")
+    }
+
+    /// Path depth.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// Builds the merged call-path profile from a trace snapshot.
+///
+/// Records that cannot nest properly (the ring overwrote their partners)
+/// are dropped: an exit with no matching entry on the stack resets the
+/// stack state below it, and unclosed entries at the end are ignored.
+pub fn callpath_profile(trace: &TraceSnapshot) -> Vec<CallPathRow> {
+    struct Frame {
+        name: String,
+        entry_ns: Ns,
+        child_ns: Ns,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut acc: HashMap<Vec<String>, (u64, Ns, Ns)> = HashMap::new();
+    for rec in &trace.records {
+        match rec.point {
+            TracePoint::Entry => stack.push(Frame {
+                name: rec.name.clone(),
+                entry_ns: rec.ts_ns,
+                child_ns: 0,
+            }),
+            TracePoint::Exit => {
+                // Pop to the matching frame (tolerates loss-truncated data).
+                let pos = stack.iter().rposition(|f| f.name == rec.name);
+                let Some(pos) = pos else { continue };
+                stack.truncate(pos + 1);
+                let f = stack.pop().unwrap();
+                let incl = rec.ts_ns.saturating_sub(f.entry_ns);
+                let excl = incl.saturating_sub(f.child_ns);
+                let mut path: Vec<String> = stack.iter().map(|s| s.name.clone()).collect();
+                path.push(f.name);
+                let e = acc.entry(path).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += incl;
+                e.2 += excl;
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += incl;
+                }
+            }
+            TracePoint::Atomic(_) => {}
+        }
+    }
+    let mut rows: Vec<CallPathRow> = acc
+        .into_iter()
+        .map(|(path, (calls, incl_ns, excl_ns))| CallPathRow {
+            path,
+            calls,
+            incl_ns,
+            excl_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.incl_ns.cmp(&a.incl_ns).then(a.path.cmp(&b.path)));
+    rows
+}
+
+/// Renders the call-path profile as an indented text tree.
+pub fn render_callpaths(rows: &[CallPathRow]) -> String {
+    use std::fmt::Write as _;
+    let mut sorted: Vec<&CallPathRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut out = String::new();
+    for r in sorted {
+        let _ = writeln!(
+            out,
+            "{:indent$}{} — {} calls, incl {:.3} ms, excl {:.3} ms",
+            "",
+            r.path.last().map(String::as_str).unwrap_or("?"),
+            r.calls,
+            r.incl_ns as f64 / 1e6,
+            r.excl_ns as f64 / 1e6,
+            indent = (r.depth() - 1) * 2
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktau_core::snapshot::NamedTraceRecord;
+    use ktau_core::Group;
+
+    fn rec(ts: Ns, name: &str, point: TracePoint) -> NamedTraceRecord {
+        NamedTraceRecord {
+            ts_ns: ts,
+            name: name.into(),
+            group: Group::Other,
+            point,
+        }
+    }
+
+    fn trace(records: Vec<NamedTraceRecord>) -> TraceSnapshot {
+        TraceSnapshot {
+            pid: 1,
+            comm: "t".into(),
+            node: 0,
+            lost: 0,
+            records,
+        }
+    }
+
+    #[test]
+    fn nested_paths_split_incl_excl() {
+        let t = trace(vec![
+            rec(0, "MPI_Send", TracePoint::Entry),
+            rec(100, "sys_writev", TracePoint::Entry),
+            rec(400, "sys_writev", TracePoint::Exit),
+            rec(1000, "MPI_Send", TracePoint::Exit),
+        ]);
+        let rows = callpath_profile(&t);
+        assert_eq!(rows.len(), 2);
+        let send = rows.iter().find(|r| r.path == vec!["MPI_Send"]).unwrap();
+        assert_eq!((send.calls, send.incl_ns, send.excl_ns), (1, 1000, 700));
+        let writev = rows
+            .iter()
+            .find(|r| r.path == vec!["MPI_Send".to_string(), "sys_writev".to_string()])
+            .unwrap();
+        assert_eq!((writev.calls, writev.incl_ns, writev.excl_ns), (1, 300, 300));
+    }
+
+    #[test]
+    fn same_leaf_under_different_parents_stays_distinct() {
+        let t = trace(vec![
+            rec(0, "a", TracePoint::Entry),
+            rec(1, "k", TracePoint::Entry),
+            rec(2, "k", TracePoint::Exit),
+            rec(3, "a", TracePoint::Exit),
+            rec(4, "b", TracePoint::Entry),
+            rec(5, "k", TracePoint::Entry),
+            rec(9, "k", TracePoint::Exit),
+            rec(10, "b", TracePoint::Exit),
+        ]);
+        let rows = callpath_profile(&t);
+        let paths: Vec<String> = rows.iter().map(|r| r.display()).collect();
+        assert!(paths.contains(&"a => k".to_string()));
+        assert!(paths.contains(&"b => k".to_string()));
+        let bk = rows.iter().find(|r| r.display() == "b => k").unwrap();
+        assert_eq!(bk.incl_ns, 4);
+    }
+
+    #[test]
+    fn truncated_traces_are_tolerated() {
+        // Exit without entry (lost to ring overwrite) + unclosed entry.
+        let t = trace(vec![
+            rec(5, "lost_parent", TracePoint::Exit),
+            rec(10, "a", TracePoint::Entry),
+            rec(20, "a", TracePoint::Exit),
+            rec(30, "unclosed", TracePoint::Entry),
+        ]);
+        let rows = callpath_profile(&t);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].display(), "a");
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let t = trace(vec![
+            rec(0, "a", TracePoint::Entry),
+            rec(1, "b", TracePoint::Entry),
+            rec(2, "b", TracePoint::Exit),
+            rec(3, "a", TracePoint::Exit),
+        ]);
+        let out = render_callpaths(&callpath_profile(&t));
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("a —"));
+        assert!(lines[1].starts_with("  b —"));
+    }
+}

@@ -1,0 +1,197 @@
+//! KTAUD — the KTAU daemon (paper §4.5).
+//!
+//! "KTAUD periodically extracts profile and trace data from the kernel.  It
+//! can be configured to gather information for all processes or a subset of
+//! processes."  Here the daemon has two halves, as in reality:
+//!
+//! * an **on-node cost**: a daemon process spawned on each monitored node
+//!   that periodically wakes and burns the CPU cost of walking
+//!   `/proc/ktau` (this is the perturbation a daemon-based model causes —
+//!   one of the paper's arguments for daemon-less self-profiling);
+//! * the **collection**: snapshots taken through libKtau at each period.
+
+use crate::libktau::{ktau_get_profiles, AccessMode, KtauError};
+use ktau_core::snapshot::ProfileSnapshot;
+use ktau_core::time::Ns;
+use ktau_oskern::{Cluster, LoopProgram, Op, Pid, TaskSpec};
+
+/// A periodic collection of every monitored node's profiles.
+#[derive(Debug, Clone)]
+pub struct KtaudSample {
+    /// Virtual time of the sweep.
+    pub taken_ns: Ns,
+    /// Per node: the profiles read.
+    pub profiles: Vec<(u32, Vec<ProfileSnapshot>)>,
+}
+
+/// The daemon harness.
+pub struct Ktaud {
+    period_ns: Ns,
+    mode: AccessMode,
+    nodes: Vec<u32>,
+    daemon_pids: Vec<(u32, Pid)>,
+    /// Collected history.
+    pub history: Vec<KtaudSample>,
+}
+
+impl Ktaud {
+    /// Installs KTAUD on the given nodes: spawns the on-node daemon
+    /// processes and prepares collection with the given period and mode.
+    pub fn install(cluster: &mut Cluster, nodes: &[u32], period_ns: Ns, mode: AccessMode) -> Self {
+        let mut daemon_pids = Vec::new();
+        for &n in nodes {
+            // The daemon sleeps for a period, then spends ~2 ms of CPU
+            // reading and serializing /proc/ktau for all processes.
+            let cost_cycles = cluster.node(n).freq.ns_to_cycles(2_000_000);
+            let prog = LoopProgram::new(vec![Op::Sleep(period_ns), Op::Compute(cost_cycles)]);
+            let pid = cluster.spawn(n, TaskSpec::daemon("ktaud", Box::new(prog)));
+            daemon_pids.push((n, pid));
+        }
+        Ktaud {
+            period_ns,
+            mode,
+            nodes: nodes.to_vec(),
+            daemon_pids,
+            history: Vec::new(),
+        }
+    }
+
+    /// The daemon's on-node pids.
+    pub fn daemon_pids(&self) -> &[(u32, Pid)] {
+        &self.daemon_pids
+    }
+
+    /// Advances the cluster one period and takes a sweep of snapshots.
+    pub fn step(&mut self, cluster: &mut Cluster) -> Result<(), KtauError> {
+        cluster.run_for(self.period_ns);
+        let mut profiles = Vec::with_capacity(self.nodes.len());
+        for &n in &self.nodes {
+            profiles.push((n, ktau_get_profiles(cluster, n, &self.mode)?));
+        }
+        self.history.push(KtaudSample {
+            taken_ns: cluster.now(),
+            profiles,
+        });
+        Ok(())
+    }
+
+    /// Runs the daemon for `n` periods.
+    pub fn run(&mut self, cluster: &mut Cluster, n: usize) -> Result<(), KtauError> {
+        for _ in 0..n {
+            self.step(cluster)?;
+        }
+        Ok(())
+    }
+
+    /// The most recent sweep.
+    pub fn latest(&self) -> Option<&KtaudSample> {
+        self.history.last()
+    }
+}
+
+/// Per-interval rate of one kernel event for one process across a KTAUD
+/// history: `(interval end, calls/sec)` — online rate monitoring, the
+/// "provide online information" objective from the paper's §3.
+pub fn event_rate(
+    history: &[KtaudSample],
+    node: u32,
+    pid: u32,
+    event: &str,
+) -> Vec<(Ns, f64)> {
+    let mut out = Vec::new();
+    let mut prev: Option<(Ns, u64)> = None;
+    for sample in history {
+        let Some((_, profiles)) = sample.profiles.iter().find(|(n, _)| *n == node) else {
+            continue;
+        };
+        let Some(p) = profiles.iter().find(|p| p.pid == pid) else {
+            continue;
+        };
+        let count = p.kernel_event(event).map(|r| r.stats.count).unwrap_or(0);
+        if let Some((t0, c0)) = prev {
+            let dt = (sample.taken_ns - t0) as f64 / 1e9;
+            if dt > 0.0 {
+                out.push((sample.taken_ns, (count - c0) as f64 / dt));
+            }
+        }
+        prev = Some((sample.taken_ns, count));
+    }
+    out
+}
+
+/// runKtau (paper §4.5): like `time(1)`, runs a job and returns its
+/// detailed KTAU profile after it completes.
+pub fn run_ktau(
+    cluster: &mut Cluster,
+    node: u32,
+    spec: TaskSpec,
+    deadline_ns: Ns,
+) -> Result<ProfileSnapshot, KtauError> {
+    let pid = cluster.spawn(node, spec);
+    cluster.run_until_apps_exit(deadline_ns);
+    crate::libktau::ktau_get_profile(cluster, node, pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktau_core::time::NS_PER_SEC;
+    use ktau_oskern::{ClusterSpec, NoiseSpec, OpList};
+
+    fn quiet(n: usize) -> Cluster {
+        let mut s = ClusterSpec::chiba(n);
+        s.noise = NoiseSpec::silent();
+        Cluster::new(s)
+    }
+
+    #[test]
+    fn ktaud_collects_growing_history() {
+        let mut c = quiet(2);
+        c.spawn(
+            0,
+            TaskSpec::app("w", Box::new(OpList::new(vec![Op::Compute(2 * 450_000_000)]))),
+        );
+        let mut d = Ktaud::install(&mut c, &[0, 1], NS_PER_SEC / 2, AccessMode::All);
+        d.run(&mut c, 4).unwrap();
+        assert_eq!(d.history.len(), 4);
+        // Timestamps advance monotonically by the period.
+        let times: Vec<_> = d.history.iter().map(|s| s.taken_ns).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        // The worker's profile is visible in the sweeps.
+        let seen = d
+            .latest()
+            .unwrap()
+            .profiles
+            .iter()
+            .flat_map(|(_, v)| v)
+            .any(|p| p.comm == "w");
+        assert!(seen);
+    }
+
+    #[test]
+    fn ktaud_daemon_costs_cpu_on_node() {
+        let mut c = quiet(1);
+        let mut d = Ktaud::install(&mut c, &[0], NS_PER_SEC / 10, AccessMode::All);
+        d.run(&mut c, 20).unwrap();
+        let (n, pid) = d.daemon_pids()[0];
+        let t = c.node(n).task(pid).unwrap();
+        assert!(t.cpu_ns > 0, "daemon never consumed CPU");
+    }
+
+    #[test]
+    fn run_ktau_returns_profile_like_time_command() {
+        let mut c = quiet(1);
+        let snap = run_ktau(
+            &mut c,
+            0,
+            TaskSpec::app(
+                "job",
+                Box::new(OpList::new(vec![Op::SyscallNull, Op::Compute(450_000)])),
+            ),
+            10 * NS_PER_SEC,
+        )
+        .unwrap();
+        assert_eq!(snap.comm, "job");
+        assert!(snap.kernel_event("sys_getpid").is_some());
+    }
+}

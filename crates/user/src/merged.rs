@@ -1,0 +1,172 @@
+//! Merged user/kernel performance views (the paper's Fig 2-D/2-E and the
+//! call-group analysis behind Fig 4 and Fig 9).
+
+use ktau_core::snapshot::{NamedTraceRecord, ProfileSnapshot, TraceSnapshot};
+use ktau_core::time::Ns;
+use ktau_core::Group;
+use serde::{Deserialize, Serialize};
+
+/// One routine row of the merged profile comparison (Fig 2-D): the standard
+/// TAU exclusive time next to the "true" exclusive time with kernel-level
+/// activity carved out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedRoutineRow {
+    /// User routine name.
+    pub routine: String,
+    /// Call count.
+    pub calls: u64,
+    /// Standard TAU exclusive time (kernel time included, as a user-level
+    /// tool measures it).
+    pub tau_excl_ns: Ns,
+    /// True exclusive time in the combined user/kernel call stack.
+    pub true_excl_ns: Ns,
+    /// Kernel time attributed within the routine.
+    pub kernel_ns: Ns,
+}
+
+/// Builds the merged per-routine view from a profile snapshot.
+pub fn merged_routine_view(snap: &ProfileSnapshot) -> Vec<MergedRoutineRow> {
+    let mut rows: Vec<MergedRoutineRow> = snap
+        .user_events
+        .iter()
+        .map(|r| {
+            let kernel_ns: Ns = snap.kernel_wall_in(&r.name);
+            MergedRoutineRow {
+                routine: r.name.clone(),
+                calls: r.stats.count,
+                tau_excl_ns: r.stats.excl_ns,
+                true_excl_ns: r.stats.excl_ns.saturating_sub(kernel_ns),
+                kernel_ns,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.tau_excl_ns));
+    rows
+}
+
+/// Kernel events visible in the merged view that user-level TAU alone would
+/// never show (the "additional" rows of Fig 2-D).
+pub fn kernel_only_rows(snap: &ProfileSnapshot) -> Vec<(String, Group, u64, Ns)> {
+    let mut rows: Vec<(String, Group, u64, Ns)> = snap
+        .kernel_events
+        .iter()
+        .map(|r| (r.name.clone(), r.group, r.stats.count, r.stats.incl_ns))
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.3));
+    rows
+}
+
+/// A (user routine × kernel group) cell for call-group analysis (Fig 4 uses
+/// time shares; Fig 9 uses counts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallGroupCell {
+    /// Kernel group.
+    pub group: Group,
+    /// Activations attributed.
+    pub count: u64,
+    /// Nanoseconds attributed.
+    pub ns: Ns,
+}
+
+/// Kernel call groups active during one user routine, sorted by time.
+pub fn call_groups_in(snap: &ProfileSnapshot, routine: &str) -> Vec<CallGroupCell> {
+    snap.call_groups_in(routine)
+        .into_iter()
+        .map(|(group, count, ns)| CallGroupCell { group, count, ns })
+        .collect()
+}
+
+/// Count of kernel events of a given group attributed inside a routine
+/// (e.g. TCP calls within `sweep` — Fig 9's metric).
+pub fn group_count_in(snap: &ProfileSnapshot, routine: &str, group: Group) -> u64 {
+    snap.merged
+        .iter()
+        .filter(|m| m.user.as_deref() == Some(routine) && m.kernel_group == group)
+        .map(|m| m.count)
+        .sum()
+}
+
+/// Merged-trace timeline: records from a traced process, both user and
+/// kernel level, sorted by time (the paper's Fig 2-E shows TAU and KTAU
+/// trace snapshots merged in Vampir).
+pub fn merged_timeline(trace: &TraceSnapshot) -> Vec<&NamedTraceRecord> {
+    let mut recs: Vec<&NamedTraceRecord> = trace.records.iter().collect();
+    recs.sort_by_key(|r| r.ts_ns);
+    recs
+}
+
+/// Extracts the slice of a merged timeline between the first enter and last
+/// exit of `routine` (e.g. the kernel activity inside one `MPI_Send`).
+pub fn timeline_within<'a>(
+    trace: &'a TraceSnapshot,
+    routine: &str,
+) -> Vec<&'a NamedTraceRecord> {
+    use ktau_core::TracePoint;
+    let recs = merged_timeline(trace);
+    let first = recs
+        .iter()
+        .position(|r| r.name == routine && r.point == TracePoint::Entry);
+    let last = recs
+        .iter()
+        .rposition(|r| r.name == routine && r.point == TracePoint::Exit);
+    match (first, last) {
+        (Some(a), Some(b)) if a <= b => recs[a..=b].to_vec(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktau_core::event::{EventKind, EventRegistry};
+    use ktau_core::measure::{ProbeEngine, TaskMeasurement};
+    use ktau_core::snapshot::ProfileSnapshot as Snap;
+
+    fn sample() -> Snap {
+        let mut reg = EventRegistry::new();
+        let rhs = reg.register("rhs", Group::User, EventKind::EntryExit);
+        let recv = reg.register("MPI_Recv", Group::Mpi, EventKind::EntryExit);
+        let read = reg.register("sys_read", Group::Syscall, EventKind::EntryExit);
+        let sched = reg.register("schedule_vol", Group::Scheduler, EventKind::EntryExit);
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::with_trace(64);
+        eng.user_entry(&mut m, rhs, Group::User, 0);
+        eng.user_exit(&mut m, rhs, Group::User, 1_000);
+        eng.user_entry(&mut m, recv, Group::Mpi, 1_000);
+        eng.kernel_entry(&mut m, read, Group::Syscall, 1_100);
+        eng.kernel_interval(&mut m, sched, Group::Scheduler, 500, 1_700);
+        eng.kernel_exit(&mut m, read, Group::Syscall, 1_900);
+        eng.user_exit(&mut m, recv, Group::Mpi, 2_000);
+        Snap::capture(1, "app", 0, 2_000, &m, &reg)
+    }
+
+    #[test]
+    fn merged_rows_subtract_kernel_time() {
+        let rows = merged_routine_view(&sample());
+        let recv = rows.iter().find(|r| r.routine == "MPI_Recv").unwrap();
+        assert_eq!(recv.tau_excl_ns, 1_000);
+        assert_eq!(recv.kernel_ns, 800); // 300 syscall + 500 schedule
+        assert_eq!(recv.true_excl_ns, 200);
+        let rhs = rows.iter().find(|r| r.routine == "rhs").unwrap();
+        assert_eq!(rhs.true_excl_ns, rhs.tau_excl_ns);
+    }
+
+    #[test]
+    fn call_groups_split_sched_and_syscall() {
+        let snap = sample();
+        let groups = call_groups_in(&snap, "MPI_Recv");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].group, Group::Scheduler);
+        assert_eq!(groups[0].ns, 500);
+        assert_eq!(groups[1].group, Group::Syscall);
+        assert_eq!(groups[1].ns, 300);
+        assert_eq!(group_count_in(&snap, "MPI_Recv", Group::Syscall), 1);
+    }
+
+    #[test]
+    fn kernel_only_rows_sorted_by_time() {
+        let rows = kernel_only_rows(&sample());
+        assert!(rows.windows(2).all(|w| w[0].3 >= w[1].3));
+        assert!(rows.iter().any(|r| r.0 == "sys_read"));
+    }
+}

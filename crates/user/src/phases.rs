@@ -1,0 +1,170 @@
+//! Phase-based profiling — the paper's §6 future-work item, built on the
+//! session-less `/proc/ktau` reads: snapshot deltas between user-declared
+//! phase boundaries give per-phase kernel profiles without any kernel
+//! support beyond what KTAU already provides.
+
+use crate::libktau::{ktau_get_profile, KtauError};
+use ktau_core::profile::EntryExitStats;
+use ktau_core::snapshot::{EventRow, ProfileSnapshot};
+use ktau_core::time::Ns;
+use ktau_oskern::{Cluster, Pid};
+use serde::{Deserialize, Serialize};
+
+/// One completed phase: the difference between two profile snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Phase label.
+    pub name: String,
+    /// Phase start (virtual time).
+    pub from_ns: Ns,
+    /// Phase end (virtual time).
+    pub to_ns: Ns,
+    /// Kernel events that progressed during the phase.
+    pub kernel_events: Vec<EventRow>,
+    /// User events that progressed during the phase.
+    pub user_events: Vec<EventRow>,
+}
+
+impl PhaseProfile {
+    /// Phase duration.
+    pub fn duration_ns(&self) -> Ns {
+        self.to_ns - self.from_ns
+    }
+
+    /// A kernel event row by name.
+    pub fn kernel_event(&self, name: &str) -> Option<&EventRow> {
+        self.kernel_events.iter().find(|r| r.name == name)
+    }
+}
+
+fn diff_rows(now: &[EventRow], before: &[EventRow]) -> Vec<EventRow> {
+    now.iter()
+        .filter_map(|cur| {
+            let prev = before
+                .iter()
+                .find(|p| p.name == cur.name)
+                .map(|p| p.stats)
+                .unwrap_or_default();
+            let d = EntryExitStats {
+                count: cur.stats.count - prev.count,
+                incl_ns: cur.stats.incl_ns - prev.incl_ns,
+                excl_ns: cur.stats.excl_ns - prev.excl_ns,
+                // Extrema are not differentiable; report the phase-end view.
+                min_incl_ns: cur.stats.min_incl_ns,
+                max_incl_ns: cur.stats.max_incl_ns,
+            };
+            (d.count > 0 || d.incl_ns > 0).then(|| EventRow {
+                name: cur.name.clone(),
+                group: cur.group,
+                stats: d,
+            })
+        })
+        .collect()
+}
+
+/// Collects per-phase kernel/user profiles of one process.
+pub struct PhaseProfiler {
+    node: u32,
+    pid: Pid,
+    last: ProfileSnapshot,
+    last_ns: Ns,
+    /// Completed phases, in order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl PhaseProfiler {
+    /// Starts phase profiling: takes the baseline snapshot.
+    pub fn begin(cluster: &Cluster, node: u32, pid: Pid) -> Result<Self, KtauError> {
+        let snap = ktau_get_profile(cluster, node, pid)?;
+        Ok(PhaseProfiler {
+            node,
+            pid,
+            last: snap,
+            last_ns: cluster.now(),
+            phases: Vec::new(),
+        })
+    }
+
+    /// Closes the current phase under `name` and starts the next one.
+    pub fn mark(&mut self, cluster: &Cluster, name: impl Into<String>) -> Result<(), KtauError> {
+        let snap = ktau_get_profile(cluster, self.node, self.pid)?;
+        let now = cluster.now();
+        self.phases.push(PhaseProfile {
+            name: name.into(),
+            from_ns: self.last_ns,
+            to_ns: now,
+            kernel_events: diff_rows(&snap.kernel_events, &self.last.kernel_events),
+            user_events: diff_rows(&snap.user_events, &self.last.user_events),
+        });
+        self.last = snap;
+        self.last_ns = now;
+        Ok(())
+    }
+
+    /// A completed phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktau_core::time::NS_PER_SEC;
+    use ktau_oskern::{ClusterSpec, NoiseSpec, Op, OpList, TaskSpec};
+
+    #[test]
+    fn phases_capture_disjoint_activity() {
+        let mut spec = ClusterSpec::chiba(1);
+        spec.noise = NoiseSpec::silent();
+        let mut c = Cluster::new(spec);
+        let pid = c.spawn(
+            0,
+            TaskSpec::app(
+                "phased",
+                Box::new(OpList::new(vec![
+                    // phase 1: syscalls
+                    Op::SyscallNull,
+                    Op::SyscallNull,
+                    Op::Sleep(NS_PER_SEC),
+                    // phase 2: page faults
+                    Op::PageFault,
+                    Op::PageFault,
+                    Op::PageFault,
+                    Op::Sleep(NS_PER_SEC),
+                ])),
+            ),
+        );
+        let mut pp = PhaseProfiler::begin(&c, 0, pid).unwrap();
+        c.run_for(NS_PER_SEC / 2); // inside phase-1 sleep
+        pp.mark(&c, "syscall_phase").unwrap();
+        c.run_for(NS_PER_SEC); // inside phase-2 sleep
+        pp.mark(&c, "fault_phase").unwrap();
+
+        let p1 = pp.phase("syscall_phase").unwrap();
+        assert_eq!(p1.kernel_event("sys_getpid").unwrap().stats.count, 2);
+        assert!(p1.kernel_event("do_page_fault").is_none());
+
+        let p2 = pp.phase("fault_phase").unwrap();
+        assert_eq!(p2.kernel_event("do_page_fault").unwrap().stats.count, 3);
+        assert!(p2.kernel_event("sys_getpid").is_none());
+        assert_eq!(p2.duration_ns(), NS_PER_SEC);
+    }
+
+    #[test]
+    fn empty_phase_has_no_rows() {
+        let mut spec = ClusterSpec::chiba(1);
+        spec.noise = NoiseSpec::silent();
+        let mut c = Cluster::new(spec);
+        let pid = c.spawn(
+            0,
+            TaskSpec::app("idle", Box::new(OpList::new(vec![Op::Sleep(2 * NS_PER_SEC)]))),
+        );
+        c.run_for(NS_PER_SEC / 4);
+        let mut pp = PhaseProfiler::begin(&c, 0, pid).unwrap();
+        c.run_for(NS_PER_SEC / 4);
+        pp.mark(&c, "quiet").unwrap();
+        let p = pp.phase("quiet").unwrap();
+        assert!(p.kernel_events.is_empty(), "{:?}", p.kernel_events);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ktau-workloads — the paper's benchmark applications
+//!
+//! Skeletons of the workloads the KTAU paper evaluates with, emitting the
+//! same computation/communication patterns and TAU routine names:
+//!
+//! * [`lu`] — NPB LU (SSOR, pipelined wavefront sweeps over a 2-D rank
+//!   grid): the main vehicle of §5.1–5.3;
+//! * [`sweep3d`] — ASCI Sweep3D (8-octant wavefront transport);
+//! * [`lmbench`] — LMBENCH-style microbenchmarks measured via KTAU probes.
+//!
+//! Anomaly loads (the §5.1 "overhead process", cycle stealers) live in
+//! [`ktau_oskern::noise`], next to the scheduler they perturb.
+
+#![warn(missing_docs)]
+
+pub mod lmbench;
+pub mod lu;
+pub mod sweep3d;
+
+pub use lmbench::{bw_tcp, lat_ctx, lat_syscall, MicroResult};
+pub use lu::{LuApp, LuParams};
+pub use sweep3d::{SweepApp, SweepParams};

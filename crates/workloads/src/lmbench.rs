@@ -1,0 +1,144 @@
+//! LMBENCH-style microbenchmarks (McVoy & Staelin), which the paper also
+//! ran under KTAU: null-syscall latency, context-switch latency, and
+//! socket stream bandwidth — measured *through KTAU profiles* rather than
+//! with user-space timing loops.
+
+use ktau_core::time::{Ns, NS_PER_SEC};
+use ktau_oskern::{probe_names, Cluster, Op, OpList, TaskSpec};
+
+/// Result of a microbenchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroResult {
+    /// Operations performed.
+    pub count: u64,
+    /// Mean latency per operation.
+    pub mean_ns: f64,
+    /// Total wall time of the run.
+    pub wall_ns: Ns,
+}
+
+/// `lat_syscall null`: issues `n` null system calls on `node` and reports
+/// the mean in-kernel latency measured by the `sys_getpid` KTAU probe.
+pub fn lat_syscall(cluster: &mut Cluster, node: u32, n: u64) -> MicroResult {
+    let ops: Vec<Op> = (0..n).map(|_| Op::SyscallNull).collect();
+    let pid = cluster.spawn(node, TaskSpec::app("lat_syscall", Box::new(OpList::new(ops))));
+    let wall = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
+    let snap = cluster
+        .node(node)
+        .profile_snapshot(pid, cluster.now())
+        .expect("benchmark task vanished");
+    let stats = snap
+        .kernel_event(probe_names::SYS_GETPID)
+        .map(|r| r.stats)
+        .unwrap_or_default();
+    MicroResult {
+        count: stats.count,
+        mean_ns: stats.mean_incl_ns(),
+        wall_ns: wall,
+    }
+}
+
+/// `lat_ctx`-style context-switch benchmark: two tasks pinned to one CPU
+/// yield to each other `n` times; reports the mean scheduling interval from
+/// the KTAU scheduler probes.
+pub fn lat_ctx(cluster: &mut Cluster, node: u32, n: u64) -> MicroResult {
+    let mk = || {
+        let mut ops = Vec::with_capacity(n as usize * 2);
+        for _ in 0..n {
+            ops.push(Op::Compute(500));
+            ops.push(Op::Yield);
+        }
+        ops
+    };
+    let a = cluster.spawn(node, TaskSpec::app("lat_ctx.0", Box::new(OpList::new(mk()))).pinned(0));
+    let _b = cluster.spawn(node, TaskSpec::app("lat_ctx.1", Box::new(OpList::new(mk()))).pinned(0));
+    let wall = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
+    let snap = cluster
+        .node(node)
+        .profile_snapshot(a, cluster.now())
+        .expect("benchmark task vanished");
+    // Yields are voluntary switches.
+    let stats = snap
+        .kernel_event(probe_names::SCHEDULE_VOL)
+        .map(|r| r.stats)
+        .unwrap_or_default();
+    MicroResult {
+        count: stats.count,
+        mean_ns: stats.mean_incl_ns(),
+        wall_ns: wall,
+    }
+}
+
+/// `bw_tcp`-style stream: pushes `bytes` from `src` to `dst` and reports
+/// achieved bandwidth in MB/s alongside per-segment receive cost.
+pub fn bw_tcp(cluster: &mut Cluster, src: u32, dst: u32, bytes: u64) -> (f64, MicroResult) {
+    let conn = cluster.open_conn(src, dst);
+    cluster.spawn(
+        src,
+        TaskSpec::app("bw_tcp.tx", Box::new(OpList::new(vec![Op::Send { conn, bytes }]))),
+    );
+    let rx = cluster.spawn(
+        dst,
+        TaskSpec::app("bw_tcp.rx", Box::new(OpList::new(vec![Op::Recv { conn, bytes }]))),
+    );
+    let start = cluster.now();
+    let end = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
+    let wall = end - start;
+    let mbps = bytes as f64 / (wall as f64 / NS_PER_SEC as f64) / 1e6;
+    // Per-segment receive cost from the node-wide view (the receiver is
+    // blocked while softirqs run).
+    let agg = cluster.node(dst).kernel_wide_snapshot(cluster.now());
+    let rcv = agg
+        .kernel_event(probe_names::TCP_V4_RCV)
+        .map(|r| r.stats)
+        .unwrap_or_default();
+    let _ = rx;
+    (
+        mbps,
+        MicroResult {
+            count: rcv.count,
+            mean_ns: rcv.mean_incl_ns(),
+            wall_ns: wall,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktau_oskern::{ClusterSpec, NoiseSpec};
+
+    fn quiet(n: usize) -> Cluster {
+        let mut s = ClusterSpec::chiba(n);
+        s.noise = NoiseSpec::silent();
+        Cluster::new(s)
+    }
+
+    #[test]
+    fn lat_syscall_reports_sub_10us_means() {
+        let mut c = quiet(1);
+        let r = lat_syscall(&mut c, 0, 500);
+        assert_eq!(r.count, 500);
+        // 250 cycles at 450 MHz ≈ 0.55 us plus probe effects.
+        assert!(r.mean_ns > 100.0 && r.mean_ns < 10_000.0, "{}", r.mean_ns);
+    }
+
+    #[test]
+    fn lat_ctx_counts_yields() {
+        let mut c = quiet(1);
+        let r = lat_ctx(&mut c, 0, 200);
+        assert!(r.count >= 200, "only {} switches", r.count);
+        assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn bw_tcp_close_to_line_rate() {
+        let mut c = quiet(2);
+        let (mbps, rcv) = bw_tcp(&mut c, 0, 1, 10_000_000);
+        // 100 Mbit/s line rate = 12.5 MB/s; expect 80–100 % of it.
+        assert!(mbps > 9.0 && mbps <= 12.5, "bw {mbps}");
+        assert!(rcv.count > 6_000);
+        // per-segment cost ~27-36 us (paper Fig 10 range)
+        assert!(rcv.mean_ns > 20_000.0 && rcv.mean_ns < 45_000.0, "{}", rcv.mean_ns);
+    }
+}

@@ -1,0 +1,268 @@
+//! ASCI Sweep3D-shaped workload: 8-octant pipelined wavefront transport
+//! sweeps over a 2-D rank grid (Hoisie et al.'s wavefront model, cited by
+//! the paper as [5]).
+//!
+//! Per outer iteration, the solver performs eight corner-to-corner sweeps;
+//! each sweep pipelines k-plane/angle blocks: receive upstream edges,
+//! compute the block inside the `sweep` routine (the compute-bound phase
+//! the paper examines in Fig 9), send downstream.  Two small allreduces per
+//! iteration handle flux fixup, as in the original code.
+
+use ktau_mpi::{MpiApp, MpiOp, Rank};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Tunable Sweep3D skeleton parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepParams {
+    /// Rank-grid width.
+    pub px: u32,
+    /// Rank-grid height.
+    pub py: u32,
+    /// Outer (timestep) iterations.
+    pub iters: u32,
+    /// Pipeline blocks per sweep (k-planes × angle blocks).
+    pub blocks: u32,
+    /// Cycles per block of `sweep` compute.
+    pub block_cycles: u64,
+    /// Bytes per pipeline edge message (x direction).
+    pub edge_x_bytes: u64,
+    /// Bytes per pipeline edge message (y direction).
+    pub edge_y_bytes: u64,
+    /// Relative compute jitter in parts per thousand.
+    pub jitter_ppm: u32,
+    /// Seed for per-rank jitter.
+    pub seed: u64,
+}
+
+impl SweepParams {
+    /// A 128-rank configuration (16×8) calibrated toward the paper's
+    /// 369.9 s at 128x1 on 450 MHz nodes.
+    pub fn paper_128() -> Self {
+        SweepParams {
+            px: 16,
+            py: 8,
+            iters: 4,
+            blocks: 48,
+            block_cycles: 89_000_000,  // ~198 ms per block
+            edge_x_bytes: 30_000,
+            edge_y_bytes: 15_000,
+            jitter_ppm: 5,
+            seed: 0x53u64,
+        }
+    }
+
+    /// Tiny test configuration.
+    pub fn tiny(px: u32, py: u32) -> Self {
+        SweepParams {
+            px,
+            py,
+            iters: 1,
+            blocks: 4,
+            block_cycles: 2_250_000, // 5 ms
+            edge_x_bytes: 2_000,
+            edge_y_bytes: 1_000,
+            jitter_ppm: 5,
+            seed: 0x54u64,
+        }
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> u32 {
+        self.px * self.py
+    }
+
+    /// Builds all per-rank apps.
+    pub fn apps(&self) -> Vec<Box<dyn MpiApp>> {
+        (0..self.size())
+            .map(|r| Box::new(SweepApp::new(*self, Rank(r))) as Box<dyn MpiApp>)
+            .collect()
+    }
+}
+
+/// The eight sweep directions: (dx, dy) corner-to-corner, each appearing
+/// twice (for the two k directions).
+const OCTANTS: [(i64, i64); 8] = [
+    (1, 1),
+    (1, 1),
+    (-1, 1),
+    (-1, 1),
+    (1, -1),
+    (1, -1),
+    (-1, -1),
+    (-1, -1),
+];
+
+/// One rank of the Sweep3D skeleton.
+pub struct SweepApp {
+    p: SweepParams,
+    x: u32,
+    y: u32,
+    iter: u32,
+    buf: VecDeque<MpiOp>,
+    rng: SmallRng,
+    done: bool,
+}
+
+impl SweepApp {
+    /// Creates the app for `rank`.
+    pub fn new(p: SweepParams, rank: Rank) -> Self {
+        assert!(rank.0 < p.size());
+        SweepApp {
+            p,
+            x: rank.0 % p.px,
+            y: rank.0 / p.px,
+            iter: 0,
+            buf: VecDeque::new(),
+            rng: SmallRng::seed_from_u64(p.seed.wrapping_add(rank.0 as u64 * 6151)),
+            done: false,
+        }
+    }
+
+    fn at(&self, x: i64, y: i64) -> Option<Rank> {
+        if x < 0 || y < 0 || x >= self.p.px as i64 || y >= self.p.py as i64 {
+            None
+        } else {
+            Some(Rank((y * self.p.px as i64 + x) as u32))
+        }
+    }
+
+    fn jitter(&mut self, cycles: u64) -> u64 {
+        if self.p.jitter_ppm == 0 {
+            return cycles;
+        }
+        let j = self.p.jitter_ppm as i64;
+        let f = self.rng.gen_range(-j..=j);
+        (cycles as i64 + cycles as i64 * f / 1000).max(1) as u64
+    }
+
+    fn gen_iteration(&mut self) {
+        let p = self.p;
+        for (dx, dy) in OCTANTS {
+            // Upstream = where the wave comes from; downstream = where it
+            // goes.  A (+1,+1) octant sweeps from the (0,0) corner.
+            let up_x = self.at(self.x as i64 - dx, self.y as i64);
+            let up_y = self.at(self.x as i64, self.y as i64 - dy);
+            let down_x = self.at(self.x as i64 + dx, self.y as i64);
+            let down_y = self.at(self.x as i64, self.y as i64 + dy);
+            self.buf.push_back(MpiOp::Enter("sweep"));
+            for _b in 0..p.blocks {
+                if let Some(from) = up_x {
+                    self.buf.push_back(MpiOp::Recv {
+                        from,
+                        bytes: p.edge_x_bytes,
+                    });
+                }
+                if let Some(from) = up_y {
+                    self.buf.push_back(MpiOp::Recv {
+                        from,
+                        bytes: p.edge_y_bytes,
+                    });
+                }
+                let c = self.jitter(p.block_cycles);
+                self.buf.push_back(MpiOp::Compute(c));
+                if let Some(to) = down_x {
+                    self.buf.push_back(MpiOp::Send {
+                        to,
+                        bytes: p.edge_x_bytes,
+                    });
+                }
+                if let Some(to) = down_y {
+                    self.buf.push_back(MpiOp::Send {
+                        to,
+                        bytes: p.edge_y_bytes,
+                    });
+                }
+            }
+            self.buf.push_back(MpiOp::Exit("sweep"));
+        }
+        // Flux fixup + convergence check.
+        self.buf.push_back(MpiOp::Enter("flux_err"));
+        self.buf.push_back(MpiOp::Allreduce { bytes: 24 });
+        self.buf.push_back(MpiOp::Allreduce { bytes: 24 });
+        self.buf.push_back(MpiOp::Exit("flux_err"));
+        self.iter += 1;
+    }
+}
+
+impl MpiApp for SweepApp {
+    fn next(&mut self) -> MpiOp {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return op;
+            }
+            if self.done || self.iter >= self.p.iters {
+                self.done = true;
+                return MpiOp::Finish;
+            }
+            self.gen_iteration();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn eight_sweeps_per_iteration() {
+        let p = SweepParams::tiny(2, 2);
+        let mut a = SweepApp::new(p, Rank(0));
+        let mut sweeps = 0;
+        loop {
+            match a.next() {
+                MpiOp::Enter("sweep") => sweeps += 1,
+                MpiOp::Finish => break,
+                _ => {}
+            }
+        }
+        assert_eq!(sweeps, 8 * p.iters);
+    }
+
+    #[test]
+    fn message_pattern_is_consistent() {
+        let p = SweepParams::tiny(3, 2);
+        let mut sends: HashMap<(u32, u32), (u64, u64)> = HashMap::new();
+        let mut recvs: HashMap<(u32, u32), (u64, u64)> = HashMap::new();
+        for r in 0..p.size() {
+            let mut a = SweepApp::new(p, Rank(r));
+            loop {
+                match a.next() {
+                    MpiOp::Send { to, bytes } => {
+                        let e = sends.entry((r, to.0)).or_default();
+                        e.0 += 1;
+                        e.1 += bytes;
+                    }
+                    MpiOp::Recv { from, bytes } => {
+                        let e = recvs.entry((from.0, r)).or_default();
+                        e.0 += 1;
+                        e.1 += bytes;
+                    }
+                    MpiOp::Finish => break,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(sends, recvs);
+    }
+
+    #[test]
+    fn corner_rank_starts_the_plus_plus_octant() {
+        let p = SweepParams::tiny(2, 2);
+        let mut a = SweepApp::new(p, Rank(0));
+        // First sweep op after Enter must be Compute for rank (0,0).
+        loop {
+            match a.next() {
+                MpiOp::Enter("sweep") => break,
+                MpiOp::Finish => panic!("no sweep"),
+                _ => {}
+            }
+        }
+        match a.next() {
+            MpiOp::Compute(_) => {}
+            o => panic!("corner rank should compute first, got {o:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end workload runs on the simulated cluster.
+
+use ktau_core::time::NS_PER_SEC;
+use ktau_mpi::{launch, Layout, Rank};
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec};
+use ktau_workloads::{LuParams, SweepParams};
+
+fn quiet(n: usize) -> Cluster {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    Cluster::new(s)
+}
+
+#[test]
+fn tiny_lu_completes_and_profiles_routines() {
+    let p = LuParams::tiny(2, 2);
+    let mut c = quiet(4);
+    let job = launch(&mut c, "lu.W.4", &Layout::one_per_node(4), p.apps());
+    let end = c.run_until_apps_exit(300 * NS_PER_SEC);
+    assert!(end > 0);
+    for (rank, node, pid) in job.iter() {
+        let snap = c.node(node).profile_snapshot(pid, c.now()).unwrap();
+        for routine in ["rhs", "blts", "buts", "exchange_3", "MPI_Recv", "MPI_Send"] {
+            assert!(
+                snap.user_event(routine).is_some(),
+                "{rank} missing {routine}"
+            );
+        }
+        // rhs ran once per iteration.
+        assert_eq!(snap.user_event("rhs").unwrap().stats.count, p.iters as u64);
+    }
+}
+
+#[test]
+fn lu_wavefront_makes_corner_rank_wait_less_than_far_corner() {
+    // In the lower sweep rank 0 leads and rank (px*py-1) trails; with
+    // balanced compute both spend similar total time, but the far corner
+    // must accumulate receive-side waiting.
+    let p = LuParams::tiny(2, 2);
+    let mut c = quiet(4);
+    let job = launch(&mut c, "lu", &Layout::one_per_node(4), p.apps());
+    c.run_until_apps_exit(300 * NS_PER_SEC);
+    let (n3, p3) = job.rank_task(Rank(3));
+    let snap = c.node(n3).profile_snapshot(p3, c.now()).unwrap();
+    let recv = snap.user_event("MPI_Recv").unwrap().stats;
+    assert!(recv.incl_ns > 0);
+}
+
+#[test]
+fn tiny_sweep3d_completes() {
+    let p = SweepParams::tiny(2, 2);
+    let mut c = quiet(4);
+    let job = launch(&mut c, "sweep3d", &Layout::one_per_node(4), p.apps());
+    let end = c.run_until_apps_exit(300 * NS_PER_SEC);
+    assert!(end > 0);
+    let (n, pid) = job.rank_task(Rank(0));
+    let snap = c.node(n).profile_snapshot(pid, c.now()).unwrap();
+    assert_eq!(
+        snap.user_event("sweep").unwrap().stats.count,
+        8 * p.iters as u64
+    );
+    assert!(snap.user_event("MPI_Allreduce").is_some());
+}
+
+#[test]
+fn lu_on_colocated_layout_runs_slower_than_spread() {
+    // 4 ranks on 4 nodes vs 4 ranks crammed onto 2 dual nodes: the
+    // co-located run can't be faster.
+    let p = LuParams::tiny(2, 2);
+    let mut spread = quiet(4);
+    launch(&mut spread, "lu", &Layout::one_per_node(4), p.apps());
+    let t_spread = spread.run_until_apps_exit(300 * NS_PER_SEC);
+
+    let mut packed = quiet(2);
+    launch(&mut packed, "lu", &Layout::cyclic(2, 4), p.apps());
+    let t_packed = packed.run_until_apps_exit(300 * NS_PER_SEC);
+
+    assert!(
+        t_packed as f64 >= t_spread as f64 * 0.98,
+        "packed {t_packed} vs spread {t_spread}"
+    );
+}
+
+#[test]
+fn faulty_single_cpu_node_slows_the_whole_job() {
+    let p = LuParams::tiny(2, 2);
+    let mut healthy = quiet(2);
+    launch(&mut healthy, "lu", &Layout::cyclic(2, 4), p.apps());
+    let t_ok = healthy.run_until_apps_exit(300 * NS_PER_SEC);
+
+    let mut spec = ClusterSpec::chiba(2);
+    spec.noise = NoiseSpec::silent();
+    spec.nodes[1].detected_cpus = Some(1); // the ccn10 fault
+    let mut faulty = Cluster::new(spec);
+    launch(&mut faulty, "lu", &Layout::cyclic(2, 4), p.apps());
+    let t_bad = faulty.run_until_apps_exit(300 * NS_PER_SEC);
+
+    assert!(
+        t_bad as f64 > t_ok as f64 * 1.3,
+        "faulty {t_bad} vs healthy {t_ok}"
+    );
+}

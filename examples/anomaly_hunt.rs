@@ -1,0 +1,125 @@
+//! The §5.2 detective story at reduced scale: a cluster node silently boots
+//! with one CPU instead of two, and KTAU's integrated views walk you to the
+//! root cause the same way the paper's authors found ccn10.
+//!
+//! ```sh
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use ktau::analysis::ns_to_s;
+use ktau::mpi::{launch, Layout};
+use ktau::oskern::{Cluster, ClusterSpec, TaskKind};
+use ktau::user::{call_groups_in, ktau_get_profile};
+use ktau::workloads::LuParams;
+
+const NODES: u32 = 8;
+const FAULTY: usize = 5;
+
+fn run(faulty: bool) -> (f64, Cluster, ktau::mpi::JobHandle) {
+    let mut spec = ClusterSpec::chiba(NODES as usize);
+    if faulty {
+        spec.nodes[FAULTY].detected_cpus = Some(1); // the silent fault
+    }
+    let mut cluster = Cluster::new(spec);
+    let mut p = LuParams::tiny(4, 4);
+    p.iters = 4;
+    p.nz = 24;
+    p.rhs_cycles = 450_000_000; // 1 s
+    p.plane_cycles = 9_000_000; // 20 ms
+    let job = launch(&mut cluster, "lu", &Layout::cyclic(NODES, 16), p.apps());
+    let end = cluster.run_until_apps_exit(3_600_000_000_000);
+    (end as f64 / 1e9, cluster, job)
+}
+
+fn main() {
+    println!("step 0: run LU 16 ranks over {NODES} dual-CPU nodes (2 ranks/node)…");
+    let (t_bad, cluster, job) = run(true);
+    println!("        total execution time: {t_bad:.2} s — slower than expected!\n");
+
+    // Step 1: user-level profile alone — MPI_Recv times are uneven.
+    println!("step 1: TAU user-level profile — MPI_Recv exclusive time per rank:");
+    let mut recv: Vec<(u32, f64, u32)> = job
+        .iter()
+        .map(|(r, node, pid)| {
+            let snap = ktau_get_profile(&cluster, node, pid).unwrap();
+            let excl = snap
+                .user_event("MPI_Recv")
+                .map(|e| e.stats.excl_ns)
+                .unwrap_or(0);
+            (r.0, ns_to_s(excl), node)
+        })
+        .collect();
+    recv.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for (r, s, _) in &recv {
+        println!("  rank {r:>2}: {s:>7.2} s");
+    }
+    let outliers: Vec<(u32, u32)> = recv.iter().take(2).map(|&(r, _, n)| (r, n)).collect();
+    println!(
+        "        -> two outliers with far LOWER recv time: ranks {} and {}",
+        outliers[0].0, outliers[1].0
+    );
+    println!("        (the user-level view cannot explain why)\n");
+
+    // Step 2: merged view — what does MPI_Recv do in the kernel?
+    println!("step 2: KTAU merged view — kernel call groups inside MPI_Recv:");
+    for &(r, _) in &outliers {
+        let (node, pid) = job.rank_task(ktau::mpi::Rank(r));
+        let snap = ktau_get_profile(&cluster, node, pid).unwrap();
+        let groups = call_groups_in(&snap, "MPI_Recv");
+        let top = groups
+            .iter()
+            .map(|g| format!("{}={:.2}s", g.group, ns_to_s(g.ns)))
+            .take(3)
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  rank {r:>2}: {top}");
+        let sched = snap
+            .kernel_event("schedule")
+            .map(|e| e.stats.incl_ns)
+            .unwrap_or(0);
+        println!("           involuntary scheduling overall: {:.2} s", ns_to_s(sched));
+    }
+    println!("        -> the outlier ranks suffer heavy preemption, not I/O waits\n");
+
+    // Step 3: both outliers live on the same node!
+    let n0 = outliers[0].1;
+    let n1 = outliers[1].1;
+    println!("step 3: placement — outlier ranks run on node {n0} and node {n1}");
+    assert_eq!(n0, n1, "expected co-located outliers");
+    println!("        -> the SAME node. Is a daemon stealing cycles there?\n");
+
+    // Step 4: process-centric node view (Fig 7) — daemons are innocent.
+    println!("step 4: all-process activity on node {n0}:");
+    let node = cluster.node(n0);
+    let mut rows: Vec<(String, f64)> = node
+        .pids()
+        .into_iter()
+        .filter_map(|pid| {
+            let t = node.task(pid)?;
+            (t.kind != TaskKind::Idle).then(|| (format!("{} (pid {pid})", t.comm), t.cpu_ns as f64 / 1e9))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, s) in &rows {
+        println!("  {name:<24} {s:>8.2} s CPU");
+    }
+    println!("        -> only the two LU tasks matter; they preempt EACH OTHER\n");
+
+    // Step 5: check the hardware the OS actually sees.
+    println!("step 5: /proc/cpuinfo on node {n0}:");
+    let info = cluster.node(n0).proc_cpuinfo();
+    let cpus = info.matches("processor").count();
+    for line in info.lines().take(4) {
+        println!("  {line}");
+    }
+    println!("        -> the OS detected {cpus} CPU(s) on dual-CPU hardware!\n");
+
+    // Step 6: fix and re-run.
+    println!("step 6: replace/fix the faulty node and re-run…");
+    let (t_ok, _, _) = run(false);
+    println!(
+        "        fixed: {t_ok:.2} s (was {t_bad:.2} s, improvement {:.1}%)",
+        (t_bad - t_ok) / t_bad * 100.0
+    );
+    assert!(t_ok < t_bad);
+}

@@ -1,0 +1,74 @@
+//! System-wide monitoring with the KTAUD daemon (paper §4.5): periodic
+//! extraction of every process's kernel profile, including daemons the
+//! application knows nothing about — the mode needed for closed-source
+//! programs that cannot be instrumented.
+//!
+//! ```sh
+//! cargo run --example ktaud_monitor
+//! ```
+
+use ktau::oskern::{Cluster, ClusterSpec, Op, OpList, TaskSpec};
+use ktau::user::{AccessMode, Ktaud};
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterSpec::chiba(2));
+    // A "closed-source" app: we never instrument it; KTAUD still sees its
+    // kernel interactions.
+    cluster.spawn(
+        0,
+        TaskSpec::app(
+            "blackbox",
+            Box::new(OpList::new(vec![
+                Op::Compute(450_000_000),
+                Op::SyscallNull,
+                Op::Sleep(500_000_000),
+                Op::Compute(450_000_000),
+            ])),
+        ),
+    );
+
+    // Install KTAUD on both nodes: 250 ms period, all-process mode.
+    let mut daemon = Ktaud::install(&mut cluster, &[0, 1], 250_000_000, AccessMode::All);
+    daemon.run(&mut cluster, 12).expect("collection failed");
+
+    println!(
+        "KTAUD collected {} sweeps over {:.2} virtual seconds\n",
+        daemon.history.len(),
+        cluster.now() as f64 / 1e9
+    );
+
+    // Show how the blackbox app's kernel profile grew over time.
+    println!("blackbox kernel activity growth (sys_nanosleep inclusive seconds):");
+    for sample in daemon.history.iter().step_by(3) {
+        for (node, profiles) in &sample.profiles {
+            if let Some(p) = profiles.iter().find(|p| p.comm == "blackbox") {
+                let sleep = p
+                    .kernel_event("sys_nanosleep")
+                    .map(|r| r.stats.incl_ns)
+                    .unwrap_or(0);
+                println!(
+                    "  t={:>6.2}s node {}: {:>8.3} s in nanosleep, {} kernel events seen",
+                    sample.taken_ns as f64 / 1e9,
+                    node,
+                    sleep as f64 / 1e9,
+                    p.kernel_events.len()
+                );
+            }
+        }
+    }
+
+    // The final sweep shows everything on node 0, daemons included.
+    println!("\nfinal sweep, node 0 process inventory:");
+    if let Some(sample) = daemon.latest() {
+        for p in &sample.profiles[0].1 {
+            println!(
+                "  pid {:>3} {:<12} kernel events: {:>3}",
+                p.pid,
+                p.comm,
+                p.kernel_events.len()
+            );
+        }
+    }
+    println!("\n(note the ktaud daemon itself appears — a daemon-based model");
+    println!(" perturbs the system, which is why KTAU also supports self-profiling)");
+}

@@ -1,0 +1,47 @@
+//! LMBENCH-style microbenchmarks measured through KTAU probes instead of
+//! user-space timing loops (paper §5: "we have also experimented with the
+//! LMBENCH micro-benchmark for Linux").
+//!
+//! ```sh
+//! cargo run --example lmbench_micro
+//! ```
+
+use ktau::oskern::{Cluster, ClusterSpec, NoiseSpec};
+use ktau::workloads::{bw_tcp, lat_ctx, lat_syscall};
+
+fn quiet(n: usize) -> Cluster {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    Cluster::new(s)
+}
+
+fn main() {
+    println!("LMBENCH-style microbenchmarks on the simulated 450 MHz node\n");
+
+    let mut c = quiet(1);
+    let r = lat_syscall(&mut c, 0, 10_000);
+    println!(
+        "lat_syscall (null): {:>10.2} us/call   ({} calls, measured by the sys_getpid probe)",
+        r.mean_ns / 1e3,
+        r.count
+    );
+
+    let mut c = quiet(1);
+    let r = lat_ctx(&mut c, 0, 2_000);
+    println!(
+        "lat_ctx (2 procs):  {:>10.2} us/switch ({} voluntary switches via sched_yield)",
+        r.mean_ns / 1e3,
+        r.count
+    );
+
+    let mut c = quiet(2);
+    let (mbps, rcv) = bw_tcp(&mut c, 0, 1, 20_000_000);
+    println!(
+        "bw_tcp (20 MB):     {:>10.2} MB/s     (line rate 12.5 MB/s; {} segments,",
+        mbps, rcv.count
+    );
+    println!(
+        "                    {:>10.2} us/segment tcp_v4_rcv — the paper's Fig 10 range is 27-36 us)",
+        rcv.mean_ns / 1e3
+    );
+}

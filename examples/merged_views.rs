@@ -1,0 +1,91 @@
+//! Merged user/kernel profiling and tracing (the paper's Fig 2-D/2-E):
+//! compares the TAU-only view of a routine with the integrated KTAU view,
+//! then prints the kernel events inside one `MPI_Send` from a merged trace.
+//!
+//! ```sh
+//! cargo run --example merged_views
+//! ```
+
+use ktau::analysis::{ns_to_s, timeline};
+use ktau::oskern::{Cluster, ClusterSpec, Op, OpList, TaskSpec};
+use ktau::user::{
+    callpath_profile, ktau_get_profile, ktau_get_trace, merged_routine_view, render_callpaths,
+    timeline_within,
+};
+
+fn main() {
+    let mut spec = ClusterSpec::chiba(2);
+    spec.trace_capacity = Some(16_384);
+    let mut cluster = Cluster::new(spec);
+    let fwd = cluster.open_conn(0, 1);
+    let rev = cluster.open_conn(1, 0);
+
+    // An instrumented "application": compute, send, await the echo.
+    let app = cluster.spawn(
+        0,
+        TaskSpec::app(
+            "app",
+            Box::new(OpList::new(vec![
+                Op::UserEnter("main"),
+                Op::UserEnter("solve"),
+                Op::Compute(900_000_000), // 2 s at 450 MHz
+                Op::UserExit("solve"),
+                Op::UserEnter("MPI_Send"),
+                Op::Send { conn: fwd, bytes: 500_000 },
+                Op::UserExit("MPI_Send"),
+                Op::UserEnter("MPI_Recv"),
+                Op::Recv { conn: rev, bytes: 500_000 },
+                Op::UserExit("MPI_Recv"),
+                Op::UserExit("main"),
+            ])),
+        )
+        .traced(),
+    );
+    cluster.spawn(
+        1,
+        TaskSpec::app(
+            "peer",
+            Box::new(OpList::new(vec![
+                Op::Recv { conn: fwd, bytes: 500_000 },
+                Op::Send { conn: rev, bytes: 500_000 },
+            ])),
+        ),
+    );
+    cluster.run_until_apps_exit(60 * 1_000_000_000);
+
+    // --- merged profile (Fig 2-D style) ---
+    let snap = ktau_get_profile(&cluster, 0, app).unwrap();
+    println!("merged profile comparison (pid {}):", snap.pid);
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>14}",
+        "routine", "calls", "TAU excl s", "true excl s", "kernel s"
+    );
+    for row in merged_routine_view(&snap) {
+        println!(
+            "{:<12} {:>6} {:>14.4} {:>14.4} {:>14.4}",
+            row.routine,
+            row.calls,
+            ns_to_s(row.tau_excl_ns),
+            ns_to_s(row.true_excl_ns),
+            ns_to_s(row.kernel_ns)
+        );
+    }
+    println!();
+    println!("note how MPI_Recv's TAU-exclusive time is mostly kernel/wait time,");
+    println!("while 'solve' is genuine computation — only the merged view shows it.\n");
+
+    // --- merged trace (Fig 2-E style) ---
+    let trace = ktau_get_trace(&mut cluster, 0, app).unwrap();
+    let send_slice = timeline_within(&trace, "MPI_Send");
+    print!(
+        "{}",
+        timeline("kernel activity inside MPI_Send (merged trace)", &send_slice)
+    );
+    if trace.lost > 0 {
+        println!("(trace ring overflowed: {} records lost)", trace.lost);
+    }
+
+    // --- merged call-path profile (paper §6 future work) ---
+    println!("\nmerged user/kernel call-path profile (from the same trace):");
+    print!("{}", render_callpaths(&callpath_profile(&trace)));
+}

@@ -1,0 +1,77 @@
+//! Quickstart: boot a small simulated cluster with KTAU compiled in, run an
+//! instrumented MPI job, and look at the three views the paper is about —
+//! kernel-wide, process-centric, and merged user/kernel.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ktau::analysis::{bargraph, kernel_wide_bars, ns_to_s};
+use ktau::mpi::{launch, Layout, MpiOp, Rank};
+use ktau::oskern::{Cluster, ClusterSpec};
+use ktau::user::{ktau_get_profile, merged_routine_view};
+
+fn main() {
+    // A two-node Chiba-City-like cluster: dual 450 MHz CPUs per node,
+    // 100 Mbit Ethernet, background daemons, KTAU fully enabled.
+    let mut cluster = Cluster::new(ClusterSpec::chiba(2));
+
+    // A 2-rank ping-pong app with TAU-instrumented routines.
+    let apps: Vec<Box<dyn ktau::mpi::MpiApp>> = vec![
+        Box::new(ktau::mpi::app::MpiOpList::new(vec![
+            MpiOp::Enter("compute"),
+            MpiOp::Compute(450_000_000), // 1 s at 450 MHz
+            MpiOp::Exit("compute"),
+            MpiOp::Send { to: Rank(1), bytes: 1_000_000 },
+            MpiOp::Recv { from: Rank(1), bytes: 1_000_000 },
+        ])),
+        Box::new(ktau::mpi::app::MpiOpList::new(vec![
+            MpiOp::Recv { from: Rank(0), bytes: 1_000_000 },
+            MpiOp::Enter("compute"),
+            MpiOp::Compute(450_000_000),
+            MpiOp::Exit("compute"),
+            MpiOp::Send { to: Rank(0), bytes: 1_000_000 },
+        ])),
+    ];
+    let job = launch(&mut cluster, "pingpong", &Layout::one_per_node(2), apps);
+    let end = cluster.run_until_apps_exit(60 * 1_000_000_000);
+    println!("job finished at {:.3} virtual seconds\n", end as f64 / 1e9);
+
+    // 1. Kernel-wide perspective: aggregate kernel activity of node 0.
+    let wide = cluster.node(0).kernel_wide_snapshot(cluster.now());
+    print!(
+        "{}",
+        bargraph(
+            "kernel-wide view, node 0 (exclusive seconds)",
+            &kernel_wide_bars(&wide),
+            "s"
+        )
+    );
+
+    // 2. Process-centric perspective: rank 0's own kernel profile,
+    //    retrieved through libKtau's session-less /proc/ktau protocol.
+    let (node, pid) = job.rank_task(Rank(0));
+    let snap = ktau_get_profile(&cluster, node, pid).expect("libKtau read failed");
+    println!("\nprocess-centric view, rank 0 (pid {}):", snap.pid);
+    for row in &snap.kernel_events {
+        println!(
+            "  {:<16} {:>8} calls  incl {:>9.3} s",
+            row.name,
+            row.stats.count,
+            ns_to_s(row.stats.incl_ns)
+        );
+    }
+
+    // 3. Merged user/kernel view: TAU exclusive vs true exclusive.
+    println!("\nmerged view, rank 0 (TAU excl vs true excl, seconds):");
+    for row in merged_routine_view(&snap) {
+        println!(
+            "  {:<12} {:>6} calls  tau {:>8.3}  true {:>8.3}  kernel {:>8.3}",
+            row.routine,
+            row.calls,
+            ns_to_s(row.tau_excl_ns),
+            ns_to_s(row.true_excl_ns),
+            ns_to_s(row.kernel_ns)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # ktau — reproduction of the KTAU kernel-level measurement system
+//!
+//! Facade crate re-exporting the whole workspace; see the individual crates
+//! for detail:
+//!
+//! * [`core`](ktau_core) — the KTAU/TAU measurement framework (the paper's
+//!   primary contribution);
+//! * [`oskern`](ktau_oskern) — the simulated Linux SMP cluster the
+//!   instrumentation is compiled into;
+//! * [`net`](ktau_net) — TCP/NIC/fabric models;
+//! * [`mpi`](ktau_mpi) — the MPI-like runtime;
+//! * [`workloads`](ktau_workloads) — NPB-LU- and Sweep3D-shaped workloads,
+//!   LMBENCH microbenchmarks, anomaly loads;
+//! * [`user`](ktau_user) — libKtau, KTAUD, runKtau, TAU views, merged
+//!   profiles/traces;
+//! * [`analysis`](ktau_analysis) — statistics, CDFs, and text renderers.
+
+pub use ktau_analysis as analysis;
+pub use ktau_core as core;
+pub use ktau_mpi as mpi;
+pub use ktau_net as net;
+pub use ktau_oskern as oskern;
+pub use ktau_user as user;
+pub use ktau_workloads as workloads;

@@ -1,0 +1,238 @@
+//! Integration tests of the user-space client stack (libKtau, KTAUD,
+//! runKtau) against the simulated kernel, plus failure injection.
+
+use ktau::core::time::NS_PER_SEC;
+use ktau::oskern::{
+    Cluster, ClusterSpec, LoopProgram, NoiseSpec, Op, OpList, Pid, ProcError, TaskSpec,
+};
+use ktau::user::{
+    ktau_get_profile, ktau_get_profiles, ktau_get_trace, ktau_set_group, run_ktau, AccessMode,
+    Ktaud, KtauError,
+};
+
+fn quiet(n: usize) -> Cluster {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    Cluster::new(s)
+}
+
+#[test]
+fn ktaud_and_self_profiling_agree() {
+    // A self-profiling client (the app reading its own profile) and KTAUD's
+    // all-process sweep must report the same numbers for the same pid at
+    // the same time.
+    let mut c = quiet(1);
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "worker",
+            Box::new(OpList::new(vec![
+                Op::SyscallNull,
+                Op::Compute(450_000_000),
+                Op::SyscallNull,
+            ])),
+        ),
+    );
+    let mut d = Ktaud::install(&mut c, &[0], NS_PER_SEC / 4, AccessMode::All);
+    d.run(&mut c, 8).unwrap();
+    let self_view = ktau_get_profile(&c, 0, pid).unwrap();
+    let daemon_view = d
+        .latest()
+        .unwrap()
+        .profiles[0]
+        .1
+        .iter()
+        .find(|p| p.pid == pid.0)
+        .expect("daemon missed the worker")
+        .clone();
+    assert_eq!(self_view.kernel_events, daemon_view.kernel_events);
+}
+
+#[test]
+fn runktau_profiles_a_whole_process_lifetime() {
+    let mut c = quiet(1);
+    let snap = run_ktau(
+        &mut c,
+        0,
+        TaskSpec::app(
+            "job",
+            Box::new(OpList::new(vec![
+                Op::PageFault,
+                Op::SignalSelf,
+                Op::SyscallNull,
+                Op::Compute(45_000_000),
+            ])),
+        ),
+        60 * NS_PER_SEC,
+    )
+    .unwrap();
+    assert_eq!(snap.kernel_event("do_page_fault").unwrap().stats.count, 1);
+    assert_eq!(snap.kernel_event("do_signal").unwrap().stats.count, 1);
+    assert_eq!(snap.kernel_event("sys_getpid").unwrap().stats.count, 1);
+}
+
+#[test]
+fn runtime_group_toggle_takes_effect_mid_run() {
+    // Disable the syscall group at runtime, run syscalls, re-enable: the
+    // disabled window must record nothing (the paper's planned "dynamic
+    // measurement control", implemented).
+    let mut c = quiet(1);
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "toggler",
+            Box::new(OpList::new(vec![
+                Op::Compute(45_000_000), // phase 1 (enabled)
+                Op::SyscallNull,
+                Op::Sleep(NS_PER_SEC), // we toggle during this sleep
+                Op::SyscallNull,       // phase 2 (disabled)
+                Op::SyscallNull,
+                Op::Sleep(NS_PER_SEC),
+                Op::SyscallNull, // phase 3 (re-enabled)
+            ])),
+        ),
+    );
+    c.run_for(NS_PER_SEC / 2);
+    ktau_set_group(&mut c, 0, ktau::core::Group::Syscall, false);
+    c.run_for(NS_PER_SEC); // covers phase 2
+    assert!(ktau_set_group(&mut c, 0, ktau::core::Group::Syscall, true));
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    let snap = ktau_get_profile(&c, 0, pid).unwrap();
+    // Phase 2's two syscalls were not measured; sleeps are also syscalls
+    // but partially measured — assert getpid saw exactly 2 of 4.
+    assert_eq!(snap.kernel_event("sys_getpid").unwrap().stats.count, 2);
+}
+
+#[test]
+fn trace_overflow_reports_loss_not_corruption() {
+    let mut spec = ClusterSpec::chiba(1);
+    spec.noise = NoiseSpec::silent();
+    spec.trace_capacity = Some(64); // deliberately tiny ring
+    let mut c = Cluster::new(spec);
+    let ops: Vec<Op> = (0..200).map(|_| Op::SyscallNull).collect();
+    let pid = c.spawn(0, TaskSpec::app("spammy", Box::new(OpList::new(ops))).traced());
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    let t = ktau_get_trace(&mut c, 0, pid).unwrap();
+    assert_eq!(t.records.len(), 64);
+    assert!(t.lost > 0, "expected ring overflow");
+    // Surviving records are time-ordered.
+    assert!(t.records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+}
+
+#[test]
+fn reading_profiles_of_dying_and_dead_processes() {
+    let mut c = quiet(1);
+    let short = c.spawn(
+        0,
+        TaskSpec::app("short", Box::new(OpList::new(vec![Op::SyscallNull]))),
+    );
+    let long = c.spawn(
+        0,
+        TaskSpec::app("long", Box::new(OpList::new(vec![Op::Compute(900_000_000)]))),
+    );
+    // Read while running.
+    c.run_for(NS_PER_SEC / 10);
+    assert!(ktau_get_profile(&c, 0, long).is_ok());
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    // The short task is a zombie: profile still readable until reaped.
+    let snap = ktau_get_profile(&c, 0, short).unwrap();
+    assert_eq!(snap.kernel_event("sys_getpid").unwrap().stats.count, 1);
+    assert!(c.node_mut(0).reap(short));
+    match ktau_get_profile(&c, 0, short) {
+        Err(KtauError::Proc(ProcError::NoSuchPid(p))) => assert_eq!(p, short),
+        other => panic!("expected NoSuchPid, got {other:?}"),
+    }
+}
+
+#[test]
+fn apps_mode_filters_daemons_and_idle() {
+    let mut spec = ClusterSpec::chiba(1);
+    spec.noise.daemons_per_node = 3;
+    let mut c = Cluster::new(spec);
+    c.spawn(
+        0,
+        TaskSpec::app("only_app", Box::new(OpList::new(vec![Op::Compute(1_000)]))),
+    );
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    let apps = ktau_get_profiles(&c, 0, &AccessMode::Apps).unwrap();
+    assert_eq!(apps.len(), 1);
+    assert_eq!(apps[0].comm, "only_app");
+    let all = ktau_get_profiles(&c, 0, &AccessMode::All).unwrap();
+    assert!(all.len() >= 6); // 2 idle + 3 daemons + 1 app
+}
+
+#[test]
+fn daemon_model_perturbs_more_than_none() {
+    // The paper's argument for daemon-less operation: KTAUD's own activity
+    // costs the node CPU time.
+    let run = |with_daemon: bool| -> u64 {
+        let mut c = quiet(1);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                "victim",
+                Box::new(OpList::new(vec![Op::Compute(2 * 450_000_000)])),
+            )
+            .pinned(0),
+        );
+        if with_daemon {
+            // Pin KTAUD's busy work onto the same CPU as the victim.
+            let cost = 450_000 * 20; // 20 ms per sweep
+            let prog = LoopProgram::new(vec![Op::Sleep(NS_PER_SEC / 10), Op::Compute(cost)]);
+            c.spawn(0, TaskSpec::daemon("ktaud", Box::new(prog)).pinned(0));
+        }
+        c.run_until_apps_exit(60 * NS_PER_SEC)
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        with > without + 50_000_000,
+        "daemon should visibly perturb: {with} vs {without}"
+    );
+}
+
+#[test]
+fn lost_wakeup_free_under_many_small_messages() {
+    // Regression guard for wake/blocking races: thousands of small
+    // alternating messages across two nodes must complete.
+    let mut c = quiet(2);
+    let fwd = c.open_conn(0, 1);
+    let rev = c.open_conn(1, 0);
+    let n = 2_000;
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for _ in 0..n {
+        a.push(Op::Send { conn: fwd, bytes: 64 });
+        a.push(Op::Recv { conn: rev, bytes: 64 });
+        b.push(Op::Recv { conn: fwd, bytes: 64 });
+        b.push(Op::Send { conn: rev, bytes: 64 });
+    }
+    c.spawn(0, TaskSpec::app("a", Box::new(OpList::new(a))));
+    c.spawn(1, TaskSpec::app("b", Box::new(OpList::new(b))));
+    let end = c.run_until_apps_exit(600 * NS_PER_SEC);
+    assert!(end > 0);
+}
+
+#[test]
+fn profile_read_is_stable_across_identical_calls() {
+    // Session-less protocol: two reads at the same virtual time return the
+    // same bytes (no hidden cursor state).
+    let mut c = quiet(1);
+    let pid = c.spawn(
+        0,
+        TaskSpec::app("w", Box::new(OpList::new(vec![Op::SyscallNull]))),
+    );
+    c.run_until_apps_exit(60 * NS_PER_SEC);
+    let a = ktau_get_profile(&c, 0, pid).unwrap();
+    let b = ktau_get_profile(&c, 0, pid).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn unknown_pid_is_a_clean_error() {
+    let c = quiet(1);
+    match ktau_get_profile(&c, 0, Pid(4242)) {
+        Err(KtauError::Proc(ProcError::NoSuchPid(p))) => assert_eq!(p.0, 4242),
+        other => panic!("expected NoSuchPid, got {other:?}"),
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-crate integration tests asserting the paper's qualitative findings
+//! at reduced scale (fast enough for debug-mode CI).
+
+use ktau::core::time::NS_PER_SEC;
+use ktau::mpi::{launch, Layout, Rank};
+use ktau::oskern::{Cluster, ClusterSpec, IrqPolicy, NoiseSpec};
+use ktau::user::ktau_get_profile;
+use ktau::workloads::LuParams;
+
+/// A small but communication-rich LU job: 16 ranks, enough planes for the
+/// wavefront to matter.
+fn lu_params() -> LuParams {
+    let mut p = LuParams::tiny(4, 4);
+    p.iters = 3;
+    p.nz = 24;
+    p.rhs_cycles = 225_000_000; // 0.5 s
+    p.plane_cycles = 4_500_000; // 10 ms
+    p.edge_x_bytes = 1_600;
+    p.edge_y_bytes = 800;
+    p.face_x_bytes = 50_000;
+    p.face_y_bytes = 25_000;
+    p
+}
+
+fn run_config(
+    nodes: usize,
+    faulty: Option<usize>,
+    layout: Layout,
+    irq: IrqPolicy,
+) -> (f64, Cluster, ktau::mpi::JobHandle) {
+    let mut spec = ClusterSpec::chiba(nodes);
+    spec.noise = NoiseSpec::silent();
+    for n in &mut spec.nodes {
+        n.irq = irq;
+    }
+    if let Some(f) = faulty {
+        spec.nodes[f].detected_cpus = Some(1);
+    }
+    let mut cluster = Cluster::new(spec);
+    let job = launch(&mut cluster, "lu", &layout, lu_params().apps());
+    let end = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
+    (end as f64 / NS_PER_SEC as f64, cluster, job)
+}
+
+/// Table 2's ordering: 128x1-style beats 64x2-style; the anomaly is worst.
+#[test]
+fn table2_ordering_at_small_scale() {
+    let (t_spread, _, _) = run_config(16, None, Layout::one_per_node(16), IrqPolicy::AllToCpu0);
+    let (t_packed, _, _) = run_config(8, None, Layout::cyclic(8, 16), IrqPolicy::AllToCpu0);
+    let (t_anom, _, _) = run_config(8, Some(5), Layout::cyclic(8, 16), IrqPolicy::AllToCpu0);
+    assert!(
+        t_packed > t_spread * 1.02,
+        "co-located ranks should pay: {t_packed} vs {t_spread}"
+    );
+    assert!(
+        t_anom > t_packed * 1.15,
+        "anomaly should dominate: {t_anom} vs {t_packed}"
+    );
+}
+
+/// §5.2: irq-balancing improves the pinned 2-rank-per-node configuration.
+#[test]
+fn irq_balancing_helps_pinned_64x2_style() {
+    let (t_pin, _, _) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::AllToCpu0);
+    let (t_bal, _, _) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::Balanced);
+    assert!(
+        t_bal < t_pin,
+        "irq balancing should help: balanced {t_bal} vs cpu0-only {t_pin}"
+    );
+}
+
+/// §5.2: ranks on the faulty node show involuntary scheduling; everyone
+/// else shows voluntary waiting (remote influence).
+#[test]
+fn anomaly_signature_vol_vs_invol() {
+    let (_, cluster, job) = run_config(8, Some(5), Layout::cyclic(8, 16), IrqPolicy::AllToCpu0);
+    let mut faulty_invol = Vec::new();
+    let mut healthy_vol = Vec::new();
+    let mut healthy_invol = Vec::new();
+    for (rank, node, pid) in job.iter() {
+        let snap = ktau_get_profile(&cluster, node, pid).unwrap();
+        let invol = snap
+            .kernel_event("schedule")
+            .map(|r| r.stats.incl_ns)
+            .unwrap_or(0);
+        let vol = snap
+            .kernel_event("schedule_vol")
+            .map(|r| r.stats.incl_ns)
+            .unwrap_or(0);
+        let _ = rank;
+        if node == 5 {
+            faulty_invol.push(invol);
+        } else {
+            healthy_vol.push(vol);
+            healthy_invol.push(invol);
+        }
+    }
+    let f_invol_min = *faulty_invol.iter().min().unwrap();
+    let h_invol_max = *healthy_invol.iter().max().unwrap();
+    assert!(
+        f_invol_min > h_invol_max,
+        "faulty-node ranks must preempt each other more: {f_invol_min} vs {h_invol_max}"
+    );
+    // Healthy ranks spend serious time waiting voluntarily for the slow node.
+    let h_vol_mean = healthy_vol.iter().sum::<u64>() / healthy_vol.len() as u64;
+    assert!(h_vol_mean > NS_PER_SEC / 2, "healthy vol wait {h_vol_mean}");
+}
+
+/// Fig 8's mechanism: with IRQs all on CPU0, CPU0-pinned ranks absorb the
+/// interrupts and CPU1-pinned ranks see almost none.
+#[test]
+fn irq_bimodality_for_pinned_no_balance() {
+    let (_, cluster, job) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::AllToCpu0);
+    let mut cpu0 = Vec::new();
+    let mut cpu1 = Vec::new();
+    for (rank, node, pid) in job.iter() {
+        let snap = ktau_get_profile(&cluster, node, pid).unwrap();
+        let irq = snap
+            .kernel_event("eth_rx_irq")
+            .map(|r| r.stats.count)
+            .unwrap_or(0);
+        if rank.0 < 8 {
+            cpu0.push(irq); // ranks 0..8 pinned to CPU 0
+        } else {
+            cpu1.push(irq);
+        }
+        let _ = node;
+    }
+    let c0_min = *cpu0.iter().min().unwrap();
+    let c1_max = *cpu1.iter().max().unwrap();
+    assert!(
+        c0_min > 10 * (c1_max + 1),
+        "expected strong imbalance: cpu0 ranks {c0_min}+ vs cpu1 ranks {c1_max}"
+    );
+}
+
+/// Perturbation ordering (Table 3): Base ≈ KtauOff ≤ ProfSched ≤ ProfAll.
+#[test]
+fn perturbation_ordering() {
+    use ktau::core::control::InstrumentationControl;
+    use ktau::core::Group;
+    let run = |ctl: InstrumentationControl| {
+        let mut spec = ClusterSpec::chiba(4);
+        spec.noise = NoiseSpec::silent();
+        spec.control = ctl;
+        let mut cluster = Cluster::new(spec);
+        let mut p = lu_params();
+        p.px = 2;
+        p.py = 2;
+        launch(&mut cluster, "lu", &Layout::one_per_node(4), p.apps());
+        cluster.run_until_apps_exit(3_600 * NS_PER_SEC)
+    };
+    let base = run(InstrumentationControl::base());
+    let off = run(InstrumentationControl::ktau_off());
+    let sched = run(InstrumentationControl::only(&[Group::Scheduler]));
+    let all = run(InstrumentationControl::prof_all());
+    let pct = |x: u64| (x as f64 - base as f64) / base as f64 * 100.0;
+    assert!(pct(off).abs() < 0.2, "KtauOff perturbs {:.3}%", pct(off));
+    assert!(pct(sched) < 1.0, "ProfSched perturbs {:.3}%", pct(sched));
+    assert!(pct(all) > pct(sched), "ProfAll must cost more than ProfSched");
+    assert!(pct(all) < 8.0, "ProfAll too heavy: {:.2}%", pct(all));
+}
+
+/// Merged-view accounting identity: for every rank, every routine's true
+/// exclusive time is non-negative and kernel time never exceeds the TAU
+/// exclusive time by more than rounding.
+#[test]
+fn merged_accounting_identity() {
+    let (_, cluster, job) = run_config(8, None, Layout::cyclic(8, 16), IrqPolicy::AllToCpu0);
+    for (_, node, pid) in job.iter() {
+        let snap = ktau_get_profile(&cluster, node, pid).unwrap();
+        for row in ktau::user::merged_routine_view(&snap) {
+            assert!(
+                row.kernel_ns <= row.tau_excl_ns + 2_000_000,
+                "kernel {} > tau excl {} in {}",
+                row.kernel_ns,
+                row.tau_excl_ns,
+                row.routine
+            );
+        }
+    }
+}
+
+/// Fig 10's mechanism: per-call TCP receive cost is higher when both CPUs
+/// of the receiving nodes are busy computing (64x2-style vs 128x1-style).
+#[test]
+fn tcp_per_call_dilation_on_busy_smp() {
+    let (_, c_spread, job_s) = run_config(16, None, Layout::one_per_node(16), IrqPolicy::AllToCpu0);
+    let (_, c_packed, job_p) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::Balanced);
+    let mean_tcp = |cluster: &Cluster, job: &ktau::mpi::JobHandle| -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for (_, node, pid) in job.iter() {
+            let snap = ktau_get_profile(cluster, node, pid).unwrap();
+            if let Some(r) = snap.kernel_event("tcp_v4_rcv") {
+                if r.stats.count > 20 {
+                    total += r.stats.excl_ns as f64 / r.stats.count as f64;
+                    n += 1;
+                }
+            }
+        }
+        total / n.max(1) as f64
+    };
+    let spread = mean_tcp(&c_spread, &job_s);
+    let packed = mean_tcp(&c_packed, &job_p);
+    assert!(
+        packed > spread * 1.05,
+        "expected dilated TCP cost on busy SMP: {packed:.0} vs {spread:.0} ns/call"
+    );
+}
+
+/// Determinism: the full stack reproduces bit-identical timing for equal
+/// seeds and differs for different seeds.
+#[test]
+fn end_to_end_determinism() {
+    let run = |seed: u64| {
+        let mut spec = ClusterSpec::chiba(4);
+        spec.seed = seed;
+        let mut cluster = Cluster::new(spec);
+        let mut p = lu_params();
+        p.px = 2;
+        p.py = 2;
+        launch(&mut cluster, "lu", &Layout::one_per_node(4), p.apps());
+        cluster.run_until_apps_exit(3_600 * NS_PER_SEC)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+/// The cyclic layout pairing behind the paper's rank-61/125 observation.
+#[test]
+fn colocated_outlier_ranks_match_paper_placement() {
+    let layout = Layout::cyclic(64, 128);
+    assert_eq!(layout.ranks_on(61), vec![Rank(61), Rank(125)]);
+}
