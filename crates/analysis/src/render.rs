@@ -171,11 +171,7 @@ mod tests {
 
     #[test]
     fn bargraph_scales_to_max() {
-        let g = bargraph(
-            "t",
-            &[("a".into(), 10.0), ("b".into(), 5.0)],
-            "s",
-        );
+        let g = bargraph("t", &[("a".into(), 10.0), ("b".into(), 5.0)], "s");
         let lines: Vec<&str> = g.lines().collect();
         assert!(lines[1].matches('#').count() == 50);
         assert!(lines[2].matches('#').count() == 25);
@@ -197,7 +193,7 @@ mod tests {
 
     #[test]
     fn timeline_nests_entries() {
-        let recs = vec![
+        let recs = [
             NamedTraceRecord {
                 ts_ns: 1_000,
                 name: "MPI_Send".into(),

@@ -67,11 +67,7 @@ pub fn cdf(samples: &[f64]) -> Cdf {
 impl Cdf {
     /// Fraction of samples ≤ `x`.
     pub fn at(&self, x: f64) -> f64 {
-        match self
-            .points
-            .iter()
-            .rposition(|&(v, _)| v <= x)
-        {
+        match self.points.iter().rposition(|&(v, _)| v <= x) {
             Some(i) => self.points[i].1,
             None => 0.0,
         }
@@ -82,9 +78,7 @@ impl Cdf {
         if self.points.is_empty() {
             return 0.0;
         }
-        let idx = ((q * self.points.len() as f64).ceil() as usize)
-            .clamp(1, self.points.len())
-            - 1;
+        let idx = ((q * self.points.len() as f64).ceil() as usize).clamp(1, self.points.len()) - 1;
         self.points[idx].0
     }
 
@@ -196,7 +190,10 @@ mod tests {
     #[test]
     fn cdf_is_monotone_and_ends_at_one() {
         let c = cdf(&[3.0, 1.0, 2.0, 2.0]);
-        assert!(c.points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(c
+            .points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
         assert_eq!(c.points.last().unwrap().1, 1.0);
         assert_eq!(c.at(0.5), 0.0);
         assert_eq!(c.at(2.0), 0.75);

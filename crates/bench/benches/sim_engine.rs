@@ -17,14 +17,20 @@ fn bench(c: &mut Criterion) {
                     0,
                     TaskSpec::app(
                         "tx",
-                        Box::new(OpList::new(vec![Op::Send { conn, bytes: 2_000_000 }])),
+                        Box::new(OpList::new(vec![Op::Send {
+                            conn,
+                            bytes: 2_000_000,
+                        }])),
                     ),
                 );
                 cluster.spawn(
                     1,
                     TaskSpec::app(
                         "rx",
-                        Box::new(OpList::new(vec![Op::Recv { conn, bytes: 2_000_000 }])),
+                        Box::new(OpList::new(vec![Op::Recv {
+                            conn,
+                            bytes: 2_000_000,
+                        }])),
                     ),
                 );
                 cluster

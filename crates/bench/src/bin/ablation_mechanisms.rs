@@ -59,19 +59,65 @@ fn run(k: &Knobs, packed: bool) -> f64 {
 }
 
 fn main() {
-    let full = Knobs { smp_dilation: true, tcp_dilation: true, migration: true, irq_cpu0: true };
+    let full = Knobs {
+        smp_dilation: true,
+        tcp_dilation: true,
+        migration: true,
+        irq_cpu0: true,
+    };
     let base_spread = run(&full, false);
     let base_packed = run(&full, true);
     println!("Ablation: 2-ranks-per-node slowdown vs 1-per-node (reduced-scale LU)");
-    println!("{:<28} {:>10} {:>10} {:>9}", "variant", "spread s", "packed s", "packed%");
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}",
+        "variant", "spread s", "packed s", "packed%"
+    );
     let pct = |p: f64, s: f64| (p - s) / s * 100.0;
-    println!("{:<28} {:>10.2} {:>10.2} {:>8.1}%", "all mechanisms", base_spread, base_packed, pct(base_packed, base_spread));
+    println!(
+        "{:<28} {:>10.2} {:>10.2} {:>8.1}%",
+        "all mechanisms",
+        base_spread,
+        base_packed,
+        pct(base_packed, base_spread)
+    );
     for (name, k) in [
-        ("- FSB compute dilation", Knobs { smp_dilation: false, ..full_copy() }),
-        ("- TCP busy-SMP dilation", Knobs { tcp_dilation: false, ..full_copy() }),
-        ("- migration penalty", Knobs { migration: false, ..full_copy() }),
-        ("- IRQs all to CPU0", Knobs { irq_cpu0: false, ..full_copy() }),
-        ("none (ideal hardware)", Knobs { smp_dilation: false, tcp_dilation: false, migration: false, irq_cpu0: false }),
+        (
+            "- FSB compute dilation",
+            Knobs {
+                smp_dilation: false,
+                ..full_copy()
+            },
+        ),
+        (
+            "- TCP busy-SMP dilation",
+            Knobs {
+                tcp_dilation: false,
+                ..full_copy()
+            },
+        ),
+        (
+            "- migration penalty",
+            Knobs {
+                migration: false,
+                ..full_copy()
+            },
+        ),
+        (
+            "- IRQs all to CPU0",
+            Knobs {
+                irq_cpu0: false,
+                ..full_copy()
+            },
+        ),
+        (
+            "none (ideal hardware)",
+            Knobs {
+                smp_dilation: false,
+                tcp_dilation: false,
+                migration: false,
+                irq_cpu0: false,
+            },
+        ),
     ] {
         let s = run(&k, false);
         let p = run(&k, true);
@@ -82,5 +128,10 @@ fn main() {
 }
 
 fn full_copy() -> Knobs {
-    Knobs { smp_dilation: true, tcp_dilation: true, migration: true, irq_cpu0: true }
+    Knobs {
+        smp_dilation: true,
+        tcp_dilation: true,
+        migration: true,
+        irq_cpu0: true,
+    }
 }

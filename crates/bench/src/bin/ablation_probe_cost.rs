@@ -45,5 +45,10 @@ fn main() {
         );
     }
     let t = run(InstrumentationControl::ktau_off(), OverheadModel::default());
-    println!("{:<22} {:>10.3} {:>8.2}%", "KtauOff (flag checks)", t, (t - base) / base * 100.0);
+    println!(
+        "{:<22} {:>10.3} {:>8.2}%",
+        "KtauOff (flag checks)",
+        t,
+        (t - base) / base * 100.0
+    );
 }

@@ -6,7 +6,10 @@ use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec, Op, OpList, TaskSpec};
 
 fn main() {
     println!("Ablation: trace buffer capacity vs loss (traced sender, 4 MB transfer)");
-    println!("{:<12} {:>10} {:>10} {:>9}", "capacity", "kept", "lost", "loss %");
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}",
+        "capacity", "kept", "lost", "loss %"
+    );
     for cap in [256usize, 1024, 4096, 16384, 65536, 262144] {
         let mut spec = ClusterSpec::chiba(2);
         spec.noise = NoiseSpec::silent();
@@ -17,13 +20,22 @@ fn main() {
             0,
             TaskSpec::app(
                 "tx",
-                Box::new(OpList::new(vec![Op::Send { conn, bytes: 4_000_000 }])),
+                Box::new(OpList::new(vec![Op::Send {
+                    conn,
+                    bytes: 4_000_000,
+                }])),
             )
             .traced(),
         );
         c.spawn(
             1,
-            TaskSpec::app("rx", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 4_000_000 }]))),
+            TaskSpec::app(
+                "rx",
+                Box::new(OpList::new(vec![Op::Recv {
+                    conn,
+                    bytes: 4_000_000,
+                }])),
+            ),
         );
         c.run_until_apps_exit(600 * NS_PER_SEC);
         let t = c.node_mut(0).proc_trace_read(pid).unwrap();

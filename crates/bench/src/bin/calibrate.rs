@@ -12,8 +12,14 @@ fn main() {
     let p = LuParams::class_c_128();
     let t0 = Instant::now();
     let (mut cluster, layout) = match which {
-        "128x1" => (Cluster::new(ClusterSpec::chiba(128)), Layout::one_per_node(128)),
-        "64x2" => (Cluster::new(ClusterSpec::chiba(64)), Layout::cyclic(64, 128)),
+        "128x1" => (
+            Cluster::new(ClusterSpec::chiba(128)),
+            Layout::one_per_node(128),
+        ),
+        "64x2" => (
+            Cluster::new(ClusterSpec::chiba(64)),
+            Layout::cyclic(64, 128),
+        ),
         other => panic!("unknown config {other}"),
     };
     launch(&mut cluster, "lu.C.128", &layout, p.apps());

@@ -27,8 +27,14 @@ fn panel_ab() {
             (format!("host {}", i + 1), ns_to_s(sched))
         })
         .collect();
-    print!("{}", bargraph("Fig 2-A: kernel-wide scheduling time per node", &rows, "s"));
-    println!("-> host {} stands out (it runs the overhead process)\n", out.hot_node + 1);
+    print!(
+        "{}",
+        bargraph("Fig 2-A: kernel-wide scheduling time per node", &rows, "s")
+    );
+    println!(
+        "-> host {} stands out (it runs the overhead process)\n",
+        out.hot_node + 1
+    );
     // Panel B: per-process view of the hot node (CPU activity, all pids).
     let mut rows: Vec<(String, f64)> = out
         .hot_node_cpu
@@ -36,7 +42,10 @@ fn panel_ab() {
         .map(|(pid, comm, cpu)| (format!("pid {pid} {comm}"), *cpu))
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    print!("{}", bargraph("Fig 2-B: process activity on the hot node", &rows, "s"));
+    print!(
+        "{}",
+        bargraph("Fig 2-B: process activity on the hot node", &rows, "s")
+    );
     println!("-> apart from the two LU ranks, the 'overhead' process is by far");
     println!("   the most active — it causes the kernel-wide difference");
 }
@@ -44,7 +53,10 @@ fn panel_ab() {
 fn panel_c() {
     let out = run_fig2_c();
     println!("Fig 2-C: voluntary vs involuntary scheduling per LU rank");
-    println!("{:<8} {:>14} {:>14}", "rank", "voluntary s", "involuntary s");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "rank", "voluntary s", "involuntary s"
+    );
     for (label, vol, invol) in &out.rows {
         println!("{label:<8} {vol:>14.3} {invol:>14.3}");
     }
@@ -56,7 +68,10 @@ fn panel_d() {
     let out = run_fig2_c();
     let snap = &out.rank_snaps[0];
     println!("Fig 2-D: integrated (KTAU) vs application-only (TAU) profile, LU-0");
-    println!("{:<14} {:>6} {:>14} {:>14} {:>14}", "routine", "calls", "TAU excl s", "true excl s", "kernel s");
+    println!(
+        "{:<14} {:>6} {:>14} {:>14} {:>14}",
+        "routine", "calls", "TAU excl s", "true excl s", "kernel s"
+    );
     for row in merged_routine_view(snap) {
         println!(
             "{:<14} {:>6} {:>14.3} {:>14.3} {:>14.3}",
@@ -69,7 +84,10 @@ fn panel_d() {
     }
     println!("\nkernel-level routines additional in the KTAU view:");
     for (name, group, count, ns) in ktau_user::kernel_only_rows(snap).into_iter().take(8) {
-        println!("  {name:<16} [{group}] {count:>8} calls {:>12.3} s", ns_to_s(ns));
+        println!(
+            "  {name:<16} [{group}] {count:>8} calls {:>12.3} s",
+            ns_to_s(ns)
+        );
     }
 }
 
@@ -78,11 +96,21 @@ fn panel_e() {
     let recs = timeline_within(&trace, "MPI_Send");
     // The send covers ~80 segments; show the head and tail of the slice.
     let shown: Vec<_> = if recs.len() > 28 {
-        recs[..20].iter().chain(recs[recs.len() - 8..].iter()).copied().collect()
+        recs[..20]
+            .iter()
+            .chain(recs[recs.len() - 8..].iter())
+            .copied()
+            .collect()
     } else {
         recs
     };
-    print!("{}", timeline("Fig 2-E: kernel activity within MPI_Send (merged trace)", &shown));
+    print!(
+        "{}",
+        timeline(
+            "Fig 2-E: kernel activity within MPI_Send (merged trace)",
+            &shown
+        )
+    );
     println!("-> MPI_Send is implemented by sys_writev / sock_sendmsg / tcp_sendmsg;");
     println!("   do_softirq and tcp receive work appear when bottom halves run");
 }

@@ -11,7 +11,10 @@ fn main() {
         .map(|r| r.mpi_recv_excl_ns as f64 / 1e9)
         .collect();
     let h = histogram(&samples, 12);
-    print!("{}", histogram_chart("Fig 3: MPI_Recv exclusive time (64x2 Anomaly)", &h, "s"));
+    print!(
+        "{}",
+        histogram_chart("Fig 3: MPI_Recv exclusive time (64x2 Anomaly)", &h, "s")
+    );
     // Identify the outliers, as the paper does.
     let mut by_time: Vec<(u32, f64)> = rec
         .ranks

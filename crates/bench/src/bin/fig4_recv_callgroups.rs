@@ -26,7 +26,10 @@ fn main() {
     let r125 = rank_groups(125);
     let r61 = rank_groups(61);
     println!("Fig 4: kernel call groups active during MPI_Recv (seconds)");
-    println!("{:<14} {:>14} {:>14} {:>14}", "call group", "mean(all)", "rank 125", "rank 61");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "call group", "mean(all)", "rank 125", "rank 61"
+    );
     let mut keys: Vec<&String> = mean.keys().collect();
     keys.sort_by(|a, b| mean[*b].partial_cmp(&mean[*a]).unwrap());
     for g in keys {

@@ -1,8 +1,11 @@
 //! Figure 6: CDF of involuntary scheduling (preemption) per rank.
 use ktau_analysis::{cdf, cdf_csv, cdf_table};
-use ktau_bench::{lu_record, Config};
+use ktau_bench::{jobs, lu_record, prefetch, Config, Experiment};
 
 fn main() {
+    // Fan any cache misses out over worker threads (--jobs / KTAU_JOBS).
+    let exps: Vec<Experiment> = Config::TABLE2.iter().map(|&c| Experiment::Lu(c)).collect();
+    prefetch(&exps, jobs());
     let series: Vec<(String, ktau_analysis::Cdf)> = Config::TABLE2
         .iter()
         .map(|cfg| {
@@ -11,7 +14,14 @@ fn main() {
             (cfg.label().to_owned(), cdf(&xs))
         })
         .collect();
-    print!("{}", cdf_table("Fig 6: Preemption (involuntary scheduling) per rank", &series, "us"));
+    print!(
+        "{}",
+        cdf_table(
+            "Fig 6: Preemption (involuntary scheduling) per rank",
+            &series,
+            "us"
+        )
+    );
     let dir = ktau_bench::scenarios::results_dir();
     let _ = std::fs::create_dir_all(&dir);
     let _ = std::fs::write(dir.join("fig6_involsched.csv"), cdf_csv(&series));

@@ -1,0 +1,157 @@
+//! Perf smoke test for the DES engine: runs a reduced-scale NPB LU job,
+//! reports events/sec and wall time for the fast (tick-lane, dense-table)
+//! engine and the all-heap reference queue, and writes `BENCH_engine.json`
+//! at the repo root so the perf trajectory is tracked PR over PR.
+//!
+//! A baseline measured on an older commit can be folded in via
+//! `KTAU_SEED_COMMIT` / `KTAU_SEED_WALL_S` (same workload, same machine), and
+//! a cold-cache `run_all` wall measurement via `KTAU_RUNALL_WALL_S` /
+//! `KTAU_RUNALL_JOBS` / `KTAU_RUNALL_CORES`.
+use ktau_mpi::{launch, Layout};
+use ktau_oskern::{Cluster, ClusterSpec};
+use ktau_workloads::LuParams;
+use serde::Serialize;
+use std::time::Instant;
+
+const NODES: usize = 16;
+const ITERATIONS: usize = 3;
+const DEADLINE: u64 = 3_600_000_000_000;
+
+#[derive(Serialize)]
+struct EngineNumbers {
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    virtual_s: f64,
+}
+
+#[derive(Serialize)]
+struct SeedBaseline {
+    commit: String,
+    wall_s: f64,
+    speedup_vs_seed: f64,
+}
+
+#[derive(Serialize)]
+struct RunAllColdCache {
+    wall_s: f64,
+    jobs: u64,
+    host_cores: u64,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    workload: String,
+    iterations: u64,
+    fast_engine: EngineNumbers,
+    reference_engine: EngineNumbers,
+    lane_speedup: f64,
+    seed_baseline: Option<SeedBaseline>,
+    run_all_cold_cache: Option<RunAllColdCache>,
+}
+
+/// One timed run; returns (wall seconds, events processed, virtual seconds).
+fn run_once(reference: bool) -> (f64, u64, f64) {
+    let spec = ClusterSpec::chiba(NODES);
+    let t0 = Instant::now();
+    let mut cluster = if reference {
+        Cluster::new_reference_engine(spec)
+    } else {
+        Cluster::new(spec)
+    };
+    let job = launch(
+        &mut cluster,
+        "lu.C.16",
+        &Layout::one_per_node(NODES as u32),
+        LuParams::class_c_16().apps(),
+    );
+    let end = cluster.run_until_apps_exit(DEADLINE);
+    assert!(
+        job.size() as usize == NODES,
+        "launch placed a wrong rank count"
+    );
+    (
+        t0.elapsed().as_secs_f64(),
+        cluster.events_processed(),
+        end as f64 / 1e9,
+    )
+}
+
+/// Best-of-N numbers for one engine mode.
+fn measure(label: &str, reference: bool) -> EngineNumbers {
+    let mut best: Option<(f64, u64, f64)> = None;
+    for i in 0..ITERATIONS {
+        let (wall, events, virt) = run_once(reference);
+        eprintln!("[perf_smoke] {label} iter {i}: {wall:.3} s wall, {events} events");
+        if best.is_none_or(|(w, _, _)| wall < w) {
+            best = Some((wall, events, virt));
+        }
+    }
+    let (wall_s, events, virtual_s) = best.unwrap();
+    EngineNumbers {
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s,
+        virtual_s,
+    }
+}
+
+fn main() {
+    let fast = measure("fast (tick lanes)", false);
+    let reference = measure("reference (all-heap)", true);
+    assert_eq!(
+        fast.events, reference.events,
+        "engine modes processed different event counts — determinism bug"
+    );
+    let seed_baseline = match (
+        std::env::var("KTAU_SEED_COMMIT"),
+        std::env::var("KTAU_SEED_WALL_S").map(|v| v.parse::<f64>()),
+    ) {
+        (Ok(commit), Ok(Ok(wall_s))) => Some(SeedBaseline {
+            commit,
+            wall_s,
+            speedup_vs_seed: wall_s / fast.wall_s,
+        }),
+        _ => None,
+    };
+    let run_all_cold_cache = std::env::var("KTAU_RUNALL_WALL_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|wall_s| {
+            let env_u64 = |k: &str, d: u64| {
+                std::env::var(k)
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(d)
+            };
+            RunAllColdCache {
+                wall_s,
+                jobs: env_u64("KTAU_RUNALL_JOBS", 1),
+                host_cores: env_u64(
+                    "KTAU_RUNALL_CORES",
+                    std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+                ),
+                note: "independent runs fan out over --jobs workers; wall-time \
+                       gain requires a multi-core host"
+                    .into(),
+            }
+        });
+    let report = Report {
+        bench: "perf_smoke".into(),
+        workload: format!(
+            "NPB LU class-C-16, {NODES} nodes x 1 rank, default noise daemons, best of {ITERATIONS}"
+        ),
+        iterations: ITERATIONS as u64,
+        lane_speedup: reference.wall_s / fast.wall_s,
+        fast_engine: fast,
+        reference_engine: reference,
+        seed_baseline,
+        run_all_cold_cache,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+    std::fs::write("BENCH_engine.json", json + "\n").expect("write BENCH_engine.json");
+    eprintln!("[perf_smoke] wrote BENCH_engine.json");
+}

@@ -1,19 +1,29 @@
 //! Runs every experiment once, populating the results cache that the
-//! per-figure binaries read.
-use ktau_bench::{lu_record, sweep_record, Config};
+//! per-figure binaries read.  Independent cluster runs fan out over worker
+//! threads (`--jobs N` / `KTAU_JOBS`, default: available cores); results are
+//! printed and cached in a fixed order, byte-identical to a serial run.
+use ktau_bench::{jobs, prefetch, Config, Experiment};
 use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
-    for cfg in Config::TABLE2 {
-        let r = lu_record(cfg);
-        println!("LU      {:<18} {:>9.2} s   [{:>6.1} s wall]", cfg.label(), r.exec_s, t0.elapsed().as_secs_f64());
+    let j = jobs();
+    let mut exps: Vec<Experiment> = Config::TABLE2.iter().map(|&c| Experiment::Lu(c)).collect();
+    exps.extend(Config::TABLE2.iter().map(|&c| Experiment::Sweep(c)));
+    exps.push(Experiment::Sweep(Config::C128x1PinIrqCpu1));
+    eprintln!(
+        "[run_all] {} experiments across {j} worker thread(s)",
+        exps.len()
+    );
+    let recs = prefetch(&exps, j);
+    for (e, r) in exps.iter().zip(&recs) {
+        println!(
+            "{:<8} {:<18} {:>9.2} s   [{:>6.1} s wall]",
+            e.workload(),
+            e.config().label(),
+            r.exec_s,
+            t0.elapsed().as_secs_f64()
+        );
     }
-    for cfg in Config::TABLE2 {
-        let r = sweep_record(cfg);
-        println!("Sweep3D {:<18} {:>9.2} s   [{:>6.1} s wall]", cfg.label(), r.exec_s, t0.elapsed().as_secs_f64());
-    }
-    let r = sweep_record(Config::C128x1PinIrqCpu1);
-    println!("Sweep3D {:<18} {:>9.2} s   [{:>6.1} s wall]", Config::C128x1PinIrqCpu1.label(), r.exec_s, t0.elapsed().as_secs_f64());
     println!("cache populated under results/");
 }

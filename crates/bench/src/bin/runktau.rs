@@ -9,7 +9,7 @@
 
 use ktau_analysis::ns_to_s;
 use ktau_core::snapshot::profile_to_ascii;
-use ktau_core::time::{NS_PER_SEC};
+use ktau_core::time::NS_PER_SEC;
 use ktau_oskern::{Cluster, ClusterSpec, Op, OpList, TaskSpec};
 use ktau_user::run_ktau;
 

@@ -1,10 +1,17 @@
 //! Table 2: execution time and % slowdown from 128x1 for NPB LU and ASCI
 //! Sweep3D across the five cluster configurations.
-use ktau_bench::{lu_record, sweep_record, Config};
+use ktau_bench::{jobs, lu_record, prefetch, sweep_record, Config, Experiment};
 
 fn main() {
+    // Fan any cache misses out over worker threads (--jobs / KTAU_JOBS).
+    let mut exps: Vec<Experiment> = Config::TABLE2.iter().map(|&c| Experiment::Lu(c)).collect();
+    exps.extend(Config::TABLE2.iter().map(|&c| Experiment::Sweep(c)));
+    prefetch(&exps, jobs());
     println!("Table 2. Exec. Time (secs) and % Slowdown from 128x1 Configuration");
-    println!("{:<16} {:>12} {:>18} {:>12} {:>18}", "Config", "LU Exec", "LU %Diff", "S3D Exec", "S3D %Diff");
+    println!(
+        "{:<16} {:>12} {:>18} {:>12} {:>18}",
+        "Config", "LU Exec", "LU %Diff", "S3D Exec", "S3D %Diff"
+    );
     let lu_base = lu_record(Config::C128x1).exec_s;
     let s_base = sweep_record(Config::C128x1).exec_s;
     for cfg in Config::TABLE2 {

@@ -1,12 +1,14 @@
 //! Table 3: perturbation — total LU (16 ranks) / Sweep3D (128 ranks)
 //! execution time under the five instrumentation configurations.
+use ktau_bench::jobs;
 use ktau_bench::scenarios::{run_table3_lu, run_table3_sweep};
 use ktau_workloads::{LuParams, SweepParams};
 
 fn main() {
+    let j = jobs();
     println!("Table 3. Perturbation: Total Exec. Time (secs)");
     println!("-- NPB LU Class C-shaped (16 nodes) --");
-    let rows = run_table3_lu(LuParams::class_c_16());
+    let rows = run_table3_lu(LuParams::class_c_16(), j);
     let base = rows[0].1;
     println!("{:<14} {:>12} {:>12}", "Config", "Exec (s)", "% Slow");
     for (label, s) in &rows {
@@ -16,7 +18,7 @@ fn main() {
     println!("paper avg: Base 470.8 / KtauOff +0.01% / ProfAll +2.32% / ProfSched +0.07% / ProfAll+Tau +2.82%");
 
     println!("\n-- ASCI Sweep3D (128 nodes) --");
-    let rows = run_table3_sweep(SweepParams::paper_128());
+    let rows = run_table3_sweep(SweepParams::paper_128(), j);
     let base = rows[0].1;
     println!("{:<14} {:>12} {:>12}", "Config", "Exec (s)", "% Slow");
     for (label, s) in &rows {

@@ -7,10 +7,16 @@ use ktau_bench::measure_direct_overheads;
 fn main() {
     let (starts, stops) = measure_direct_overheads(100_000);
     println!("Table 4. Direct Overheads (host TSC cycles)");
-    println!("{:<10} {:>10} {:>10} {:>8}", "Operation", "Mean", "Std.Dev", "Min");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "Operation", "Mean", "Std.Dev", "Min"
+    );
     for (name, xs) in [("Start", &starts), ("Stop", &stops)] {
         let s = summarize(xs);
-        println!("{:<10} {:>10.1} {:>10.1} {:>8.0}", name, s.mean, s.std_dev, s.min);
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>8.0}",
+            name, s.mean, s.std_dev, s.min
+        );
     }
     println!("\npaper (450 MHz P3): Start mean 244.4 sd 236.3 min 160;");
     println!("                    Stop  mean 295.3 sd 268.8 min 214");

@@ -53,7 +53,9 @@ pub fn run_fig2_ab() -> ControlledAB {
     let job = launch(&mut cluster, "lu.A.16", &Layout::cyclic(8, 16), p.apps());
     cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
     let now = cluster.now();
-    let node_views = (0..8).map(|n| cluster.node(n).kernel_wide_snapshot(now)).collect();
+    let node_views = (0..8)
+        .map(|n| cluster.node(n).kernel_wide_snapshot(now))
+        .collect();
     let hot_node_procs = cluster
         .node(hot_node)
         .pids()

@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod controlled;
+pub mod parallel;
 pub mod records;
 pub mod scenarios;
 
 pub use controlled::{measure_direct_overheads, run_fig2_ab, run_fig2_c, run_fig2_e};
+pub use parallel::{jobs, prefetch, run_parallel, Experiment};
 pub use records::{NodeProcRecord, RankRecord, RunRecord};
 pub use scenarios::{lu_record, run_lu, run_sweep, sweep_record, Config, ANOMALY_NODE};

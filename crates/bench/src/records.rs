@@ -219,10 +219,7 @@ mod tests {
             tcp_count: 0,
         };
         assert_eq!(r.tcp_us_per_call(), 0.0);
-        let r2 = RankRecord {
-            tcp_count: 2,
-            ..r
-        };
+        let r2 = RankRecord { tcp_count: 2, ..r };
         assert_eq!(r2.tcp_us_per_call(), 28.0);
     }
 

@@ -137,49 +137,60 @@ pub fn table3_controls() -> Vec<(&'static str, InstrumentationControl)> {
                 ktau_core::GroupSet::all(),
             )
         }),
-        ("ProfSched", InstrumentationControl::only(&[Group::Scheduler])),
+        (
+            "ProfSched",
+            InstrumentationControl::only(&[Group::Scheduler]),
+        ),
         ("ProfAll+Tau", InstrumentationControl::prof_all()),
     ]
 }
 
-/// Runs the Table 3 perturbation study for LU on 16 nodes (16x1):
-/// `(label, exec seconds)` per configuration.
-pub fn run_table3_lu(params: LuParams) -> Vec<(String, f64)> {
-    table3_controls()
+/// Runs the Table 3 perturbation study for LU on 16 nodes (16x1) across
+/// `jobs` worker threads: `(label, exec seconds)` per configuration, in
+/// paper order regardless of thread scheduling.
+pub fn run_table3_lu(params: LuParams, jobs: usize) -> Vec<(String, f64)> {
+    let tasks: Vec<_> = table3_controls()
         .into_iter()
         .map(|(label, control)| {
-            let mut spec = ClusterSpec::chiba(16);
-            spec.control = control;
-            let mut cluster = Cluster::new(spec);
-            let layout = Layout::one_per_node(16);
-            launch(&mut cluster, "lu.C.16", &layout, params.apps());
-            let end = cluster.run_until_apps_exit(DEADLINE);
-            (label.to_owned(), end as f64 / NS_PER_SEC as f64)
+            move || {
+                let mut spec = ClusterSpec::chiba(16);
+                spec.control = control;
+                let mut cluster = Cluster::new(spec);
+                let layout = Layout::one_per_node(16);
+                launch(&mut cluster, "lu.C.16", &layout, params.apps());
+                let end = cluster.run_until_apps_exit(DEADLINE);
+                (label.to_owned(), end as f64 / NS_PER_SEC as f64)
+            }
         })
-        .collect()
+        .collect();
+    crate::parallel::run_parallel(jobs, tasks)
 }
 
-/// Runs the Table 3 Sweep3D column (Base vs ProfAll+Tau at 128 ranks).
-pub fn run_table3_sweep(params: SweepParams) -> Vec<(String, f64)> {
-    [
+/// Runs the Table 3 Sweep3D column (Base vs ProfAll+Tau at 128 ranks)
+/// across `jobs` worker threads.
+pub fn run_table3_sweep(params: SweepParams, jobs: usize) -> Vec<(String, f64)> {
+    let tasks: Vec<_> = [
         ("Base", InstrumentationControl::base()),
         ("ProfAll+Tau", InstrumentationControl::prof_all()),
     ]
     .into_iter()
     .map(|(label, control)| {
-        let mut spec = ClusterSpec::chiba(128);
-        spec.control = control;
-        let mut cluster = Cluster::new(spec);
-        launch(
-            &mut cluster,
-            "sweep3d",
-            &Layout::one_per_node(128),
-            params.apps(),
-        );
-        let end = cluster.run_until_apps_exit(DEADLINE);
-        (label.to_owned(), end as f64 / NS_PER_SEC as f64)
+        move || {
+            let mut spec = ClusterSpec::chiba(128);
+            spec.control = control;
+            let mut cluster = Cluster::new(spec);
+            launch(
+                &mut cluster,
+                "sweep3d",
+                &Layout::one_per_node(128),
+                params.apps(),
+            );
+            let end = cluster.run_until_apps_exit(DEADLINE);
+            (label.to_owned(), end as f64 / NS_PER_SEC as f64)
+        }
     })
-    .collect()
+    .collect();
+    crate::parallel::run_parallel(jobs, tasks)
 }
 
 /// Directory run records are cached in (`KTAU_RESULTS` env override).
@@ -241,7 +252,13 @@ mod tests {
         let labels: Vec<&str> = Config::TABLE2.iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
-            vec!["128x1", "64x2 Anomaly", "64x2", "64x2 Pinned", "64x2 Pin,I-Bal"]
+            vec![
+                "128x1",
+                "64x2 Anomaly",
+                "64x2",
+                "64x2 Pinned",
+                "64x2 Pin,I-Bal"
+            ]
         );
     }
 
@@ -273,10 +290,7 @@ mod tests {
             prof_all.status(Group::User),
             ktau_core::ProbeStatus::Disabled
         );
-        assert_eq!(
-            prof_all.status(Group::Tcp),
-            ktau_core::ProbeStatus::Enabled
-        );
+        assert_eq!(prof_all.status(Group::Tcp), ktau_core::ProbeStatus::Enabled);
     }
 
     #[test]

@@ -14,7 +14,6 @@ use crate::profile::Profile;
 use crate::time::{Cycles, Ns};
 use crate::trace::{TraceBuffer, TracePoint, TraceRecord};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Statistics for one (user routine × kernel event) cell of the merged view.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,10 +24,105 @@ pub struct MergedStats {
     pub ns: Ns,
 }
 
-/// Key of the merged map: which user routine was active (`None` when the
+/// Key of the merged table: which user routine was active (`None` when the
 /// process was outside any instrumented user routine) and which kernel event
 /// fired.
 pub type MergedKey = (Option<EventId>, EventId);
+
+/// Dense merged-attribution table: one row per user-routine slot (slot 0 is
+/// "no routine", slot `i + 1` is user event id `i`), one column per kernel
+/// event id.  Event ids are handed out densely by the registry, so this
+/// replaces a `HashMap<MergedKey, MergedStats>` that was hashed on every
+/// kernel probe exit; rows and columns grow lazily to what a task actually
+/// touches.
+#[derive(Debug, Clone, Default)]
+pub struct MergedTable {
+    rows: Vec<Vec<MergedStats>>,
+}
+
+impl MergedTable {
+    #[inline]
+    fn slot(user: Option<EventId>) -> usize {
+        user.map_or(0, |id| id.index() + 1)
+    }
+
+    /// The cell for `key`, growing the table as needed.
+    #[inline]
+    pub fn cell_mut(&mut self, key: MergedKey) -> &mut MergedStats {
+        let r = Self::slot(key.0);
+        if self.rows.len() <= r {
+            self.rows.resize_with(r + 1, Vec::new);
+        }
+        let row = &mut self.rows[r];
+        let c = key.1.index();
+        if row.len() <= c {
+            row.resize(c + 1, MergedStats::default());
+        }
+        &mut row[c]
+    }
+
+    /// The cell for `key`, if it was ever recorded.
+    pub fn get(&self, key: MergedKey) -> Option<&MergedStats> {
+        self.rows
+            .get(Self::slot(key.0))?
+            .get(key.1.index())
+            .filter(|s| s.count > 0)
+    }
+
+    /// Iterates recorded `(key, stats)` cells in dense (user, kernel) order.
+    pub fn iter(&self) -> impl Iterator<Item = (MergedKey, &MergedStats)> {
+        self.rows.iter().enumerate().flat_map(|(r, row)| {
+            let user = (r > 0).then(|| EventId((r - 1) as u32));
+            row.iter()
+                .enumerate()
+                .filter(|(_, s)| s.count > 0)
+                .map(move |(c, s)| ((user, EventId(c as u32)), s))
+        })
+    }
+
+    /// Discards all cells (profile reset control op).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+/// Dense non-overlapping kernel wall time per user-routine slot (same slot
+/// scheme as [`MergedTable`]).  `None` entries distinguish "never recorded"
+/// from an accumulated zero.
+#[derive(Debug, Clone, Default)]
+pub struct WallTable {
+    slots: Vec<Option<Ns>>,
+}
+
+impl WallTable {
+    /// Accumulates `ns` of kernel wall time under `user`.
+    #[inline]
+    pub fn add(&mut self, user: Option<EventId>, ns: Ns) {
+        let s = MergedTable::slot(user);
+        if self.slots.len() <= s {
+            self.slots.resize(s + 1, None);
+        }
+        *self.slots[s].get_or_insert(0) += ns;
+    }
+
+    /// Accumulated wall time under `user`, if ever recorded.
+    pub fn get(&self, user: Option<EventId>) -> Option<Ns> {
+        self.slots.get(MergedTable::slot(user)).copied().flatten()
+    }
+
+    /// Iterates recorded `(user, ns)` entries in dense slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Option<EventId>, Ns)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, ns)| ns.map(|ns| ((s > 0).then(|| EventId((s - 1) as u32)), ns)))
+    }
+
+    /// Discards all entries.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
 
 /// Measurement state attached to each task's process control block.
 #[derive(Debug, Clone, Default)]
@@ -44,11 +138,11 @@ pub struct TaskMeasurement {
     /// parents (e.g. `tcp_v4_rcv` time is also inside `do_softirq`), which
     /// is what call-group displays want; use [`TaskMeasurement::wall`] for
     /// non-overlapping totals.
-    pub merged: HashMap<MergedKey, MergedStats>,
+    pub merged: MergedTable,
     /// Non-overlapping kernel wall time per user routine (outermost kernel
     /// activations and scheduling intervals only) — the basis for the
     /// merged view's corrected "true exclusive time".
-    pub wall: HashMap<Option<EventId>, Ns>,
+    pub wall: WallTable,
 }
 
 impl TaskMeasurement {
@@ -66,27 +160,23 @@ impl TaskMeasurement {
     }
 
     fn merged_add(&mut self, kernel_ev: EventId, ns: Ns) {
-        let key = (self.user.top(), kernel_ev);
-        let cell = self.merged.entry(key).or_default();
+        let cell = self.merged.cell_mut((self.user.top(), kernel_ev));
         cell.count += 1;
         cell.ns += ns;
     }
 
     fn wall_add(&mut self, ns: Ns) {
-        *self.wall.entry(self.user.top()).or_default() += ns;
+        self.wall.add(self.user.top(), ns);
     }
 
     /// Total (non-overlapping) kernel wall time inside a given user routine.
     pub fn kernel_ns_in_user(&self, user: EventId) -> Ns {
-        self.wall.get(&Some(user)).copied().unwrap_or(0)
+        self.wall.get(Some(user)).unwrap_or(0)
     }
 
     /// Merged stats for a specific (user routine, kernel event) pair.
     pub fn merged_stats(&self, user: Option<EventId>, kernel: EventId) -> MergedStats {
-        self.merged
-            .get(&(user, kernel))
-            .copied()
-            .unwrap_or_default()
+        self.merged.get((user, kernel)).copied().unwrap_or_default()
     }
 }
 
@@ -327,10 +417,7 @@ mod tests {
 
     #[test]
     fn disabled_probes_cost_only_flag_check() {
-        let eng = ProbeEngine::new(
-            InstrumentationControl::ktau_off(),
-            OverheadModel::default(),
-        );
+        let eng = ProbeEngine::new(InstrumentationControl::ktau_off(), OverheadModel::default());
         let mut m = TaskMeasurement::profiling();
         let c = eng.kernel_entry(&mut m, ev(0), Group::Syscall, 0);
         assert_eq!(c.0, 4);
@@ -399,7 +486,7 @@ mod tests {
         assert_eq!(m.merged_stats(None, outer).ns, 100);
         assert_eq!(m.merged_stats(None, inner).ns, 80);
         // ...while the non-overlapping wall total counts the outermost only.
-        assert_eq!(m.wall.get(&None).copied().unwrap_or(0), 100);
+        assert_eq!(m.wall.get(None).unwrap_or(0), 100);
     }
 
     #[test]
@@ -447,11 +534,8 @@ mod tests {
     #[test]
     fn user_groups_follow_their_own_control() {
         // Kernel groups on, user groups off: ProfAll (without +Tau).
-        let ctl = InstrumentationControl::new(
-            GroupSet::all(),
-            GroupSet::all_kernel(),
-            GroupSet::all(),
-        );
+        let ctl =
+            InstrumentationControl::new(GroupSet::all(), GroupSet::all_kernel(), GroupSet::all());
         let eng = ProbeEngine::new(ctl, OverheadModel::default());
         let mut m = TaskMeasurement::profiling();
         let c = eng.user_entry(&mut m, ev(0), Group::User, 0);

@@ -220,7 +220,8 @@ impl Profile {
     #[inline]
     fn ensure_entry(&mut self, id: EventId) {
         if self.entries.len() <= id.index() {
-            self.entries.resize(id.index() + 1, EntryExitStats::default());
+            self.entries
+                .resize(id.index() + 1, EntryExitStats::default());
         }
         if self.active.len() <= id.index() {
             self.active.resize(id.index() + 1, 0);
@@ -324,18 +325,12 @@ impl Profile {
 
     /// Entry/exit stats for an event (default if never fired).
     pub fn entry_stats(&self, event: EventId) -> EntryExitStats {
-        self.entries
-            .get(event.index())
-            .copied()
-            .unwrap_or_default()
+        self.entries.get(event.index()).copied().unwrap_or_default()
     }
 
     /// Atomic stats for an event (default if never fired).
     pub fn atomic_stats(&self, event: EventId) -> AtomicStats {
-        self.atomics
-            .get(event.index())
-            .copied()
-            .unwrap_or_default()
+        self.atomics.get(event.index()).copied().unwrap_or_default()
     }
 
     /// Iterates `(EventId, stats)` for events with at least one completion.

@@ -127,7 +127,7 @@ impl ProfileSnapshot {
             .iter()
             .map(|((u, k), s)| {
                 let user = u.map(|id| name_of(id).0);
-                let (kernel, kernel_group) = name_of(*k);
+                let (kernel, kernel_group) = name_of(k);
                 MergedRow {
                     user,
                     kernel,
@@ -141,7 +141,7 @@ impl ProfileSnapshot {
         let mut kernel_wall: Vec<(Option<String>, Ns)> = meas
             .wall
             .iter()
-            .map(|(u, ns)| (u.map(|id| name_of(id).0), *ns))
+            .map(|(u, ns)| (u.map(|id| name_of(id).0), ns))
             .collect();
         kernel_wall.sort();
         ProfileSnapshot {
@@ -527,7 +527,9 @@ pub fn decode_profile(bytes: &[u8]) -> Result<ProfileSnapshot, CodecError> {
 // ---------------------------------------------------------------------------
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace(' ', "\\s").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace(' ', "\\s")
+        .replace('\n', "\\n")
 }
 
 fn unescape(s: &str) -> String {
@@ -723,7 +725,11 @@ pub fn profile_from_ascii(text: &str) -> Result<ProfileSnapshot, CodecError> {
                     return Err(CodecError::Truncated);
                 }
                 p.kernel_wall.push((
-                    if f[1] == "-" { None } else { Some(unescape(f[1])) },
+                    if f[1] == "-" {
+                        None
+                    } else {
+                        Some(unescape(f[1]))
+                    },
                     parse_u64(f[2])?,
                 ));
             }

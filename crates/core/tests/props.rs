@@ -2,11 +2,11 @@
 
 use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
 use ktau_core::profile::Profile;
+use ktau_core::profile::{AtomicStats, EntryExitStats};
 use ktau_core::snapshot::{
     decode_profile, encode_profile, profile_from_ascii, profile_to_ascii, AtomicRow, EventRow,
     MergedRow, ProfileSnapshot,
 };
-use ktau_core::profile::{AtomicStats, EntryExitStats};
 use ktau_core::trace::{TraceBuffer, TracePoint, TraceRecord};
 use proptest::prelude::*;
 
@@ -186,13 +186,22 @@ fn arb_snapshot() -> impl Strategy<Value = ProfileSnapshot> {
             0..8,
         ),
         proptest::collection::vec(
-            (proptest::option::of(arb_name()), any::<u32>())
-                .prop_map(|(u, ns)| (u, ns as u64)),
+            (proptest::option::of(arb_name()), any::<u32>()).prop_map(|(u, ns)| (u, ns as u64)),
             0..6,
         ),
     )
         .prop_map(
-            |(pid, comm, node, taken, kernel_events, user_events, kernel_atomics, merged, kernel_wall)| {
+            |(
+                pid,
+                comm,
+                node,
+                taken,
+                kernel_events,
+                user_events,
+                kernel_atomics,
+                merged,
+                kernel_wall,
+            )| {
                 ProfileSnapshot {
                     pid,
                     comm,

@@ -100,8 +100,14 @@ mod tests {
         for size in [1u32, 2, 3, 8, 128] {
             for r in 0..size.min(6) {
                 let ops = barrier_ops(Rank(r), size);
-                let sends = ops.iter().filter(|o| matches!(o, MpiOp::Send { .. })).count();
-                let recvs = ops.iter().filter(|o| matches!(o, MpiOp::Recv { .. })).count();
+                let sends = ops
+                    .iter()
+                    .filter(|o| matches!(o, MpiOp::Send { .. }))
+                    .count();
+                let recvs = ops
+                    .iter()
+                    .filter(|o| matches!(o, MpiOp::Recv { .. }))
+                    .count();
                 assert_eq!(sends, recvs);
                 assert_eq!(ops.first(), Some(&MpiOp::Enter("MPI_Barrier")));
                 assert_eq!(ops.last(), Some(&MpiOp::Exit("MPI_Barrier")));

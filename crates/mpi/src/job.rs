@@ -137,7 +137,10 @@ pub fn launch(
             if a == b {
                 continue;
             }
-            let id = cluster.open_conn(layout.places[a as usize].node, layout.places[b as usize].node);
+            let id = cluster.open_conn(
+                layout.places[a as usize].node,
+                layout.places[b as usize].node,
+            );
             conn.insert((Rank(a), Rank(b)), id);
         }
     }

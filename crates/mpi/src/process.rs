@@ -72,7 +72,8 @@ impl MpiProcess {
                     .get(&to)
                     .unwrap_or_else(|| panic!("{} has no route to {to}", self.rank));
                 self.pending.push_back(Op::UserEnter("MPI_Send"));
-                self.pending.push_back(Op::Compute(Self::pack_cycles(bytes)));
+                self.pending
+                    .push_back(Op::Compute(Self::pack_cycles(bytes)));
                 self.pending.push_back(Op::Send { conn, bytes });
                 self.pending.push_back(Op::UserExit("MPI_Send"));
             }
@@ -83,7 +84,8 @@ impl MpiProcess {
                     .unwrap_or_else(|| panic!("{} has no route from {from}", self.rank));
                 self.pending.push_back(Op::UserEnter("MPI_Recv"));
                 self.pending.push_back(Op::Recv { conn, bytes });
-                self.pending.push_back(Op::Compute(Self::pack_cycles(bytes)));
+                self.pending
+                    .push_back(Op::Compute(Self::pack_cycles(bytes)));
                 self.pending.push_back(Op::UserExit("MPI_Recv"));
             }
             MpiOp::Barrier => {

@@ -17,12 +17,24 @@ fn ping_pong_two_ranks_two_nodes() {
     let layout = Layout::one_per_node(2);
     let apps: Vec<Box<dyn ktau_mpi::MpiApp>> = vec![
         Box::new(MpiOpList::new(vec![
-            MpiOp::Send { to: Rank(1), bytes: 100_000 },
-            MpiOp::Recv { from: Rank(1), bytes: 100_000 },
+            MpiOp::Send {
+                to: Rank(1),
+                bytes: 100_000,
+            },
+            MpiOp::Recv {
+                from: Rank(1),
+                bytes: 100_000,
+            },
         ])),
         Box::new(MpiOpList::new(vec![
-            MpiOp::Recv { from: Rank(0), bytes: 100_000 },
-            MpiOp::Send { to: Rank(0), bytes: 100_000 },
+            MpiOp::Recv {
+                from: Rank(0),
+                bytes: 100_000,
+            },
+            MpiOp::Send {
+                to: Rank(0),
+                bytes: 100_000,
+            },
         ])),
     ];
     let job = launch(&mut c, "pingpong", &layout, apps);
@@ -96,11 +108,17 @@ fn wavefront_chain_orders_ranks() {
         .map(|r| {
             let mut ops = Vec::new();
             if r > 0 {
-                ops.push(MpiOp::Recv { from: Rank(r - 1), bytes: 10_000 });
+                ops.push(MpiOp::Recv {
+                    from: Rank(r - 1),
+                    bytes: 10_000,
+                });
             }
             ops.push(MpiOp::Compute(45_000_000)); // 100 ms
             if r + 1 < n {
-                ops.push(MpiOp::Send { to: Rank(r + 1), bytes: 10_000 });
+                ops.push(MpiOp::Send {
+                    to: Rank(r + 1),
+                    bytes: 10_000,
+                });
             }
             Box::new(MpiOpList::new(ops)) as Box<dyn ktau_mpi::MpiApp>
         })
@@ -119,7 +137,10 @@ fn mismatched_recv_deadlocks_with_diagnostic() {
     let layout = Layout::one_per_node(2);
     let apps: Vec<Box<dyn ktau_mpi::MpiApp>> = vec![
         Box::new(MpiOpList::new(vec![])),
-        Box::new(MpiOpList::new(vec![MpiOp::Recv { from: Rank(0), bytes: 100 }])),
+        Box::new(MpiOpList::new(vec![MpiOp::Recv {
+            from: Rank(0),
+            bytes: 100,
+        }])),
     ];
     launch(&mut c, "dead", &layout, apps);
     c.run_until_apps_exit(5 * NS_PER_SEC);

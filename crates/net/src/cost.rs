@@ -62,8 +62,8 @@ impl Default for NetCostModel {
             tcp_send_mcycles_per_byte: 2_000, // 2 cycles/byte
             irq_cycles: 3_600,                // ~8 us at 450 MHz
             softirq_base_cycles: 900,
-            tcp_rcv_base_cycles: 5_400,       // ~12 us
-            tcp_rcv_mcycles_per_byte: 4_800,  // 4.8 cycles/byte -> ~27.6 us/MSS
+            tcp_rcv_base_cycles: 5_400,      // ~12 us
+            tcp_rcv_mcycles_per_byte: 4_800, // 4.8 cycles/byte -> ~27.6 us/MSS
             sys_read_cycles: 1_400,
             read_copy_mcycles_per_byte: 1_500,
             busy_smp_dilation_pct: 112,

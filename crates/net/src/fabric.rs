@@ -87,7 +87,13 @@ mod tests {
         let a = f.open(0, 1);
         let b = f.open(1, 0);
         assert_eq!((a, b), (ConnId(0), ConnId(1)));
-        assert_eq!(f.link(a), LinkSpec { src_node: 0, dst_node: 1 });
+        assert_eq!(
+            f.link(a),
+            LinkSpec {
+                src_node: 0,
+                dst_node: 1
+            }
+        );
         assert_eq!(f.len(), 2);
     }
 

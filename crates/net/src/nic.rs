@@ -74,7 +74,7 @@ mod tests {
     #[test]
     fn tx_time_matches_line_rate() {
         let nic = Nic::new(100_000_000); // 100 Mbit/s
-        // 1538 wire bytes = 12304 bits -> 123.04 us
+                                         // 1538 wire bytes = 12304 bits -> 123.04 us
         assert_eq!(nic.tx_time_ns(1538), 123_040);
         // 100 Mbit/s == 12.5 MB/s: 1 byte = 80 ns
         assert_eq!(nic.tx_time_ns(1), 80);

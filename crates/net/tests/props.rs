@@ -1,6 +1,6 @@
 //! Property tests for the network substrate.
 
-use ktau_net::{segment_count, segment_sizes, Fabric, Nic, NetCostModel, SocketRx, SocketTx, MSS};
+use ktau_net::{segment_count, segment_sizes, Fabric, NetCostModel, Nic, SocketRx, SocketTx, MSS};
 use proptest::prelude::*;
 
 proptest! {

@@ -68,7 +68,10 @@ impl NodeSpec {
 
     /// CPUs the scheduler will actually use.
     pub fn online_cpus(&self) -> u8 {
-        self.detected_cpus.unwrap_or(self.cpus).min(self.cpus).max(1)
+        self.detected_cpus
+            .unwrap_or(self.cpus)
+            .min(self.cpus)
+            .max(1)
     }
 }
 

@@ -7,14 +7,12 @@ use crate::config::{IrqPolicy, NodeSpec, SchedParams};
 use crate::probes::KernelProbes;
 use crate::program::{Op, Program};
 use crate::sim::{Event, EventQueue};
-use crate::task::{
-    BlockedOn, OpState, Pid, SwitchOutReason, Task, TaskKind, TaskState,
-};
+use crate::task::{BlockedOn, OpState, Pid, SwitchOutReason, Task, TaskKind, TaskState, TaskTable};
 use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
 use ktau_core::measure::{ProbeEngine, TaskMeasurement};
 use ktau_core::time::{CpuFreq, Cycles, Ns};
 use ktau_net::{segment_sizes, Fabric, NetCostModel, Nic, SocketRx, SocketTx, WIRE_OVERHEAD};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-CPU state.
 #[derive(Debug)]
@@ -79,7 +77,7 @@ pub struct Node {
     pub freq: CpuFreq,
     pub(crate) cpus: Vec<Cpu>,
     pub(crate) runqueues: Vec<VecDeque<Pid>>,
-    pub(crate) tasks: BTreeMap<Pid, Task>,
+    pub(crate) tasks: TaskTable,
     next_pid: u32,
     /// Kernel event registry (the event-mapping table).
     pub registry: EventRegistry,
@@ -88,8 +86,12 @@ pub struct Node {
     /// KTAU measurement engine.
     pub engine: ProbeEngine,
     pub(crate) nic: Nic,
-    sock_tx: HashMap<ktau_net::ConnId, TxState>,
-    sock_rx: HashMap<ktau_net::ConnId, RxState>,
+    /// Socket send states, indexed by the dense cluster-global `ConnId`
+    /// ([`Fabric::open`] hands ids out sequentially, so a flat slab beats a
+    /// hash lookup on every segment/ack/txdone).
+    sock_tx: Vec<Option<TxState>>,
+    /// Socket receive states, same dense `ConnId` indexing.
+    sock_rx: Vec<Option<RxState>>,
     irq_rr: u8,
     pub(crate) sched: SchedParams,
     pub(crate) net_costs: NetCostModel,
@@ -97,10 +99,10 @@ pub struct Node {
     trace_capacity: Option<usize>,
     /// App tasks that exited (drives cluster completion tracking).
     pub(crate) apps_exited: u64,
-    /// Cache of user-routine name → event id to avoid registry lookups.
-    user_events: HashMap<&'static str, EventId>,
-    /// Probe to close when a `KernelBusy` chunk completes.
-    pending_kernel_exit: HashMap<Pid, (EventId, Group)>,
+    /// Interned user-routine name → event id pairs.  The handful of distinct
+    /// `&'static str` routine names makes a scanned list with a
+    /// pointer-equality fast path cheaper than hashing the string per call.
+    user_events: Vec<(&'static str, EventId)>,
 }
 
 /// How to place a new task.
@@ -154,6 +156,7 @@ impl TaskSpec {
 }
 
 impl Node {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn boot(
         id: u32,
         spec: NodeSpec,
@@ -174,22 +177,21 @@ impl Node {
             online,
             cpus: Vec::new(),
             runqueues: (0..online).map(|_| VecDeque::new()).collect(),
-            tasks: BTreeMap::new(),
+            tasks: TaskTable::new(),
             next_pid: 1,
             registry,
             probes,
             engine,
             nic: Nic::new(nic_bits_per_sec),
-            sock_tx: HashMap::new(),
-            sock_rx: HashMap::new(),
+            sock_tx: Vec::new(),
+            sock_rx: Vec::new(),
             irq_rr: 0,
             sched,
             net_costs,
             sndbuf_bytes,
             trace_capacity,
             apps_exited: 0,
-            user_events: HashMap::new(),
-            pending_kernel_exit: HashMap::new(),
+            user_events: Vec::new(),
             spec,
         };
         for c in 0..online {
@@ -228,17 +230,17 @@ impl Node {
     /// All pids ever created on the node, in creation order (including idle
     /// threads and zombies).
     pub fn pids(&self) -> Vec<Pid> {
-        self.tasks.keys().copied().collect()
+        self.tasks.pids()
     }
 
     /// A task by pid.
     pub fn task(&self, pid: Pid) -> Option<&Task> {
-        self.tasks.get(&pid)
+        self.tasks.get(pid)
     }
 
     /// Mutable task access (used by `/proc/ktau` control and trace reads).
     pub fn task_mut(&mut self, pid: Pid) -> Option<&mut Task> {
-        self.tasks.get_mut(&pid)
+        self.tasks.get_mut(pid)
     }
 
     /// Per-CPU state (read-only).
@@ -261,7 +263,14 @@ impl Node {
     /// Looks up (registering on first use) a user-routine event.  Routines
     /// named `MPI_*` belong to the MPI group, everything else to `User`.
     pub fn user_event(&mut self, name: &'static str) -> EventId {
-        if let Some(&id) = self.user_events.get(name) {
+        // Static strings from the same call site share an address, so the
+        // pointer check resolves repeat lookups without touching the bytes;
+        // the string comparison catches equal names from different sites.
+        if let Some(&(_, id)) = self
+            .user_events
+            .iter()
+            .find(|(n, _)| std::ptr::eq(*n, name) || *n == name)
+        {
             return id;
         }
         let group = if name.starts_with("MPI_") {
@@ -270,15 +279,42 @@ impl Node {
             Group::User
         };
         let id = self.registry.register(name, group, EventKind::EntryExit);
-        self.user_events.insert(name, id);
+        self.user_events.push((name, id));
         id
+    }
+
+    // -- socket slabs --------------------------------------------------------
+
+    #[inline]
+    fn tx_state_mut(&mut self, conn: ktau_net::ConnId) -> Option<&mut TxState> {
+        self.sock_tx
+            .get_mut(conn.0 as usize)
+            .and_then(Option::as_mut)
+    }
+
+    #[inline]
+    fn rx_state(&self, conn: ktau_net::ConnId) -> Option<&RxState> {
+        self.sock_rx.get(conn.0 as usize).and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn rx_state_mut(&mut self, conn: ktau_net::ConnId) -> Option<&mut RxState> {
+        self.sock_rx
+            .get_mut(conn.0 as usize)
+            .and_then(Option::as_mut)
     }
 
     // -- task lifecycle -----------------------------------------------------
 
     /// Creates a task and enqueues it.  Its first dispatch happens on the
     /// next scheduling opportunity (tick or idle CPU pickup).
-    pub(crate) fn spawn(&mut self, spec: TaskSpec, now: Ns, q: &mut EventQueue, fabric: &Fabric) -> Pid {
+    pub(crate) fn spawn(
+        &mut self,
+        spec: TaskSpec,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         let affinity = match spec.pin {
@@ -293,7 +329,15 @@ impl Node {
             (true, None) => TaskMeasurement::with_trace(4096),
             _ => TaskMeasurement::profiling(),
         };
-        let task = Task::new(pid, spec.comm, spec.kind, Some(spec.program), affinity, meas, now);
+        let task = Task::new(
+            pid,
+            spec.comm,
+            spec.kind,
+            Some(spec.program),
+            affinity,
+            meas,
+            now,
+        );
         self.tasks.insert(pid, task);
         let cpu = self.choose_wake_cpu(pid);
         self.runqueues[cpu as usize].push_back(pid);
@@ -305,9 +349,12 @@ impl Node {
     /// idle, else any allowed idle CPU, else the allowed CPU with the
     /// shortest queue.
     fn choose_wake_cpu(&self, pid: Pid) -> u8 {
-        let t = &self.tasks[&pid];
+        let t = &self.tasks[pid];
         let allowed: Vec<u8> = (0..self.online).filter(|&c| t.allowed_on(c)).collect();
-        assert!(!allowed.is_empty(), "task affinity excludes all online CPUs");
+        assert!(
+            !allowed.is_empty(),
+            "task affinity excludes all online CPUs"
+        );
         if allowed.contains(&t.last_cpu) && self.cpus[t.last_cpu as usize].current.is_none() {
             return t.last_cpu;
         }
@@ -337,19 +384,19 @@ impl Node {
 
     /// Fires a kernel entry probe on a task, returning the probe's cycles.
     fn probe_enter(&mut self, pid: Pid, ev: EventId, group: Group, now: Ns) -> Cycles {
-        let t = self.tasks.get_mut(&pid).expect("probe on missing task");
+        let t = self.tasks.get_mut(pid).expect("probe on missing task");
         self.engine.kernel_entry(&mut t.meas, ev, group, now).0
     }
 
     /// Fires a kernel exit probe.
     fn probe_exit(&mut self, pid: Pid, ev: EventId, group: Group, now: Ns) -> Cycles {
-        let t = self.tasks.get_mut(&pid).expect("probe on missing task");
+        let t = self.tasks.get_mut(pid).expect("probe on missing task");
         self.engine.kernel_exit(&mut t.meas, ev, group, now).0
     }
 
     /// Fires a kernel atomic probe.
     fn probe_atomic(&mut self, pid: Pid, ev: EventId, group: Group, v: u64, now: Ns) -> Cycles {
-        let t = self.tasks.get_mut(&pid).expect("probe on missing task");
+        let t = self.tasks.get_mut(pid).expect("probe on missing task");
         self.engine.kernel_atomic(&mut t.meas, ev, group, v, now).0
     }
 
@@ -360,7 +407,10 @@ impl Node {
     /// requeued, or dead) by the caller.
     pub(crate) fn reschedule(&mut self, cpu: u8, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
         let ci = cpu as usize;
-        debug_assert!(!self.cpus[ci].chunk_pending, "reschedule with chunk in flight");
+        debug_assert!(
+            !self.cpus[ci].chunk_pending,
+            "reschedule with chunk in flight"
+        );
         let next = self.runqueues[ci].pop_front();
         match next {
             None => {
@@ -380,14 +430,14 @@ impl Node {
                 // Record the switched-out interval on the incoming task:
                 // voluntary vs involuntary per why it left the CPU last time.
                 let (interval, probe_ev) = {
-                    let t = &self.tasks[&pid];
+                    let t = &self.tasks[pid];
                     let ev = match t.out_reason {
                         SwitchOutReason::Voluntary => self.probes.schedule_vol,
                         SwitchOutReason::Preempted => self.probes.schedule,
                     };
                     (now.saturating_sub(t.out_since), ev)
                 };
-                let t = self.tasks.get_mut(&pid).unwrap();
+                let t = self.tasks.get_mut(pid).unwrap();
                 t.state = TaskState::Running;
                 let migrated = t.last_cpu != cpu && t.kind != TaskKind::Idle && t.cpu_ns > 0;
                 if migrated {
@@ -423,7 +473,7 @@ impl Node {
     fn switch_out(&mut self, cpu: u8, now: Ns, reason: SwitchOutReason) -> Pid {
         let ci = cpu as usize;
         let pid = self.cpus[ci].current.expect("switch_out of idle CPU");
-        let t = self.tasks.get_mut(&pid).unwrap();
+        let t = self.tasks.get_mut(pid).unwrap();
         t.out_reason = reason;
         t.out_since = now;
         t.cpu_ns += now.saturating_sub(self.cpus[ci].in_since);
@@ -467,7 +517,7 @@ impl Node {
                 Some(p) => p,
                 None => return,
             };
-            let op_state = self.tasks[&pid].op;
+            let op_state = self.tasks[pid].op;
             match op_state {
                 OpState::Fetch => {
                     inline_ops += 1;
@@ -477,7 +527,7 @@ impl Node {
                         self.busy(cpu, 1_000, now, q);
                         return;
                     }
-                    let op = self.tasks.get_mut(&pid).unwrap().fetch_op();
+                    let op = self.tasks.get_mut(pid).unwrap().fetch_op();
                     if self.lower_op(cpu, pid, op, now, q, fabric) {
                         return;
                     }
@@ -490,7 +540,7 @@ impl Node {
                     let chunk_ns = rem_ns.min(slice_left.max(self.sched.tick_ns() / 10));
                     let chunk_cycles = self.n2c(chunk_ns);
                     let after = remaining.saturating_sub(chunk_cycles);
-                    self.tasks.get_mut(&pid).unwrap().op = if after == 0 {
+                    self.tasks.get_mut(pid).unwrap().op = if after == 0 {
                         // Whole burst fits in this chunk; Fetch next on done.
                         OpState::Computing { remaining: 0 }
                     } else {
@@ -502,7 +552,7 @@ impl Node {
                         c != ci
                             && self.cpus[c]
                                 .current
-                                .map(|p| self.tasks[&p].kind != TaskKind::Idle)
+                                .map(|p| self.tasks[p].kind != TaskKind::Idle)
                                 .unwrap_or(false)
                     });
                     let effective = if others_busy {
@@ -520,20 +570,29 @@ impl Node {
                             self.probe_exit(pid, self.probes.sock_sendmsg, Group::Socket, now);
                         c += self.probe_exit(pid, self.probes.sys_writev, Group::Syscall, now);
                         self.cpus[ci].carry_cycles += c;
-                        self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                        self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
                         continue;
                     }
                     let accepted = {
-                        let st = self.sock_tx.get_mut(&conn).expect("send on unknown conn");
+                        let st = self.tx_state_mut(conn).expect("send on unknown conn");
                         st.tx.reserve(remaining)
                     };
                     if accepted == 0 {
                         // sndbuf full: block until TxDone frees space.
-                        self.sock_tx.get_mut(&conn).unwrap().waiting_writer = Some(pid);
+                        self.tx_state_mut(conn).unwrap().waiting_writer = Some(pid);
                         self.block_current(cpu, BlockedOn::TxSpace(conn), now, q, fabric);
                         return;
                     }
-                    self.start_send_chunk(cpu, pid, conn, accepted, remaining - accepted, now, q, fabric);
+                    self.start_send_chunk(
+                        cpu,
+                        pid,
+                        conn,
+                        accepted,
+                        remaining - accepted,
+                        now,
+                        q,
+                        fabric,
+                    );
                     return;
                 }
                 OpState::RecvWaiting { conn, remaining } => {
@@ -541,21 +600,21 @@ impl Node {
                         // Zero-byte read: returns immediately.
                         let c = self.probe_exit(pid, self.probes.sys_read, Group::Syscall, now);
                         self.cpus[ci].carry_cycles += c;
-                        self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                        self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
                         continue;
                     }
                     let take = {
-                        let st = self.sock_rx.get_mut(&conn).expect("recv on unknown conn");
+                        let st = self.rx_state_mut(conn).expect("recv on unknown conn");
                         st.reader_pid = Some(pid);
                         st.rx.consume(remaining)
                     };
                     if take == 0 {
-                        self.sock_rx.get_mut(&conn).unwrap().waiting_reader = Some(pid);
+                        self.rx_state_mut(conn).unwrap().waiting_reader = Some(pid);
                         self.block_current(cpu, BlockedOn::RxData(conn), now, q, fabric);
                         return;
                     }
                     let copy_cycles = self.net_costs.read_copy(take);
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::RecvCopying {
+                    self.tasks.get_mut(pid).unwrap().op = OpState::RecvCopying {
                         conn,
                         remaining_after: remaining - take,
                     };
@@ -566,7 +625,7 @@ impl Node {
                     // Woken from nanosleep: close the syscall and move on.
                     let c = self.probe_exit(pid, self.probes.sys_nanosleep, Group::Syscall, now);
                     self.cpus[ci].carry_cycles += c;
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                    self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
                 }
                 OpState::SendProcessing { .. }
                 | OpState::RecvCopying { .. }
@@ -580,17 +639,25 @@ impl Node {
 
     /// Lowers a freshly fetched [`Op`].  Returns `true` when control must
     /// leave the fetch loop (CPU busy, task blocked/exited/yielded).
-    fn lower_op(&mut self, cpu: u8, pid: Pid, op: Op, now: Ns, q: &mut EventQueue, fabric: &Fabric) -> bool {
+    fn lower_op(
+        &mut self,
+        cpu: u8,
+        pid: Pid,
+        op: Op,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) -> bool {
         let ci = cpu as usize;
         match op {
             Op::Compute(cycles) => {
-                self.tasks.get_mut(&pid).unwrap().op = OpState::Computing { remaining: cycles };
+                self.tasks.get_mut(pid).unwrap().op = OpState::Computing { remaining: cycles };
                 false
             }
             Op::UserEnter(name) => {
                 let ev = self.user_event(name);
                 let group = self.registry.desc(ev).group;
-                let t = self.tasks.get_mut(&pid).unwrap();
+                let t = self.tasks.get_mut(pid).unwrap();
                 let c = self.engine.user_entry(&mut t.meas, ev, group, now).0;
                 self.cpus[ci].carry_cycles += c;
                 false
@@ -598,45 +665,51 @@ impl Node {
             Op::UserExit(name) => {
                 let ev = self.user_event(name);
                 let group = self.registry.desc(ev).group;
-                let t = self.tasks.get_mut(&pid).unwrap();
+                let t = self.tasks.get_mut(pid).unwrap();
                 let c = self.engine.user_exit(&mut t.meas, ev, group, now).0;
                 self.cpus[ci].carry_cycles += c;
                 false
             }
             Op::Send { conn, bytes } => {
-                self.tasks.get_mut(&pid).unwrap().counters.syscalls += 1;
+                self.tasks.get_mut(pid).unwrap().counters.syscalls += 1;
                 let mut c = self.probe_enter(pid, self.probes.sys_writev, Group::Syscall, now);
                 c += self.probe_enter(pid, self.probes.sock_sendmsg, Group::Socket, now);
                 self.cpus[ci].carry_cycles +=
                     c + self.net_costs.sys_writev_cycles + self.net_costs.sock_sendmsg_cycles;
-                self.tasks.get_mut(&pid).unwrap().op = OpState::SendReserving {
+                self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
                     conn,
                     remaining: bytes,
                 };
                 false
             }
             Op::Recv { conn, bytes } => {
-                self.tasks.get_mut(&pid).unwrap().counters.syscalls += 1;
+                self.tasks.get_mut(pid).unwrap().counters.syscalls += 1;
                 let c = self.probe_enter(pid, self.probes.sys_read, Group::Syscall, now);
                 self.cpus[ci].carry_cycles += c;
-                self.tasks.get_mut(&pid).unwrap().op = OpState::RecvWaiting {
+                self.tasks.get_mut(pid).unwrap().op = OpState::RecvWaiting {
                     conn,
                     remaining: bytes,
                 };
                 false
             }
             Op::Sleep(dur) => {
-                self.tasks.get_mut(&pid).unwrap().counters.syscalls += 1;
+                self.tasks.get_mut(pid).unwrap().counters.syscalls += 1;
                 let c = self.probe_enter(pid, self.probes.sys_nanosleep, Group::Syscall, now);
                 self.cpus[ci].carry_cycles += c;
-                self.tasks.get_mut(&pid).unwrap().op = OpState::Sleeping;
+                self.tasks.get_mut(pid).unwrap().op = OpState::Sleeping;
                 q.push(now + dur, Event::Wake { node: self.id, pid });
                 self.block_current(cpu, BlockedOn::Timer, now, q, fabric);
                 true
             }
-            Op::SyscallNull => {
-                self.kernel_busy_op(cpu, pid, self.probes.sys_getpid, Group::Syscall, 250, now, q)
-            }
+            Op::SyscallNull => self.kernel_busy_op(
+                cpu,
+                pid,
+                self.probes.sys_getpid,
+                Group::Syscall,
+                250,
+                now,
+                q,
+            ),
             Op::PageFault => self.kernel_busy_op(
                 cpu,
                 pid,
@@ -651,7 +724,7 @@ impl Node {
             }
             Op::Yield => {
                 let out = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
-                let t = self.tasks.get_mut(&out).unwrap();
+                let t = self.tasks.get_mut(out).unwrap();
                 t.state = TaskState::Runnable;
                 self.runqueues[ci].push_back(out);
                 self.reschedule(cpu, now, q, fabric);
@@ -659,7 +732,7 @@ impl Node {
             }
             Op::Exit => {
                 let out = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
-                let t = self.tasks.get_mut(&out).unwrap();
+                let t = self.tasks.get_mut(out).unwrap();
                 t.state = TaskState::Dead;
                 t.op = OpState::Exited;
                 t.exited_ns = now;
@@ -673,6 +746,7 @@ impl Node {
     }
 
     /// A short instrumented kernel path (null syscall / fault / signal).
+    #[allow(clippy::too_many_arguments)]
     fn kernel_busy_op(
         &mut self,
         cpu: u8,
@@ -684,7 +758,7 @@ impl Node {
         q: &mut EventQueue,
     ) -> bool {
         {
-            let t = self.tasks.get_mut(&pid).unwrap();
+            let t = self.tasks.get_mut(pid).unwrap();
             match group {
                 Group::Syscall => t.counters.syscalls += 1,
                 Group::Exception => t.counters.page_faults += 1,
@@ -694,10 +768,10 @@ impl Node {
         }
         let c = self.probe_enter(pid, ev, group, now);
         self.cpus[cpu as usize].carry_cycles += c;
-        let t = self.tasks.get_mut(&pid).unwrap();
+        let t = self.tasks.get_mut(pid).unwrap();
         t.op = OpState::KernelBusy;
-        // Remember which probe to close at completion via a tiny table:
-        self.pending_kernel_exit.insert(pid, (ev, group));
+        // Remember which probe to close when the chunk completes.
+        t.pending_kernel_exit = Some((ev, group));
         self.busy(cpu, cost, now, q);
         true
     }
@@ -723,15 +797,9 @@ impl Node {
         for payload in sizes {
             cost += self.net_costs.tcp_send_segment(payload);
             let t = now + self.c2n(cost);
-            cost += self.probe_atomic(
-                pid,
-                self.probes.net_tx_bytes,
-                Group::Tcp,
-                payload as u64,
-                t,
-            );
+            cost += self.probe_atomic(pid, self.probes.net_tx_bytes, Group::Tcp, payload as u64, t);
             let seq = {
-                let st = self.sock_tx.get_mut(&conn).unwrap();
+                let st = self.tx_state_mut(conn).unwrap();
                 st.tx.next_seq()
             };
             let produced_at = now + self.c2n(cost);
@@ -761,7 +829,7 @@ impl Node {
                 },
             );
         }
-        self.tasks.get_mut(&pid).unwrap().op = OpState::SendProcessing {
+        self.tasks.get_mut(pid).unwrap().op = OpState::SendProcessing {
             conn,
             remaining_after,
         };
@@ -769,9 +837,16 @@ impl Node {
     }
 
     /// Blocks the current task and reschedules.
-    fn block_current(&mut self, cpu: u8, on: BlockedOn, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+    fn block_current(
+        &mut self,
+        cpu: u8,
+        on: BlockedOn,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
         let pid = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
-        let t = self.tasks.get_mut(&pid).unwrap();
+        let t = self.tasks.get_mut(pid).unwrap();
         t.state = TaskState::Blocked;
         t.blocked_on = Some(on);
         self.reschedule(cpu, now, q, fabric);
@@ -780,7 +855,14 @@ impl Node {
     // -- event handlers -----------------------------------------------------
 
     /// Completion of the in-flight chunk on `cpu`.
-    pub(crate) fn on_cpu_done(&mut self, cpu: u8, gen: u64, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+    pub(crate) fn on_cpu_done(
+        &mut self,
+        cpu: u8,
+        gen: u64,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
         let ci = cpu as usize;
         if self.cpus[ci].gen != gen || !self.cpus[ci].chunk_pending {
             return; // stale
@@ -804,15 +886,15 @@ impl Node {
             Some(p) => p,
             None => return,
         };
-        let op = self.tasks[&pid].op;
+        let op = self.tasks[pid].op;
         match op {
             OpState::Computing { remaining } => {
                 if remaining == 0 {
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                    self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
                 } else if now >= self.cpus[ci].slice_end && !self.runqueues[ci].is_empty() {
                     // Time-slice expiry with competition: involuntary switch.
                     let out = self.switch_out(cpu, now, SwitchOutReason::Preempted);
-                    self.tasks.get_mut(&out).unwrap().state = TaskState::Runnable;
+                    self.tasks.get_mut(out).unwrap().state = TaskState::Runnable;
                     self.runqueues[ci].push_back(out);
                     self.reschedule(cpu, now, q, fabric);
                     return;
@@ -830,9 +912,9 @@ impl Node {
                 if remaining_after == 0 {
                     c += self.probe_exit(pid, self.probes.sock_sendmsg, Group::Socket, now);
                     c += self.probe_exit(pid, self.probes.sys_writev, Group::Syscall, now);
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                    self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
                 } else {
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::SendReserving {
+                    self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
                         conn,
                         remaining: remaining_after,
                     };
@@ -845,11 +927,11 @@ impl Node {
             } => {
                 let mut c = self.probe_exit(pid, self.probes.sys_read, Group::Syscall, now);
                 if remaining_after == 0 {
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                    self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
                 } else {
                     // The next blocking read is a fresh syscall.
                     c += self.probe_enter(pid, self.probes.sys_read, Group::Syscall, now);
-                    self.tasks.get_mut(&pid).unwrap().op = OpState::RecvWaiting {
+                    self.tasks.get_mut(pid).unwrap().op = OpState::RecvWaiting {
                         conn,
                         remaining: remaining_after,
                     };
@@ -857,11 +939,13 @@ impl Node {
                 self.cpus[ci].carry_cycles += c;
             }
             OpState::KernelBusy => {
-                if let Some((ev, group)) = self.pending_kernel_exit.remove(&pid) {
+                if let Some((ev, group)) =
+                    self.tasks.get_mut(pid).unwrap().pending_kernel_exit.take()
+                {
                     let c = self.probe_exit(pid, ev, group, now);
                     self.cpus[ci].carry_cycles += c;
                 }
-                self.tasks.get_mut(&pid).unwrap().op = OpState::Fetch;
+                self.tasks.get_mut(pid).unwrap().op = OpState::Fetch;
             }
             _ => {}
         }
@@ -873,7 +957,7 @@ impl Node {
     pub(crate) fn on_tick(&mut self, cpu: u8, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
         let ci = cpu as usize;
         let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
-        self.tasks.get_mut(&attr_pid).unwrap().counters.interrupts += 1;
+        self.tasks.get_mut(attr_pid).unwrap().counters.interrupts += 1;
         let mut cost = self.sched.tick_cycles;
         cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
         cost += self.probe_enter(attr_pid, self.probes.timer_interrupt, Group::Timer, now);
@@ -914,11 +998,7 @@ impl Node {
         q: &mut EventQueue,
         fabric: &Fabric,
     ) {
-        let loopback = self
-            .sock_rx
-            .get(&conn)
-            .map(|s| s.loopback)
-            .unwrap_or(false);
+        let loopback = self.rx_state(conn).map(|s| s.loopback).unwrap_or(false);
         let cpu = self.route_irq();
         let ci = cpu as usize;
         let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
@@ -928,18 +1008,18 @@ impl Node {
             && (0..self.online as usize).all(|c| {
                 self.cpus[c]
                     .current
-                    .map(|p| self.tasks[&p].kind != TaskKind::Idle)
+                    .map(|p| self.tasks[p].kind != TaskKind::Idle)
                     .unwrap_or(false)
             });
-        let reader = self.sock_rx.get(&conn).and_then(|s| s.reader_pid);
+        let reader = self.rx_state(conn).and_then(|s| s.reader_pid);
         let cross_cpu = reader
-            .map(|r| self.tasks[&r].last_cpu != cpu)
+            .map(|r| self.tasks[r].last_cpu != cpu)
             .unwrap_or(false);
 
         // Hard IRQ (skipped entirely for localhost traffic).
         let mut cost = 0;
         if !loopback {
-            self.tasks.get_mut(&attr_pid).unwrap().counters.interrupts += 1;
+            self.tasks.get_mut(attr_pid).unwrap().counters.interrupts += 1;
             cost += self.net_costs.irq_cycles;
             cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
             cost += self.probe_enter(attr_pid, self.probes.eth_rx_irq, Group::Irq, now);
@@ -969,11 +1049,17 @@ impl Node {
             self.cpus[ci].steal_ns += total_ns;
         }
 
-        let st = self.sock_rx.get_mut(&conn).expect("segment for unknown conn");
+        let st = self.rx_state_mut(conn).expect("segment for unknown conn");
         st.rx.deliver(seq, payload);
         if st.rx.available() > 0 {
             if let Some(reader) = st.waiting_reader.take() {
-                q.push(now + total_ns, Event::Wake { node: self.id, pid: reader });
+                q.push(
+                    now + total_ns,
+                    Event::Wake {
+                        node: self.id,
+                        pid: reader,
+                    },
+                );
             }
         }
         // Delayed ACK: every second data segment sends an ACK back through
@@ -981,7 +1067,7 @@ impl Node {
         // arrival.  Loopback traffic is ACKed within the same softirq and
         // needs no extra event.
         if !loopback {
-            let st = self.sock_rx.get_mut(&conn).unwrap();
+            let st = self.rx_state_mut(conn).unwrap();
             st.ack_pending += 1;
             if st.ack_pending >= 2 {
                 st.ack_pending = 0;
@@ -1009,10 +1095,10 @@ impl Node {
             && (0..self.online as usize).all(|c| {
                 self.cpus[c]
                     .current
-                    .map(|p| self.tasks[&p].kind != TaskKind::Idle)
+                    .map(|p| self.tasks[p].kind != TaskKind::Idle)
                     .unwrap_or(false)
             });
-        self.tasks.get_mut(&attr_pid).unwrap().counters.interrupts += 1;
+        self.tasks.get_mut(attr_pid).unwrap().counters.interrupts += 1;
         let mut cost = self.net_costs.irq_cycles;
         cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
         cost += self.probe_enter(attr_pid, self.probes.eth_rx_irq, Group::Irq, now);
@@ -1034,19 +1120,31 @@ impl Node {
 
     /// NIC finished serializing a segment: release sndbuf space and wake a
     /// blocked writer.
-    pub(crate) fn on_tx_done(&mut self, conn: ktau_net::ConnId, payload: u32, now: Ns, q: &mut EventQueue) {
-        let st = self.sock_tx.get_mut(&conn).expect("txdone for unknown conn");
+    pub(crate) fn on_tx_done(
+        &mut self,
+        conn: ktau_net::ConnId,
+        payload: u32,
+        now: Ns,
+        q: &mut EventQueue,
+    ) {
+        let st = self.tx_state_mut(conn).expect("txdone for unknown conn");
         st.tx.release(payload as u64);
         if st.tx.free() > 0 {
             if let Some(w) = st.waiting_writer.take() {
-                q.push(now, Event::Wake { node: self.id, pid: w });
+                q.push(
+                    now,
+                    Event::Wake {
+                        node: self.id,
+                        pid: w,
+                    },
+                );
             }
         }
     }
 
     /// Wake a blocked task (timer expiry, data arrival, sndbuf space).
     pub(crate) fn on_wake(&mut self, pid: Pid, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
-        let t = match self.tasks.get_mut(&pid) {
+        let t = match self.tasks.get_mut(pid) {
             Some(t) => t,
             None => return,
         };
@@ -1077,26 +1175,28 @@ impl Node {
 
     /// Installs the sending end of a connection on this node.
     pub(crate) fn add_tx(&mut self, conn: ktau_net::ConnId) {
-        self.sock_tx.insert(
-            conn,
-            TxState {
-                tx: SocketTx::new(self.sndbuf_bytes),
-                waiting_writer: None,
-            },
-        );
+        let i = conn.0 as usize;
+        if i >= self.sock_tx.len() {
+            self.sock_tx.resize_with(i + 1, || None);
+        }
+        self.sock_tx[i] = Some(TxState {
+            tx: SocketTx::new(self.sndbuf_bytes),
+            waiting_writer: None,
+        });
     }
 
     /// Installs the receiving end of a connection on this node.
     pub(crate) fn add_rx(&mut self, conn: ktau_net::ConnId, loopback: bool) {
-        self.sock_rx.insert(
-            conn,
-            RxState {
-                rx: SocketRx::new(),
-                waiting_reader: None,
-                reader_pid: None,
-                loopback,
-                ack_pending: 0,
-            },
-        );
+        let i = conn.0 as usize;
+        if i >= self.sock_rx.len() {
+            self.sock_rx.resize_with(i + 1, || None);
+        }
+        self.sock_rx[i] = Some(RxState {
+            rx: SocketRx::new(),
+            waiting_reader: None,
+            reader_pid: None,
+            loopback,
+            ack_pending: 0,
+        });
     }
 }

@@ -13,14 +13,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Command names given to noise daemons, cycled in order.
-pub const DAEMON_NAMES: [&str; 6] = [
-    "kjournald",
-    "pdflush",
-    "sshd",
-    "crond",
-    "rpciod",
-    "kswapd",
-];
+pub const DAEMON_NAMES: [&str; 6] = ["kjournald", "pdflush", "sshd", "crond", "rpciod", "kswapd"];
 
 /// A daemon that sleeps ~`mean_period_ns` then burns ~`mean_busy_ns`,
 /// forever, with seeded pseudo-random jitter (0.5×–1.5× of each mean).

@@ -90,7 +90,7 @@ impl Node {
         let Node {
             tasks, registry, ..
         } = self;
-        let t = tasks.get_mut(&pid).ok_or(ProcError::NoSuchPid(pid))?;
+        let t = tasks.get_mut(pid).ok_or(ProcError::NoSuchPid(pid))?;
         let comm = t.comm.clone();
         let tb = t.meas.trace.as_mut().ok_or(ProcError::NotTraced(pid))?;
         let lost = tb.lost();
@@ -111,7 +111,7 @@ impl Node {
     pub fn reap(&mut self, pid: Pid) -> bool {
         match self.task(pid) {
             Some(t) if t.state == TaskState::Dead => {
-                self.tasks.remove(&pid);
+                self.tasks.remove(pid);
                 true
             }
             _ => false,
@@ -144,13 +144,20 @@ impl Node {
         let mut agg = ktau_core::measure::TaskMeasurement::profiling();
         for t in self.tasks.values() {
             agg.kernel.absorb(&t.meas.kernel);
-            for (k, v) in &t.meas.merged {
-                let cell = agg.merged.entry(*k).or_default();
+            for (k, v) in t.meas.merged.iter() {
+                let cell = agg.merged.cell_mut(k);
                 cell.count += v.count;
                 cell.ns += v.ns;
             }
         }
-        ProfileSnapshot::capture(0, &format!("node:{}", self.name), self.id, now, &agg, &self.registry)
+        ProfileSnapshot::capture(
+            0,
+            &format!("node:{}", self.name),
+            self.id,
+            now,
+            &agg,
+            &self.registry,
+        )
     }
 }
 

@@ -13,7 +13,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Simulation events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The derived total order only breaks ties among events with identical
+/// `(time, seq)` heap keys — which cannot happen because `seq` is unique —
+/// so any consistent order works; deriving it avoids the lossy integer
+/// encode/decode roundtrip the queue used to do per push/pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Event {
     /// Periodic timer interrupt on one CPU.
     Tick {
@@ -68,97 +73,174 @@ pub enum Event {
     },
 }
 
+/// One armed per-CPU timer interrupt, kept out of the main heap.
+#[derive(Debug, Clone, Copy)]
+struct TickLane {
+    time: Ns,
+    seq: u64,
+    node: u32,
+    cpu: u8,
+}
+
 /// Priority queue of `(time, fifo-sequence, event)`.
+///
+/// Periodic [`Event::Tick`]s dominate the event population (HZ per CPU per
+/// node), yet at any instant exactly one is armed per CPU.  They live in a
+/// dedicated *tick-lane* min-heap sized by CPU count instead of churning
+/// through the main heap alongside every transient event, which shrinks the
+/// main heap and its per-operation log factor.  `pop` takes the earlier of
+/// the two structures under the same global `(time, seq)` FIFO order, so the
+/// observable event sequence is bit-identical to a single shared heap (a
+/// unit test below proves this against an all-heap queue).
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Ns, u64, EventKeyed)>>,
+    heap: BinaryHeap<Reverse<(Ns, u64, Event)>>,
+    lanes: Vec<TickLane>,
     seq: u64,
-}
-
-/// Wrapper giving `Event` a total order for heap storage (the order among
-/// same-time same-seq events never matters because seq is unique).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKeyed(u8, u32, u64, u64, u32);
-
-fn key_of(ev: &Event) -> EventKeyed {
-    match *ev {
-        Event::Tick { node, cpu } => EventKeyed(0, node, cpu as u64, 0, 0),
-        Event::CpuDone { node, cpu, gen } => EventKeyed(1, node, cpu as u64, gen, 0),
-        Event::SegArrive {
-            node,
-            conn,
-            seq,
-            payload,
-        } => EventKeyed(2, node, conn.0 as u64, seq, payload),
-        Event::TxDone {
-            node,
-            conn,
-            payload,
-        } => EventKeyed(3, node, conn.0 as u64, 0, payload),
-        Event::Wake { node, pid } => EventKeyed(4, node, pid.0 as u64, 0, 0),
-        Event::AckArrive { node, conn } => EventKeyed(5, node, conn.0 as u64, 0, 0),
-    }
-}
-
-fn event_of(k: EventKeyed) -> Event {
-    match k.0 {
-        0 => Event::Tick {
-            node: k.1,
-            cpu: k.2 as u8,
-        },
-        1 => Event::CpuDone {
-            node: k.1,
-            cpu: k.2 as u8,
-            gen: k.3,
-        },
-        2 => Event::SegArrive {
-            node: k.1,
-            conn: ConnId(k.2 as u32),
-            seq: k.3,
-            payload: k.4,
-        },
-        3 => Event::TxDone {
-            node: k.1,
-            conn: ConnId(k.2 as u32),
-            payload: k.4,
-        },
-        4 => Event::Wake {
-            node: k.1,
-            pid: Pid(k.2 as u32),
-        },
-        _ => Event::AckArrive {
-            node: k.1,
-            conn: ConnId(k.2 as u32),
-        },
-    }
+    /// When false, ticks share the main heap (reference mode for tests).
+    use_lanes: bool,
 }
 
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue with tick lanes enabled.
     pub fn new() -> Self {
-        Self::default()
+        EventQueue {
+            use_lanes: true,
+            ..Default::default()
+        }
+    }
+
+    /// Reference queue keeping every event, ticks included, in one heap.
+    /// Exists so tests can prove lane/heap ordering equivalence.
+    pub fn new_all_heap() -> Self {
+        EventQueue::default()
     }
 
     /// Schedules `ev` at absolute time `at`.
     pub fn push(&mut self, at: Ns, ev: Event) {
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, key_of(&ev))));
+        if self.use_lanes {
+            if let Event::Tick { node, cpu } = ev {
+                self.lane_insert(TickLane {
+                    time: at,
+                    seq: self.seq,
+                    node,
+                    cpu,
+                });
+                return;
+            }
+        }
+        self.heap.push(Reverse((at, self.seq, ev)));
     }
 
-    /// Pops the earliest event.
+    /// Pops the earliest event under the global `(time, seq)` order.
     pub fn pop(&mut self) -> Option<(Ns, Event)> {
-        self.heap.pop().map(|Reverse((t, _, k))| (t, event_of(k)))
+        if self.lane_wins() {
+            let lane = self.lane_remove_root();
+            Some((
+                lane.time,
+                Event::Tick {
+                    node: lane.node,
+                    cpu: lane.cpu,
+                },
+            ))
+        } else {
+            self.heap.pop().map(|Reverse((t, _, ev))| (t, ev))
+        }
     }
 
-    /// Number of pending events.
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Ns> {
+        if self.lane_wins() {
+            self.lanes.first().map(|l| l.time)
+        } else {
+            self.heap.peek().map(|Reverse((t, _, _))| *t)
+        }
+    }
+
+    /// True when the next event comes from the tick lanes rather than the
+    /// main heap.
+    fn lane_wins(&self) -> bool {
+        match (self.lanes.first(), self.heap.peek()) {
+            (Some(l), Some(Reverse((ht, hs, _)))) => (l.time, l.seq) < (*ht, *hs),
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Number of pending events (armed ticks included).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lanes.len()
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lanes.is_empty()
     }
+
+    /// Pending event counts by kind, for diagnostics.
+    pub fn pending_summary(&self) -> String {
+        let mut tick = self.lanes.len();
+        let (mut cpu_done, mut seg, mut tx, mut ack, mut wake) = (0, 0, 0, 0, 0);
+        for Reverse((_, _, ev)) in self.heap.iter() {
+            match ev {
+                Event::Tick { .. } => tick += 1,
+                Event::CpuDone { .. } => cpu_done += 1,
+                Event::SegArrive { .. } => seg += 1,
+                Event::TxDone { .. } => tx += 1,
+                Event::AckArrive { .. } => ack += 1,
+                Event::Wake { .. } => wake += 1,
+            }
+        }
+        format!(
+            "{} pending: {tick} tick, {cpu_done} cpu_done, {seg} seg_arrive, \
+             {tx} tx_done, {ack} ack_arrive, {wake} wake",
+            self.len()
+        )
+    }
+
+    // -- tick-lane min-heap (keyed by `(time, seq)`) -------------------------
+
+    fn lane_insert(&mut self, lane: TickLane) {
+        self.lanes.push(lane);
+        let mut i = self.lanes.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if lane_key(&self.lanes[i]) < lane_key(&self.lanes[parent]) {
+                self.lanes.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lane_remove_root(&mut self) -> TickLane {
+        let root = self.lanes.swap_remove(0);
+        let len = self.lanes.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < len && lane_key(&self.lanes[l]) < lane_key(&self.lanes[smallest]) {
+                smallest = l;
+            }
+            if r < len && lane_key(&self.lanes[r]) < lane_key(&self.lanes[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.lanes.swap(i, smallest);
+            i = smallest;
+        }
+        root
+    }
+}
+
+#[inline]
+fn lane_key(l: &TickLane) -> (Ns, u64) {
+    (l.time, l.seq)
 }
 
 /// The simulated cluster: nodes, fabric, and the event loop.
@@ -169,6 +251,7 @@ pub struct Cluster {
     queue: EventQueue,
     now: Ns,
     apps_spawned: u64,
+    events_processed: u64,
     spec: ClusterSpec,
 }
 
@@ -177,12 +260,21 @@ impl Cluster {
     /// initial tick events (staggered across nodes and CPUs so the cluster's
     /// timer interrupts are not phase-locked).
     pub fn new(spec: ClusterSpec) -> Self {
+        Cluster::boot_with_queue(spec, EventQueue::new())
+    }
+
+    /// Boots with the all-heap reference event queue (no tick lanes).
+    /// Simulated behaviour is identical to [`Cluster::new`]; this exists so
+    /// benchmarks and equivalence tests can compare the two engine paths.
+    pub fn new_reference_engine(spec: ClusterSpec) -> Self {
+        Cluster::boot_with_queue(spec, EventQueue::new_all_heap())
+    }
+
+    fn boot_with_queue(spec: ClusterSpec, mut queue: EventQueue) -> Self {
         let fabric = Fabric::new(spec.fabric_latency_ns);
-        let mut queue = EventQueue::new();
         let mut nodes = Vec::with_capacity(spec.nodes.len());
         for (i, ns) in spec.nodes.iter().enumerate() {
-            let engine =
-                ktau_core::measure::ProbeEngine::new(spec.control.clone(), spec.overhead);
+            let engine = ktau_core::measure::ProbeEngine::new(spec.control.clone(), spec.overhead);
             let node = Node::boot(
                 i as u32,
                 ns.clone(),
@@ -198,10 +290,13 @@ impl Cluster {
                 // Deterministic stagger: nodes offset by a prime-ish stride,
                 // CPUs by half a tick.
                 let off = (i as u64 * 137_829 + c as u64 * tick / 2) % tick;
-                queue.push(off, Event::Tick {
-                    node: i as u32,
-                    cpu: c,
-                });
+                queue.push(
+                    off,
+                    Event::Tick {
+                        node: i as u32,
+                        cpu: c,
+                    },
+                );
             }
             nodes.push(node);
         }
@@ -211,6 +306,7 @@ impl Cluster {
             queue,
             now: 0,
             apps_spawned: 0,
+            events_processed: 0,
             spec,
         };
         cluster.spawn_noise();
@@ -232,7 +328,7 @@ impl Cluster {
                     .wrapping_add((node as u64) << 16 | d as u64);
                 let prog = noise::daemon_program(n, seed);
                 let comm = noise::DAEMON_NAMES[d as usize % noise::DAEMON_NAMES.len()];
-                self.spawn(node, TaskSpec::daemon(format!("{comm}"), prog));
+                self.spawn(node, TaskSpec::daemon(comm.to_string(), prog));
             }
         }
     }
@@ -283,11 +379,16 @@ impl Cluster {
 
     #[inline]
     fn parts(&mut self, node: u32) -> (&mut Node, &mut EventQueue, &Fabric) {
-        (&mut self.nodes[node as usize], &mut self.queue, &self.fabric)
+        (
+            &mut self.nodes[node as usize],
+            &mut self.queue,
+            &self.fabric,
+        )
     }
 
     fn handle(&mut self, at: Ns, ev: Event) {
         self.now = at;
+        self.events_processed += 1;
         match ev {
             Event::Tick { node, cpu } => {
                 let tick_ns = self.spec.sched.tick_ns();
@@ -332,6 +433,11 @@ impl Cluster {
         self.nodes.iter().map(|n| n.apps_exited).sum()
     }
 
+    /// Total simulation events handled since boot (engine throughput metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Runs until every spawned app task has exited, or until `deadline_ns`
     /// of virtual time (whichever first).  Returns the finish time.
     ///
@@ -340,16 +446,20 @@ impl Cluster {
     /// tasks.
     pub fn run_until_apps_exit(&mut self, deadline_ns: Ns) -> Ns {
         while self.apps_exited() < self.apps_spawned {
-            match self.queue.pop() {
-                Some((t, ev)) => {
-                    if t > deadline_ns {
-                        let stuck = self.stuck_report();
-                        panic!(
-                            "virtual deadline {deadline_ns} ns exceeded (possible deadlock) with {} of {} app tasks remaining:\n{stuck}",
-                            self.apps_spawned - self.apps_exited(),
-                            self.apps_spawned
-                        );
-                    }
+            // Check the deadline against the *peeked* time so a deadline
+            // panic leaves the offending event queued (an earlier version
+            // silently discarded it, corrupting post-mortem inspection).
+            match self.queue.peek_time() {
+                Some(t) if t > deadline_ns => {
+                    let stuck = self.stuck_report();
+                    panic!(
+                        "virtual deadline {deadline_ns} ns exceeded (possible deadlock) with {} of {} app tasks remaining:\n{stuck}",
+                        self.apps_spawned - self.apps_exited(),
+                        self.apps_spawned
+                    );
+                }
+                Some(_) => {
+                    let (t, ev) = self.queue.pop().expect("peeked event vanished");
                     self.handle(t, ev);
                 }
                 None => {
@@ -364,7 +474,7 @@ impl Cluster {
     /// Runs for `dur` nanoseconds of virtual time.
     pub fn run_for(&mut self, dur: Ns) -> Ns {
         let end = self.now + dur;
-        while let Some(&Reverse((t, _, _))) = self.queue.heap.peek() {
+        while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
             }
@@ -376,9 +486,15 @@ impl Cluster {
     }
 
     fn stuck_report(&self) -> String {
-        let mut s = String::new();
+        let mut s = format!(
+            "  now {} ns, {} events processed, queue {}\n",
+            self.now,
+            self.events_processed,
+            self.queue.pending_summary()
+        );
         for n in &self.nodes {
-            for (pid, t) in &n.tasks {
+            for pid in n.pids() {
+                let t = n.task(pid).expect("listed pid has a task");
                 if t.kind == crate::task::TaskKind::App && t.state != TaskState::Dead {
                     s.push_str(&format!(
                         "  node {} ({}) pid {} {} state {:?} op {:?} blocked_on {:?}\n",
@@ -388,5 +504,150 @@ impl Cluster {
             }
         }
         s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_event(node: u32, i: u64) -> Event {
+        match i % 6 {
+            0 => Event::Tick {
+                node,
+                cpu: (i % 2) as u8,
+            },
+            1 => Event::CpuDone {
+                node,
+                cpu: (i % 2) as u8,
+                gen: i,
+            },
+            2 => Event::SegArrive {
+                node,
+                conn: ConnId((i % 3) as u32),
+                seq: i,
+                payload: 1448,
+            },
+            3 => Event::TxDone {
+                node,
+                conn: ConnId((i % 3) as u32),
+                payload: 512,
+            },
+            4 => Event::AckArrive {
+                node,
+                conn: ConnId((i % 3) as u32),
+            },
+            _ => Event::Wake {
+                node,
+                pid: Pid((i % 7) as u32 + 1),
+            },
+        }
+    }
+
+    /// The tick-lane queue must produce the exact pop sequence of a single
+    /// shared heap, under interleaved pushes and pops with colliding times.
+    #[test]
+    fn lanes_match_all_heap_ordering() {
+        let mut fast = EventQueue::new();
+        let mut reference = EventQueue::new_all_heap();
+        // Deterministic scramble with many equal timestamps to stress the
+        // FIFO tie-break across the lane/heap boundary.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let step = |s: &mut u64| {
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *s >> 33
+        };
+        let mut popped = 0;
+        for round in 0..2000u64 {
+            let r = step(&mut state);
+            let at = (r % 50) * 10; // heavy time collisions
+            let ev = mixed_event((r % 4) as u32, r);
+            fast.push(at, ev);
+            reference.push(at, ev);
+            if round % 3 == 0 {
+                let (a, b) = (fast.pop(), reference.pop());
+                assert_eq!(a, b, "divergence at round {round}");
+                popped += 1;
+            }
+            assert_eq!(fast.len(), reference.len());
+            assert_eq!(fast.peek_time(), reference.peek_time());
+        }
+        while let Some(b) = reference.pop() {
+            assert_eq!(fast.pop(), Some(b));
+            popped += 1;
+        }
+        assert!(fast.is_empty());
+        assert_eq!(popped, 2000);
+    }
+
+    /// Re-armed ticks keep their FIFO position relative to same-time events.
+    #[test]
+    fn tick_rearm_preserves_fifo() {
+        let mut q = EventQueue::new();
+        q.push(100, Event::Tick { node: 0, cpu: 0 });
+        q.push(
+            100,
+            Event::Wake {
+                node: 0,
+                pid: Pid(3),
+            },
+        );
+        // Tick pushed first wins the time tie.
+        let (t, ev) = q.pop().unwrap();
+        assert_eq!((t, ev), (100, Event::Tick { node: 0, cpu: 0 }));
+        // Re-arm after pushing another same-time event: the wake now has the
+        // older seq and must come out first.
+        q.push(
+            200,
+            Event::Wake {
+                node: 1,
+                pid: Pid(4),
+            },
+        );
+        q.push(200, Event::Tick { node: 0, cpu: 0 });
+        assert_eq!(
+            q.pop(),
+            Some((
+                100,
+                Event::Wake {
+                    node: 0,
+                    pid: Pid(3)
+                }
+            ))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((
+                200,
+                Event::Wake {
+                    node: 1,
+                    pid: Pid(4)
+                }
+            ))
+        );
+        assert_eq!(q.pop(), Some((200, Event::Tick { node: 0, cpu: 0 })));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    /// `len`/`pending_summary` count armed ticks that live in the lanes.
+    #[test]
+    fn summary_counts_lanes() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::Tick { node: 0, cpu: 0 });
+        q.push(20, Event::Tick { node: 1, cpu: 0 });
+        q.push(
+            15,
+            Event::Wake {
+                node: 0,
+                pid: Pid(2),
+            },
+        );
+        assert_eq!(q.len(), 3);
+        let s = q.pending_summary();
+        assert!(s.contains("2 tick"), "{s}");
+        assert!(s.contains("1 wake"), "{s}");
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::counters::TaskCounters;
 use crate::program::{Op, Program};
+use ktau_core::event::{EventId, Group};
 use ktau_core::measure::TaskMeasurement;
 use ktau_core::time::{Cycles, Ns};
 use ktau_net::ConnId;
@@ -151,6 +152,8 @@ pub struct Task {
     pub created_ns: Ns,
     /// Virtual time of exit (0 while alive).
     pub exited_ns: Ns,
+    /// Probe to close when a [`OpState::KernelBusy`] chunk completes.
+    pub pending_kernel_exit: Option<(EventId, Group)>,
 }
 
 impl std::fmt::Debug for Task {
@@ -193,6 +196,7 @@ impl Task {
             cpu_ns: 0,
             created_ns: now,
             exited_ns: 0,
+            pending_kernel_exit: None,
         }
     }
 
@@ -217,6 +221,87 @@ impl Task {
     /// An affinity mask pinning to one CPU.
     pub fn pin_mask(cpu: u8) -> u32 {
         1 << cpu
+    }
+}
+
+/// Dense task slab indexed directly by pid.
+///
+/// Pids are handed out densely from 1 per node (idle threads first, then
+/// spawns), so a flat `Vec<Option<Task>>` replaces the previous
+/// `BTreeMap<Pid, Task>` on every scheduler/probe hot path: O(1) pointer
+/// arithmetic instead of a tree walk per access.  Iteration stays in
+/// ascending-pid order — identical to the map's — which snapshot and report
+/// code depends on.  Reaped zombies leave a `None` slot behind.
+#[derive(Debug, Default)]
+pub struct TaskTable {
+    slots: Vec<Option<Task>>,
+}
+
+impl TaskTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        TaskTable::default()
+    }
+
+    /// Inserts `task` under `pid` (slots grow to fit; pids are dense so the
+    /// table stays compact).
+    pub fn insert(&mut self, pid: Pid, task: Task) {
+        let i = pid.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(task);
+    }
+
+    /// The task under `pid`, if present.
+    #[inline]
+    pub fn get(&self, pid: Pid) -> Option<&Task> {
+        self.slots.get(pid.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the task under `pid`.
+    #[inline]
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut Task> {
+        self.slots.get_mut(pid.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Removes and returns the task under `pid`.
+    pub fn remove(&mut self, pid: Pid) -> Option<Task> {
+        self.slots.get_mut(pid.0 as usize).and_then(Option::take)
+    }
+
+    /// Live tasks in ascending-pid order.
+    pub fn values(&self) -> impl Iterator<Item = &Task> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// `(pid, task)` pairs in ascending-pid order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pid, &Task)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (Pid(i as u32), t)))
+    }
+
+    /// Pids of live tasks in ascending order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.iter().map(|(p, _)| p).collect()
+    }
+}
+
+impl std::ops::Index<Pid> for TaskTable {
+    type Output = Task;
+    #[inline]
+    fn index(&self, pid: Pid) -> &Task {
+        self.get(pid).expect("no task for pid")
+    }
+}
+
+impl std::ops::Index<&Pid> for TaskTable {
+    type Output = Task;
+    #[inline]
+    fn index(&self, pid: &Pid) -> &Task {
+        self.get(*pid).expect("no task for pid")
     }
 }
 

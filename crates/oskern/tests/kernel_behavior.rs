@@ -4,9 +4,7 @@
 use ktau_core::control::InstrumentationControl;
 use ktau_core::time::NS_PER_SEC;
 use ktau_oskern::probe_names as names;
-use ktau_oskern::{
-    Cluster, ClusterSpec, IrqPolicy, NoiseSpec, Op, OpList, TaskKind, TaskSpec,
-};
+use ktau_oskern::{Cluster, ClusterSpec, IrqPolicy, NoiseSpec, Op, OpList, TaskKind, TaskSpec};
 
 fn quiet_spec(nodes: usize) -> ClusterSpec {
     let mut s = ClusterSpec::chiba(nodes);
@@ -48,8 +46,14 @@ fn two_tasks_on_one_cpu_timeshare_and_preempt() {
     let node = c.node(0);
     for pid in [a, b] {
         let snap = node.profile_snapshot(pid, c.now()).unwrap();
-        let sched = snap.kernel_event(names::SCHEDULE).expect("no schedule event");
-        assert!(sched.stats.count >= 5, "few preemptions: {}", sched.stats.count);
+        let sched = snap
+            .kernel_event(names::SCHEDULE)
+            .expect("no schedule event");
+        assert!(
+            sched.stats.count >= 5,
+            "few preemptions: {}",
+            sched.stats.count
+        );
         assert!(sched.stats.incl_ns > NS_PER_SEC, "little preempted time");
     }
 }
@@ -71,7 +75,10 @@ fn two_tasks_on_two_cpus_do_not_interfere() {
             .kernel_event(names::SCHEDULE)
             .map(|r| r.stats.incl_ns)
             .unwrap_or(0);
-        assert!(preempt_ns < NS_PER_SEC / 10, "unexpected preemption {preempt_ns}");
+        assert!(
+            preempt_ns < NS_PER_SEC / 10,
+            "unexpected preemption {preempt_ns}"
+        );
     }
 }
 
@@ -92,11 +99,17 @@ fn send_recv_transfers_exact_bytes_across_nodes() {
     let msg = 1_000_000u64; // 1 MB
     let sender = c.spawn(
         0,
-        TaskSpec::app("sender", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+        TaskSpec::app(
+            "sender",
+            Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }])),
+        ),
     );
     let recver = c.spawn(
         1,
-        TaskSpec::app("recver", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))),
+        TaskSpec::app(
+            "recver",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }])),
+        ),
     );
     let end = c.run_until_apps_exit(100 * NS_PER_SEC);
     // 1 MB at 12.5 MB/s is ≥ 80 ms of serialization.
@@ -133,7 +146,11 @@ fn send_recv_transfers_exact_bytes_across_nodes() {
     let vol = rx_snap
         .kernel_event(names::SCHEDULE_VOL)
         .expect("receiver never blocked");
-    assert!(vol.stats.incl_ns > 10_000_000, "vol wait {}", vol.stats.incl_ns);
+    assert!(
+        vol.stats.incl_ns > 10_000_000,
+        "vol wait {}",
+        vol.stats.incl_ns
+    );
 }
 
 #[test]
@@ -143,16 +160,28 @@ fn sndbuf_backpressure_blocks_writer() {
     let msg = 4 * 1024 * 1024u64; // far beyond the 128 KiB sndbuf
     let sender = c.spawn(
         0,
-        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }])),
+        ),
     );
     c.spawn(
         1,
-        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))),
+        TaskSpec::app(
+            "r",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }])),
+        ),
     );
     c.run_until_apps_exit(100 * NS_PER_SEC);
     let snap = c.node(0).profile_snapshot(sender, c.now()).unwrap();
-    let vol = snap.kernel_event(names::SCHEDULE_VOL).expect("writer never blocked");
-    assert!(vol.stats.count >= 3, "writer blocked only {} times", vol.stats.count);
+    let vol = snap
+        .kernel_event(names::SCHEDULE_VOL)
+        .expect("writer never blocked");
+    assert!(
+        vol.stats.count >= 3,
+        "writer blocked only {} times",
+        vol.stats.count
+    );
 }
 
 #[test]
@@ -164,15 +193,22 @@ fn irq_all_to_cpu0_lands_on_cpu0_tasks() {
     let msg = 2_000_000u64;
     c.spawn(
         0,
-        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }])),
+        ),
     );
     // Two compute hogs pinned to each CPU of node 1; the receiver also on
     // node 1 pinned to CPU 1.
-    let hog0 = c.spawn(0 + 1, compute_task(3).pinned(0));
+    let hog0 = c.spawn(1, compute_task(3).pinned(0));
     let hog1 = c.spawn(1, compute_task(3).pinned(1));
     c.spawn(
         1,
-        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))).pinned(1),
+        TaskSpec::app(
+            "r",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }])),
+        )
+        .pinned(1),
     );
     c.run_until_apps_exit(100 * NS_PER_SEC);
     let now = c.now();
@@ -203,13 +239,20 @@ fn irq_balanced_spreads_interrupts() {
     let msg = 2_000_000u64;
     c.spawn(
         0,
-        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }]))),
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::Send { conn, bytes: msg }])),
+        ),
     );
     let hog0 = c.spawn(1, compute_task(3).pinned(0));
     let hog1 = c.spawn(1, compute_task(3).pinned(1));
     c.spawn(
         1,
-        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }]))).pinned(1),
+        TaskSpec::app(
+            "r",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: msg }])),
+        )
+        .pinned(1),
     );
     c.run_until_apps_exit(100 * NS_PER_SEC);
     let now = c.now();
@@ -235,7 +278,10 @@ fn ktau_off_measures_nothing_but_runs_same_workload() {
     let pid = c.spawn(0, compute_task(1));
     c.run_until_apps_exit(100 * NS_PER_SEC);
     let snap = c.node(0).profile_snapshot(pid, c.now()).unwrap();
-    assert!(snap.kernel_events.is_empty(), "KtauOff should record nothing");
+    assert!(
+        snap.kernel_events.is_empty(),
+        "KtauOff should record nothing"
+    );
 }
 
 #[test]
@@ -251,11 +297,23 @@ fn perturbation_prof_all_is_small_but_nonzero() {
         let mut ops1 = Vec::new();
         for _ in 0..50 {
             ops0.push(Op::Compute(SEC_CYCLES / 100));
-            ops0.push(Op::Send { conn, bytes: 100_000 });
-            ops0.push(Op::Recv { conn: fwd, bytes: 100_000 });
+            ops0.push(Op::Send {
+                conn,
+                bytes: 100_000,
+            });
+            ops0.push(Op::Recv {
+                conn: fwd,
+                bytes: 100_000,
+            });
             ops1.push(Op::Compute(SEC_CYCLES / 100));
-            ops1.push(Op::Recv { conn, bytes: 100_000 });
-            ops1.push(Op::Send { conn: fwd, bytes: 100_000 });
+            ops1.push(Op::Recv {
+                conn,
+                bytes: 100_000,
+            });
+            ops1.push(Op::Send {
+                conn: fwd,
+                bytes: 100_000,
+            });
         }
         c.spawn(0, TaskSpec::app("p0", Box::new(OpList::new(ops0))));
         c.spawn(1, TaskSpec::app("p1", Box::new(OpList::new(ops1))));
@@ -268,7 +326,10 @@ fn perturbation_prof_all_is_small_but_nonzero() {
     let all_slow = (all as f64 - base as f64) / base as f64 * 100.0;
     assert!(off_slow < 0.5, "KtauOff slowdown {off_slow:.3}%");
     assert!(all_slow > 0.0, "ProfAll should perturb");
-    assert!(all_slow < 10.0, "ProfAll slowdown too large: {all_slow:.2}%");
+    assert!(
+        all_slow < 10.0,
+        "ProfAll slowdown too large: {all_slow:.2}%"
+    );
 }
 
 #[test]
@@ -280,14 +341,26 @@ fn identical_seeds_are_bit_deterministic() {
         let conn = c.open_conn(0, 1);
         c.spawn(
             0,
-            TaskSpec::app("s", Box::new(OpList::new(vec![
-                Op::Compute(SEC_CYCLES / 10),
-                Op::Send { conn, bytes: 500_000 },
-            ]))),
+            TaskSpec::app(
+                "s",
+                Box::new(OpList::new(vec![
+                    Op::Compute(SEC_CYCLES / 10),
+                    Op::Send {
+                        conn,
+                        bytes: 500_000,
+                    },
+                ])),
+            ),
         );
         let r = c.spawn(
             1,
-            TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 500_000 }]))),
+            TaskSpec::app(
+                "r",
+                Box::new(OpList::new(vec![Op::Recv {
+                    conn,
+                    bytes: 500_000,
+                }])),
+            ),
         );
         let end = c.run_until_apps_exit(100 * NS_PER_SEC);
         let snap = c.node(1).profile_snapshot(r, c.now()).unwrap();
@@ -304,7 +377,10 @@ fn sleep_wakes_after_duration() {
     let mut c = Cluster::new(quiet_spec(1));
     c.spawn(
         0,
-        TaskSpec::app("sleeper", Box::new(OpList::new(vec![Op::Sleep(NS_PER_SEC)]))),
+        TaskSpec::app(
+            "sleeper",
+            Box::new(OpList::new(vec![Op::Sleep(NS_PER_SEC)])),
+        ),
     );
     let end = c.run_until_apps_exit(100 * NS_PER_SEC);
     let secs = end as f64 / NS_PER_SEC as f64;
@@ -328,7 +404,10 @@ fn exception_and_signal_paths_are_instrumented() {
     );
     c.run_until_apps_exit(10 * NS_PER_SEC);
     let snap = c.node(0).profile_snapshot(pid, c.now()).unwrap();
-    assert_eq!(snap.kernel_event(names::DO_PAGE_FAULT).unwrap().stats.count, 1);
+    assert_eq!(
+        snap.kernel_event(names::DO_PAGE_FAULT).unwrap().stats.count,
+        1
+    );
     assert_eq!(snap.kernel_event(names::DO_SIGNAL).unwrap().stats.count, 1);
     assert_eq!(snap.kernel_event(names::SYS_GETPID).unwrap().stats.count, 1);
 }
@@ -345,7 +424,10 @@ fn user_routines_profile_with_true_exclusive_correction() {
                 Op::UserEnter("main"),
                 Op::Compute(SEC_CYCLES / 10),
                 Op::UserEnter("MPI_Send"),
-                Op::Send { conn, bytes: 200_000 },
+                Op::Send {
+                    conn,
+                    bytes: 200_000,
+                },
                 Op::UserExit("MPI_Send"),
                 Op::UserExit("main"),
             ])),
@@ -353,7 +435,13 @@ fn user_routines_profile_with_true_exclusive_correction() {
     );
     c.spawn(
         1,
-        TaskSpec::app("peer", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 200_000 }]))),
+        TaskSpec::app(
+            "peer",
+            Box::new(OpList::new(vec![Op::Recv {
+                conn,
+                bytes: 200_000,
+            }])),
+        ),
     );
     c.run_until_apps_exit(100 * NS_PER_SEC);
     let snap = c.node(0).profile_snapshot(pid, c.now()).unwrap();

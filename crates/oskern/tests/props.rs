@@ -3,9 +3,7 @@
 //! hold.
 
 use ktau_core::time::NS_PER_SEC;
-use ktau_oskern::{
-    Cluster, ClusterSpec, NoiseSpec, Op, OpList, Pid, TaskKind, TaskSpec,
-};
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec, Op, OpList, Pid, TaskKind, TaskSpec};
 use proptest::prelude::*;
 
 /// A random short program from a constrained op alphabet (no network, so
@@ -32,7 +30,12 @@ fn run_programs(progs: Vec<Vec<Op>>, cpus: Option<u8>) -> (Cluster, Vec<Pid>) {
     let pids = progs
         .into_iter()
         .enumerate()
-        .map(|(i, ops)| c.spawn(0, TaskSpec::app(format!("p{i}"), Box::new(OpList::new(ops)))))
+        .map(|(i, ops)| {
+            c.spawn(
+                0,
+                TaskSpec::app(format!("p{i}"), Box::new(OpList::new(ops))),
+            )
+        })
         .collect();
     c.run_until_apps_exit(3_600 * NS_PER_SEC);
     (c, pids)

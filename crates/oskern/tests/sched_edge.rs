@@ -1,9 +1,7 @@
 //! Scheduler and kernel edge cases.
 
 use ktau_core::time::NS_PER_SEC;
-use ktau_oskern::{
-    Cluster, ClusterSpec, IrqPolicy, NoiseSpec, Op, OpList, TaskSpec, TaskState,
-};
+use ktau_oskern::{Cluster, ClusterSpec, IrqPolicy, NoiseSpec, Op, OpList, TaskSpec, TaskState};
 
 fn quiet(n: usize) -> ClusterSpec {
     let mut s = ClusterSpec::chiba(n);
@@ -34,11 +32,23 @@ fn pinned_irq_policy_clamps_to_online_cpus() {
     let conn = c.open_conn(0, 1);
     c.spawn(
         0,
-        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: 100_000 }]))),
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::Send {
+                conn,
+                bytes: 100_000,
+            }])),
+        ),
     );
     c.spawn(
         1,
-        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 100_000 }]))),
+        TaskSpec::app(
+            "r",
+            Box::new(OpList::new(vec![Op::Recv {
+                conn,
+                bytes: 100_000,
+            }])),
+        ),
     );
     let end = c.run_until_apps_exit(60 * NS_PER_SEC);
     assert!(end > 0);
@@ -84,11 +94,17 @@ fn zero_byte_send_and_recv_complete() {
     let conn = c.open_conn(0, 1);
     c.spawn(
         0,
-        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes: 0 }]))),
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::Send { conn, bytes: 0 }])),
+        ),
     );
     c.spawn(
         1,
-        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 0 }]))),
+        TaskSpec::app(
+            "r",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: 0 }])),
+        ),
     );
     let end = c.run_until_apps_exit(10 * NS_PER_SEC);
     assert!(end < NS_PER_SEC);
@@ -99,7 +115,10 @@ fn counters_track_scheduling_and_wakeups() {
     let mut spec = quiet(1);
     spec.nodes[0].detected_cpus = Some(1);
     let mut c = Cluster::new(spec);
-    let a = c.spawn(0, TaskSpec::app("a", Box::new(OpList::new(vec![Op::Compute(900_000_000)]))));
+    let a = c.spawn(
+        0,
+        TaskSpec::app("a", Box::new(OpList::new(vec![Op::Compute(900_000_000)]))),
+    );
     let b = c.spawn(
         0,
         TaskSpec::app(
@@ -129,7 +148,10 @@ fn migrations_counted_on_multi_cpu_contention() {
         .map(|i| {
             c.spawn(
                 0,
-                TaskSpec::app(format!("t{i}"), Box::new(OpList::new(vec![Op::Compute(900_000_000)]))),
+                TaskSpec::app(
+                    format!("t{i}"),
+                    Box::new(OpList::new(vec![Op::Compute(900_000_000)])),
+                ),
             )
         })
         .collect();
@@ -144,7 +166,10 @@ fn migrations_counted_on_multi_cpu_contention() {
 #[test]
 fn run_for_advances_exactly() {
     let mut c = Cluster::new(quiet(1));
-    c.spawn(0, TaskSpec::app("bg", Box::new(OpList::new(vec![Op::Compute(u64::MAX / 4)]))));
+    c.spawn(
+        0,
+        TaskSpec::app("bg", Box::new(OpList::new(vec![Op::Compute(u64::MAX / 4)]))),
+    );
     let t1 = c.run_for(NS_PER_SEC);
     assert_eq!(t1, NS_PER_SEC);
     let t2 = c.run_for(NS_PER_SEC / 2);
@@ -157,7 +182,10 @@ fn deadline_panic_reports_blocked_tasks() {
     let conn = c.open_conn(0, 1);
     c.spawn(
         1,
-        TaskSpec::app("stuck", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 10 }]))),
+        TaskSpec::app(
+            "stuck",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: 10 }])),
+        ),
     );
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         c.run_until_apps_exit(NS_PER_SEC);
@@ -165,5 +193,8 @@ fn deadline_panic_reports_blocked_tasks() {
     .unwrap_err();
     let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("stuck"), "diagnostic missing task name: {msg}");
-    assert!(msg.contains("RxData"), "diagnostic missing blocked-on: {msg}");
+    assert!(
+        msg.contains("RxData"),
+        "diagnostic missing blocked-on: {msg}"
+    );
 }

@@ -154,7 +154,10 @@ mod tests {
             .iter()
             .find(|r| r.path == vec!["MPI_Send".to_string(), "sys_writev".to_string()])
             .unwrap();
-        assert_eq!((writev.calls, writev.incl_ns, writev.excl_ns), (1, 300, 300));
+        assert_eq!(
+            (writev.calls, writev.incl_ns, writev.excl_ns),
+            (1, 300, 300)
+        );
     }
 
     #[test]

@@ -92,12 +92,7 @@ impl Ktaud {
 /// Per-interval rate of one kernel event for one process across a KTAUD
 /// history: `(interval end, calls/sec)` — online rate monitoring, the
 /// "provide online information" objective from the paper's §3.
-pub fn event_rate(
-    history: &[KtaudSample],
-    node: u32,
-    pid: u32,
-    event: &str,
-) -> Vec<(Ns, f64)> {
+pub fn event_rate(history: &[KtaudSample], node: u32, pid: u32, event: &str) -> Vec<(Ns, f64)> {
     let mut out = Vec::new();
     let mut prev: Option<(Ns, u64)> = None;
     for sample in history {
@@ -149,7 +144,10 @@ mod tests {
         let mut c = quiet(2);
         c.spawn(
             0,
-            TaskSpec::app("w", Box::new(OpList::new(vec![Op::Compute(2 * 450_000_000)]))),
+            TaskSpec::app(
+                "w",
+                Box::new(OpList::new(vec![Op::Compute(2 * 450_000_000)])),
+            ),
         );
         let mut d = Ktaud::install(&mut c, &[0, 1], NS_PER_SEC / 2, AccessMode::All);
         d.run(&mut c, 4).unwrap();

@@ -18,6 +18,7 @@ pub mod libktau;
 pub mod merged;
 pub mod phases;
 
+pub use callgraph::{callpath_profile, render_callpaths, CallPathRow};
 pub use ktaud::{run_ktau, Ktaud, KtaudSample};
 pub use libktau::{
     ktau_get_profile, ktau_get_profiles, ktau_get_trace, ktau_reset_profile, ktau_set_group,
@@ -28,4 +29,3 @@ pub use merged::{
     timeline_within, CallGroupCell, MergedRoutineRow,
 };
 pub use phases::{PhaseProfile, PhaseProfiler};
-pub use callgraph::{callpath_profile, render_callpaths, CallPathRow};

@@ -97,10 +97,7 @@ pub fn merged_timeline(trace: &TraceSnapshot) -> Vec<&NamedTraceRecord> {
 
 /// Extracts the slice of a merged timeline between the first enter and last
 /// exit of `routine` (e.g. the kernel activity inside one `MPI_Send`).
-pub fn timeline_within<'a>(
-    trace: &'a TraceSnapshot,
-    routine: &str,
-) -> Vec<&'a NamedTraceRecord> {
+pub fn timeline_within<'a>(trace: &'a TraceSnapshot, routine: &str) -> Vec<&'a NamedTraceRecord> {
     use ktau_core::TracePoint;
     let recs = merged_timeline(trace);
     let first = recs

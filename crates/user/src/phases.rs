@@ -158,7 +158,10 @@ mod tests {
         let mut c = Cluster::new(spec);
         let pid = c.spawn(
             0,
-            TaskSpec::app("idle", Box::new(OpList::new(vec![Op::Sleep(2 * NS_PER_SEC)]))),
+            TaskSpec::app(
+                "idle",
+                Box::new(OpList::new(vec![Op::Sleep(2 * NS_PER_SEC)])),
+            ),
         );
         c.run_for(NS_PER_SEC / 4);
         let mut pp = PhaseProfiler::begin(&c, 0, pid).unwrap();

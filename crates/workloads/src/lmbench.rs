@@ -21,7 +21,10 @@ pub struct MicroResult {
 /// the mean in-kernel latency measured by the `sys_getpid` KTAU probe.
 pub fn lat_syscall(cluster: &mut Cluster, node: u32, n: u64) -> MicroResult {
     let ops: Vec<Op> = (0..n).map(|_| Op::SyscallNull).collect();
-    let pid = cluster.spawn(node, TaskSpec::app("lat_syscall", Box::new(OpList::new(ops))));
+    let pid = cluster.spawn(
+        node,
+        TaskSpec::app("lat_syscall", Box::new(OpList::new(ops))),
+    );
     let wall = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
     let snap = cluster
         .node(node)
@@ -50,8 +53,14 @@ pub fn lat_ctx(cluster: &mut Cluster, node: u32, n: u64) -> MicroResult {
         }
         ops
     };
-    let a = cluster.spawn(node, TaskSpec::app("lat_ctx.0", Box::new(OpList::new(mk()))).pinned(0));
-    let _b = cluster.spawn(node, TaskSpec::app("lat_ctx.1", Box::new(OpList::new(mk()))).pinned(0));
+    let a = cluster.spawn(
+        node,
+        TaskSpec::app("lat_ctx.0", Box::new(OpList::new(mk()))).pinned(0),
+    );
+    let _b = cluster.spawn(
+        node,
+        TaskSpec::app("lat_ctx.1", Box::new(OpList::new(mk()))).pinned(0),
+    );
     let wall = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
     let snap = cluster
         .node(node)
@@ -75,11 +84,17 @@ pub fn bw_tcp(cluster: &mut Cluster, src: u32, dst: u32, bytes: u64) -> (f64, Mi
     let conn = cluster.open_conn(src, dst);
     cluster.spawn(
         src,
-        TaskSpec::app("bw_tcp.tx", Box::new(OpList::new(vec![Op::Send { conn, bytes }]))),
+        TaskSpec::app(
+            "bw_tcp.tx",
+            Box::new(OpList::new(vec![Op::Send { conn, bytes }])),
+        ),
     );
     let rx = cluster.spawn(
         dst,
-        TaskSpec::app("bw_tcp.rx", Box::new(OpList::new(vec![Op::Recv { conn, bytes }]))),
+        TaskSpec::app(
+            "bw_tcp.rx",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes }])),
+        ),
     );
     let start = cluster.now();
     let end = cluster.run_until_apps_exit(3_600 * NS_PER_SEC);
@@ -139,6 +154,10 @@ mod tests {
         assert!(mbps > 9.0 && mbps <= 12.5, "bw {mbps}");
         assert!(rcv.count > 6_000);
         // per-segment cost ~27-36 us (paper Fig 10 range)
-        assert!(rcv.mean_ns > 20_000.0 && rcv.mean_ns < 45_000.0, "{}", rcv.mean_ns);
+        assert!(
+            rcv.mean_ns > 20_000.0 && rcv.mean_ns < 45_000.0,
+            "{}",
+            rcv.mean_ns
+        );
     }
 }

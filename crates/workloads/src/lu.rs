@@ -56,10 +56,10 @@ impl LuParams {
             py: 8,
             iters: 100,
             nz: 160,
-            rhs_cycles: 830_000_000,   // ~1.84 s/iter at 450 MHz
-            plane_cycles: 1_125_000,   // ~2.5 ms/plane (class-C scale)
-            edge_x_bytes: 2 * 5 * 8 * 20, // 1.6 KiB
-            edge_y_bytes: 2 * 5 * 8 * 10, // 0.8 KiB
+            rhs_cycles: 830_000_000,            // ~1.84 s/iter at 450 MHz
+            plane_cycles: 1_125_000,            // ~2.5 ms/plane (class-C scale)
+            edge_x_bytes: 2 * 5 * 8 * 20,       // 1.6 KiB
+            edge_y_bytes: 2 * 5 * 8 * 10,       // 0.8 KiB
             face_x_bytes: 2 * 5 * 8 * 20 * 160, // 256 KiB
             face_y_bytes: 2 * 5 * 8 * 10 * 160, // 128 KiB
             inorm: 20,
@@ -95,7 +95,7 @@ impl LuParams {
             py,
             iters: 2,
             nz: 8,
-            rhs_cycles: 45_000_000, // 100 ms
+            rhs_cycles: 45_000_000,  // 100 ms
             plane_cycles: 2_250_000, // 5 ms
             edge_x_bytes: 800,
             edge_y_bytes: 400,
@@ -209,7 +209,7 @@ impl LuApp {
         // 4. upper sweep: wavefront from (px-1, py-1); jacu+buts per plane.
         self.gen_sweep("jacu", "buts", east, south, west, north);
         // 5. periodic residual norm.
-        if p.inorm > 0 && (self.iter + 1) % p.inorm == 0 {
+        if p.inorm > 0 && (self.iter + 1).is_multiple_of(p.inorm) {
             self.buf.push_back(MpiOp::Enter("l2norm"));
             self.buf.push_back(MpiOp::Allreduce { bytes: 40 });
             self.buf.push_back(MpiOp::Exit("l2norm"));

@@ -45,7 +45,7 @@ impl SweepParams {
             py: 8,
             iters: 4,
             blocks: 48,
-            block_cycles: 89_000_000,  // ~198 ms per block
+            block_cycles: 89_000_000, // ~198 ms per block
             edge_x_bytes: 30_000,
             edge_y_bytes: 15_000,
             jitter_ppm: 5,

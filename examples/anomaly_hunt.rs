@@ -77,7 +77,10 @@ fn main() {
             .kernel_event("schedule")
             .map(|e| e.stats.incl_ns)
             .unwrap_or(0);
-        println!("           involuntary scheduling overall: {:.2} s", ns_to_s(sched));
+        println!(
+            "           involuntary scheduling overall: {:.2} s",
+            ns_to_s(sched)
+        );
     }
     println!("        -> the outlier ranks suffer heavy preemption, not I/O waits\n");
 
@@ -96,7 +99,8 @@ fn main() {
         .into_iter()
         .filter_map(|pid| {
             let t = node.task(pid)?;
-            (t.kind != TaskKind::Idle).then(|| (format!("{} (pid {pid})", t.comm), t.cpu_ns as f64 / 1e9))
+            (t.kind != TaskKind::Idle)
+                .then(|| (format!("{} (pid {pid})", t.comm), t.cpu_ns as f64 / 1e9))
         })
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());

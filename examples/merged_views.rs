@@ -31,10 +31,16 @@ fn main() {
                 Op::Compute(900_000_000), // 2 s at 450 MHz
                 Op::UserExit("solve"),
                 Op::UserEnter("MPI_Send"),
-                Op::Send { conn: fwd, bytes: 500_000 },
+                Op::Send {
+                    conn: fwd,
+                    bytes: 500_000,
+                },
                 Op::UserExit("MPI_Send"),
                 Op::UserEnter("MPI_Recv"),
-                Op::Recv { conn: rev, bytes: 500_000 },
+                Op::Recv {
+                    conn: rev,
+                    bytes: 500_000,
+                },
                 Op::UserExit("MPI_Recv"),
                 Op::UserExit("main"),
             ])),
@@ -46,8 +52,14 @@ fn main() {
         TaskSpec::app(
             "peer",
             Box::new(OpList::new(vec![
-                Op::Recv { conn: fwd, bytes: 500_000 },
-                Op::Send { conn: rev, bytes: 500_000 },
+                Op::Recv {
+                    conn: fwd,
+                    bytes: 500_000,
+                },
+                Op::Send {
+                    conn: rev,
+                    bytes: 500_000,
+                },
             ])),
         ),
     );
@@ -79,7 +91,10 @@ fn main() {
     let send_slice = timeline_within(&trace, "MPI_Send");
     print!(
         "{}",
-        timeline("kernel activity inside MPI_Send (merged trace)", &send_slice)
+        timeline(
+            "kernel activity inside MPI_Send (merged trace)",
+            &send_slice
+        )
     );
     if trace.lost > 0 {
         println!("(trace ring overflowed: {} records lost)", trace.lost);

@@ -22,15 +22,27 @@ fn main() {
             MpiOp::Enter("compute"),
             MpiOp::Compute(450_000_000), // 1 s at 450 MHz
             MpiOp::Exit("compute"),
-            MpiOp::Send { to: Rank(1), bytes: 1_000_000 },
-            MpiOp::Recv { from: Rank(1), bytes: 1_000_000 },
+            MpiOp::Send {
+                to: Rank(1),
+                bytes: 1_000_000,
+            },
+            MpiOp::Recv {
+                from: Rank(1),
+                bytes: 1_000_000,
+            },
         ])),
         Box::new(ktau::mpi::app::MpiOpList::new(vec![
-            MpiOp::Recv { from: Rank(0), bytes: 1_000_000 },
+            MpiOp::Recv {
+                from: Rank(0),
+                bytes: 1_000_000,
+            },
             MpiOp::Enter("compute"),
             MpiOp::Compute(450_000_000),
             MpiOp::Exit("compute"),
-            MpiOp::Send { to: Rank(0), bytes: 1_000_000 },
+            MpiOp::Send {
+                to: Rank(0),
+                bytes: 1_000_000,
+            },
         ])),
     ];
     let job = launch(&mut cluster, "pingpong", &Layout::one_per_node(2), apps);

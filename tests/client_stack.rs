@@ -7,7 +7,7 @@ use ktau::oskern::{
 };
 use ktau::user::{
     ktau_get_profile, ktau_get_profiles, ktau_get_trace, ktau_set_group, run_ktau, AccessMode,
-    Ktaud, KtauError,
+    KtauError, Ktaud,
 };
 
 fn quiet(n: usize) -> Cluster {
@@ -36,10 +36,7 @@ fn ktaud_and_self_profiling_agree() {
     let mut d = Ktaud::install(&mut c, &[0], NS_PER_SEC / 4, AccessMode::All);
     d.run(&mut c, 8).unwrap();
     let self_view = ktau_get_profile(&c, 0, pid).unwrap();
-    let daemon_view = d
-        .latest()
-        .unwrap()
-        .profiles[0]
+    let daemon_view = d.latest().unwrap().profiles[0]
         .1
         .iter()
         .find(|p| p.pid == pid.0)
@@ -110,7 +107,10 @@ fn trace_overflow_reports_loss_not_corruption() {
     spec.trace_capacity = Some(64); // deliberately tiny ring
     let mut c = Cluster::new(spec);
     let ops: Vec<Op> = (0..200).map(|_| Op::SyscallNull).collect();
-    let pid = c.spawn(0, TaskSpec::app("spammy", Box::new(OpList::new(ops))).traced());
+    let pid = c.spawn(
+        0,
+        TaskSpec::app("spammy", Box::new(OpList::new(ops))).traced(),
+    );
     c.run_until_apps_exit(60 * NS_PER_SEC);
     let t = ktau_get_trace(&mut c, 0, pid).unwrap();
     assert_eq!(t.records.len(), 64);
@@ -128,7 +128,10 @@ fn reading_profiles_of_dying_and_dead_processes() {
     );
     let long = c.spawn(
         0,
-        TaskSpec::app("long", Box::new(OpList::new(vec![Op::Compute(900_000_000)]))),
+        TaskSpec::app(
+            "long",
+            Box::new(OpList::new(vec![Op::Compute(900_000_000)])),
+        ),
     );
     // Read while running.
     c.run_for(NS_PER_SEC / 10);
@@ -202,10 +205,22 @@ fn lost_wakeup_free_under_many_small_messages() {
     let mut a = Vec::new();
     let mut b = Vec::new();
     for _ in 0..n {
-        a.push(Op::Send { conn: fwd, bytes: 64 });
-        a.push(Op::Recv { conn: rev, bytes: 64 });
-        b.push(Op::Recv { conn: fwd, bytes: 64 });
-        b.push(Op::Send { conn: rev, bytes: 64 });
+        a.push(Op::Send {
+            conn: fwd,
+            bytes: 64,
+        });
+        a.push(Op::Recv {
+            conn: rev,
+            bytes: 64,
+        });
+        b.push(Op::Recv {
+            conn: fwd,
+            bytes: 64,
+        });
+        b.push(Op::Send {
+            conn: rev,
+            bytes: 64,
+        });
     }
     c.spawn(0, TaskSpec::app("a", Box::new(OpList::new(a))));
     c.spawn(1, TaskSpec::app("b", Box::new(OpList::new(b))));

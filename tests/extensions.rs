@@ -35,7 +35,10 @@ fn counters_phases_and_callpaths_compose() {
                 Op::Sleep(NS_PER_SEC),
                 // phase "io": network
                 Op::UserEnter("io"),
-                Op::Send { conn, bytes: 300_000 },
+                Op::Send {
+                    conn,
+                    bytes: 300_000,
+                },
                 Op::UserExit("io"),
                 Op::Sleep(NS_PER_SEC),
             ])),
@@ -44,7 +47,13 @@ fn counters_phases_and_callpaths_compose() {
     );
     c.spawn(
         1,
-        TaskSpec::app("peer", Box::new(OpList::new(vec![Op::Recv { conn, bytes: 300_000 }]))),
+        TaskSpec::app(
+            "peer",
+            Box::new(OpList::new(vec![Op::Recv {
+                conn,
+                bytes: 300_000,
+            }])),
+        ),
     );
 
     // Phase profiling across the two phases.

@@ -61,8 +61,18 @@ fn table2_ordering_at_small_scale() {
 /// §5.2: irq-balancing improves the pinned 2-rank-per-node configuration.
 #[test]
 fn irq_balancing_helps_pinned_64x2_style() {
-    let (t_pin, _, _) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::AllToCpu0);
-    let (t_bal, _, _) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::Balanced);
+    let (t_pin, _, _) = run_config(
+        8,
+        None,
+        Layout::cyclic(8, 16).pinned(8),
+        IrqPolicy::AllToCpu0,
+    );
+    let (t_bal, _, _) = run_config(
+        8,
+        None,
+        Layout::cyclic(8, 16).pinned(8),
+        IrqPolicy::Balanced,
+    );
     assert!(
         t_bal < t_pin,
         "irq balancing should help: balanced {t_bal} vs cpu0-only {t_pin}"
@@ -110,7 +120,12 @@ fn anomaly_signature_vol_vs_invol() {
 /// interrupts and CPU1-pinned ranks see almost none.
 #[test]
 fn irq_bimodality_for_pinned_no_balance() {
-    let (_, cluster, job) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::AllToCpu0);
+    let (_, cluster, job) = run_config(
+        8,
+        None,
+        Layout::cyclic(8, 16).pinned(8),
+        IrqPolicy::AllToCpu0,
+    );
     let mut cpu0 = Vec::new();
     let mut cpu1 = Vec::new();
     for (rank, node, pid) in job.iter() {
@@ -157,7 +172,10 @@ fn perturbation_ordering() {
     let pct = |x: u64| (x as f64 - base as f64) / base as f64 * 100.0;
     assert!(pct(off).abs() < 0.2, "KtauOff perturbs {:.3}%", pct(off));
     assert!(pct(sched) < 1.0, "ProfSched perturbs {:.3}%", pct(sched));
-    assert!(pct(all) > pct(sched), "ProfAll must cost more than ProfSched");
+    assert!(
+        pct(all) > pct(sched),
+        "ProfAll must cost more than ProfSched"
+    );
     assert!(pct(all) < 8.0, "ProfAll too heavy: {:.2}%", pct(all));
 }
 
@@ -186,7 +204,12 @@ fn merged_accounting_identity() {
 #[test]
 fn tcp_per_call_dilation_on_busy_smp() {
     let (_, c_spread, job_s) = run_config(16, None, Layout::one_per_node(16), IrqPolicy::AllToCpu0);
-    let (_, c_packed, job_p) = run_config(8, None, Layout::cyclic(8, 16).pinned(8), IrqPolicy::Balanced);
+    let (_, c_packed, job_p) = run_config(
+        8,
+        None,
+        Layout::cyclic(8, 16).pinned(8),
+        IrqPolicy::Balanced,
+    );
     let mean_tcp = |cluster: &Cluster, job: &ktau::mpi::JobHandle| -> f64 {
         let mut total = 0.0;
         let mut n = 0;

@@ -1,0 +1,275 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` / `serde::Deserialize`
+//! traits (a value-tree model, not the real serde visitor machinery).  The
+//! parser handles exactly the shapes this workspace uses: non-generic named
+//! structs, tuple structs, and enums whose variants are unit or tuple-like
+//! (discriminants allowed).  Anything fancier fails loudly at compile time
+//! rather than silently miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Enum: `(variant name, tuple arity)`; arity 0 = unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits a token list on commas that sit at angle-bracket depth zero.
+/// (Parens/brackets/braces are single `Group` trees, so only `<`/`>` need
+/// explicit depth tracking.)
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field declaration
+/// (`#[attr]* pub? name: Type`).
+fn field_name(decl: &[TokenTree]) -> Option<String> {
+    let mut last_ident = None;
+    for t in decl {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => panic!("serde stand-in derive: no struct/enum found"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type {name} unsupported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde stand-in derive: expected body for {name}, got {other:?}"),
+    };
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    let shape = match (kind, body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Struct(
+            split_top_commas(&inner)
+                .iter()
+                .filter_map(|f| field_name(f))
+                .collect(),
+        ),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(split_top_commas(&inner).len()),
+        ("enum", Delimiter::Brace) => {
+            let mut variants = Vec::new();
+            for var in split_top_commas(&inner) {
+                let mut vname = None;
+                let mut arity = 0usize;
+                let mut toks = var.iter().peekable();
+                while let Some(t) = toks.next() {
+                    match t {
+                        // Skip attributes (`#[...]`, e.g. doc comments).
+                        TokenTree::Punct(p) if p.as_char() == '#' => {
+                            toks.next();
+                        }
+                        TokenTree::Ident(id) if vname.is_none() => {
+                            vname = Some(id.to_string());
+                        }
+                        TokenTree::Group(g)
+                            if g.delimiter() == Delimiter::Parenthesis && vname.is_some() =>
+                        {
+                            let gt: Vec<TokenTree> = g.stream().into_iter().collect();
+                            arity = split_top_commas(&gt).len();
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            panic!("serde stand-in derive: struct variant in {name} unsupported")
+                        }
+                        // `= discriminant` and anything after it is ignored.
+                        TokenTree::Punct(p) if p.as_char() == '=' => break,
+                        _ => {}
+                    }
+                }
+                if let Some(v) = vname {
+                    variants.push((v, arity));
+                }
+            }
+            Shape::Enum(variants)
+        }
+        _ => panic!("serde stand-in derive: unsupported item shape for {name}"),
+    };
+    Item {
+        name: name.clone(),
+        shape,
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Obj(obj)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"),
+                    1 => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                    ),
+                    &n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Arr(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.obj_get(\"{f}\"))?,\n"))
+                .collect();
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(v.arr_get({i}))?"))
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),\n"))
+                .collect();
+            let obj_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    ),
+                    n => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(inner.arr_get({i}))?")
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => return Ok({name}::{v}({})),\n",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => {{ match s.as_str() {{ {unit_arms} _ => {{}} }} }}\n\
+                 ::serde::Value::Obj(fields) => {{\n\
+                   if let Some((tag, inner)) = fields.first() {{\n\
+                     match tag.as_str() {{ {obj_arms} _ => {{}} }}\n\
+                   }}\n\
+                 }}\n\
+                 _ => {{}}\n\
+                 }}\n\
+                 Err(::serde::DeError(format!(\"no variant of {name} matches {{v:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
