@@ -132,11 +132,13 @@ pub fn histogram(samples: &[f64], bins: usize) -> Histogram {
     let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if hi <= lo {
+        // Degenerate sample: every value coincides.  A zero width keeps
+        // `centers()` reporting the actual value instead of `value + 0.5`.
         let mut counts = vec![0; bins];
         counts[0] = samples.len() as u64;
         return Histogram {
             lo,
-            width: 1.0,
+            width: 0.0,
             counts,
         };
     }
@@ -229,7 +231,20 @@ mod tests {
     fn histogram_degenerate_cases() {
         let h = histogram(&[], 4);
         assert_eq!(h.total(), 0);
+        assert_eq!(h.counts, vec![0, 0, 0, 0]);
+
+        // All values coincide: the single occupied bin must be centered on
+        // the value itself, not shifted by a fictitious unit width.
         let h = histogram(&[7.0, 7.0], 4);
         assert_eq!(h.counts[0], 2);
+        assert_eq!(h.total(), 2);
+        let centers = h.centers();
+        assert_eq!(centers[0], (7.0, 2));
+        assert!(centers.iter().all(|&(c, _)| c == 7.0));
+
+        // A single sample is the same degenerate shape.
+        let h = histogram(&[-3.5], 2);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.centers()[0], (-3.5, 1));
     }
 }

@@ -1,0 +1,30 @@
+//! Flaky-link LU-16: the fault-injection showcase scenario.
+//!
+//! Runs a 16-rank LU job over a fabric where every link touching node 5
+//! drops/duplicates/delays segments, then renders the anomaly the way the
+//! paper's Fig 2 does — kernel-wide per-node `tcp_retransmit_timer`
+//! activity and the flaky node's process-centric charge breakdown.
+//!
+//! `--check` additionally asserts the run's expected shape (job completes,
+//! retransmissions exist and are confined to flaky links, the quiet node
+//! stays quiet) and exits non-zero on any violation, so CI catches
+//! fault-path regressions.
+
+use ktau_bench::faults::run_flaky_link_lu16;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let outcome = run_flaky_link_lu16();
+    println!("{}", outcome.render());
+    if check {
+        match outcome.check() {
+            Ok(()) => println!("fault_scenarios --check: OK"),
+            Err(errs) => {
+                for e in &errs {
+                    eprintln!("fault_scenarios --check FAILED: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

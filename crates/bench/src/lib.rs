@@ -9,17 +9,20 @@
 //! `fig2_controlled`, `fig3_recv_histogram`, `fig4_recv_callgroups`,
 //! `fig5_volsched_cdf`, `fig6_involsched_cdf`, `fig7_node_activity`,
 //! `fig8_irq_cdf`, `fig9_tcp_in_compute`, `fig10_tcp_cost_cdf`,
-//! `table2_exec_times`, `table3_perturbation`, `table4_overheads`, and
+//! `table2_exec_times`, `table3_perturbation`, `table4_overheads`,
+//! `fault_scenarios` (the flaky-link fault-injection showcase), and
 //! `run_all` to regenerate everything.
 
 #![warn(missing_docs)]
 
 pub mod controlled;
+pub mod faults;
 pub mod parallel;
 pub mod records;
 pub mod scenarios;
 
 pub use controlled::{measure_direct_overheads, run_fig2_ab, run_fig2_c, run_fig2_e};
+pub use faults::{flaky_link_plan, run_flaky_link_lu16, FlakyLinkOutcome, FLAKY_NODE};
 pub use parallel::{jobs, prefetch, run_parallel, Experiment};
 pub use records::{NodeProcRecord, RankRecord, RunRecord};
 pub use scenarios::{lu_record, run_lu, run_sweep, sweep_record, Config, ANOMALY_NODE};

@@ -1,9 +1,10 @@
 //! Job placement and launch: the paper's 128x1 / 64x2 configurations.
 
 use crate::app::{MpiApp, Rank};
-use crate::process::MpiProcess;
-use ktau_oskern::{Cluster, Pid, TaskSpec};
+use crate::process::{MpiProcess, RetryPolicy};
+use ktau_oskern::{BlockedOn, Cluster, Pid, TaskSpec, TaskState};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Where one rank runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,9 @@ pub struct JobHandle {
     pub layout: Layout,
     /// `(node, pid)` of each rank, indexed by rank.
     pub tasks: Vec<(u32, Pid)>,
+    /// Connection carrying `(from, to)` traffic, as opened by [`launch`];
+    /// lets post-run diagnostics attribute socket state to rank pairs.
+    pub conns: HashMap<(Rank, Rank), ktau_net::ConnId>,
 }
 
 impl JobHandle {
@@ -116,6 +120,19 @@ pub fn launch(
     name: &str,
     layout: &Layout,
     apps: Vec<Box<dyn MpiApp>>,
+) -> JobHandle {
+    launch_with_retry(cluster, name, layout, apps, None)
+}
+
+/// [`launch`] with an optional [`RetryPolicy`] applied to every rank's eager
+/// sends, so jobs on faulty fabrics abort cleanly instead of hanging in
+/// `sys_writev` forever.
+pub fn launch_with_retry(
+    cluster: &mut Cluster,
+    name: &str,
+    layout: &Layout,
+    apps: Vec<Box<dyn MpiApp>>,
+    retry: Option<RetryPolicy>,
 ) -> JobHandle {
     assert_eq!(
         apps.len() as u32,
@@ -156,7 +173,10 @@ pub fn launch(
             .filter(|&b| b != rank.0)
             .map(|b| (Rank(b), conn[&(Rank(b), rank)]))
             .collect();
-        let proc = MpiProcess::new(rank, size, app, tx, rx);
+        let mut proc = MpiProcess::new(rank, size, app, tx, rx);
+        if let Some(policy) = retry {
+            proc = proc.with_send_retry(policy);
+        }
         let mut spec = TaskSpec::app(format!("{name}.{r}"), Box::new(proc));
         if let Some(cpu) = place.pin {
             spec = spec.pinned(cpu);
@@ -167,7 +187,111 @@ pub fn launch(
     JobHandle {
         layout: layout.clone(),
         tasks,
+        conns: conn,
     }
+}
+
+/// Ranks whose task has not exited (still running, runnable, or blocked).
+pub fn stuck_ranks(cluster: &Cluster, job: &JobHandle) -> Vec<Rank> {
+    job.iter()
+        .filter(|&(_, node, pid)| {
+            cluster
+                .node(node)
+                .task(pid)
+                .map(|t| t.state != TaskState::Dead)
+                .unwrap_or(false)
+        })
+        .map(|(r, _, _)| r)
+        .collect()
+}
+
+/// Human-readable diagnosis of a wedged or degraded job: names every rank
+/// that is still stuck (with what it is blocked on and the socket state of
+/// the connection involved) and every rank that aborted with an error
+/// (e.g. a timed send that exhausted its retry budget).
+///
+/// Returns `"all ranks finished cleanly"` when there is nothing to report.
+pub fn diagnose(cluster: &Cluster, job: &JobHandle) -> String {
+    let mut out = String::new();
+    let stuck = stuck_ranks(cluster, job);
+    for (rank, node, pid) in job.iter() {
+        let Some(task) = cluster.node(node).task(pid) else {
+            continue;
+        };
+        let is_stuck = stuck.contains(&rank);
+        let aborted = task.state == TaskState::Dead && task.last_error.is_some();
+        if !is_stuck && !aborted {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "{rank} ({}, pid {}, node {node}): {:?}",
+            task.comm, pid.0, task.state
+        );
+        if let Some(b) = task.blocked_on {
+            let _ = write!(out, " on {b:?}");
+        }
+        if let Some(err) = &task.last_error {
+            let _ = write!(out, " — {err}");
+        }
+        out.push('\n');
+        // Socket state of the connection the rank is wedged on, plus any
+        // peer connection with residual traffic, attributed to rank pairs.
+        let mut pairs: Vec<_> = job.conns.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_by_key(|&(pair, _)| pair);
+        for ((from, to), conn) in pairs {
+            if from == rank {
+                let Some(tx) = cluster.node(node).tx_conn_stats(conn) else {
+                    continue;
+                };
+                let blocked_here = task.blocked_on == Some(BlockedOn::TxSpace(conn));
+                if blocked_here || tx.in_flight > 0 || tx.unacked > 0 || tx.retransmits > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  tx {from}->{to} conn {}: in_flight={} free={} unacked={} \
+                         retransmits={} timer_fires={}",
+                        conn.0, tx.in_flight, tx.free, tx.unacked, tx.retransmits, tx.timer_fires
+                    );
+                }
+            } else if to == rank {
+                let Some(rx) = cluster.node(node).rx_conn_stats(conn) else {
+                    continue;
+                };
+                let blocked_here = task.blocked_on == Some(BlockedOn::RxData(conn));
+                if blocked_here
+                    || rx.available > 0
+                    || rx.buffered_segments > 0
+                    || rx.refused_segments > 0
+                {
+                    let _ = writeln!(
+                        out,
+                        "  rx {from}->{to} conn {}: available={} expected_seq={} buffered={} \
+                         refused={} duplicates={}",
+                        conn.0,
+                        rx.available,
+                        rx.expected_seq,
+                        rx.buffered_segments,
+                        rx.refused_segments,
+                        rx.duplicate_segments
+                    );
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("all ranks finished cleanly");
+    } else {
+        out.insert_str(
+            0,
+            &format!(
+                "{} of {} ranks stuck at t={} ns:\n",
+                stuck.len(),
+                job.size(),
+                cluster.now()
+            ),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -200,5 +324,49 @@ mod tests {
     fn pinned_to_forces_one_cpu() {
         let l = Layout::one_per_node(8).pinned_to(1);
         assert!(l.places.iter().all(|p| p.pin == Some(1)));
+    }
+
+    #[test]
+    fn diagnose_names_stuck_rank_and_socket_state() {
+        use crate::app::{MpiOp, MpiOpList};
+        use ktau_oskern::ClusterSpec;
+        let mut cluster = ktau_oskern::Cluster::new(ClusterSpec::chiba(2));
+        // Rank 0 waits for a message rank 1 never sends: a classic wedge.
+        let apps: Vec<Box<dyn MpiApp>> = vec![
+            Box::new(MpiOpList::new(vec![MpiOp::Recv {
+                from: Rank(1),
+                bytes: 4_096,
+            }])),
+            Box::new(MpiOpList::new(vec![])),
+        ];
+        let job = launch(&mut cluster, "wedge", &Layout::one_per_node(2), apps);
+        cluster.run_for(5_000_000_000);
+        assert_eq!(stuck_ranks(&cluster, &job), vec![Rank(0)]);
+        let report = diagnose(&cluster, &job);
+        assert!(report.contains("rank0"), "{report}");
+        assert!(report.contains("RxData"), "{report}");
+        assert!(report.contains("rx rank1->rank0"), "{report}");
+        assert!(report.contains("1 of 2 ranks stuck"), "{report}");
+    }
+
+    #[test]
+    fn diagnose_is_quiet_after_clean_finish() {
+        use crate::app::{MpiOp, MpiOpList};
+        use ktau_oskern::ClusterSpec;
+        let mut cluster = ktau_oskern::Cluster::new(ClusterSpec::chiba(2));
+        let apps: Vec<Box<dyn MpiApp>> = vec![
+            Box::new(MpiOpList::new(vec![MpiOp::Send {
+                to: Rank(1),
+                bytes: 4_096,
+            }])),
+            Box::new(MpiOpList::new(vec![MpiOp::Recv {
+                from: Rank(0),
+                bytes: 4_096,
+            }])),
+        ];
+        let job = launch(&mut cluster, "ok", &Layout::one_per_node(2), apps);
+        cluster.run_until_apps_exit(3_600_000_000_000);
+        assert!(stuck_ranks(&cluster, &job).is_empty());
+        assert_eq!(diagnose(&cluster, &job), "all ranks finished cleanly");
     }
 }

@@ -20,5 +20,5 @@ pub mod process;
 
 pub use app::{MpiApp, MpiOp, Rank};
 pub use collective::{allreduce_ops, barrier_ops, dissemination_peers};
-pub use job::{launch, JobHandle, Layout, Placement};
-pub use process::MpiProcess;
+pub use job::{diagnose, launch, launch_with_retry, stuck_ranks, JobHandle, Layout, Placement};
+pub use process::{MpiProcess, RetryPolicy};

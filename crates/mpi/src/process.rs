@@ -17,6 +17,18 @@ pub const MPI_CALL_OVERHEAD_CYCLES: u64 = 2_500;
 /// Additional per-KiB packing cost (cycles).
 pub const MPI_PACK_CYCLES_PER_KIB: u64 = 120;
 
+/// Timeout/retry policy for eager sends, for jobs that must survive (or at
+/// least cleanly abort on) lossy links and dead peers instead of blocking
+/// in `sys_writev` forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long one send attempt may wait for sndbuf space.
+    pub timeout_ns: u64,
+    /// Additional attempts after the first times out; when the budget is
+    /// exhausted the rank aborts with a diagnostic in `Task::last_error`.
+    pub max_retries: u32,
+}
+
 /// The per-rank runtime: routes `Send{to}`/`Recv{from}` onto connection ids
 /// and expands collectives.
 pub struct MpiProcess {
@@ -29,6 +41,7 @@ pub struct MpiProcess {
     rx: HashMap<Rank, ConnId>,
     pending: VecDeque<Op>,
     finished: bool,
+    send_retry: Option<RetryPolicy>,
 }
 
 impl MpiProcess {
@@ -49,7 +62,15 @@ impl MpiProcess {
             rx,
             pending: VecDeque::new(),
             finished: false,
+            send_retry: None,
         }
+    }
+
+    /// Bounds every eager send with `policy` (lowered onto
+    /// [`Op::SendTimed`] instead of the wait-forever [`Op::Send`]).
+    pub fn with_send_retry(mut self, policy: RetryPolicy) -> Self {
+        self.send_retry = Some(policy);
+        self
     }
 
     /// This process's rank.
@@ -74,7 +95,15 @@ impl MpiProcess {
                 self.pending.push_back(Op::UserEnter("MPI_Send"));
                 self.pending
                     .push_back(Op::Compute(Self::pack_cycles(bytes)));
-                self.pending.push_back(Op::Send { conn, bytes });
+                self.pending.push_back(match self.send_retry {
+                    Some(p) => Op::SendTimed {
+                        conn,
+                        bytes,
+                        timeout_ns: p.timeout_ns,
+                        max_retries: p.max_retries,
+                    },
+                    None => Op::Send { conn, bytes },
+                });
                 self.pending.push_back(Op::UserExit("MPI_Send"));
             }
             MpiOp::Recv { from, bytes } => {
@@ -172,6 +201,30 @@ mod tests {
                 bytes: 64
             }
         );
+    }
+
+    #[test]
+    fn retry_policy_lowers_to_timed_send() {
+        let mut p = proc_with(vec![MpiOp::Send {
+            to: Rank(1),
+            bytes: 2048,
+        }])
+        .with_send_retry(RetryPolicy {
+            timeout_ns: 5_000_000,
+            max_retries: 3,
+        });
+        assert_eq!(p.next_op(), Op::UserEnter("MPI_Send"));
+        let _pack = p.next_op();
+        assert_eq!(
+            p.next_op(),
+            Op::SendTimed {
+                conn: ConnId(0),
+                bytes: 2048,
+                timeout_ns: 5_000_000,
+                max_retries: 3,
+            }
+        );
+        assert_eq!(p.next_op(), Op::UserExit("MPI_Send"));
     }
 
     #[test]

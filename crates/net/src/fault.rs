@@ -1,0 +1,320 @@
+//! Seeded, deterministic link-fault injection.
+//!
+//! A [`FaultPlan`] describes, per link, the probability that a data segment
+//! is dropped, duplicated, or delay-spiked on the wire, plus the sender's
+//! retransmission timeout.  The plan itself is pure configuration; the
+//! kernel asks it for a per-connection [`LinkInjector`] when a connection
+//! opens and consults the injector once per transmitted segment.
+//!
+//! Determinism contract: every injector derives its PRNG stream from
+//! `(plan seed, connection id)` alone, so same-seed runs judge every
+//! segment identically regardless of wall-clock or thread interleaving.
+//! A plan whose matched spec is all-zero yields *no* injector at all
+//! ([`FaultPlan::injector_for`] returns `None`), which lets the kernel keep
+//! the fault-free fast path bit-identical to a build without the layer.
+
+use crate::fabric::LinkSpec;
+use crate::socket::ConnId;
+use crate::Ns;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Linux's minimum TCP retransmission timeout (200 ms), the default RTO.
+pub const DEFAULT_RTO_NS: Ns = 200_000_000;
+
+/// Per-link fault probabilities and timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a data segment is lost on the wire.
+    pub drop_prob: f64,
+    /// Probability a data segment is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a data segment's propagation is delayed by
+    /// [`FaultSpec::delay_ns`].
+    pub delay_prob: f64,
+    /// Extra latency applied to delay-spiked segments.
+    pub delay_ns: Ns,
+    /// Virtual time before which the link behaves perfectly (late-onset
+    /// degradation).
+    pub onset_ns: Ns,
+    /// Sender retransmission timeout for segments on this link.
+    pub rto_ns: Ns,
+}
+
+impl Default for FaultSpec {
+    /// A zero-rate spec: no faults, default RTO.
+    fn default() -> Self {
+        FaultSpec {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ns: 0,
+            onset_ns: 0,
+            rto_ns: DEFAULT_RTO_NS,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that only drops segments, with probability `p`.
+    pub fn drops(p: f64) -> Self {
+        FaultSpec {
+            drop_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// True when the spec can never alter a segment (zero-rate plan).
+    pub fn is_zero(&self) -> bool {
+        self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.delay_prob <= 0.0
+    }
+}
+
+/// Which links a fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkMatch {
+    /// Every link.
+    Any,
+    /// Links sending from this node.
+    FromNode(u32),
+    /// Links delivering to this node.
+    ToNode(u32),
+    /// Links touching this node in either direction (a flaky NIC/cable).
+    Node(u32),
+    /// One directed node pair.
+    Between(u32, u32),
+}
+
+impl LinkMatch {
+    /// True when `link` is covered by this matcher.
+    pub fn matches(&self, link: &LinkSpec) -> bool {
+        match *self {
+            LinkMatch::Any => true,
+            LinkMatch::FromNode(n) => link.src_node == n,
+            LinkMatch::ToNode(n) => link.dst_node == n,
+            LinkMatch::Node(n) => link.src_node == n || link.dst_node == n,
+            LinkMatch::Between(s, d) => link.src_node == s && link.dst_node == d,
+        }
+    }
+}
+
+/// A seeded set of link-fault rules for a whole cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed all per-connection injector streams derive from.
+    pub seed: u64,
+    rules: Vec<(LinkMatch, FaultSpec)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no rules, no faults anywhere.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            rules: Vec::new(),
+        }
+    }
+
+    /// An empty plan with a seed, ready for [`FaultPlan::with_rule`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Appends a rule.  When several rules match a link, the last one wins.
+    pub fn with_rule(mut self, links: LinkMatch, spec: FaultSpec) -> Self {
+        self.rules.push((links, spec));
+        self
+    }
+
+    /// Convenience: every link touching `node` follows `spec` (a flaky NIC).
+    pub fn flaky_node(seed: u64, node: u32, spec: FaultSpec) -> Self {
+        FaultPlan::new(seed).with_rule(LinkMatch::Node(node), spec)
+    }
+
+    /// True when no rule can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.rules.iter().all(|(_, s)| s.is_zero())
+    }
+
+    /// The effective spec for a link (last matching rule wins; zero-rate
+    /// default when nothing matches).
+    pub fn spec_for(&self, link: &LinkSpec) -> FaultSpec {
+        self.rules
+            .iter()
+            .rev()
+            .find(|(m, _)| m.matches(link))
+            .map(|&(_, s)| s)
+            .unwrap_or_default()
+    }
+
+    /// A per-connection injector, or `None` when the matched spec is
+    /// zero-rate (so fault-free links pay nothing and stay bit-identical
+    /// to a plan-less run).
+    pub fn injector_for(&self, conn: ConnId, link: &LinkSpec) -> Option<LinkInjector> {
+        let spec = self.spec_for(link);
+        if spec.is_zero() {
+            return None;
+        }
+        Some(LinkInjector::new(self.seed, conn, spec))
+    }
+}
+
+/// What the wire did to one data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; the sender's retransmission timer must recover it.
+    Drop,
+    /// Delivered twice (the receiver discards the copy).
+    Duplicate,
+    /// Delivered after an extra delay.
+    Delay(Ns),
+}
+
+/// Per-connection fault stream: judges each transmitted segment.
+#[derive(Debug, Clone)]
+pub struct LinkInjector {
+    spec: FaultSpec,
+    rng: SmallRng,
+}
+
+impl LinkInjector {
+    fn new(plan_seed: u64, conn: ConnId, spec: FaultSpec) -> Self {
+        // Split the plan seed per connection so streams are independent and
+        // insensitive to judge-call interleaving across connections.
+        let seed = plan_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(conn.0 as u64 + 1);
+        LinkInjector {
+            spec,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The spec this injector runs.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The retransmission timeout for this link.
+    pub fn rto_ns(&self) -> Ns {
+        self.spec.rto_ns
+    }
+
+    /// Judges one segment transmitted at virtual time `now`.  Draws exactly
+    /// one uniform sample per call (the stream position depends only on how
+    /// many segments this connection has transmitted).
+    pub fn judge(&mut self, now: Ns) -> SegmentFate {
+        let u: f64 = self.rng.gen_range(0.0f64..1.0);
+        if now < self.spec.onset_ns {
+            return SegmentFate::Deliver;
+        }
+        if u < self.spec.drop_prob {
+            SegmentFate::Drop
+        } else if u < self.spec.drop_prob + self.spec.dup_prob {
+            SegmentFate::Duplicate
+        } else if u < self.spec.drop_prob + self.spec.dup_prob + self.spec.delay_prob {
+            SegmentFate::Delay(self.spec.delay_ns)
+        } else {
+            SegmentFate::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(src: u32, dst: u32) -> LinkSpec {
+        LinkSpec {
+            src_node: src,
+            dst_node: dst,
+        }
+    }
+
+    #[test]
+    fn zero_plan_yields_no_injectors() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.injector_for(ConnId(0), &link(0, 1)).is_none());
+        // A plan with only zero-rate rules is still a provable no-op.
+        let p = FaultPlan::new(7).with_rule(LinkMatch::Any, FaultSpec::default());
+        assert!(p.is_empty());
+        assert!(p.injector_for(ConnId(3), &link(2, 5)).is_none());
+    }
+
+    #[test]
+    fn last_matching_rule_wins() {
+        let p = FaultPlan::new(1)
+            .with_rule(LinkMatch::Any, FaultSpec::drops(0.5))
+            .with_rule(LinkMatch::Node(3), FaultSpec::default());
+        assert_eq!(p.spec_for(&link(0, 1)).drop_prob, 0.5);
+        assert_eq!(p.spec_for(&link(0, 3)).drop_prob, 0.0);
+        assert_eq!(p.spec_for(&link(3, 0)).drop_prob, 0.0);
+    }
+
+    #[test]
+    fn matchers_cover_directions() {
+        assert!(LinkMatch::FromNode(2).matches(&link(2, 9)));
+        assert!(!LinkMatch::FromNode(2).matches(&link(9, 2)));
+        assert!(LinkMatch::ToNode(2).matches(&link(9, 2)));
+        assert!(LinkMatch::Node(2).matches(&link(9, 2)));
+        assert!(LinkMatch::Node(2).matches(&link(2, 9)));
+        assert!(LinkMatch::Between(1, 2).matches(&link(1, 2)));
+        assert!(!LinkMatch::Between(1, 2).matches(&link(2, 1)));
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let p = FaultPlan::flaky_node(
+            42,
+            1,
+            FaultSpec {
+                drop_prob: 0.2,
+                dup_prob: 0.1,
+                delay_prob: 0.1,
+                delay_ns: 5_000,
+                ..Default::default()
+            },
+        );
+        let mut a = p.injector_for(ConnId(4), &link(1, 0)).unwrap();
+        let mut b = p.injector_for(ConnId(4), &link(1, 0)).unwrap();
+        let fa: Vec<_> = (0..256).map(|i| a.judge(i * 1_000)).collect();
+        let fb: Vec<_> = (0..256).map(|i| b.judge(i * 1_000)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.contains(&SegmentFate::Drop));
+        assert!(fa.contains(&SegmentFate::Deliver));
+    }
+
+    #[test]
+    fn connections_get_independent_streams() {
+        let p = FaultPlan::new(9).with_rule(LinkMatch::Any, FaultSpec::drops(0.5));
+        let mut a = p.injector_for(ConnId(0), &link(0, 1)).unwrap();
+        let mut b = p.injector_for(ConnId(1), &link(0, 1)).unwrap();
+        let fa: Vec<_> = (0..64).map(|_| a.judge(0)).collect();
+        let fb: Vec<_> = (0..64).map(|_| b.judge(0)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn onset_gates_faults_but_not_the_stream() {
+        let spec = FaultSpec {
+            drop_prob: 1.0,
+            onset_ns: 1_000_000,
+            ..Default::default()
+        };
+        let p = FaultPlan::new(3).with_rule(LinkMatch::Any, spec);
+        let mut inj = p.injector_for(ConnId(0), &link(0, 1)).unwrap();
+        assert_eq!(inj.judge(0), SegmentFate::Deliver);
+        assert_eq!(inj.judge(999_999), SegmentFate::Deliver);
+        assert_eq!(inj.judge(1_000_000), SegmentFate::Drop);
+    }
+}

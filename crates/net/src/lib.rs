@@ -15,19 +15,23 @@
 
 #![warn(missing_docs)]
 
-/// Virtual nanoseconds (kept local so this crate stays dependency-free).
+/// Virtual nanoseconds (kept local so this crate avoids a `ktau-core`
+/// dependency; its only external need is the vendored seeded PRNG used by
+/// [`fault`]).
 pub type Ns = u64;
 /// CPU cycles.
 pub type Cycles = u64;
 
 pub mod cost;
 pub mod fabric;
+pub mod fault;
 pub mod nic;
 pub mod segment;
 pub mod socket;
 
 pub use cost::NetCostModel;
 pub use fabric::{Fabric, LinkSpec};
+pub use fault::{FaultPlan, FaultSpec, LinkInjector, LinkMatch, SegmentFate, DEFAULT_RTO_NS};
 pub use nic::Nic;
 pub use segment::{segment_count, segment_sizes, Segment, MSS, WIRE_OVERHEAD};
-pub use socket::{ConnId, SocketRx, SocketTx};
+pub use socket::{ConnId, DeliverOutcome, SocketRx, SocketTx};

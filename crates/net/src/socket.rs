@@ -5,7 +5,11 @@
 //! side models `sndbuf` back-pressure (a blocked `sys_writev` is what turns
 //! into *voluntary* scheduling on the send path); the receiver side models
 //! the in-kernel receive queue that `tcp_v4_rcv` fills from softirq context
-//! and `sys_read` drains.
+//! and `sys_read` drains — including out-of-order reassembly and the rcvbuf
+//! bound, so a lossy fabric (see [`crate::fault`]) can be recovered from by
+//! sender retransmission.
+
+use std::collections::BTreeMap;
 
 /// Cluster-global simplex connection identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,30 +74,83 @@ impl SocketTx {
     }
 
     /// Releases buffer space once a segment leaves the NIC.
+    ///
+    /// Panics on underflow in every build profile: a double release would
+    /// silently inflate the flow-control window, and fault paths
+    /// (retransmission must *not* release space a second time) make that
+    /// an easy bug to write.  An invisible `saturating_sub` here once
+    /// masked exactly that class of accounting corruption.
     pub fn release(&mut self, bytes: u64) {
-        debug_assert!(bytes <= self.in_flight, "releasing more than in flight");
-        self.in_flight = self.in_flight.saturating_sub(bytes);
+        assert!(
+            bytes <= self.in_flight,
+            "sndbuf accounting underflow: releasing {bytes} bytes with only {} in flight \
+             (double TxDone or a retransmit released space twice?)",
+            self.in_flight
+        );
+        self.in_flight -= bytes;
     }
 }
 
-/// Receiver-side socket state: the kernel receive queue.
+/// What [`SocketRx::deliver`] did with a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// The segment was the next expected one; `newly_available` bytes
+    /// (it plus any contiguous buffered run it completed) became readable.
+    InOrder {
+        /// Bytes that just became consumable.
+        newly_available: u64,
+    },
+    /// Out-of-order: buffered until the sequence gap fills.
+    Buffered,
+    /// Already received (wire duplicate or spurious retransmit); discarded.
+    Duplicate,
+    /// The rcvbuf is full; the segment was refused and must be
+    /// retransmitted later.
+    Refused,
+}
+
+/// Receiver-side socket state: the kernel receive queue, with sequence-gap
+/// reassembly and an optional rcvbuf bound.
 #[derive(Debug, Clone, Default)]
 pub struct SocketRx {
     available: u64,
     expected_seq: u64,
     total_received: u64,
     total_consumed: u64,
+    /// Receive-queue bound (`None` = unbounded, the legacy model).
+    capacity: Option<u64>,
+    /// Out-of-order segments awaiting the gap fill, by sequence number.
+    ooo: BTreeMap<u64, u32>,
+    ooo_bytes: u64,
+    refused_bytes: u64,
+    refused_segments: u64,
+    duplicate_segments: u64,
 }
 
 impl SocketRx {
-    /// An empty receive queue.
+    /// An empty, unbounded receive queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty receive queue bounded at `capacity` bytes (in-order plus
+    /// reassembly segments count against it). Panics on zero capacity.
+    pub fn bounded(capacity: u64) -> Self {
+        assert!(capacity > 0, "rcvbuf capacity must be non-zero");
+        SocketRx {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
     }
 
     /// Bytes ready for `sys_read` to consume.
     pub fn available(&self) -> u64 {
         self.available
+    }
+
+    /// The next in-order sequence number (the cumulative-ACK value).
+    pub fn expected_seq(&self) -> u64 {
+        self.expected_seq
     }
 
     /// Total payload bytes ever delivered by the protocol.
@@ -106,17 +163,69 @@ impl SocketRx {
         self.total_consumed
     }
 
-    /// Delivers a segment from softirq context.  Enforces in-order delivery
-    /// (our fabric is lossless and FIFO); returns the new availability.
-    pub fn deliver(&mut self, seq: u64, payload: u32) -> u64 {
-        assert_eq!(
-            seq, self.expected_seq,
-            "out-of-order segment delivery (fabric must be FIFO)"
-        );
+    /// Segments parked in the reassembly queue.
+    pub fn buffered_segments(&self) -> usize {
+        self.ooo.len()
+    }
+
+    /// Bytes parked in the reassembly queue.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.ooo_bytes
+    }
+
+    /// Payload bytes refused because the rcvbuf was full.
+    pub fn refused_bytes(&self) -> u64 {
+        self.refused_bytes
+    }
+
+    /// Segments refused because the rcvbuf was full.
+    pub fn refused_segments(&self) -> u64 {
+        self.refused_segments
+    }
+
+    /// Segments discarded as already-received duplicates.
+    pub fn duplicate_segments(&self) -> u64 {
+        self.duplicate_segments
+    }
+
+    /// Delivers a segment from softirq context.
+    ///
+    /// In-order segments become readable immediately (plus any contiguous
+    /// run they complete from the reassembly queue); out-of-order segments
+    /// are buffered; duplicates are discarded; and segments that would
+    /// overflow the rcvbuf are refused (the sender's retransmission timer
+    /// recovers them once the reader has drained space).
+    pub fn deliver(&mut self, seq: u64, payload: u32) -> DeliverOutcome {
+        if seq < self.expected_seq || self.ooo.contains_key(&seq) {
+            self.duplicate_segments += 1;
+            return DeliverOutcome::Duplicate;
+        }
+        if let Some(cap) = self.capacity {
+            if self.available + self.ooo_bytes + payload as u64 > cap {
+                self.refused_bytes += payload as u64;
+                self.refused_segments += 1;
+                return DeliverOutcome::Refused;
+            }
+        }
+        if seq != self.expected_seq {
+            self.ooo.insert(seq, payload);
+            self.ooo_bytes += payload as u64;
+            return DeliverOutcome::Buffered;
+        }
         self.expected_seq += 1;
-        self.available += payload as u64;
-        self.total_received += payload as u64;
-        self.available
+        let mut newly = payload as u64;
+        // Drain the contiguous run this segment completed.
+        while let Some(&p) = self.ooo.get(&self.expected_seq) {
+            self.ooo.remove(&self.expected_seq);
+            self.ooo_bytes -= p as u64;
+            self.expected_seq += 1;
+            newly += p as u64;
+        }
+        self.available += newly;
+        self.total_received += newly;
+        DeliverOutcome::InOrder {
+            newly_available: newly,
+        }
     }
 
     /// Consumes up to `wanted` bytes for a reader; returns bytes consumed
@@ -154,9 +263,22 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "underflow")]
+    fn tx_release_underflow_is_a_hard_error() {
+        let mut tx = SocketTx::new(100);
+        tx.reserve(40);
+        tx.release(41);
+    }
+
+    #[test]
     fn rx_in_order_delivery_accumulates() {
         let mut rx = SocketRx::new();
-        rx.deliver(0, 1460);
+        assert_eq!(
+            rx.deliver(0, 1460),
+            DeliverOutcome::InOrder {
+                newly_available: 1460
+            }
+        );
         rx.deliver(1, 40);
         assert_eq!(rx.available(), 1500);
         assert_eq!(rx.consume(1000), 1000);
@@ -168,15 +290,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out-of-order")]
-    fn rx_rejects_out_of_order() {
+    fn rx_reassembles_sequence_gaps() {
         let mut rx = SocketRx::new();
-        rx.deliver(1, 10);
+        // Segment 0 lost on the wire: 1 and 2 arrive first.
+        assert_eq!(rx.deliver(1, 100), DeliverOutcome::Buffered);
+        assert_eq!(rx.deliver(2, 200), DeliverOutcome::Buffered);
+        assert_eq!(rx.available(), 0);
+        assert_eq!(rx.buffered_segments(), 2);
+        assert_eq!(rx.buffered_bytes(), 300);
+        // The retransmit fills the gap; everything drains at once.
+        assert_eq!(
+            rx.deliver(0, 50),
+            DeliverOutcome::InOrder {
+                newly_available: 350
+            }
+        );
+        assert_eq!(rx.available(), 350);
+        assert_eq!(rx.expected_seq(), 3);
+        assert_eq!(rx.buffered_segments(), 0);
+        assert_eq!(rx.total_received(), 350);
+    }
+
+    #[test]
+    fn rx_discards_duplicates() {
+        let mut rx = SocketRx::new();
+        rx.deliver(0, 10);
+        assert_eq!(rx.deliver(0, 10), DeliverOutcome::Duplicate);
+        assert_eq!(rx.deliver(2, 30), DeliverOutcome::Buffered);
+        assert_eq!(rx.deliver(2, 30), DeliverOutcome::Duplicate);
+        assert_eq!(rx.duplicate_segments(), 2);
+        assert_eq!(rx.available(), 10);
+        assert_eq!(rx.total_received(), 10);
+    }
+
+    #[test]
+    fn rx_bounded_refuses_overflow_and_recovers() {
+        let mut rx = SocketRx::bounded(250);
+        assert_eq!(
+            rx.deliver(0, 200),
+            DeliverOutcome::InOrder {
+                newly_available: 200
+            }
+        );
+        // 200 + 100 > 250: refused, accounted.
+        assert_eq!(rx.deliver(1, 100), DeliverOutcome::Refused);
+        assert_eq!(rx.refused_segments(), 1);
+        assert_eq!(rx.refused_bytes(), 100);
+        assert_eq!(rx.expected_seq(), 1, "refusal must not advance the seq");
+        // Reader drains; the retransmitted segment now fits.
+        assert_eq!(rx.consume(200), 200);
+        assert_eq!(
+            rx.deliver(1, 100),
+            DeliverOutcome::InOrder {
+                newly_available: 100
+            }
+        );
+        assert_eq!(rx.total_received(), 300);
+    }
+
+    #[test]
+    fn rx_reassembly_counts_against_rcvbuf() {
+        let mut rx = SocketRx::bounded(100);
+        assert_eq!(rx.deliver(1, 80), DeliverOutcome::Buffered);
+        assert_eq!(rx.deliver(2, 40), DeliverOutcome::Refused);
+        assert_eq!(
+            rx.deliver(0, 20),
+            DeliverOutcome::InOrder {
+                newly_available: 100
+            }
+        );
     }
 
     #[test]
     #[should_panic(expected = "non-zero")]
     fn tx_zero_capacity_panics() {
         let _ = SocketTx::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rx_zero_capacity_panics() {
+        let _ = SocketRx::bounded(0);
     }
 }

@@ -2,7 +2,7 @@
 
 use ktau_core::control::{InstrumentationControl, OverheadModel};
 use ktau_core::time::{CpuFreq, Ns};
-use ktau_net::NetCostModel;
+use ktau_net::{FaultPlan, NetCostModel};
 use serde::{Deserialize, Serialize};
 
 /// How hardware interrupts are routed to CPUs.
@@ -143,6 +143,57 @@ impl NoiseSpec {
     }
 }
 
+/// A burst of spurious NIC interrupts injected on every timer tick inside
+/// a time window (a storming device or a stuck IRQ line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrqStormSpec {
+    /// Storm start (virtual time).
+    pub start_ns: Ns,
+    /// Storm end (virtual time).
+    pub end_ns: Ns,
+    /// Spurious interrupts injected per timer tick while the storm lasts.
+    pub irqs_per_tick: u32,
+}
+
+/// Node-degradation faults: hardware-level failure modes the paper's §5
+/// methodology diagnoses through KTAU's OS views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeSpec {
+    /// CPU slowdown applied to every busy chunk once
+    /// [`DegradeSpec::slowdown_onset_ns`] passes, as a percentage of normal
+    /// duration (100 = no effect, 200 = twice as slow — thermal throttling,
+    /// a failing VRM).
+    pub slowdown_pct: u32,
+    /// When the slowdown starts.
+    pub slowdown_onset_ns: Ns,
+    /// Take the node's highest-numbered CPU offline at this virtual time
+    /// (late-onset version of the paper's mis-detected-CPU anomaly).  Tasks
+    /// pinned to the lost CPU fall back to CPU 0, as Linux breaks affinity
+    /// on hotplug removal.
+    pub offline_cpu_at_ns: Option<Ns>,
+    /// Optional interrupt storm.
+    pub irq_storm: Option<IrqStormSpec>,
+}
+
+impl Default for DegradeSpec {
+    /// A healthy node: no slowdown, no offlining, no storm.
+    fn default() -> Self {
+        DegradeSpec {
+            slowdown_pct: 100,
+            slowdown_onset_ns: 0,
+            offline_cpu_at_ns: None,
+            irq_storm: None,
+        }
+    }
+}
+
+impl DegradeSpec {
+    /// True when the spec cannot perturb anything.
+    pub fn is_zero(&self) -> bool {
+        self.slowdown_pct == 100 && self.offline_cpu_at_ns.is_none() && self.irq_storm.is_none()
+    }
+}
+
 /// Full cluster description.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
@@ -169,6 +220,16 @@ pub struct ClusterSpec {
     pub seed: u64,
     /// Per-process trace buffer capacity; `None` disables tracing.
     pub trace_capacity: Option<usize>,
+    /// Seeded link-fault injection plan.  The default ([`FaultPlan::none`])
+    /// is a provable no-op: it creates no injectors, schedules no events,
+    /// and leaves same-seed runs bit-identical to a fault-free build.
+    pub fault_plan: FaultPlan,
+    /// Socket receive-queue bound in bytes; `None` keeps the legacy
+    /// unbounded model (required for bit-compatibility with cached
+    /// results).  Fault scenarios set it to model rcvbuf back-pressure.
+    pub rcvbuf_bytes: Option<u64>,
+    /// Node-degradation faults as `(node index, spec)` pairs.
+    pub node_faults: Vec<(u32, DegradeSpec)>,
 }
 
 impl ClusterSpec {
@@ -186,7 +247,20 @@ impl ClusterSpec {
             noise: NoiseSpec::default(),
             seed: 0x5EED_0C7A,
             trace_capacity: None,
+            fault_plan: FaultPlan::none(),
+            rcvbuf_bytes: None,
+            node_faults: Vec::new(),
         }
+    }
+
+    /// The degradation spec configured for `node`, if any non-zero one is.
+    pub fn degrade_for(&self, node: u32) -> Option<DegradeSpec> {
+        self.node_faults
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, d)| d)
+            .filter(|d| !d.is_zero())
     }
 }
 
@@ -231,5 +305,23 @@ mod tests {
         assert_eq!(c.nodes.len(), 64);
         assert_eq!(c.nic_bits_per_sec, 100_000_000);
         assert!(c.trace_capacity.is_none());
+        assert!(c.fault_plan.is_empty());
+        assert!(c.rcvbuf_bytes.is_none());
+        assert!(c.node_faults.is_empty());
+    }
+
+    #[test]
+    fn degrade_lookup_skips_zero_specs() {
+        let mut c = ClusterSpec::chiba(4);
+        assert!(c.degrade_for(2).is_none());
+        c.node_faults.push((2, DegradeSpec::default()));
+        assert!(c.degrade_for(2).is_none(), "zero spec must be inert");
+        let slow = DegradeSpec {
+            slowdown_pct: 150,
+            ..Default::default()
+        };
+        c.node_faults.push((2, slow));
+        assert_eq!(c.degrade_for(2), Some(slow));
+        assert!(c.degrade_for(1).is_none());
     }
 }

@@ -27,6 +27,8 @@ pub struct TaskCounters {
     pub wakeups: u64,
     /// Hard interrupts serviced while the task was current.
     pub interrupts: u64,
+    /// Timed sends aborted after exhausting their retry budget.
+    pub send_timeouts: u64,
 }
 
 impl TaskCounters {
@@ -41,6 +43,7 @@ impl TaskCounters {
             signals: self.signals - earlier.signals,
             wakeups: self.wakeups - earlier.wakeups,
             interrupts: self.interrupts - earlier.interrupts,
+            send_timeouts: self.send_timeouts - earlier.send_timeouts,
         }
     }
 }
@@ -60,6 +63,7 @@ mod tests {
             signals: 1,
             wakeups: 19,
             interrupts: 50,
+            send_timeouts: 2,
         };
         let b = TaskCounters {
             migrations: 2,
@@ -70,10 +74,12 @@ mod tests {
             signals: 0,
             wakeups: 9,
             interrupts: 20,
+            send_timeouts: 1,
         };
         let d = a.delta(&b);
         assert_eq!(d.migrations, 3);
         assert_eq!(d.syscalls, 60);
         assert_eq!(d.interrupts, 30);
+        assert_eq!(d.send_timeouts, 1);
     }
 }

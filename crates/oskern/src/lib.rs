@@ -30,11 +30,13 @@ pub mod program;
 pub mod sim;
 pub mod task;
 
-pub use config::{ClusterSpec, IrqPolicy, NodeSpec, NoiseSpec, SchedParams};
+pub use config::{
+    ClusterSpec, DegradeSpec, IrqPolicy, IrqStormSpec, NodeSpec, NoiseSpec, SchedParams,
+};
 pub use counters::TaskCounters;
-pub use node::{Cpu, Node, TaskSpec};
+pub use node::{Cpu, Node, RxConnStats, TaskSpec, TxConnStats};
 pub use probes::{names as probe_names, KernelProbes};
 pub use procfs::ProcError;
 pub use program::{FnProgram, LoopProgram, Op, OpList, Program};
 pub use sim::{Cluster, Event, EventQueue};
-pub use task::{BlockedOn, OpState, Pid, SwitchOutReason, Task, TaskKind, TaskState};
+pub use task::{BlockedOn, OpState, Pid, SendRetry, SwitchOutReason, Task, TaskKind, TaskState};

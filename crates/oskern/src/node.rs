@@ -3,16 +3,21 @@
 //! stack — with KTAU instrumentation points compiled in at the same places
 //! the paper patches Linux.
 
-use crate::config::{IrqPolicy, NodeSpec, SchedParams};
+use crate::config::{DegradeSpec, IrqPolicy, NodeSpec, SchedParams};
 use crate::probes::KernelProbes;
 use crate::program::{Op, Program};
 use crate::sim::{Event, EventQueue};
-use crate::task::{BlockedOn, OpState, Pid, SwitchOutReason, Task, TaskKind, TaskState, TaskTable};
+use crate::task::{
+    BlockedOn, OpState, Pid, SendRetry, SwitchOutReason, Task, TaskKind, TaskState, TaskTable,
+};
 use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
 use ktau_core::measure::{ProbeEngine, TaskMeasurement};
 use ktau_core::time::{CpuFreq, Cycles, Ns};
-use ktau_net::{segment_sizes, Fabric, NetCostModel, Nic, SocketRx, SocketTx, WIRE_OVERHEAD};
-use std::collections::VecDeque;
+use ktau_net::{
+    segment_sizes, Fabric, LinkInjector, NetCostModel, Nic, SegmentFate, SocketRx, SocketTx,
+    WIRE_OVERHEAD,
+};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-CPU state.
 #[derive(Debug)]
@@ -44,9 +49,33 @@ pub struct Cpu {
     pub chunk_pending: bool,
 }
 
+/// Sender-side retransmission state, present only on fault-injected links.
+/// Fault-free connections carry `None` and take none of these code paths,
+/// which is what keeps zero-rate fault plans bit-identical to a fault-free
+/// build: no extra events are ever pushed.
+struct TxFault {
+    injector: LinkInjector,
+    /// Base retransmission timeout (before backoff).
+    rto_ns: Ns,
+    /// Sent-but-unacked segments (seq → payload), the retransmit queue.
+    unacked: BTreeMap<u64, u32>,
+    /// Timer generation; re-arming or cancelling bumps it so stale
+    /// `RtxTimer` events are ignored.
+    timer_gen: u64,
+    timer_armed: bool,
+    /// Exponential-backoff exponent applied to `rto_ns`.
+    backoff: u32,
+    /// Segments retransmitted so far.
+    retransmits: u64,
+    /// Times the retransmission timer handler actually ran.
+    timer_fires: u64,
+}
+
 struct TxState {
     tx: SocketTx,
     waiting_writer: Option<Pid>,
+    /// Retransmission machinery, when the link has a fault injector.
+    fault: Option<TxFault>,
 }
 
 struct RxState {
@@ -58,10 +87,51 @@ struct RxState {
     loopback: bool,
     /// Delayed-ACK parity: an ACK is generated every second data segment.
     ack_pending: u8,
+    /// Lossy link: ACK every segment so the sender sees duplicate ACKs and
+    /// cumulative-ack progress promptly.
+    fault_active: bool,
+}
+
+/// Diagnostic snapshot of a connection's send side (see
+/// [`Node::tx_conn_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxConnStats {
+    /// Bytes queued in the sndbuf.
+    pub in_flight: u64,
+    /// Free sndbuf space.
+    pub free: u64,
+    /// Segments sent but not yet cumulatively acked (fault links only).
+    pub unacked: usize,
+    /// Segments retransmitted so far.
+    pub retransmits: u64,
+    /// Retransmission-timer firings.
+    pub timer_fires: u64,
+}
+
+/// Diagnostic snapshot of a connection's receive side (see
+/// [`Node::rx_conn_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxConnStats {
+    /// Bytes readable right now.
+    pub available: u64,
+    /// Next in-order sequence number (the cumulative ack).
+    pub expected_seq: u64,
+    /// Out-of-order segments parked in the reassembly queue.
+    pub buffered_segments: usize,
+    /// Segments refused because the rcvbuf was full.
+    pub refused_segments: u64,
+    /// Wire duplicates discarded.
+    pub duplicate_segments: u64,
 }
 
 /// In-kernel latency of a localhost segment.
 const LOOPBACK_LATENCY_NS: Ns = 5_000;
+
+/// Spacing between a segment and its wire duplicate.
+const DUP_GAP_NS: Ns = 20_000;
+
+/// Cap on the exponential retransmission backoff (rto << backoff).
+const MAX_RTX_BACKOFF: u32 = 6;
 
 /// A simulated node (one kernel instance).
 pub struct Node {
@@ -99,6 +169,10 @@ pub struct Node {
     trace_capacity: Option<usize>,
     /// App tasks that exited (drives cluster completion tracking).
     pub(crate) apps_exited: u64,
+    /// Node-degradation fault spec, if this node is configured to fail.
+    pub(crate) degrade: Option<DegradeSpec>,
+    /// The late-onset CPU removal already happened.
+    offline_done: bool,
     /// Interned user-routine name → event id pairs.  The handful of distinct
     /// `&'static str` routine names makes a scanned list with a
     /// pointer-equality fast path cheaper than hashing the string per call.
@@ -191,6 +265,8 @@ impl Node {
             sndbuf_bytes,
             trace_capacity,
             apps_exited: 0,
+            degrade: None,
+            offline_done: false,
             user_events: Vec::new(),
             spec,
         };
@@ -286,6 +362,11 @@ impl Node {
     // -- socket slabs --------------------------------------------------------
 
     #[inline]
+    fn tx_state(&self, conn: ktau_net::ConnId) -> Option<&TxState> {
+        self.sock_tx.get(conn.0 as usize).and_then(Option::as_ref)
+    }
+
+    #[inline]
     fn tx_state_mut(&mut self, conn: ktau_net::ConnId) -> Option<&mut TxState> {
         self.sock_tx
             .get_mut(conn.0 as usize)
@@ -302,6 +383,39 @@ impl Node {
         self.sock_rx
             .get_mut(conn.0 as usize)
             .and_then(Option::as_mut)
+    }
+
+    /// Send-side state of a connection whose tx end lives on this node.
+    pub fn tx_conn_stats(&self, conn: ktau_net::ConnId) -> Option<TxConnStats> {
+        self.tx_state(conn).map(|st| TxConnStats {
+            in_flight: st.tx.in_flight(),
+            free: st.tx.free(),
+            unacked: st.fault.as_ref().map(|f| f.unacked.len()).unwrap_or(0),
+            retransmits: st.fault.as_ref().map(|f| f.retransmits).unwrap_or(0),
+            timer_fires: st.fault.as_ref().map(|f| f.timer_fires).unwrap_or(0),
+        })
+    }
+
+    /// Receive-side state of a connection whose rx end lives on this node.
+    pub fn rx_conn_stats(&self, conn: ktau_net::ConnId) -> Option<RxConnStats> {
+        self.rx_state(conn).map(|st| RxConnStats {
+            available: st.rx.available(),
+            expected_seq: st.rx.expected_seq(),
+            buffered_segments: st.rx.buffered_segments(),
+            refused_segments: st.rx.refused_segments(),
+            duplicate_segments: st.rx.duplicate_segments(),
+        })
+    }
+
+    /// Total segments this node's kernel has retransmitted across all of its
+    /// sending connections (0 unless a fault injector is active).
+    pub fn total_retransmits(&self) -> u64 {
+        self.sock_tx
+            .iter()
+            .flatten()
+            .filter_map(|st| st.fault.as_ref())
+            .map(|f| f.retransmits)
+            .sum()
     }
 
     // -- task lifecycle -----------------------------------------------------
@@ -351,10 +465,11 @@ impl Node {
     fn choose_wake_cpu(&self, pid: Pid) -> u8 {
         let t = &self.tasks[pid];
         let allowed: Vec<u8> = (0..self.online).filter(|&c| t.allowed_on(c)).collect();
-        assert!(
-            !allowed.is_empty(),
-            "task affinity excludes all online CPUs"
-        );
+        if allowed.is_empty() {
+            // CPU hotplug removal orphaned this task's affinity mask; Linux
+            // breaks affinity in that case and falls back to CPU 0.
+            return 0;
+        }
         if allowed.contains(&t.last_cpu) && self.cpus[t.last_cpu as usize].current.is_none() {
             return t.last_cpu;
         }
@@ -490,6 +605,13 @@ impl Node {
         let total = cycles + c.carry_cycles;
         c.carry_cycles = 0;
         let mut dur = self.freq.cycles_to_ns(total);
+        // Degraded hardware (thermal throttling, failing VRM): every busy
+        // chunk stretches once the slowdown onset passes.
+        if let Some(d) = self.degrade {
+            if d.slowdown_pct != 100 && now >= d.slowdown_onset_ns {
+                dur = dur * d.slowdown_pct as u64 / 100;
+            }
+        }
         // Consume pre-accumulated steal immediately.
         dur += c.steal_ns;
         c.steal_ns = 0;
@@ -563,7 +685,11 @@ impl Node {
                     self.busy(cpu, effective, now, q);
                     return;
                 }
-                OpState::SendReserving { conn, remaining } => {
+                OpState::SendReserving {
+                    conn,
+                    remaining,
+                    retry,
+                } => {
                     if remaining == 0 {
                         // Zero-byte writev: complete the syscall immediately.
                         let mut c =
@@ -578,17 +704,55 @@ impl Node {
                         st.tx.reserve(remaining)
                     };
                     if accepted == 0 {
-                        // sndbuf full: block until TxDone frees space.
+                        // sndbuf full: block until TxDone frees space; timed
+                        // sends additionally arm a timeout.
+                        match retry {
+                            None => {}
+                            Some(r) if r.deadline == 0 => {
+                                // First stall of this attempt: arm the timer.
+                                let deadline = now + r.timeout_ns;
+                                self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
+                                    conn,
+                                    remaining,
+                                    retry: Some(SendRetry { deadline, ..r }),
+                                };
+                                q.push(deadline, Event::Wake { node: self.id, pid });
+                            }
+                            Some(r) if now >= r.deadline => {
+                                if r.left == 0 {
+                                    self.abort_send_timeout(cpu, pid, conn, now, q, fabric);
+                                    return;
+                                }
+                                // Retry: new attempt, fresh deadline.
+                                let deadline = now + r.timeout_ns;
+                                self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
+                                    conn,
+                                    remaining,
+                                    retry: Some(SendRetry {
+                                        deadline,
+                                        left: r.left - 1,
+                                        timeout_ns: r.timeout_ns,
+                                    }),
+                                };
+                                q.push(deadline, Event::Wake { node: self.id, pid });
+                            }
+                            // Woken early (space appeared then vanished):
+                            // re-block, the armed timer keeps running.
+                            Some(_) => {}
+                        }
                         self.tx_state_mut(conn).unwrap().waiting_writer = Some(pid);
                         self.block_current(cpu, BlockedOn::TxSpace(conn), now, q, fabric);
                         return;
                     }
+                    // Progress: the attempt succeeded, reset its deadline.
+                    let retry = retry.map(|r| SendRetry { deadline: 0, ..r });
                     self.start_send_chunk(
                         cpu,
                         pid,
                         conn,
                         accepted,
                         remaining - accepted,
+                        retry,
                         now,
                         q,
                         fabric,
@@ -671,14 +835,29 @@ impl Node {
                 false
             }
             Op::Send { conn, bytes } => {
-                self.tasks.get_mut(pid).unwrap().counters.syscalls += 1;
-                let mut c = self.probe_enter(pid, self.probes.sys_writev, Group::Syscall, now);
-                c += self.probe_enter(pid, self.probes.sock_sendmsg, Group::Socket, now);
-                self.cpus[ci].carry_cycles +=
-                    c + self.net_costs.sys_writev_cycles + self.net_costs.sock_sendmsg_cycles;
+                self.enter_send_syscall(cpu, pid, now);
                 self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
                     conn,
                     remaining: bytes,
+                    retry: None,
+                };
+                false
+            }
+            Op::SendTimed {
+                conn,
+                bytes,
+                timeout_ns,
+                max_retries,
+            } => {
+                self.enter_send_syscall(cpu, pid, now);
+                self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
+                    conn,
+                    remaining: bytes,
+                    retry: Some(SendRetry {
+                        deadline: 0,
+                        left: max_retries,
+                        timeout_ns,
+                    }),
                 };
                 false
             }
@@ -745,6 +924,57 @@ impl Node {
         }
     }
 
+    /// Probe+cost bookkeeping shared by [`Op::Send`] and [`Op::SendTimed`]
+    /// lowering: `sys_writev` → `sock_sendmsg` entries.
+    fn enter_send_syscall(&mut self, cpu: u8, pid: Pid, now: Ns) {
+        self.tasks.get_mut(pid).unwrap().counters.syscalls += 1;
+        let mut c = self.probe_enter(pid, self.probes.sys_writev, Group::Syscall, now);
+        c += self.probe_enter(pid, self.probes.sock_sendmsg, Group::Socket, now);
+        self.cpus[cpu as usize].carry_cycles +=
+            c + self.net_costs.sys_writev_cycles + self.net_costs.sock_sendmsg_cycles;
+    }
+
+    /// A timed send exhausted its retry budget: the process aborts with a
+    /// diagnostic naming the connection and its socket state (the MPI layer
+    /// surfaces this as the stuck rank).
+    fn abort_send_timeout(
+        &mut self,
+        cpu: u8,
+        pid: Pid,
+        conn: ktau_net::ConnId,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
+        let diag = {
+            let st = self.tx_state(conn).expect("timed send on unknown conn");
+            let (unacked, rtx) = st
+                .fault
+                .as_ref()
+                .map(|f| (f.unacked.len(), f.retransmits))
+                .unwrap_or((0, 0));
+            format!(
+                "timed send on {conn} exhausted its retry budget at {now} ns: \
+                 sndbuf {} B in flight / {} B free, {unacked} unacked segments, \
+                 {rtx} retransmits",
+                st.tx.in_flight(),
+                st.tx.free()
+            )
+        };
+        let out = self.switch_out(cpu, now, SwitchOutReason::Voluntary);
+        debug_assert_eq!(out, pid, "timed-out sender was not current");
+        let t = self.tasks.get_mut(out).unwrap();
+        t.state = TaskState::Dead;
+        t.op = OpState::Exited;
+        t.exited_ns = now;
+        t.counters.send_timeouts += 1;
+        t.last_error = Some(diag);
+        if t.kind == TaskKind::App {
+            self.apps_exited += 1;
+        }
+        self.reschedule(cpu, now, q, fabric);
+    }
+
     /// A short instrumented kernel path (null syscall / fault / signal).
     #[allow(clippy::too_many_arguments)]
     fn kernel_busy_op(
@@ -778,7 +1008,10 @@ impl Node {
 
     /// `tcp_sendmsg` over one accepted chunk: segments the bytes, charges
     /// per-segment CPU cost, and hands segments to the NIC staggered by the
-    /// CPU time spent producing them.
+    /// CPU time spent producing them.  On fault-injected links every segment
+    /// is tracked as unacked and its wire fate (deliver/drop/duplicate/
+    /// delay) is drawn from the seeded injector; fault-free links take the
+    /// exact pre-fault event sequence.
     #[allow(clippy::too_many_arguments)]
     fn start_send_chunk(
         &mut self,
@@ -787,6 +1020,7 @@ impl Node {
         conn: ktau_net::ConnId,
         accepted: u64,
         remaining_after: u64,
+        retry: Option<SendRetry>,
         now: Ns,
         q: &mut EventQueue,
         fabric: &Fabric,
@@ -794,6 +1028,7 @@ impl Node {
         let mut cost: Cycles = self.probe_enter(pid, self.probes.tcp_sendmsg, Group::Tcp, now);
         let link = fabric.link(conn);
         let sizes: Vec<u32> = segment_sizes(accepted).collect();
+        let mut first_faulted_at: Option<Ns> = None;
         for payload in sizes {
             cost += self.net_costs.tcp_send_segment(payload);
             let t = now + self.c2n(cost);
@@ -811,6 +1046,8 @@ impl Node {
                 let depart = self.nic.enqueue(produced_at, payload + WIRE_OVERHEAD);
                 (depart, fabric.arrival(depart))
             };
+            // TxDone fires even for segments the wire then eats: the NIC
+            // finished serializing, so sndbuf space is legitimately free.
             q.push(
                 depart,
                 Event::TxDone {
@@ -819,19 +1056,55 @@ impl Node {
                     payload,
                 },
             );
-            q.push(
-                arrive,
-                Event::SegArrive {
-                    node: link.dst_node,
-                    conn,
-                    seq,
-                    payload,
-                },
-            );
+            let fate = match self.tx_state_mut(conn).unwrap().fault.as_mut() {
+                Some(f) => {
+                    f.unacked.insert(seq, payload);
+                    Some(f.injector.judge(produced_at))
+                }
+                None => None,
+            };
+            if fate.is_some() && first_faulted_at.is_none() {
+                first_faulted_at = Some(produced_at);
+            }
+            let seg = Event::SegArrive {
+                node: link.dst_node,
+                conn,
+                seq,
+                payload,
+            };
+            match fate {
+                None | Some(SegmentFate::Deliver) => q.push(arrive, seg),
+                Some(SegmentFate::Drop) => {}
+                Some(SegmentFate::Duplicate) => {
+                    q.push(arrive, seg);
+                    q.push(arrive + DUP_GAP_NS, seg);
+                }
+                Some(SegmentFate::Delay(extra)) => q.push(arrive + extra, seg),
+            }
+        }
+        // One retransmission timer per connection: arm it if this chunk left
+        // unacked data on a fault link and no timer is already running.
+        if let Some(at) = first_faulted_at {
+            let node = self.id;
+            let f = self
+                .tx_state_mut(conn)
+                .unwrap()
+                .fault
+                .as_mut()
+                .expect("faulted segment without fault state");
+            if !f.timer_armed && !f.unacked.is_empty() {
+                f.timer_gen += 1;
+                f.timer_armed = true;
+                f.backoff = 0;
+                let gen = f.timer_gen;
+                let rto = f.rto_ns;
+                q.push(at + rto, Event::RtxTimer { node, conn, gen });
+            }
         }
         self.tasks.get_mut(pid).unwrap().op = OpState::SendProcessing {
             conn,
             remaining_after,
+            retry,
         };
         self.busy(cpu, cost, now, q);
     }
@@ -907,6 +1180,7 @@ impl Node {
             OpState::SendProcessing {
                 conn,
                 remaining_after,
+                retry,
             } => {
                 let mut c = self.probe_exit(pid, self.probes.tcp_sendmsg, Group::Tcp, now);
                 if remaining_after == 0 {
@@ -917,6 +1191,7 @@ impl Node {
                     self.tasks.get_mut(pid).unwrap().op = OpState::SendReserving {
                         conn,
                         remaining: remaining_after,
+                        retry,
                     };
                 }
                 self.cpus[ci].carry_cycles += c;
@@ -1050,7 +1325,11 @@ impl Node {
         }
 
         let st = self.rx_state_mut(conn).expect("segment for unknown conn");
-        st.rx.deliver(seq, payload);
+        // Out-of-order segments buffer, duplicates are discarded, and a full
+        // rcvbuf refuses the segment (the sender's retransmission recovers
+        // it) — the return value says which; only in-order delivery changes
+        // `available`, so the reader wake below stays correct either way.
+        let _ = st.rx.deliver(seq, payload);
         if st.rx.available() > 0 {
             if let Some(reader) = st.waiting_reader.take() {
                 q.push(
@@ -1065,12 +1344,16 @@ impl Node {
         // Delayed ACK: every second data segment sends an ACK back through
         // this node's NIC; the original sender pays protocol processing on
         // arrival.  Loopback traffic is ACKed within the same softirq and
-        // needs no extra event.
+        // needs no extra event.  On fault-injected links every segment is
+        // ACKed — including duplicates and refusals — so the sender sees
+        // cumulative-ack progress (and the lack of it) promptly.
         if !loopback {
             let st = self.rx_state_mut(conn).unwrap();
             st.ack_pending += 1;
-            if st.ack_pending >= 2 {
+            let every = if st.fault_active { 1 } else { 2 };
+            if st.ack_pending >= every {
                 st.ack_pending = 0;
+                let ack_seq = st.rx.expected_seq();
                 let link = fabric.link(conn);
                 let ack_wire = 40 + ktau_net::WIRE_OVERHEAD;
                 let depart = self.nic.enqueue(now + total_ns, ack_wire);
@@ -1079,6 +1362,7 @@ impl Node {
                     Event::AckArrive {
                         node: link.src_node,
                         conn,
+                        ack_seq,
                     },
                 );
             }
@@ -1086,8 +1370,17 @@ impl Node {
     }
 
     /// A TCP ACK arrives: hard IRQ + softirq + header-only `tcp_v4_rcv`
-    /// charged to whoever is current on the interrupted CPU.
-    pub(crate) fn on_ack(&mut self, _conn: ktau_net::ConnId, now: Ns, _q: &mut EventQueue) {
+    /// charged to whoever is current on the interrupted CPU.  On fault
+    /// links the cumulative `ack_seq` also retires unacked segments and
+    /// manages the retransmission timer.
+    pub(crate) fn on_ack(
+        &mut self,
+        conn: ktau_net::ConnId,
+        ack_seq: u64,
+        now: Ns,
+        q: &mut EventQueue,
+        _fabric: &Fabric,
+    ) {
         let cpu = self.route_irq();
         let ci = cpu as usize;
         let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
@@ -1116,6 +1409,118 @@ impl Node {
         if self.cpus[ci].current.is_some() {
             self.cpus[ci].steal_ns += self.c2n(cost);
         }
+        // Retire cumulatively-acked segments and manage the retransmission
+        // timer.  Fault-free connections have no fault state and skip this
+        // entirely (no event pushes → determinism preserved).
+        let node = self.id;
+        if let Some(f) = self.tx_state_mut(conn).and_then(|st| st.fault.as_mut()) {
+            let before = f.unacked.len();
+            f.unacked.retain(|&s, _| s >= ack_seq);
+            if f.unacked.is_empty() {
+                // Everything acked: cancel the timer.
+                if f.timer_armed {
+                    f.timer_gen += 1;
+                    f.timer_armed = false;
+                }
+                f.backoff = 0;
+            } else if f.unacked.len() < before {
+                // Forward progress: restart the timer fresh for the new
+                // lowest unacked segment.  A duplicate ACK (no progress)
+                // deliberately leaves the running timer alone so a stalled
+                // flow still times out.
+                f.timer_gen += 1;
+                f.timer_armed = true;
+                f.backoff = 0;
+                let gen = f.timer_gen;
+                let rto = f.rto_ns;
+                q.push(now + rto, Event::RtxTimer { node, conn, gen });
+            }
+        }
+    }
+
+    /// The sender-side TCP retransmission timer fired: re-send the lowest
+    /// unacked segment through the NIC (its wire fate is judged again by the
+    /// injector), back off exponentially, and re-arm.  Runs in softirq
+    /// context on the IRQ-routing CPU; the handler is instrumented with the
+    /// `tcp_retransmit_timer` probe nested in a `do_softirq` re-entry, so
+    /// KTAU's kernel-wide and process-centric views expose exactly which
+    /// node and which interrupted task paid for the recovery.
+    pub(crate) fn on_rtx_timer(
+        &mut self,
+        conn: ktau_net::ConnId,
+        gen: u64,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
+        let node = self.id;
+        let (seq, payload, fate) = {
+            let f = match self.tx_state_mut(conn).and_then(|st| st.fault.as_mut()) {
+                Some(f) => f,
+                None => return,
+            };
+            if !f.timer_armed || f.timer_gen != gen {
+                return; // cancelled or superseded
+            }
+            let (&seq, &payload) = match f.unacked.iter().next() {
+                Some(kv) => kv,
+                None => {
+                    f.timer_armed = false;
+                    return;
+                }
+            };
+            f.timer_fires += 1;
+            f.retransmits += 1;
+            f.backoff = (f.backoff + 1).min(MAX_RTX_BACKOFF);
+            (seq, payload, f.injector.judge(now))
+        };
+        // Softirq-context accounting: the handler's cost is stolen from
+        // whoever is current on the IRQ CPU, and the probes make the
+        // recovery visible in that task's process-centric view.
+        let cpu = self.route_irq();
+        let ci = cpu as usize;
+        let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
+        let mut cost = self.net_costs.softirq_base_cycles;
+        cost += self.probe_enter(attr_pid, self.probes.do_softirq, Group::BottomHalf, now);
+        cost += self.probe_enter(attr_pid, self.probes.tcp_retransmit_timer, Group::Tcp, now);
+        cost += self.net_costs.tcp_send_segment(payload);
+        let t = now + self.c2n(cost);
+        cost += self.probe_exit(attr_pid, self.probes.tcp_retransmit_timer, Group::Tcp, t);
+        cost += self.probe_exit(attr_pid, self.probes.do_softirq, Group::BottomHalf, t);
+        let total_ns = self.c2n(cost);
+        if self.cpus[ci].current.is_some() {
+            self.cpus[ci].steal_ns += total_ns;
+        }
+        // Re-send on the wire.  No TxDone: the original transmission already
+        // released this segment's sndbuf space, and releasing twice is the
+        // exact accounting corruption `SocketTx::release` now hard-errors on.
+        let link = fabric.link(conn);
+        let depart = self.nic.enqueue(now + total_ns, payload + WIRE_OVERHEAD);
+        let arrive = fabric.arrival(depart);
+        let seg = Event::SegArrive {
+            node: link.dst_node,
+            conn,
+            seq,
+            payload,
+        };
+        match fate {
+            SegmentFate::Deliver => q.push(arrive, seg),
+            SegmentFate::Drop => {}
+            SegmentFate::Duplicate => {
+                q.push(arrive, seg);
+                q.push(arrive + DUP_GAP_NS, seg);
+            }
+            SegmentFate::Delay(extra) => q.push(arrive + extra, seg),
+        }
+        // Exponential backoff and re-arm.
+        let f = self
+            .tx_state_mut(conn)
+            .and_then(|st| st.fault.as_mut())
+            .expect("fault state vanished mid-retransmit");
+        f.timer_gen += 1;
+        let gen = f.timer_gen;
+        let delay = f.rto_ns << f.backoff;
+        q.push(now + delay, Event::RtxTimer { node, conn, gen });
     }
 
     /// NIC finished serializing a segment: release sndbuf space and wake a
@@ -1159,6 +1564,94 @@ impl Node {
         self.kick_if_idle(cpu, now, q, fabric);
     }
 
+    // -- node degradation ----------------------------------------------------
+
+    /// Called on every timer tick before normal tick handling; applies the
+    /// node's degradation spec (late-onset CPU offlining, IRQ storms).  A
+    /// node with no spec — every node in a fault-free run — returns
+    /// immediately without touching the event queue.
+    pub(crate) fn maybe_degrade_tick(
+        &mut self,
+        cpu: u8,
+        now: Ns,
+        q: &mut EventQueue,
+        fabric: &Fabric,
+    ) {
+        let Some(d) = self.degrade else { return };
+        if let Some(when) = d.offline_cpu_at_ns {
+            if !self.offline_done && now >= when && self.online > 1 {
+                self.offline_highest_cpu(now, q, fabric);
+            }
+        }
+        if let Some(storm) = d.irq_storm {
+            // One burst per tick period, keyed to CPU 0's tick.
+            if cpu == 0 && now >= storm.start_ns && now < storm.end_ns {
+                self.irq_storm_burst(storm.irqs_per_tick, now);
+            }
+        }
+    }
+
+    /// Hot-removes the node's highest-numbered CPU: its current task and
+    /// runqueue migrate to the surviving CPUs, tasks pinned to it get their
+    /// affinity broken (as Linux does on hotplug removal), and its tick lane
+    /// dies because [`crate::sim::Cluster`] stops re-arming ticks for
+    /// offlined CPUs.
+    fn offline_highest_cpu(&mut self, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
+        self.offline_done = true;
+        let lost = self.online - 1;
+        let li = lost as usize;
+        self.online -= 1;
+        // Invalidate any in-flight chunk on the dying CPU.
+        self.cpus[li].gen += 1;
+        self.cpus[li].chunk_pending = false;
+        self.cpus[li].carry_cycles = 0;
+        self.cpus[li].steal_ns = 0;
+        let mut displaced = Vec::new();
+        if self.cpus[li].current.is_some() {
+            let pid = self.switch_out(lost, now, SwitchOutReason::Preempted);
+            self.tasks.get_mut(pid).unwrap().state = TaskState::Runnable;
+            displaced.push(pid);
+        }
+        while let Some(pid) = self.runqueues[li].pop_front() {
+            displaced.push(pid);
+        }
+        // Break affinities that now exclude every online CPU.
+        let live_mask: u32 = (0..self.online).map(Task::pin_mask).sum();
+        for pid in self.tasks.pids() {
+            let t = self.tasks.get_mut(pid).unwrap();
+            if t.state != TaskState::Dead && t.kind != TaskKind::Idle && t.affinity & live_mask == 0
+            {
+                t.affinity = Task::ANY_CPU;
+            }
+        }
+        for pid in displaced {
+            let target = self.choose_wake_cpu(pid);
+            self.runqueues[target as usize].push_back(pid);
+            self.kick_if_idle(target, now, q, fabric);
+        }
+    }
+
+    /// A storming device: `n` spurious NIC interrupts land back-to-back on
+    /// the IRQ-routing CPU, stealing time from whatever runs there.
+    fn irq_storm_burst(&mut self, n: u32, now: Ns) {
+        let cpu = self.route_irq();
+        let ci = cpu as usize;
+        let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
+        let mut cost: Cycles = 0;
+        for _ in 0..n {
+            self.tasks.get_mut(attr_pid).unwrap().counters.interrupts += 1;
+            cost += self.net_costs.irq_cycles;
+            cost += self.probe_enter(attr_pid, self.probes.do_irq, Group::Irq, now);
+            cost += self.probe_enter(attr_pid, self.probes.eth_rx_irq, Group::Irq, now);
+            let t = now + self.c2n(cost);
+            cost += self.probe_exit(attr_pid, self.probes.eth_rx_irq, Group::Irq, t);
+            cost += self.probe_exit(attr_pid, self.probes.do_irq, Group::Irq, t);
+        }
+        if self.cpus[ci].current.is_some() {
+            self.cpus[ci].steal_ns += self.c2n(cost);
+        }
+    }
+
     fn route_irq(&mut self) -> u8 {
         match self.spec.irq {
             IrqPolicy::AllToCpu0 => 0,
@@ -1173,30 +1666,55 @@ impl Node {
 
     // -- sockets -------------------------------------------------------------
 
-    /// Installs the sending end of a connection on this node.
-    pub(crate) fn add_tx(&mut self, conn: ktau_net::ConnId) {
+    /// Installs the sending end of a connection on this node, with
+    /// retransmission machinery when the link has a fault injector.
+    pub(crate) fn add_tx(&mut self, conn: ktau_net::ConnId, injector: Option<LinkInjector>) {
         let i = conn.0 as usize;
         if i >= self.sock_tx.len() {
             self.sock_tx.resize_with(i + 1, || None);
         }
+        let fault = injector.map(|injector| TxFault {
+            rto_ns: injector.rto_ns(),
+            injector,
+            unacked: BTreeMap::new(),
+            timer_gen: 0,
+            timer_armed: false,
+            backoff: 0,
+            retransmits: 0,
+            timer_fires: 0,
+        });
         self.sock_tx[i] = Some(TxState {
             tx: SocketTx::new(self.sndbuf_bytes),
             waiting_writer: None,
+            fault,
         });
     }
 
-    /// Installs the receiving end of a connection on this node.
-    pub(crate) fn add_rx(&mut self, conn: ktau_net::ConnId, loopback: bool) {
+    /// Installs the receiving end of a connection on this node.  A
+    /// configured `rcvbuf` bounds the receive queue; `None` keeps the
+    /// legacy unbounded model.
+    pub(crate) fn add_rx(
+        &mut self,
+        conn: ktau_net::ConnId,
+        loopback: bool,
+        fault_active: bool,
+        rcvbuf: Option<u64>,
+    ) {
         let i = conn.0 as usize;
         if i >= self.sock_rx.len() {
             self.sock_rx.resize_with(i + 1, || None);
         }
+        let rx = match rcvbuf {
+            Some(cap) => SocketRx::bounded(cap),
+            None => SocketRx::new(),
+        };
         self.sock_rx[i] = Some(RxState {
-            rx: SocketRx::new(),
+            rx,
             waiting_reader: None,
             reader_pid: None,
             loopback,
             ack_pending: 0,
+            fault_active,
         });
     }
 }

@@ -44,6 +44,8 @@ pub mod names {
     pub const NET_RX_BYTES: &str = "net_rx_bytes";
     /// Atomic: payload bytes sent per segment.
     pub const NET_TX_BYTES: &str = "net_tx_bytes";
+    /// TCP retransmission timer handler (fires only on lossy links).
+    pub const TCP_RETRANSMIT_TIMER: &str = "tcp_retransmit_timer";
 }
 
 /// Pre-resolved [`EventId`]s for every kernel instrumentation point of one
@@ -84,6 +86,8 @@ pub struct KernelProbes {
     pub net_rx_bytes: EventId,
     /// Atomic: sent payload bytes.
     pub net_tx_bytes: EventId,
+    /// `tcp_retransmit_timer` entry/exit (fault-injection observability).
+    pub tcp_retransmit_timer: EventId,
 }
 
 impl KernelProbes {
@@ -110,6 +114,10 @@ impl KernelProbes {
             do_signal: reg.register(DO_SIGNAL, Group::Signal, EntryExit),
             net_rx_bytes: reg.register(NET_RX_BYTES, Group::Tcp, Atomic),
             net_tx_bytes: reg.register(NET_TX_BYTES, Group::Tcp, Atomic),
+            // Registered last so every pre-existing probe keeps its EventId
+            // (snapshots and cached results index events by name, but id
+            // stability keeps cross-kernel registries comparable).
+            tcp_retransmit_timer: reg.register(TCP_RETRANSMIT_TIMER, Group::Tcp, EntryExit),
         }
     }
 }
@@ -126,6 +134,7 @@ mod tests {
         let pb = KernelProbes::register(&mut b);
         assert_eq!(pa.schedule, pb.schedule);
         assert_eq!(pa.net_tx_bytes, pb.net_tx_bytes);
+        assert_eq!(pa.tcp_retransmit_timer, pb.tcp_retransmit_timer);
         assert_eq!(a.len(), b.len());
     }
 

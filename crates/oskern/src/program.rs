@@ -27,6 +27,22 @@ pub enum Op {
         /// Payload bytes.
         bytes: u64,
     },
+    /// Like [`Op::Send`], but each stall waiting for sndbuf space is bounded
+    /// by `timeout_ns`.  When an attempt times out the send is retried (the
+    /// bytes already queued stay queued — this re-arms the wait, it does not
+    /// resend); after `max_retries` further timeouts the process aborts with
+    /// a diagnostic in `Task::last_error`.  MPI eager sends over lossy links
+    /// lower to this instead of waiting forever on a dead peer.
+    SendTimed {
+        /// Destination connection.
+        conn: ConnId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Per-attempt timeout for sndbuf-space waits.
+        timeout_ns: Ns,
+        /// Additional attempts allowed after the first times out.
+        max_retries: u32,
+    },
     /// Read exactly `bytes` from a connection (lowered to blocking
     /// `sys_read` calls).
     Recv {

@@ -63,6 +63,20 @@ pub enum Event {
         node: u32,
         /// Connection the ACK belongs to.
         conn: ConnId,
+        /// Cumulative acknowledgement: every segment below this sequence
+        /// number has been delivered in order at the receiver.
+        ack_seq: u64,
+    },
+    /// A sender-side TCP retransmission timer fires (armed only on
+    /// fault-injected links; fault-free runs never schedule one).
+    RtxTimer {
+        /// Sending node that armed the timer.
+        node: u32,
+        /// Connection being timed.
+        conn: ConnId,
+        /// Timer generation; a stale generation means the timer was
+        /// cancelled or re-armed and this firing is ignored.
+        gen: u64,
     },
     /// A blocked task becomes runnable.
     Wake {
@@ -181,7 +195,7 @@ impl EventQueue {
     /// Pending event counts by kind, for diagnostics.
     pub fn pending_summary(&self) -> String {
         let mut tick = self.lanes.len();
-        let (mut cpu_done, mut seg, mut tx, mut ack, mut wake) = (0, 0, 0, 0, 0);
+        let (mut cpu_done, mut seg, mut tx, mut ack, mut wake, mut rtx) = (0, 0, 0, 0, 0, 0);
         for Reverse((_, _, ev)) in self.heap.iter() {
             match ev {
                 Event::Tick { .. } => tick += 1,
@@ -190,11 +204,12 @@ impl EventQueue {
                 Event::TxDone { .. } => tx += 1,
                 Event::AckArrive { .. } => ack += 1,
                 Event::Wake { .. } => wake += 1,
+                Event::RtxTimer { .. } => rtx += 1,
             }
         }
         format!(
             "{} pending: {tick} tick, {cpu_done} cpu_done, {seg} seg_arrive, \
-             {tx} tx_done, {ack} ack_arrive, {wake} wake",
+             {tx} tx_done, {ack} ack_arrive, {wake} wake, {rtx} rtx_timer",
             self.len()
         )
     }
@@ -275,7 +290,7 @@ impl Cluster {
         let mut nodes = Vec::with_capacity(spec.nodes.len());
         for (i, ns) in spec.nodes.iter().enumerate() {
             let engine = ktau_core::measure::ProbeEngine::new(spec.control.clone(), spec.overhead);
-            let node = Node::boot(
+            let mut node = Node::boot(
                 i as u32,
                 ns.clone(),
                 engine,
@@ -285,6 +300,7 @@ impl Cluster {
                 spec.nic_bits_per_sec,
                 spec.trace_capacity,
             );
+            node.degrade = spec.degrade_for(i as u32);
             let tick = spec.sched.tick_ns();
             for c in 0..node.online {
                 // Deterministic stagger: nodes offset by a prime-ish stride,
@@ -362,8 +378,21 @@ impl Cluster {
     /// (same node) connections bypass the NIC and hard IRQ.
     pub fn open_conn(&mut self, src_node: u32, dst_node: u32) -> ConnId {
         let conn = self.fabric.open(src_node, dst_node);
-        self.nodes[src_node as usize].add_tx(conn);
-        self.nodes[dst_node as usize].add_rx(conn, src_node == dst_node);
+        let link = self.fabric.link(conn);
+        // Loopback bypasses the NIC entirely, so faults never apply there.
+        let injector = if src_node == dst_node {
+            None
+        } else {
+            self.spec.fault_plan.injector_for(conn, &link)
+        };
+        let fault_active = injector.is_some();
+        self.nodes[src_node as usize].add_tx(conn, injector);
+        self.nodes[dst_node as usize].add_rx(
+            conn,
+            src_node == dst_node,
+            fault_active,
+            self.spec.rcvbuf_bytes,
+        );
         conn
     }
 
@@ -393,8 +422,14 @@ impl Cluster {
             Event::Tick { node, cpu } => {
                 let tick_ns = self.spec.sched.tick_ns();
                 let (n, q, f) = self.parts(node);
-                n.on_tick(cpu, at, q, f);
-                q.push(at + tick_ns, Event::Tick { node, cpu });
+                n.maybe_degrade_tick(cpu, at, q, f);
+                // A hot-removed CPU's tick lane dies here: its timer is
+                // simply never re-armed.  Fault-free runs always take this
+                // branch, preserving the exact push sequence.
+                if cpu < n.online {
+                    n.on_tick(cpu, at, q, f);
+                    q.push(at + tick_ns, Event::Tick { node, cpu });
+                }
             }
             Event::CpuDone { node, cpu, gen } => {
                 let (n, q, f) = self.parts(node);
@@ -409,9 +444,17 @@ impl Cluster {
                 let (n, q, f) = self.parts(node);
                 n.on_segment(conn, seq, payload, at, q, f);
             }
-            Event::AckArrive { node, conn } => {
-                let (n, q, _) = self.parts(node);
-                n.on_ack(conn, at, q);
+            Event::AckArrive {
+                node,
+                conn,
+                ack_seq,
+            } => {
+                let (n, q, f) = self.parts(node);
+                n.on_ack(conn, ack_seq, at, q, f);
+            }
+            Event::RtxTimer { node, conn, gen } => {
+                let (n, q, f) = self.parts(node);
+                n.on_rtx_timer(conn, gen, at, q, f);
             }
             Event::TxDone {
                 node,
@@ -431,6 +474,12 @@ impl Cluster {
     /// Total app tasks that have exited across the cluster.
     pub fn apps_exited(&self) -> u64 {
         self.nodes.iter().map(|n| n.apps_exited).sum()
+    }
+
+    /// Total TCP retransmissions performed cluster-wide (0 on a fault-free
+    /// run: without an injector no retransmit timer is ever armed).
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_retransmits()).sum()
     }
 
     /// Total simulation events handled since boot (engine throughput metric).
@@ -485,13 +534,24 @@ impl Cluster {
         end
     }
 
+    /// Human-readable deadlock diagnostics: every live app task with its
+    /// scheduler/op state, plus the socket state of each connection the
+    /// stuck tasks are blocked on (sndbuf occupancy, unacked segments,
+    /// retransmit counts, rcvbuf reassembly/refusal state).  The MPI layer
+    /// re-exports this to name the stuck rank when a job hangs.
+    pub fn deadlock_report(&self) -> String {
+        self.stuck_report()
+    }
+
     fn stuck_report(&self) -> String {
+        use crate::task::BlockedOn;
         let mut s = format!(
             "  now {} ns, {} events processed, queue {}\n",
             self.now,
             self.events_processed,
             self.queue.pending_summary()
         );
+        let mut conns: Vec<ConnId> = Vec::new();
         for n in &self.nodes {
             for pid in n.pids() {
                 let t = n.task(pid).expect("listed pid has a task");
@@ -500,7 +560,40 @@ impl Cluster {
                         "  node {} ({}) pid {} {} state {:?} op {:?} blocked_on {:?}\n",
                         n.id, n.name, pid, t.comm, t.state, t.op, t.blocked_on
                     ));
+                    if let Some(BlockedOn::RxData(c) | BlockedOn::TxSpace(c)) = t.blocked_on {
+                        if !conns.contains(&c) {
+                            conns.push(c);
+                        }
+                    }
                 }
+            }
+        }
+        conns.sort();
+        for c in conns {
+            let link = self.fabric.link(c);
+            if let Some(tx) = self.nodes[link.src_node as usize].tx_conn_stats(c) {
+                s.push_str(&format!(
+                    "  {c} tx (node {}): {} B in flight / {} B free, {} unacked segs, \
+                     {} retransmits, {} timer fires\n",
+                    link.src_node,
+                    tx.in_flight,
+                    tx.free,
+                    tx.unacked,
+                    tx.retransmits,
+                    tx.timer_fires
+                ));
+            }
+            if let Some(rx) = self.nodes[link.dst_node as usize].rx_conn_stats(c) {
+                s.push_str(&format!(
+                    "  {c} rx (node {}): {} B readable, expected seq {}, {} segs buffered, \
+                     {} refused, {} duplicates\n",
+                    link.dst_node,
+                    rx.available,
+                    rx.expected_seq,
+                    rx.buffered_segments,
+                    rx.refused_segments,
+                    rx.duplicate_segments
+                ));
             }
         }
         s
@@ -512,7 +605,7 @@ mod tests {
     use super::*;
 
     fn mixed_event(node: u32, i: u64) -> Event {
-        match i % 6 {
+        match i % 7 {
             0 => Event::Tick {
                 node,
                 cpu: (i % 2) as u8,
@@ -536,6 +629,12 @@ mod tests {
             4 => Event::AckArrive {
                 node,
                 conn: ConnId((i % 3) as u32),
+                ack_seq: i,
+            },
+            5 => Event::RtxTimer {
+                node,
+                conn: ConnId((i % 3) as u32),
+                gen: i,
             },
             _ => Event::Wake {
                 node,

@@ -67,6 +67,17 @@ pub enum BlockedOn {
     Timer,
 }
 
+/// Retry/timeout budget carried by a timed send ([`Op::SendTimed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendRetry {
+    /// Absolute deadline for the current attempt; 0 = not yet armed.
+    pub deadline: Ns,
+    /// Retries still allowed after the current attempt times out.
+    pub left: u32,
+    /// Per-attempt timeout.
+    pub timeout_ns: Ns,
+}
+
 /// In-progress execution state of the current op (survives preemption and
 /// blocking).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +95,8 @@ pub enum OpState {
         conn: ConnId,
         /// Payload bytes still to hand to the socket.
         remaining: u64,
+        /// Timeout/retry budget when this is a timed send.
+        retry: Option<SendRetry>,
     },
     /// In `tcp_sendmsg`, CPU busy segmenting an accepted chunk; afterwards
     /// either loop back to reserving or finish the syscall.
@@ -92,6 +105,8 @@ pub enum OpState {
         conn: ConnId,
         /// Payload bytes that will still be unqueued when this chunk is done.
         remaining_after: u64,
+        /// Timeout/retry budget when this is a timed send.
+        retry: Option<SendRetry>,
     },
     /// In `sys_read`, waiting for data (blocked if none available).
     RecvWaiting {
@@ -154,6 +169,9 @@ pub struct Task {
     pub exited_ns: Ns,
     /// Probe to close when a [`OpState::KernelBusy`] chunk completes.
     pub pending_kernel_exit: Option<(EventId, Group)>,
+    /// Diagnostic recorded when the task aborted abnormally (e.g. a timed
+    /// send exhausted its retry budget); `None` on clean exit.
+    pub last_error: Option<String>,
 }
 
 impl std::fmt::Debug for Task {
@@ -197,6 +215,7 @@ impl Task {
             created_ns: now,
             exited_ns: 0,
             pending_kernel_exit: None,
+            last_error: None,
         }
     }
 

@@ -1,0 +1,251 @@
+//! Fault-injection integration tests: link faults repaired by
+//! retransmission, node degradation (slowdown, CPU offlining, IRQ storms),
+//! and timed-send aborts — each observable through KTAU's own views.
+
+use ktau_core::time::NS_PER_SEC;
+use ktau_net::{FaultPlan, FaultSpec};
+use ktau_oskern::{
+    probe_names, Cluster, ClusterSpec, DegradeSpec, IrqStormSpec, NoiseSpec, Op, OpList, TaskSpec,
+    TaskState,
+};
+
+fn quiet(n: usize) -> ClusterSpec {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    s
+}
+
+/// One second of compute on a 450 MHz Chiba CPU.
+const ONE_SECOND_CYCLES: u64 = 450_000_000;
+
+#[test]
+fn lossy_link_delivers_everything_via_retransmission() {
+    let mut spec = quiet(2);
+    spec.fault_plan = FaultPlan::flaky_node(
+        0xD0_5EED,
+        1,
+        FaultSpec {
+            drop_prob: 0.2,
+            dup_prob: 0.1,
+            delay_prob: 0.1,
+            delay_ns: 100_000,
+            onset_ns: 0,
+            rto_ns: 2_000_000,
+        },
+    );
+    let mut c = Cluster::new(spec);
+    let conn = c.open_conn(0, 1);
+    let bytes = 200_000u64;
+    c.spawn(
+        0,
+        TaskSpec::app("s", Box::new(OpList::new(vec![Op::Send { conn, bytes }]))),
+    );
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes }]))),
+    );
+    // The receiver finishing proves every dropped segment was repaired and
+    // the stream reassembled in order.
+    let end = c.run_until_apps_exit(60 * NS_PER_SEC);
+    assert!(end > 0);
+    assert!(
+        c.total_retransmits() > 0,
+        "a 20% drop rate produced no retransmissions"
+    );
+    // The repair mechanism must be visible through KTAU: the sender node's
+    // kernel-wide view shows the new instrumentation point firing.
+    let snap = c.node(0).kernel_wide_snapshot(c.now());
+    let timer = snap
+        .kernel_event(probe_names::TCP_RETRANSMIT_TIMER)
+        .expect("tcp_retransmit_timer missing from kernel-wide view");
+    assert!(timer.stats.count > 0);
+    assert!(timer.stats.incl_ns > 0);
+}
+
+#[test]
+fn cpu_slowdown_stretches_execution() {
+    let run = |faults: Vec<(u32, DegradeSpec)>| {
+        let mut spec = quiet(1);
+        spec.node_faults = faults;
+        let mut c = Cluster::new(spec);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                "burn",
+                Box::new(OpList::new(vec![Op::Compute(ONE_SECOND_CYCLES)])),
+            ),
+        );
+        c.run_until_apps_exit(60 * NS_PER_SEC)
+    };
+    let healthy = run(Vec::new());
+    let degraded = run(vec![(
+        0,
+        DegradeSpec {
+            slowdown_pct: 200,
+            ..Default::default()
+        },
+    )]);
+    // 200% duration means the burn takes about twice as long.
+    assert!(
+        degraded > healthy + 8 * healthy / 10,
+        "slowdown had no effect: healthy {healthy} ns, degraded {degraded} ns"
+    );
+}
+
+#[test]
+fn late_onset_slowdown_only_bites_after_onset() {
+    let run = |onset| {
+        let mut spec = quiet(1);
+        spec.node_faults = vec![(
+            0,
+            DegradeSpec {
+                slowdown_pct: 300,
+                slowdown_onset_ns: onset,
+                ..Default::default()
+            },
+        )];
+        let mut c = Cluster::new(spec);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                "burn",
+                Box::new(OpList::new(vec![Op::Compute(ONE_SECOND_CYCLES)])),
+            ),
+        );
+        c.run_until_apps_exit(60 * NS_PER_SEC)
+    };
+    let early = run(0);
+    let late = run(30 * NS_PER_SEC); // after the workload is done
+    assert!(
+        early > late + NS_PER_SEC,
+        "onset gating broken: early-onset {early} ns, late-onset {late} ns"
+    );
+}
+
+#[test]
+fn late_onset_cpu_offline_breaks_pinning_but_completes() {
+    let mut spec = quiet(1);
+    spec.node_faults = vec![(
+        0,
+        DegradeSpec {
+            offline_cpu_at_ns: Some(NS_PER_SEC / 10),
+            ..Default::default()
+        },
+    )];
+    let mut c = Cluster::new(spec);
+    // Pinned to the CPU that will disappear 100 ms in: the kernel must
+    // migrate it to CPU 0 (as Linux breaks affinity on hotplug removal)
+    // instead of stranding it.
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "pinned",
+            Box::new(OpList::new(vec![Op::Compute(ONE_SECOND_CYCLES)])),
+        )
+        .pinned(1),
+    );
+    let end = c.run_until_apps_exit(60 * NS_PER_SEC);
+    assert!(end > 0);
+    assert_eq!(c.node(0).online, 1, "CPU was not taken offline");
+    let t = c.node(0).task(pid).unwrap();
+    assert_eq!(t.state, TaskState::Dead);
+    assert_eq!(t.exited_ns, end);
+}
+
+#[test]
+fn irq_storm_surfaces_in_kernel_wide_view() {
+    let run = |storm: Option<IrqStormSpec>| {
+        let mut spec = quiet(1);
+        if let Some(s) = storm {
+            spec.node_faults = vec![(
+                0,
+                DegradeSpec {
+                    irq_storm: Some(s),
+                    ..Default::default()
+                },
+            )];
+        }
+        let mut c = Cluster::new(spec);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                "burn",
+                Box::new(OpList::new(vec![Op::Compute(2 * ONE_SECOND_CYCLES)])),
+            ),
+        );
+        c.run_until_apps_exit(60 * NS_PER_SEC);
+        let snap = c.node(0).kernel_wide_snapshot(c.now());
+        snap.kernel_event(probe_names::DO_IRQ)
+            .map(|r| r.stats.count)
+            .unwrap_or(0)
+    };
+    let calm = run(None);
+    let stormy = run(Some(IrqStormSpec {
+        start_ns: 0,
+        end_ns: NS_PER_SEC,
+        irqs_per_tick: 5,
+    }));
+    // HZ=100 for one second at 5 spurious IRQs per tick ≈ 500 extra do_IRQs.
+    assert!(
+        stormy >= calm + 400,
+        "storm invisible in kernel-wide view: calm {calm}, stormy {stormy}"
+    );
+}
+
+#[test]
+fn timed_send_exhausting_retries_aborts_with_diagnostic() {
+    let mut spec = quiet(2);
+    // A 4 KiB sndbuf drains one segment per ~123 µs of NIC serialization,
+    // so a 50 µs per-attempt timeout always expires first.
+    spec.sndbuf_bytes = 4 * 1024;
+    let mut c = Cluster::new(spec);
+    let conn = c.open_conn(0, 1);
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::SendTimed {
+                conn,
+                bytes: 100_000,
+                timeout_ns: 50_000,
+                max_retries: 1,
+            }])),
+        ),
+    );
+    let end = c.run_until_apps_exit(60 * NS_PER_SEC);
+    assert!(end > 0);
+    let t = c.node(0).task(pid).unwrap();
+    assert_eq!(t.state, TaskState::Dead);
+    assert_eq!(t.counters.send_timeouts, 1);
+    let err = t.last_error.as_deref().expect("no abort diagnostic");
+    assert!(err.contains("retry budget"), "{err}");
+    assert!(err.contains("sndbuf"), "{err}");
+}
+
+#[test]
+fn timed_send_with_ample_budget_behaves_like_plain_send() {
+    let mut c = Cluster::new(quiet(2));
+    let conn = c.open_conn(0, 1);
+    let bytes = 300_000u64;
+    let pid = c.spawn(
+        0,
+        TaskSpec::app(
+            "s",
+            Box::new(OpList::new(vec![Op::SendTimed {
+                conn,
+                bytes,
+                timeout_ns: NS_PER_SEC,
+                max_retries: 3,
+            }])),
+        ),
+    );
+    c.spawn(
+        1,
+        TaskSpec::app("r", Box::new(OpList::new(vec![Op::Recv { conn, bytes }]))),
+    );
+    let end = c.run_until_apps_exit(60 * NS_PER_SEC);
+    assert!(end > 0);
+    let t = c.node(0).task(pid).unwrap();
+    assert_eq!(t.counters.send_timeouts, 0);
+    assert!(t.last_error.is_none());
+}
