@@ -32,6 +32,7 @@ fn run(k: &Knobs, packed: bool) -> f64 {
     let mut spec = ClusterSpec::chiba(nodes);
     spec.noise = NoiseSpec::silent();
     for n in &mut spec.nodes {
+        let n = std::sync::Arc::make_mut(n);
         if !k.smp_dilation {
             n.smp_compute_dilation_pct = 100;
         }

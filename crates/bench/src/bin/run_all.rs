@@ -3,11 +3,13 @@
 //! threads (`--jobs N` / `KTAU_JOBS`, default: available cores); results are
 //! printed and cached in a fixed order, byte-identical to a serial run.
 use ktau_bench::{jobs, prefetch, Config, Experiment};
+use serde_json::Value;
 use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
     let j = jobs();
+    let cold = std::env::var_os("KTAU_RERUN").is_some();
     let mut exps: Vec<Experiment> = Config::TABLE2.iter().map(|&c| Experiment::Lu(c)).collect();
     exps.extend(Config::TABLE2.iter().map(|&c| Experiment::Sweep(c)));
     exps.push(Experiment::Sweep(Config::C128x1PinIrqCpu1));
@@ -25,5 +27,37 @@ fn main() {
             t0.elapsed().as_secs_f64()
         );
     }
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "[run_all] jobs={j} wall={wall:.3}s experiments={} cold={cold}",
+        exps.len()
+    );
+    record_timing(j, wall, exps.len(), cold);
     println!("cache populated under results/");
+}
+
+/// Merges this run's `--jobs` timing into `BENCH_engine.json` (without
+/// disturbing the engine numbers `perf_smoke` wrote there) so engine and
+/// harness throughput live in one benchmark artifact.
+fn record_timing(jobs: usize, wall_s: f64, experiments: usize, cold: bool) {
+    let path = "BENCH_engine.json";
+    let mut root = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        .unwrap_or(Value::Obj(Vec::new()));
+    let timing = Value::Obj(vec![
+        ("jobs".to_owned(), Value::U64(jobs as u64)),
+        ("experiments".to_owned(), Value::U64(experiments as u64)),
+        ("wall_s".to_owned(), Value::F64(wall_s)),
+        ("cold".to_owned(), Value::Bool(cold)),
+    ]);
+    if let Value::Obj(fields) = &mut root {
+        match fields.iter_mut().find(|(k, _)| k == "run_all_jobs_timing") {
+            Some((_, v)) => *v = timing,
+            None => fields.push(("run_all_jobs_timing".to_owned(), timing)),
+        }
+        if let Ok(s) = serde_json::to_string_pretty(&root) {
+            let _ = std::fs::write(path, s);
+        }
+    }
 }

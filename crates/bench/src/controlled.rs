@@ -94,7 +94,7 @@ pub struct ControlledC {
 /// Runs the Fig 2-C experiment on a neutron-like 4-way SMP.
 pub fn run_fig2_c() -> ControlledC {
     let mut spec = ClusterSpec::chiba(1);
-    spec.nodes = vec![NodeSpec::neutron("neutron")];
+    spec.nodes = vec![std::sync::Arc::new(NodeSpec::neutron("neutron"))];
     let mut cluster = Cluster::new(spec);
     // The cycle stealer: pinned to CPU 0, periodically burns the CPU.
     let freq = cluster.node(0).freq.mhz();

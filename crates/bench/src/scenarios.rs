@@ -7,6 +7,7 @@ use ktau_core::Group;
 use ktau_mpi::{launch, Layout};
 use ktau_oskern::{Cluster, ClusterSpec, IrqPolicy};
 use ktau_workloads::{LuParams, SweepParams};
+use serde_json::Value;
 use std::path::{Path, PathBuf};
 
 /// The anomalous Chiba node index: ranks 61 and 125 of a 128-rank cyclic
@@ -60,13 +61,14 @@ impl Config {
             Config::C128x1PinIrqCpu1 => {
                 let mut spec = ClusterSpec::chiba(128);
                 for n in &mut spec.nodes {
-                    n.irq = IrqPolicy::PinnedTo(1);
+                    std::sync::Arc::make_mut(n).irq = IrqPolicy::PinnedTo(1);
                 }
                 (spec, Layout::one_per_node(128).pinned_to(1))
             }
             Config::C64x2Anomaly => {
                 let mut spec = ClusterSpec::chiba(64);
-                spec.nodes[ANOMALY_NODE as usize].detected_cpus = Some(1);
+                std::sync::Arc::make_mut(&mut spec.nodes[ANOMALY_NODE as usize]).detected_cpus =
+                    Some(1);
                 (spec, Layout::cyclic(64, 128))
             }
             Config::C64x2 => (ClusterSpec::chiba(64), Layout::cyclic(64, 128)),
@@ -74,7 +76,7 @@ impl Config {
             Config::C64x2PinIbal => {
                 let mut spec = ClusterSpec::chiba(64);
                 for n in &mut spec.nodes {
-                    n.irq = IrqPolicy::Balanced;
+                    std::sync::Arc::make_mut(n).irq = IrqPolicy::Balanced;
                 }
                 (spec, Layout::cyclic(64, 128).pinned(64))
             }
@@ -200,16 +202,105 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// Bumped whenever a simulation-engine change can alter run results.  Part
+/// of every cache input hash, so stale records recompute automatically
+/// after an engine change instead of silently serving old numbers.
+pub const ENGINE_VERSION: u32 = 3;
+
+/// FNV-1a 64 over the `Debug` rendering of every simulation input that can
+/// influence a run record: cluster spec (nodes, scheduler params, fault
+/// plan, instrumentation control), rank layout, workload parameters, and
+/// [`ENGINE_VERSION`].  `Debug` is the content here — all spec types are
+/// plain data with derived `Debug`, so any field change changes the hash.
+pub fn input_hash(spec: &ClusterSpec, layout: &Layout, params: &dyn std::fmt::Debug) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |s: String| {
+        for b in s.into_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(format!("v{ENGINE_VERSION}"));
+    eat(format!("{spec:?}"));
+    eat(format!("{layout:?}"));
+    eat(format!("{params:?}"));
+    h
+}
+
+/// The content-addressed manifest mapping record key -> input hash, held
+/// under a process-wide lock because `run_all` computes records from
+/// worker threads.  Loaded lazily from `results/cache_manifest.json`.
+fn with_manifest<R>(f: impl FnOnce(&mut Vec<(String, Value)>) -> R) -> R {
+    use std::sync::{Mutex, OnceLock};
+    type Manifest = Vec<(String, Value)>;
+    static MANIFEST: OnceLock<Mutex<Option<Manifest>>> = OnceLock::new();
+    let m = MANIFEST.get_or_init(|| Mutex::new(None));
+    let mut guard = m.lock().unwrap();
+    let entries = guard.get_or_insert_with(|| {
+        let path = results_dir().join("cache_manifest.json");
+        match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        {
+            Some(Value::Obj(fields)) => fields,
+            _ => Vec::new(),
+        }
+    });
+    f(entries)
+}
+
+fn manifest_lookup(key: &str) -> Option<String> {
+    with_manifest(|m| {
+        m.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+    })
+}
+
+fn manifest_store(key: &str, hash: &str) {
+    with_manifest(|m| {
+        match m.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = Value::Str(hash.to_owned()),
+            None => {
+                m.push((key.to_owned(), Value::Str(hash.to_owned())));
+                m.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            if let Ok(s) = serde_json::to_string_pretty(&Value::Obj(m.clone())) {
+                let _ = std::fs::write(dir.join("cache_manifest.json"), s);
+            }
+        }
+    })
+}
+
 /// Loads a cached record, or computes and caches it.  `KTAU_RERUN=1`
-/// forces recomputation.
-pub fn cached(key: &str, compute: impl FnOnce() -> RunRecord) -> RunRecord {
+/// forces recomputation.  When `hash` is `Some`, the cache is
+/// content-addressed: a record is served only if the manifest's recorded
+/// input hash matches, so editing a cluster spec, fault plan, workload, or
+/// the engine itself invalidates exactly the affected runs.
+pub fn cached_hashed(
+    key: &str,
+    hash: Option<u64>,
+    compute: impl FnOnce() -> RunRecord,
+) -> RunRecord {
     let dir = results_dir();
     let path = dir.join(format!("{key}.json"));
+    let hex = hash.map(|h| format!("{h:016x}"));
     let rerun = std::env::var_os("KTAU_RERUN").is_some();
-    if !rerun {
+    let hash_ok = match &hex {
+        Some(hex) => manifest_lookup(key).as_deref() == Some(hex.as_str()),
+        None => true,
+    };
+    if !rerun && hash_ok {
         if let Some(rec) = load_record(&path) {
             return rec;
         }
+    }
+    if !rerun && !hash_ok && path.exists() {
+        eprintln!("[cache] {key}: inputs changed, recomputing");
     }
     let rec = compute();
     if std::fs::create_dir_all(&dir).is_ok() {
@@ -217,7 +308,15 @@ pub fn cached(key: &str, compute: impl FnOnce() -> RunRecord) -> RunRecord {
             let _ = std::fs::write(&path, s);
         }
     }
+    if let Some(hex) = &hex {
+        manifest_store(key, hex);
+    }
     rec
+}
+
+/// [`cached_hashed`] without content addressing (presence-only caching).
+pub fn cached(key: &str, compute: impl FnOnce() -> RunRecord) -> RunRecord {
+    cached_hashed(key, None, compute)
 }
 
 fn load_record(path: &Path) -> Option<RunRecord> {
@@ -228,18 +327,24 @@ fn load_record(path: &Path) -> Option<RunRecord> {
 /// Cached LU run for a config at paper scale.
 pub fn lu_record(cfg: Config) -> RunRecord {
     let key = format!("lu_{}", cfg.label().replace([' ', ','], "_"));
-    cached(&key, || {
+    let (spec, layout) = cfg.cluster_and_layout();
+    let params = LuParams::class_c_128();
+    let hash = input_hash(&spec, &layout, &params);
+    cached_hashed(&key, Some(hash), || {
         eprintln!("[run] LU {} (cache miss, simulating…)", cfg.label());
-        run_lu(cfg, LuParams::class_c_128())
+        run_lu(cfg, params)
     })
 }
 
 /// Cached Sweep3D run for a config at paper scale.
 pub fn sweep_record(cfg: Config) -> RunRecord {
     let key = format!("sweep_{}", cfg.label().replace([' ', ','], "_"));
-    cached(&key, || {
+    let (spec, layout) = cfg.cluster_and_layout();
+    let params = SweepParams::paper_128();
+    let hash = input_hash(&spec, &layout, &params);
+    cached_hashed(&key, Some(hash), || {
         eprintln!("[run] Sweep3D {} (cache miss, simulating…)", cfg.label());
-        run_sweep(cfg, SweepParams::paper_128())
+        run_sweep(cfg, params)
     })
 }
 

@@ -61,6 +61,15 @@ impl MergedTable {
         &mut row[c]
     }
 
+    /// Adds `n` activations of `ns_each` nanoseconds to one cell in closed
+    /// form (dynticks tick folding).
+    #[inline]
+    pub fn add_n(&mut self, key: MergedKey, ns_each: Ns, n: u64) {
+        let cell = self.cell_mut(key);
+        cell.count += n;
+        cell.ns += ns_each * n;
+    }
+
     /// The cell for `key`, if it was ever recorded.
     pub fn get(&self, key: MergedKey) -> Option<&MergedStats> {
         self.rows
@@ -185,15 +194,29 @@ impl TaskMeasurement {
 pub struct ProbeCost(pub Cycles);
 
 /// The measurement engine for one kernel instance.
+///
+/// The control state is held behind an [`std::sync::Arc`] so a cluster of
+/// identically-configured kernels shares one allocation instead of cloning
+/// the control per node; a runtime control write (`/proc/ktau`) copies-on-
+/// write via [`std::sync::Arc::make_mut`], detaching only the written node.
 #[derive(Debug, Clone)]
 pub struct ProbeEngine {
-    control: InstrumentationControl,
+    control: std::sync::Arc<InstrumentationControl>,
     overhead: OverheadModel,
 }
 
 impl ProbeEngine {
     /// Builds an engine from a control configuration and overhead model.
     pub fn new(control: InstrumentationControl, overhead: OverheadModel) -> Self {
+        Self::new_shared(std::sync::Arc::new(control), overhead)
+    }
+
+    /// Builds an engine sharing an existing control allocation (one per
+    /// cluster rather than one per node).
+    pub fn new_shared(
+        control: std::sync::Arc<InstrumentationControl>,
+        overhead: OverheadModel,
+    ) -> Self {
         ProbeEngine { control, overhead }
     }
 
@@ -207,9 +230,35 @@ impl ProbeEngine {
         &self.control
     }
 
-    /// Mutable control state for runtime enable/disable.
+    /// Mutable control state for runtime enable/disable.  Copy-on-write:
+    /// a node that shares the cluster-wide control detaches its own copy
+    /// the first time it is written.
     pub fn control_mut(&mut self) -> &mut InstrumentationControl {
-        &mut self.control
+        std::sync::Arc::make_mut(&mut self.control)
+    }
+
+    /// Cycle cost of one entry probe for `group`'s current status, for an
+    /// untraced task.  This is exactly what [`ProbeEngine::kernel_entry`]
+    /// charges when `m.trace.is_none()`; the dynticks fold uses it to price
+    /// skipped tick probes without touching measurement state.
+    #[inline]
+    pub fn entry_cost(&self, group: Group) -> Cycles {
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => 0,
+            ProbeStatus::Disabled => self.overhead.disabled_check_cycles,
+            ProbeStatus::Enabled => self.overhead.start_cycles,
+        }
+    }
+
+    /// Cycle cost of one exit probe for `group`'s current status, for an
+    /// untraced task (see [`ProbeEngine::entry_cost`]).
+    #[inline]
+    pub fn exit_cost(&self, group: Group) -> Cycles {
+        match self.control.status(group) {
+            ProbeStatus::CompiledOut => 0,
+            ProbeStatus::Disabled => self.overhead.disabled_check_cycles,
+            ProbeStatus::Enabled => self.overhead.stop_cycles,
+        }
     }
 
     /// The overhead model in force.
@@ -346,6 +395,86 @@ impl ProbeEngine {
                 ProbeCost(self.overhead.start_cycles + self.overhead.stop_cycles + t)
             }
         }
+    }
+
+    /// Folds `n` identical timer-interrupt probe quadruples — outer entry
+    /// and inner entry at some time `t`, inner exit and outer exit at
+    /// `t + d` — into the measurement state in closed form, and returns the
+    /// probe cost in cycles of ONE quadruple (every fold member costs the
+    /// same).  This is the batch form of
+    /// `kernel_entry(outer); kernel_entry(inner); kernel_exit(inner);
+    /// kernel_exit(outer)` repeated `n` times, valid when:
+    ///
+    /// - the task has no trace buffer (record timestamps would differ),
+    /// - neither event is already on the activation stack (no recursion),
+    /// - the activation stack does not change between the folds (the
+    ///   dynticks engine guarantees this: only event handlers mutate it).
+    ///
+    /// Handles every per-group control combination: a `Disabled` or
+    /// `CompiledOut` half drops out of the recording exactly as the scalar
+    /// path would, while still paying its per-call probe cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel_pair_batch(
+        &self,
+        m: &mut TaskMeasurement,
+        outer: EventId,
+        outer_group: Group,
+        inner: EventId,
+        inner_group: Group,
+        d: Ns,
+        n: u64,
+    ) -> ProbeCost {
+        debug_assert!(m.trace.is_none(), "pair batch on a traced task");
+        let per_call = |st: ProbeStatus, start: bool| match st {
+            ProbeStatus::CompiledOut => 0,
+            ProbeStatus::Disabled => self.overhead.disabled_check_cycles,
+            ProbeStatus::Enabled => {
+                if start {
+                    self.overhead.start_cycles
+                } else {
+                    self.overhead.stop_cycles
+                }
+            }
+        };
+        let so = self.control.status(outer_group);
+        let si = self.control.status(inner_group);
+        let cost =
+            per_call(so, true) + per_call(si, true) + per_call(si, false) + per_call(so, false);
+        if n == 0 {
+            return ProbeCost(cost);
+        }
+        let outer_on = so == ProbeStatus::Enabled;
+        let inner_on = si == ProbeStatus::Enabled;
+        let user = m.user.top();
+        match (outer_on, inner_on) {
+            (true, true) => {
+                // Inner nests in outer: inner keeps its full time exclusive,
+                // outer's exclusive time is carved down to zero.
+                m.kernel.record_repeat(inner, d, d, n);
+                m.merged.add_n((user, inner), d, n);
+                m.kernel.record_repeat(outer, d, 0, n);
+                m.merged.add_n((user, outer), d, n);
+            }
+            (true, false) => {
+                m.kernel.record_repeat(outer, d, d, n);
+                m.merged.add_n((user, outer), d, n);
+            }
+            (false, true) => {
+                m.kernel.record_repeat(inner, d, d, n);
+                m.merged.add_n((user, inner), d, n);
+            }
+            (false, false) => return ProbeCost(cost),
+        }
+        // The quadruple's outermost completed activation spans `d`: when the
+        // task is outside any live kernel activation that is wall time under
+        // the active user routine, otherwise it is child time of the
+        // enclosing activation (e.g. the open syscall the tick interrupted).
+        if m.kernel.depth() == 0 {
+            m.wall.add(user, d * n);
+        } else {
+            m.kernel.credit_child_time(d * n);
+        }
+        ProbeCost(cost)
     }
 
     /// User-level (TAU) entry probe.  Controlled by the `User`/`Mpi` groups

@@ -290,6 +290,46 @@ impl Profile {
         self.atomics[event.index()].record(value);
     }
 
+    /// Records `n` identical completed non-recursive activations of `event`
+    /// in closed form: each with inclusive time `incl` and exclusive time
+    /// `excl`, none touching the activation stack.  Equivalent to `n`
+    /// start/stop pairs of a leaf (or fixed-shape) activation that is not
+    /// already active — the dynticks engine uses this to fold coalesced
+    /// timer interrupts without replaying them one by one.
+    pub fn record_repeat(&mut self, event: EventId, incl: Ns, excl: Ns, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.ensure_entry(event);
+        debug_assert_eq!(
+            self.active[event.index()],
+            0,
+            "record_repeat on an active event would mis-handle recursion"
+        );
+        let s = &mut self.entries[event.index()];
+        let first = s.count == 0;
+        s.count += n;
+        s.excl_ns += excl * n;
+        s.incl_ns += incl * n;
+        if first || incl < s.min_incl_ns {
+            s.min_incl_ns = incl;
+        }
+        if incl > s.max_incl_ns {
+            s.max_incl_ns = incl;
+        }
+    }
+
+    /// Credits `ns` of completed-child inclusive time to the current stack
+    /// top, exactly as `stop` does for a popped child.  No-op when the stack
+    /// is empty.  Used together with [`Profile::record_repeat`] to fold
+    /// activations that completed while an enclosing activation (e.g. a
+    /// long-running syscall) stays open.
+    pub fn credit_child_time(&mut self, ns: Ns) {
+        if let Some(top) = self.stack.last_mut() {
+            top.child_ns += ns;
+        }
+    }
+
     /// Adds externally-computed entry/exit statistics (used by the scheduler,
     /// which measures switched-out intervals rather than nested activations).
     pub fn add_interval(&mut self, event: EventId, duration: Ns) {

@@ -198,7 +198,12 @@ impl DegradeSpec {
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Per-node specs.
-    pub nodes: Vec<NodeSpec>,
+    /// Shared per-node specs: `Cluster::boot` hands each [`Node`] an `Arc`
+    /// of its spec instead of a deep clone (the name `String` made that a
+    /// per-node allocation on every boot — material for the equivalence
+    /// suites that boot hundreds of clusters).  Mutate with
+    /// `Arc::make_mut`, which copy-on-writes only the touched entry.
+    pub nodes: Vec<std::sync::Arc<NodeSpec>>,
     /// One-way fabric latency.
     pub fabric_latency_ns: Ns,
     /// NIC line rate in bits per second.
@@ -236,7 +241,9 @@ impl ClusterSpec {
     /// A homogeneous Chiba-like cluster of `n` dual-CPU nodes.
     pub fn chiba(n: usize) -> Self {
         ClusterSpec {
-            nodes: (0..n).map(|i| NodeSpec::chiba(format!("ccn{i}"))).collect(),
+            nodes: (0..n)
+                .map(|i| std::sync::Arc::new(NodeSpec::chiba(format!("ccn{i}"))))
+                .collect(),
             fabric_latency_ns: 60_000,
             nic_bits_per_sec: 100_000_000,
             sndbuf_bytes: 128 * 1024,

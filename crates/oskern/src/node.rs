@@ -76,6 +76,11 @@ struct TxState {
     waiting_writer: Option<Pid>,
     /// Retransmission machinery, when the link has a fault injector.
     fault: Option<TxFault>,
+    /// Dynticks engine: NIC-serialization completions (`TxDone` in the
+    /// per-tick engines) booked as `(completion time, payload)` instead of
+    /// scheduled as events.  Entries are time-ordered (NIC serialization is
+    /// FIFO) and applied lazily before every sndbuf reservation.
+    pending_release: VecDeque<(Ns, u32)>,
 }
 
 struct RxState {
@@ -140,7 +145,7 @@ pub struct Node {
     /// Host name.
     pub name: String,
     /// Static spec.
-    pub spec: NodeSpec,
+    pub spec: std::sync::Arc<NodeSpec>,
     /// CPUs the OS detected and uses.
     pub online: u8,
     /// CPU clock.
@@ -173,6 +178,37 @@ pub struct Node {
     pub(crate) degrade: Option<DegradeSpec>,
     /// The late-onset CPU removal already happened.
     offline_done: bool,
+    /// Dynticks (NO_HZ-style) engine enabled: coalescible ticks park in
+    /// `parked_tick` and `TxDone` bookkeeping folds into release ledgers.
+    pub(crate) dynticks: bool,
+    /// Per-CPU parked tick lane: the next tick's fire time while the lane is
+    /// parked out of the event queue (`None` = armed normally or offlined).
+    parked_tick: Vec<Option<Ns>>,
+    /// Monotonic scheduler-state generation: bumped whenever the inputs to
+    /// `tick_coalescible` change (runqueues, per-CPU `current`, affinities,
+    /// the online count).  Parked lanes cache the generation at which they
+    /// were last judged coalescible so the runqueue-scanning predicate is
+    /// skipped on the per-event fast path when nothing relevant moved.
+    pub(crate) sched_gen: u64,
+    /// Per-lane `sched_gen` at which the parked lane was last judged
+    /// coalescible (only meaningful while the lane is parked).
+    parked_gen: Vec<u64>,
+    /// Push point of each parked lane's next tick: the simulated time at
+    /// which the reference engine pushed that tick (one period before it
+    /// fires for re-armed ticks; 0 for the boot arming).  Replayed into
+    /// same-nanosecond tie-breaks and onto re-pushes so parked ticks keep
+    /// their exact reference rank.
+    parked_point: Vec<Ns>,
+    /// `sched_gen` at the last `arm_uncoalescible` scan: when unchanged, no
+    /// parked lane's verdict can have moved, so the per-event scan skips.
+    armed_gen: u64,
+    /// Earliest fire time across parked lanes (`u64::MAX` when none are
+    /// parked): a one-compare fast path for `settle_parked`.
+    parked_min: Ns,
+    /// Ticks whose handler effect was folded analytically.
+    pub(crate) ticks_coalesced: u64,
+    /// `TxDone` events replaced by release-ledger entries.
+    pub(crate) txdone_elided: u64,
     /// Interned user-routine name → event id pairs.  The handful of distinct
     /// `&'static str` routine names makes a scanned list with a
     /// pointer-equality fast path cheaper than hashing the string per call.
@@ -233,7 +269,7 @@ impl Node {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn boot(
         id: u32,
-        spec: NodeSpec,
+        spec: std::sync::Arc<NodeSpec>,
         engine: ProbeEngine,
         sched: SchedParams,
         net_costs: NetCostModel,
@@ -267,6 +303,15 @@ impl Node {
             apps_exited: 0,
             degrade: None,
             offline_done: false,
+            dynticks: false,
+            parked_tick: vec![None; online as usize],
+            sched_gen: 1,
+            parked_gen: vec![0; online as usize],
+            parked_point: vec![0; online as usize],
+            armed_gen: 0,
+            parked_min: u64::MAX,
+            ticks_coalesced: 0,
+            txdone_elided: 0,
             user_events: Vec::new(),
             spec,
         };
@@ -454,6 +499,7 @@ impl Node {
         );
         self.tasks.insert(pid, task);
         let cpu = self.choose_wake_cpu(pid);
+        self.sched_gen += 1;
         self.runqueues[cpu as usize].push_back(pid);
         self.kick_if_idle(cpu, now, q, fabric);
         pid
@@ -526,6 +572,7 @@ impl Node {
             !self.cpus[ci].chunk_pending,
             "reschedule with chunk in flight"
         );
+        self.sched_gen += 1;
         let next = self.runqueues[ci].pop_front();
         match next {
             None => {
@@ -592,6 +639,7 @@ impl Node {
         t.out_reason = reason;
         t.out_since = now;
         t.cpu_ns += now.saturating_sub(self.cpus[ci].in_since);
+        self.sched_gen += 1;
         self.cpus[ci].current = None;
         self.cpus[ci].idle_since = now;
         pid
@@ -700,6 +748,10 @@ impl Node {
                         continue;
                     }
                     let accepted = {
+                        // Dynticks: apply NIC releases that matured at or
+                        // before `now` — exactly the `TxDone`s the reference
+                        // engine would have dispatched before this event.
+                        self.drain_releases(conn, now);
                         let st = self.tx_state_mut(conn).expect("send on unknown conn");
                         st.tx.reserve(remaining)
                     };
@@ -741,6 +793,20 @@ impl Node {
                             Some(_) => {}
                         }
                         self.tx_state_mut(conn).unwrap().waiting_writer = Some(pid);
+                        // Dynticks: no TxDone event will fire to wake this
+                        // writer, so arm one ReleaseWake at the first ledger
+                        // maturity (all entries are > now after the drain
+                        // above).  Its handler replays the elided TxDone.
+                        if self.dynticks {
+                            let node = self.id;
+                            let next = self
+                                .tx_state(conn)
+                                .and_then(|st| st.pending_release.front())
+                                .map(|&(t, _)| t);
+                            if let Some(t) = next {
+                                q.push(t, Event::ReleaseWake { node, conn });
+                            }
+                        }
                         self.block_current(cpu, BlockedOn::TxSpace(conn), now, q, fabric);
                         return;
                     }
@@ -1027,9 +1093,10 @@ impl Node {
     ) {
         let mut cost: Cycles = self.probe_enter(pid, self.probes.tcp_sendmsg, Group::Tcp, now);
         let link = fabric.link(conn);
-        let sizes: Vec<u32> = segment_sizes(accepted).collect();
         let mut first_faulted_at: Option<Ns> = None;
-        for payload in sizes {
+        // `segment_sizes` borrows nothing from `self`, so iterate it
+        // directly instead of collecting into a per-chunk Vec.
+        for payload in segment_sizes(accepted) {
             cost += self.net_costs.tcp_send_segment(payload);
             let t = now + self.c2n(cost);
             cost += self.probe_atomic(pid, self.probes.net_tx_bytes, Group::Tcp, payload as u64, t);
@@ -1048,14 +1115,25 @@ impl Node {
             };
             // TxDone fires even for segments the wire then eats: the NIC
             // finished serializing, so sndbuf space is legitimately free.
-            q.push(
-                depart,
-                Event::TxDone {
-                    node: self.id,
-                    conn,
-                    payload,
-                },
-            );
+            // Dynticks books the release in the conn's ledger instead of an
+            // event; it is applied before the next reservation on this conn,
+            // which is the only observer of the freed space.
+            if self.dynticks {
+                self.txdone_elided += 1;
+                self.tx_state_mut(conn)
+                    .unwrap()
+                    .pending_release
+                    .push_back((depart, payload));
+            } else {
+                q.push(
+                    depart,
+                    Event::TxDone {
+                        node: self.id,
+                        conn,
+                        payload,
+                    },
+                );
+            }
             let fate = match self.tx_state_mut(conn).unwrap().fault.as_mut() {
                 Some(f) => {
                     f.unacked.insert(seq, payload);
@@ -1547,6 +1625,48 @@ impl Node {
         }
     }
 
+    /// Applies every ledgered NIC release that matured at or before `now`
+    /// (dynticks replacement for dispatching the corresponding `TxDone`s).
+    fn drain_releases(&mut self, conn: ktau_net::ConnId, now: Ns) {
+        let Some(st) = self.tx_state_mut(conn) else {
+            return;
+        };
+        while let Some(&(t, payload)) = st.pending_release.front() {
+            if t > now {
+                break;
+            }
+            st.pending_release.pop_front();
+            st.tx.release(payload as u64);
+        }
+    }
+
+    /// Dynticks: a writer blocked on sndbuf space and the first elided
+    /// `TxDone` has matured.  Applies matured releases and wakes the writer
+    /// — the exact effect the reference engine's `TxDone` handler would
+    /// have had at this time.  Duplicate firings (the writer was woken by a
+    /// send timeout meanwhile and re-armed another one) are harmless: the
+    /// ledger drain is idempotent for a given `now` and the writer slot is
+    /// already empty.
+    pub(crate) fn on_release_wake(&mut self, conn: ktau_net::ConnId, now: Ns, q: &mut EventQueue) {
+        self.drain_releases(conn, now);
+        let node = self.id;
+        let Some(st) = self.tx_state_mut(conn) else {
+            return;
+        };
+        if st.tx.free() > 0 {
+            if let Some(w) = st.waiting_writer.take() {
+                q.push(now, Event::Wake { node, pid: w });
+            }
+        } else if st.waiting_writer.is_some() {
+            // Matured releases freed nothing (all were already applied by a
+            // racing drain): keep the writer covered by re-arming at the
+            // next maturity, if any remains.
+            if let Some(&(t, _)) = st.pending_release.front() {
+                q.push(t, Event::ReleaseWake { node, conn });
+            }
+        }
+    }
+
     /// Wake a blocked task (timer expiry, data arrival, sndbuf space).
     pub(crate) fn on_wake(&mut self, pid: Pid, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
         let t = match self.tasks.get_mut(pid) {
@@ -1560,6 +1680,7 @@ impl Node {
         t.blocked_on = None;
         t.counters.wakeups += 1;
         let cpu = self.choose_wake_cpu(pid);
+        self.sched_gen += 1;
         self.runqueues[cpu as usize].push_back(pid);
         self.kick_if_idle(cpu, now, q, fabric);
     }
@@ -1598,6 +1719,7 @@ impl Node {
     /// offlined CPUs.
     fn offline_highest_cpu(&mut self, now: Ns, q: &mut EventQueue, fabric: &Fabric) {
         self.offline_done = true;
+        self.sched_gen += 1;
         let lost = self.online - 1;
         let li = lost as usize;
         self.online -= 1;
@@ -1652,6 +1774,245 @@ impl Node {
         }
     }
 
+    /// Folds this node's externally-observable simulation state into a
+    /// running FNV-1a hash: per-task scheduler state, counters and full
+    /// measurement state (profiles, merged/wall tables, traces), plus
+    /// per-CPU idle/steal accounting.  Backs
+    /// [`crate::sim::Cluster::state_digest`].
+    pub(crate) fn digest_into(&self, h: &mut u64) {
+        use crate::sim::fnv;
+        fnv(h, self.id as u64);
+        fnv(h, self.online as u64);
+        for c in &self.cpus {
+            fnv(h, c.idle_ns);
+            fnv(h, c.steal_ns);
+        }
+        let mut buf = String::new();
+        for pid in self.tasks.pids() {
+            let t = &self.tasks[pid];
+            fnv(h, pid.0 as u64);
+            fnv(h, t.cpu_ns);
+            use std::fmt::Write;
+            buf.clear();
+            let _ = write!(
+                buf,
+                "{}|{:?}|{:?}|{:?}|{:?}",
+                t.comm, t.state, t.op, t.counters, t.meas
+            );
+            for b in buf.as_bytes() {
+                *h ^= *b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+
+    // -- dynticks (NO_HZ-style) tick coalescing ------------------------------
+
+    /// True when the next tick on `cpu` is *coalescible*: its entire handler
+    /// effect is a closed-form function of current state, so it can be folded
+    /// analytically instead of dispatched.  That holds unless
+    ///
+    /// - the node has a degradation spec (`maybe_degrade_tick` may offline a
+    ///   CPU or burst IRQs at tick boundaries),
+    /// - the task the tick would be attributed to has a trace buffer (trace
+    ///   records carry per-tick timestamps), or
+    /// - the CPU is idle and a tick could pull work from another runqueue
+    ///   (idle load balancing would reschedule, changing state
+    ///   non-analytically).
+    pub(crate) fn tick_coalescible(&self, cpu: u8) -> bool {
+        if !self.dynticks || self.degrade.is_some() {
+            return false;
+        }
+        let ci = cpu as usize;
+        match self.cpus[ci].current {
+            // Busy CPU: the tick only records probes, bumps the interrupt
+            // counter, and accumulates steal time — all foldable as long as
+            // the attributed task is untraced.
+            Some(pid) => self.tasks[pid].meas.trace.is_none(),
+            // Idle CPU: additionally require that idle balancing provably
+            // does nothing — own runqueue empty and no donor queue holds a
+            // task allowed on this CPU.
+            None => {
+                if !self.runqueues[ci].is_empty() {
+                    return false;
+                }
+                if self.tasks[self.cpus[ci].idle_pid].meas.trace.is_some() {
+                    return false;
+                }
+                let donor = (0..self.online as usize)
+                    .filter(|&o| o != ci)
+                    .max_by_key(|&o| self.runqueues[o].len());
+                match donor {
+                    Some(o) => !self.runqueues[o]
+                        .iter()
+                        .any(|p| self.tasks[p].allowed_on(cpu)),
+                    None => true,
+                }
+            }
+        }
+    }
+
+    /// Parks `cpu`'s tick lane: the next tick fires at `at` but lives here
+    /// instead of in the event queue until settled or re-armed.
+    pub(crate) fn park_tick(&mut self, cpu: u8, at: Ns, point: Ns) {
+        debug_assert!(self.parked_tick[cpu as usize].is_none(), "double park");
+        self.parked_tick[cpu as usize] = Some(at);
+        self.parked_gen[cpu as usize] = self.sched_gen;
+        self.parked_point[cpu as usize] = point;
+        self.parked_min = self.parked_min.min(at);
+    }
+
+    /// Number of currently parked tick lanes (diagnostics).
+    pub fn parked_lanes(&self) -> usize {
+        self.parked_tick.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Re-arms every parked lane as an ordinary queued tick (external
+    /// mutation is about to invalidate the parked-state assumptions).
+    pub(crate) fn unpark_all(&mut self, q: &mut EventQueue) {
+        let node = self.id;
+        for ci in 0..self.parked_tick.len() {
+            if let Some(t) = self.parked_tick[ci].take() {
+                q.push_at(
+                    t,
+                    Event::Tick {
+                        node,
+                        cpu: ci as u8,
+                    },
+                    self.parked_point[ci],
+                );
+            }
+        }
+        self.parked_min = u64::MAX;
+    }
+
+    /// Re-arms only the parked lanes that are no longer coalescible (called
+    /// after every handled event on this node).
+    pub(crate) fn arm_uncoalescible(&mut self, q: &mut EventQueue) {
+        if self.parked_min == u64::MAX || self.armed_gen == self.sched_gen {
+            return; // nothing parked, or nothing moved since the last scan
+        }
+        let node = self.id;
+        let mut min = u64::MAX;
+        for ci in 0..self.parked_tick.len() {
+            let Some(at) = self.parked_tick[ci] else {
+                continue;
+            };
+            // Scheduler state unchanged since this lane was last judged
+            // coalescible: the verdict still holds, skip the rq scan.
+            if self.parked_gen[ci] != self.sched_gen {
+                if self.tick_coalescible(ci as u8) {
+                    self.parked_gen[ci] = self.sched_gen;
+                } else {
+                    // Re-arm with the push point the reference engine gave
+                    // this tick, so it keeps its exact rank among
+                    // same-nanosecond events.
+                    self.parked_tick[ci] = None;
+                    q.push_at(
+                        at,
+                        Event::Tick {
+                            node,
+                            cpu: ci as u8,
+                        },
+                        self.parked_point[ci],
+                    );
+                    continue;
+                }
+            }
+            min = min.min(at);
+        }
+        self.parked_min = min;
+        self.armed_gen = self.sched_gen;
+    }
+
+    /// Folds every parked tick firing strictly before `horizon` in closed
+    /// form and advances the parked lanes past it.  Exact because parked
+    /// lanes were coalescible when parked and node state only changes
+    /// through this node's own events, each of which settles first.
+    ///
+    /// `tie_point` — the push point of the event about to be dispatched at
+    /// `horizon`, when there is one — extends the fold to a parked tick
+    /// firing *exactly at* `horizon`: the reference engine pushed that tick
+    /// at `horizon - tick_ns`, so under `(time, push-point, seq)` order it
+    /// dispatches before the event iff the event was pushed strictly later.
+    /// (A push-point tie would recurse into seq ranks the dynticks engine
+    /// does not materialize; the event wins then — see DESIGN.md.)
+    pub(crate) fn settle_parked(&mut self, horizon: Ns, tick_ns: Ns, tie_point: Option<Ns>) {
+        if self.parked_min > horizon || (self.parked_min == horizon && tie_point.is_none()) {
+            return; // no parked lane fires before (or ties with) the horizon
+        }
+        let mut min = u64::MAX;
+        for ci in 0..self.parked_tick.len() {
+            if let Some(first) = self.parked_tick[ci] {
+                // Grid points in [first, horizon), spaced tick_ns apart.
+                let mut k = if first < horizon {
+                    (horizon - 1 - first) / tick_ns + 1
+                } else {
+                    0
+                };
+                if let Some(p) = tie_point {
+                    if first + k * tick_ns == horizon {
+                        // The tick tying with the event: its reference push
+                        // point is the recorded one if it is the lane head,
+                        // else one period back (it was re-armed at the
+                        // previous grid point).
+                        let pt = if k == 0 {
+                            self.parked_point[ci]
+                        } else {
+                            horizon - tick_ns
+                        };
+                        if pt < p {
+                            k += 1;
+                        }
+                    }
+                }
+                if k > 0 {
+                    self.fold_ticks(ci as u8, k);
+                    self.parked_tick[ci] = Some(first + k * tick_ns);
+                    self.parked_point[ci] = first + k * tick_ns - tick_ns;
+                }
+                min = min.min(self.parked_tick[ci].unwrap());
+            }
+        }
+        self.parked_min = min;
+    }
+
+    /// Applies the effect of `k` consecutive coalescible ticks on `cpu`
+    /// analytically: per tick, the `do_irq`/`timer_interrupt` probe
+    /// quadruple spans `d = c2n(tick_cycles + entry costs)` nanoseconds,
+    /// the attributed task's interrupt counter bumps, and (busy CPUs only)
+    /// `c2n(total handler cost)` is stolen from the in-flight chunk —
+    /// rounded per tick, exactly as the dispatched handler rounds.
+    fn fold_ticks(&mut self, cpu: u8, k: u64) {
+        let ci = cpu as usize;
+        let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
+        let busy = self.cpus[ci].current.is_some();
+        let inner = self.sched.tick_cycles
+            + self.engine.entry_cost(Group::Irq)
+            + self.engine.entry_cost(Group::Timer);
+        let d = self.c2n(inner);
+        let total = inner + self.engine.exit_cost(Group::Timer) + self.engine.exit_cost(Group::Irq);
+        let steal_each = self.c2n(total);
+        let t = self
+            .tasks
+            .get_mut(attr_pid)
+            .expect("attributed task exists");
+        t.counters.interrupts += k;
+        self.engine.kernel_pair_batch(
+            &mut t.meas,
+            self.probes.do_irq,
+            Group::Irq,
+            self.probes.timer_interrupt,
+            Group::Timer,
+            d,
+            k,
+        );
+        if busy {
+            self.cpus[ci].steal_ns += k * steal_each;
+        }
+        self.ticks_coalesced += k;
+    }
+
     fn route_irq(&mut self) -> u8 {
         match self.spec.irq {
             IrqPolicy::AllToCpu0 => 0,
@@ -1687,6 +2048,7 @@ impl Node {
             tx: SocketTx::new(self.sndbuf_bytes),
             waiting_writer: None,
             fault,
+            pending_release: VecDeque::new(),
         });
     }
 

@@ -268,7 +268,7 @@ mod tests {
     fn cpuinfo_reflects_detected_cpus() {
         let mut spec = ClusterSpec::chiba(2);
         spec.noise = crate::config::NoiseSpec::silent();
-        spec.nodes[1].detected_cpus = Some(1);
+        std::sync::Arc::make_mut(&mut spec.nodes[1]).detected_cpus = Some(1);
         let c = Cluster::new(spec);
         assert_eq!(c.node(0).proc_cpuinfo().matches("processor").count(), 2);
         assert_eq!(c.node(1).proc_cpuinfo().matches("processor").count(), 1);

@@ -85,12 +85,42 @@ pub enum Event {
         /// Task to wake.
         pid: Pid,
     },
+    /// Dynticks engine only: a writer blocked on sndbuf space and the next
+    /// NIC-serialization completion (which the dynticks engine books in a
+    /// per-connection release ledger instead of a [`Event::TxDone`] per
+    /// segment) matures at this time.  The handler applies the matured
+    /// releases and wakes the writer — exactly what the elided `TxDone`
+    /// would have done.
+    ReleaseWake {
+        /// Source node.
+        node: u32,
+        /// Connection.
+        conn: ConnId,
+    },
+}
+
+impl Event {
+    /// The node an event is addressed to (every event targets exactly one).
+    #[inline]
+    pub fn node(&self) -> u32 {
+        match *self {
+            Event::Tick { node, .. }
+            | Event::CpuDone { node, .. }
+            | Event::SegArrive { node, .. }
+            | Event::TxDone { node, .. }
+            | Event::AckArrive { node, .. }
+            | Event::RtxTimer { node, .. }
+            | Event::Wake { node, .. }
+            | Event::ReleaseWake { node, .. } => node,
+        }
+    }
 }
 
 /// One armed per-CPU timer interrupt, kept out of the main heap.
 #[derive(Debug, Clone, Copy)]
 struct TickLane {
     time: Ns,
+    point: Ns,
     seq: u64,
     node: u32,
     cpu: u8,
@@ -108,9 +138,16 @@ struct TickLane {
 /// unit test below proves this against an all-heap queue).
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Ns, u64, Event)>>,
+    heap: BinaryHeap<Reverse<(Ns, Ns, u64, Event)>>,
     lanes: Vec<TickLane>,
     seq: u64,
+    /// Simulated time of the dispatch currently executing; every `push`
+    /// records it as the entry's *push point*.  Heap order is
+    /// `(time, point, seq)`, which is provably identical to `(time, seq)`
+    /// (dispatch time is monotone, so seq order implies point order) — the
+    /// point exists so the dynticks engine can replay reference tie-breaks
+    /// between a parked tick and an event firing at the same nanosecond.
+    now: Ns,
     /// When false, ticks share the main heap (reference mode for tests).
     use_lanes: bool,
 }
@@ -130,13 +167,23 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedules `ev` at absolute time `at`.
+    /// Schedules `ev` at absolute time `at`, stamped with the current
+    /// dispatch time as its push point.
     pub fn push(&mut self, at: Ns, ev: Event) {
+        self.push_at(at, ev, self.now);
+    }
+
+    /// Schedules `ev` at `at` with an explicit push `point`.  Used when the
+    /// dynticks engine re-arms a previously parked tick: the reference
+    /// engine pushed that tick one period before it fires, so the re-push
+    /// must carry that original point to keep same-time ordering exact.
+    pub fn push_at(&mut self, at: Ns, ev: Event, point: Ns) {
         self.seq += 1;
         if self.use_lanes {
             if let Event::Tick { node, cpu } = ev {
                 self.lane_insert(TickLane {
                     time: at,
+                    point,
                     seq: self.seq,
                     node,
                     cpu,
@@ -144,22 +191,33 @@ impl EventQueue {
                 return;
             }
         }
-        self.heap.push(Reverse((at, self.seq, ev)));
+        self.heap.push(Reverse((at, point, self.seq, ev)));
     }
 
-    /// Pops the earliest event under the global `(time, seq)` order.
+    /// Marks `at` as the dispatch time stamped onto subsequent pushes.
+    pub fn set_now(&mut self, at: Ns) {
+        self.now = at;
+    }
+
+    /// Pops the earliest event under the global `(time, point, seq)` order.
     pub fn pop(&mut self) -> Option<(Ns, Event)> {
+        self.pop_full().map(|(t, _, ev)| (t, ev))
+    }
+
+    /// Like [`pop`](Self::pop) but also returns the event's push point.
+    pub fn pop_full(&mut self) -> Option<(Ns, Ns, Event)> {
         if self.lane_wins() {
             let lane = self.lane_remove_root();
             Some((
                 lane.time,
+                lane.point,
                 Event::Tick {
                     node: lane.node,
                     cpu: lane.cpu,
                 },
             ))
         } else {
-            self.heap.pop().map(|Reverse((t, _, ev))| (t, ev))
+            self.heap.pop().map(|Reverse((t, p, _, ev))| (t, p, ev))
         }
     }
 
@@ -168,7 +226,7 @@ impl EventQueue {
         if self.lane_wins() {
             self.lanes.first().map(|l| l.time)
         } else {
-            self.heap.peek().map(|Reverse((t, _, _))| *t)
+            self.heap.peek().map(|Reverse((t, _, _, _))| *t)
         }
     }
 
@@ -176,7 +234,7 @@ impl EventQueue {
     /// main heap.
     fn lane_wins(&self) -> bool {
         match (self.lanes.first(), self.heap.peek()) {
-            (Some(l), Some(Reverse((ht, hs, _)))) => (l.time, l.seq) < (*ht, *hs),
+            (Some(l), Some(Reverse((ht, hp, hs, _)))) => (l.time, l.point, l.seq) < (*ht, *hp, *hs),
             (Some(_), None) => true,
             (None, _) => false,
         }
@@ -192,26 +250,30 @@ impl EventQueue {
         self.heap.is_empty() && self.lanes.is_empty()
     }
 
-    /// Pending event counts by kind, for diagnostics.
-    pub fn pending_summary(&self) -> String {
-        let mut tick = self.lanes.len();
-        let (mut cpu_done, mut seg, mut tx, mut ack, mut wake, mut rtx) = (0, 0, 0, 0, 0, 0);
-        for Reverse((_, _, ev)) in self.heap.iter() {
+    /// Pending event counts by kind, as a lazily-formatted value: counting
+    /// allocates nothing, and the counts only turn into text when something
+    /// actually `Display`s them (the deadlock-panic path).  The common
+    /// non-error path — embedding this in a report that is never printed —
+    /// stays free of per-event intermediate `String`s.
+    pub fn pending_summary(&self) -> PendingSummary {
+        let mut s = PendingSummary {
+            total: self.len(),
+            tick: self.lanes.len(),
+            ..PendingSummary::default()
+        };
+        for Reverse((_, _, _, ev)) in self.heap.iter() {
             match ev {
-                Event::Tick { .. } => tick += 1,
-                Event::CpuDone { .. } => cpu_done += 1,
-                Event::SegArrive { .. } => seg += 1,
-                Event::TxDone { .. } => tx += 1,
-                Event::AckArrive { .. } => ack += 1,
-                Event::Wake { .. } => wake += 1,
-                Event::RtxTimer { .. } => rtx += 1,
+                Event::Tick { .. } => s.tick += 1,
+                Event::CpuDone { .. } => s.cpu_done += 1,
+                Event::SegArrive { .. } => s.seg += 1,
+                Event::TxDone { .. } => s.tx += 1,
+                Event::AckArrive { .. } => s.ack += 1,
+                Event::Wake { .. } => s.wake += 1,
+                Event::RtxTimer { .. } => s.rtx += 1,
+                Event::ReleaseWake { .. } => s.release_wake += 1,
             }
         }
-        format!(
-            "{} pending: {tick} tick, {cpu_done} cpu_done, {seg} seg_arrive, \
-             {tx} tx_done, {ack} ack_arrive, {wake} wake, {rtx} rtx_timer",
-            self.len()
-        )
+        s
     }
 
     // -- tick-lane min-heap (keyed by `(time, seq)`) -------------------------
@@ -258,6 +320,59 @@ fn lane_key(l: &TickLane) -> (Ns, u64) {
     (l.time, l.seq)
 }
 
+/// Folds one 64-bit word into a running FNV-1a hash (used by
+/// [`Cluster::state_digest`] and the per-node digest helpers).
+#[inline]
+pub(crate) fn fnv(h: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Event-kind census of a queue, produced by
+/// [`EventQueue::pending_summary`]; formats on demand only.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSummary {
+    /// Total pending events (armed ticks included).
+    pub total: usize,
+    /// Armed timer ticks.
+    pub tick: usize,
+    /// Pending chunk completions.
+    pub cpu_done: usize,
+    /// Pending segment arrivals.
+    pub seg: usize,
+    /// Pending NIC-serialization completions.
+    pub tx: usize,
+    /// Pending ACK arrivals.
+    pub ack: usize,
+    /// Pending wakeups.
+    pub wake: usize,
+    /// Pending retransmission timers.
+    pub rtx: usize,
+    /// Pending dynticks release wakeups.
+    pub release_wake: usize,
+}
+
+impl std::fmt::Display for PendingSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pending: {} tick, {} cpu_done, {} seg_arrive, {} tx_done, \
+             {} ack_arrive, {} wake, {} rtx_timer, {} release_wake",
+            self.total,
+            self.tick,
+            self.cpu_done,
+            self.seg,
+            self.tx,
+            self.ack,
+            self.wake,
+            self.rtx,
+            self.release_wake
+        )
+    }
+}
+
 /// The simulated cluster: nodes, fabric, and the event loop.
 pub struct Cluster {
     /// All nodes, indexed by node id.
@@ -267,32 +382,50 @@ pub struct Cluster {
     now: Ns,
     apps_spawned: u64,
     events_processed: u64,
+    ticks_dispatched: u64,
+    /// Dynticks (NO_HZ-style) engine: coalescible timer ticks are parked
+    /// per CPU and folded analytically instead of dispatched one by one,
+    /// and per-segment `TxDone` bookkeeping events are elided into a lazy
+    /// release ledger.  Simulated state is bit-identical to the per-tick
+    /// engines.
+    coalesce_ticks: bool,
     spec: ClusterSpec,
 }
 
 impl Cluster {
     /// Boots a cluster from a spec: creates nodes, idle threads, and the
     /// initial tick events (staggered across nodes and CPUs so the cluster's
-    /// timer interrupts are not phase-locked).
+    /// timer interrupts are not phase-locked).  Uses the dynticks engine:
+    /// coalescible ticks are folded in closed form rather than dispatched.
     pub fn new(spec: ClusterSpec) -> Self {
-        Cluster::boot_with_queue(spec, EventQueue::new())
+        Cluster::boot_with_queue(spec, EventQueue::new(), true)
     }
 
-    /// Boots with the all-heap reference event queue (no tick lanes).
-    /// Simulated behaviour is identical to [`Cluster::new`]; this exists so
-    /// benchmarks and equivalence tests can compare the two engine paths.
+    /// Boots with the PR 1 fast engine: tick-lane event queue, every tick
+    /// dispatched individually.  Simulated behaviour is identical to
+    /// [`Cluster::new`]; benchmarks compare the engine generations.
+    pub fn new_fast_engine(spec: ClusterSpec) -> Self {
+        Cluster::boot_with_queue(spec, EventQueue::new(), false)
+    }
+
+    /// Boots with the all-heap reference event queue (no tick lanes, no
+    /// coalescing).  Simulated behaviour is identical to [`Cluster::new`];
+    /// this exists so benchmarks and equivalence tests can compare the
+    /// engine paths.
     pub fn new_reference_engine(spec: ClusterSpec) -> Self {
-        Cluster::boot_with_queue(spec, EventQueue::new_all_heap())
+        Cluster::boot_with_queue(spec, EventQueue::new_all_heap(), false)
     }
 
-    fn boot_with_queue(spec: ClusterSpec, mut queue: EventQueue) -> Self {
+    fn boot_with_queue(spec: ClusterSpec, mut queue: EventQueue, coalesce_ticks: bool) -> Self {
         let fabric = Fabric::new(spec.fabric_latency_ns);
+        let control = std::sync::Arc::new(spec.control.clone());
         let mut nodes = Vec::with_capacity(spec.nodes.len());
         for (i, ns) in spec.nodes.iter().enumerate() {
-            let engine = ktau_core::measure::ProbeEngine::new(spec.control.clone(), spec.overhead);
+            let engine =
+                ktau_core::measure::ProbeEngine::new_shared(control.clone(), spec.overhead);
             let mut node = Node::boot(
                 i as u32,
-                ns.clone(),
+                std::sync::Arc::clone(ns),
                 engine,
                 spec.sched,
                 spec.net_costs,
@@ -301,18 +434,27 @@ impl Cluster {
                 spec.trace_capacity,
             );
             node.degrade = spec.degrade_for(i as u32);
+            node.dynticks = coalesce_ticks;
             let tick = spec.sched.tick_ns();
             for c in 0..node.online {
                 // Deterministic stagger: nodes offset by a prime-ish stride,
                 // CPUs by half a tick.
                 let off = (i as u64 * 137_829 + c as u64 * tick / 2) % tick;
-                queue.push(
-                    off,
-                    Event::Tick {
-                        node: i as u32,
-                        cpu: c,
-                    },
-                );
+                if coalesce_ticks && node.tick_coalescible(c) {
+                    // Freshly booted CPUs are idle with empty runqueues:
+                    // park the lane instead of arming the first tick.  The
+                    // reference engine pushes boot ticks at time 0, so that
+                    // is the lane's recorded push point.
+                    node.park_tick(c, off, 0);
+                } else {
+                    queue.push(
+                        off,
+                        Event::Tick {
+                            node: i as u32,
+                            cpu: c,
+                        },
+                    );
+                }
             }
             nodes.push(node);
         }
@@ -323,6 +465,8 @@ impl Cluster {
             now: 0,
             apps_spawned: 0,
             events_processed: 0,
+            ticks_dispatched: 0,
+            coalesce_ticks,
             spec,
         };
         cluster.spawn_noise();
@@ -360,7 +504,19 @@ impl Cluster {
     }
 
     /// Mutable node access (procfs control, direct inspection).
+    ///
+    /// External mutation can invalidate everything the dynticks engine
+    /// assumed when it parked a tick lane (instrumentation control writes
+    /// change probe costs, scheduler pokes change attribution), so parked
+    /// lanes of this node are first folded against the still-valid state
+    /// and then re-armed as ordinary queue events.  The next dispatched
+    /// tick re-parks the lane if it is still coalescible.
     pub fn node_mut(&mut self, id: u32) -> &mut Node {
+        if self.coalesce_ticks {
+            self.settle_node(id, self.now, None);
+            let (n, q, _) = self.parts(id);
+            n.unpark_all(q);
+        }
         &mut self.nodes[id as usize]
     }
 
@@ -402,8 +558,14 @@ impl Cluster {
             self.apps_spawned += 1;
         }
         let now = self.now;
+        // A spawn mutates scheduler state outside any event handler: fold
+        // the node's parked ticks against the pre-spawn state first, and
+        // re-judge coalescibility against the post-spawn state after.
+        self.settle_node(node, now, None);
         let (n, q, f) = self.parts(node);
-        n.spawn(spec, now, q, f)
+        let pid = n.spawn(spec, now, q, f);
+        self.repark_or_arm(node);
+        pid
     }
 
     #[inline]
@@ -415,12 +577,46 @@ impl Cluster {
         )
     }
 
-    fn handle(&mut self, at: Ns, ev: Event) {
+    /// Folds all parked ticks of `node` that fire strictly before `horizon`,
+    /// plus — when `tie_point` is the push point of the event about to be
+    /// dispatched at `horizon` — a parked tick firing *exactly at* `horizon`
+    /// that the reference engine would have dispatched first.  The reference
+    /// re-armed that tick at `horizon - tick_ns`, so it precedes the event
+    /// in `(time, push-point)` order iff the event was pushed later than
+    /// that.  Valid because parked-lane state cannot have changed since the
+    /// park: only this node's own events (which all settle first) mutate it.
+    fn settle_node(&mut self, node: u32, horizon: Ns, tie_point: Option<Ns>) {
+        let tick_ns = self.spec.sched.tick_ns();
+        self.nodes[node as usize].settle_parked(horizon, tick_ns, tie_point);
+    }
+
+    /// Re-judges coalescibility of `node`'s parked lanes after its state
+    /// changed; lanes that can no longer be folded are armed back into the
+    /// event queue as ordinary tick events.
+    fn repark_or_arm(&mut self, node: u32) {
+        let (n, q, _) = self.parts(node);
+        n.arm_uncoalescible(q);
+    }
+
+    fn handle(&mut self, at: Ns, point: Ns, ev: Event) {
         self.now = at;
+        self.queue.set_now(at);
         self.events_processed += 1;
+        if self.coalesce_ticks {
+            self.settle_node(ev.node(), at, Some(point));
+        }
+        self.dispatch(at, ev);
+        if self.coalesce_ticks {
+            self.repark_or_arm(ev.node());
+        }
+    }
+
+    fn dispatch(&mut self, at: Ns, ev: Event) {
         match ev {
             Event::Tick { node, cpu } => {
+                self.ticks_dispatched += 1;
                 let tick_ns = self.spec.sched.tick_ns();
+                let coalesce = self.coalesce_ticks;
                 let (n, q, f) = self.parts(node);
                 n.maybe_degrade_tick(cpu, at, q, f);
                 // A hot-removed CPU's tick lane dies here: its timer is
@@ -428,7 +624,11 @@ impl Cluster {
                 // branch, preserving the exact push sequence.
                 if cpu < n.online {
                     n.on_tick(cpu, at, q, f);
-                    q.push(at + tick_ns, Event::Tick { node, cpu });
+                    if coalesce && n.tick_coalescible(cpu) {
+                        n.park_tick(cpu, at + tick_ns, at);
+                    } else {
+                        q.push(at + tick_ns, Event::Tick { node, cpu });
+                    }
                 }
             }
             Event::CpuDone { node, cpu, gen } => {
@@ -468,6 +668,18 @@ impl Cluster {
                 let (n, q, f) = self.parts(node);
                 n.on_wake(pid, at, q, f);
             }
+            Event::ReleaseWake { node, conn } => {
+                let (n, q, _) = self.parts(node);
+                n.on_release_wake(conn, at, q);
+            }
+        }
+    }
+
+    /// Folds every node's parked ticks that fire strictly before `horizon`
+    /// (ties resolved against `tie_point` as in [`Self::settle_node`]).
+    fn settle_all(&mut self, horizon: Ns, tie_point: Option<Ns>) {
+        for node in 0..self.nodes.len() as u32 {
+            self.settle_node(node, horizon, tie_point);
         }
     }
 
@@ -487,6 +699,46 @@ impl Cluster {
         self.events_processed
     }
 
+    /// Timer ticks dispatched as real events from the queue.
+    pub fn ticks_dispatched(&self) -> u64 {
+        self.ticks_dispatched
+    }
+
+    /// Timer ticks whose full handler effect was applied analytically by the
+    /// dynticks engine instead of being dispatched from the event queue.
+    /// Always 0 on the fast/reference engines.
+    pub fn ticks_coalesced(&self) -> u64 {
+        self.nodes.iter().map(|n| n.ticks_coalesced).sum()
+    }
+
+    /// Per-segment `TxDone` bookkeeping events replaced by ledger entries by
+    /// the dynticks engine.  Always 0 on the fast/reference engines.
+    pub fn txdone_elided(&self) -> u64 {
+        self.nodes.iter().map(|n| n.txdone_elided).sum()
+    }
+
+    /// Total simulated events: dispatched events plus coalesced ticks and
+    /// elided `TxDone`s whose effects were applied without a dispatch.  This
+    /// is the engine-independent measure of simulated work; it is identical
+    /// across the dynticks/fast/reference engines for the same workload.
+    pub fn events_simulated(&self) -> u64 {
+        self.events_processed + self.ticks_coalesced() + self.txdone_elided()
+    }
+
+    /// Order-insensitive FNV-1a digest of all externally-observable
+    /// simulation state: virtual time plus every task's identity, counters,
+    /// profile and merged/wall aggregates on every node.  Two engines that
+    /// simulated the same workload must produce equal digests; equivalence
+    /// tests compare this across the dynticks/fast/reference engines.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv(&mut h, self.now);
+        for n in &self.nodes {
+            n.digest_into(&mut h);
+        }
+        h
+    }
+
     /// Runs until every spawned app task has exited, or until `deadline_ns`
     /// of virtual time (whichever first).  Returns the finish time.
     ///
@@ -494,6 +746,7 @@ impl Cluster {
     /// deadlock — e.g. mismatched sends/receives), identifying the stuck
     /// tasks.
     pub fn run_until_apps_exit(&mut self, deadline_ns: Ns) -> Ns {
+        let mut last_point = 0;
         while self.apps_exited() < self.apps_spawned {
             // Check the deadline against the *peeked* time so a deadline
             // panic leaves the offending event queued (an earlier version
@@ -508,14 +761,36 @@ impl Cluster {
                     );
                 }
                 Some(_) => {
-                    let (t, ev) = self.queue.pop().expect("peeked event vanished");
-                    self.handle(t, ev);
+                    let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
+                    last_point = p;
+                    self.handle(t, p, ev);
                 }
                 None => {
+                    if self.coalesce_ticks && self.nodes.iter().any(|n| n.parked_lanes() > 0) {
+                        // Only parked (provably no-op) ticks remain: the
+                        // reference engine would dispatch them up to the
+                        // deadline and then fail with the deadline panic.
+                        // Replay that analytically and fail the same way.
+                        self.settle_all(deadline_ns + 1, None);
+                        let stuck = self.stuck_report();
+                        panic!(
+                            "virtual deadline {deadline_ns} ns exceeded (possible deadlock) with {} of {} app tasks remaining:\n{stuck}",
+                            self.apps_spawned - self.apps_exited(),
+                            self.apps_spawned
+                        );
+                    }
                     let stuck = self.stuck_report();
                     panic!("event queue drained with app tasks alive (deadlock):\n{stuck}");
                 }
             }
+        }
+        // The reference engine has by now dispatched every tick ordered
+        // before the finish event — including same-nanosecond ticks on
+        // *other* nodes that precede it in push-point order, which per-event
+        // settling (same node only) cannot have folded.  Fold them here so
+        // final profiles match exactly.
+        if self.coalesce_ticks {
+            self.settle_all(self.now, Some(last_point));
         }
         self.now
     }
@@ -527,8 +802,13 @@ impl Cluster {
             if t > end {
                 break;
             }
-            let (t, ev) = self.queue.pop().unwrap();
-            self.handle(t, ev);
+            let (t, p, ev) = self.queue.pop_full().unwrap();
+            self.handle(t, p, ev);
+        }
+        // The reference engine dispatches ticks *at* `end` too (`t <= end`
+        // above), so fold parked ticks strictly below `end + 1`.
+        if self.coalesce_ticks {
+            self.settle_all(end + 1, None);
         }
         self.now = end;
         end
@@ -545,10 +825,17 @@ impl Cluster {
 
     fn stuck_report(&self) -> String {
         use crate::task::BlockedOn;
-        let mut s = format!(
-            "  now {} ns, {} events processed, queue {}\n",
+        use std::fmt::Write;
+        // One output buffer, written through `write!`: no per-task or
+        // per-connection intermediate `String` allocations.
+        let mut s = String::with_capacity(256);
+        let parked: usize = self.nodes.iter().map(|n| n.parked_lanes()).sum();
+        let _ = writeln!(
+            s,
+            "  now {} ns, {} events processed, {} tick lanes parked, queue {}",
             self.now,
             self.events_processed,
+            parked,
             self.queue.pending_summary()
         );
         let mut conns: Vec<ConnId> = Vec::new();
@@ -556,10 +843,11 @@ impl Cluster {
             for pid in n.pids() {
                 let t = n.task(pid).expect("listed pid has a task");
                 if t.kind == crate::task::TaskKind::App && t.state != TaskState::Dead {
-                    s.push_str(&format!(
-                        "  node {} ({}) pid {} {} state {:?} op {:?} blocked_on {:?}\n",
+                    let _ = writeln!(
+                        s,
+                        "  node {} ({}) pid {} {} state {:?} op {:?} blocked_on {:?}",
                         n.id, n.name, pid, t.comm, t.state, t.op, t.blocked_on
-                    ));
+                    );
                     if let Some(BlockedOn::RxData(c) | BlockedOn::TxSpace(c)) = t.blocked_on {
                         if !conns.contains(&c) {
                             conns.push(c);
@@ -572,28 +860,30 @@ impl Cluster {
         for c in conns {
             let link = self.fabric.link(c);
             if let Some(tx) = self.nodes[link.src_node as usize].tx_conn_stats(c) {
-                s.push_str(&format!(
+                let _ = writeln!(
+                    s,
                     "  {c} tx (node {}): {} B in flight / {} B free, {} unacked segs, \
-                     {} retransmits, {} timer fires\n",
+                     {} retransmits, {} timer fires",
                     link.src_node,
                     tx.in_flight,
                     tx.free,
                     tx.unacked,
                     tx.retransmits,
                     tx.timer_fires
-                ));
+                );
             }
             if let Some(rx) = self.nodes[link.dst_node as usize].rx_conn_stats(c) {
-                s.push_str(&format!(
+                let _ = writeln!(
+                    s,
                     "  {c} rx (node {}): {} B readable, expected seq {}, {} segs buffered, \
-                     {} refused, {} duplicates\n",
+                     {} refused, {} duplicates",
                     link.dst_node,
                     rx.available,
                     rx.expected_seq,
                     rx.buffered_segments,
                     rx.refused_segments,
                     rx.duplicate_segments
-                ));
+                );
             }
         }
         s
@@ -745,7 +1035,9 @@ mod tests {
             },
         );
         assert_eq!(q.len(), 3);
-        let s = q.pending_summary();
+        let summary = q.pending_summary();
+        assert_eq!((summary.total, summary.tick, summary.wake), (3, 2, 1));
+        let s = summary.to_string();
         assert!(s.contains("2 tick"), "{s}");
         assert!(s.contains("1 wake"), "{s}");
     }

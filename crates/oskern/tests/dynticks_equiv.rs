@@ -1,0 +1,193 @@
+//! Property-based equivalence of the dynticks engine: for arbitrary
+//! workloads — local compute, cross-node traffic, lossy links, IRQ storms,
+//! CPU offlining — the coalescing engine must finish at the same virtual
+//! time with the same full-state digest as the per-tick reference engine.
+//! The digest covers every task's CPU time, per-probe profile stats, KTAU
+//! counters, and scheduler state, so a single mis-charged tick fails these.
+
+use ktau_core::time::NS_PER_SEC;
+use ktau_net::{FaultPlan, FaultSpec};
+use ktau_oskern::{
+    Cluster, ClusterSpec, DegradeSpec, IrqStormSpec, NoiseSpec, Op, OpList, TaskSpec,
+};
+use proptest::prelude::*;
+
+/// A random short single-node program (no network ops, so any mix of these
+/// cannot deadlock).
+fn arb_local_program() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1_000u64..80_000_000).prop_map(Op::Compute),
+            (1_000u64..80_000_000).prop_map(Op::Sleep),
+            Just(Op::SyscallNull),
+            Just(Op::Yield),
+            Just(Op::PageFault),
+            Just(Op::SignalSelf),
+        ],
+        1..10,
+    )
+}
+
+/// Message sizes spanning sub-MTU sends up to multi-sndbuf streams that
+/// back up the NIC (the backlog path is where tick/TxDone ties live).
+fn arb_message_bytes() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(100u64..400_000, 1..5)
+}
+
+fn quiet(n: usize) -> ClusterSpec {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    s
+}
+
+/// Boots the spec under both engines, runs each identically via `drive`,
+/// and returns `((end, digest), (end, digest))` for (dynticks, reference).
+fn run_both(spec: ClusterSpec, drive: impl Fn(&mut Cluster)) -> ((u64, u64), (u64, u64)) {
+    let mut dyn_c = Cluster::new(spec.clone());
+    let mut ref_c = Cluster::new_reference_engine(spec);
+    drive(&mut dyn_c);
+    drive(&mut ref_c);
+    (
+        (dyn_c.now(), dyn_c.state_digest()),
+        (ref_c.now(), ref_c.state_digest()),
+    )
+}
+
+/// Spawns one sender on node 0 and one receiver per message on node 1.
+fn drive_traffic(c: &mut Cluster, msgs: &[u64], extra: &[Vec<Op>]) {
+    for (i, &bytes) in msgs.iter().enumerate() {
+        let conn = c.open_conn(0, 1);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                format!("s{i}"),
+                Box::new(OpList::new(vec![Op::Send { conn, bytes }])),
+            ),
+        );
+        c.spawn(
+            1,
+            TaskSpec::app(
+                format!("r{i}"),
+                Box::new(OpList::new(vec![Op::Recv { conn, bytes }])),
+            ),
+        );
+    }
+    for (i, ops) in extra.iter().enumerate() {
+        c.spawn(
+            (i % 2) as u32,
+            TaskSpec::app(format!("x{i}"), Box::new(OpList::new(ops.clone()))),
+        );
+    }
+    c.run_until_apps_exit(600 * NS_PER_SEC);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Local programs on one node (with background noise daemons) finish
+    /// identically under dynticks and the reference engine.
+    #[test]
+    fn local_programs_equivalent(
+        progs in proptest::collection::vec(arb_local_program(), 1..4),
+        noisy in any::<bool>(),
+    ) {
+        let mut spec = quiet(1);
+        if noisy {
+            spec.noise = NoiseSpec::default();
+        }
+        let (d, r) = run_both(spec, |c| {
+            for (i, ops) in progs.iter().enumerate() {
+                c.spawn(
+                    0,
+                    TaskSpec::app(format!("p{i}"), Box::new(OpList::new(ops.clone()))),
+                );
+            }
+            c.run_until_apps_exit(3_600 * NS_PER_SEC);
+        });
+        prop_assert_eq!(d, r, "dynticks diverged from reference");
+    }
+
+    /// Cross-node traffic — including NIC-backlogged streams whose TxDone
+    /// completions tie with timer ticks — stays bit-identical.
+    #[test]
+    fn network_traffic_equivalent(
+        msgs in arb_message_bytes(),
+        extra in proptest::collection::vec(arb_local_program(), 0..3),
+    ) {
+        let (d, r) = run_both(quiet(2), |c| drive_traffic(c, &msgs, &extra));
+        prop_assert_eq!(d, r, "dynticks diverged from reference");
+    }
+
+    /// Lossy links: drops, duplicates, and delay spikes repaired by
+    /// retransmission timers produce the same digest under coalescing.
+    #[test]
+    fn faulty_link_equivalent(
+        msgs in arb_message_bytes(),
+        seed in any::<u64>(),
+        drop_pct in 0u32..30,
+        dup_pct in 0u32..15,
+        delay_pct in 0u32..15,
+    ) {
+        let mut spec = quiet(2);
+        spec.fault_plan = FaultPlan::flaky_node(
+            seed,
+            1,
+            FaultSpec {
+                drop_prob: drop_pct as f64 / 100.0,
+                dup_prob: dup_pct as f64 / 100.0,
+                delay_prob: delay_pct as f64 / 100.0,
+                delay_ns: 150_000,
+                onset_ns: 0,
+                rto_ns: 2_000_000,
+            },
+        );
+        let (d, r) = run_both(spec, |c| drive_traffic(c, &msgs, &[]));
+        prop_assert_eq!(d, r, "dynticks diverged from reference");
+    }
+
+    /// Degraded nodes: CPU slowdown, late CPU offlining (which forces the
+    /// lane to re-park), and IRQ storms (which make ticks uncoalescible for
+    /// a window) all coalesce without changing a single counter.
+    #[test]
+    fn degraded_node_equivalent(
+        progs in proptest::collection::vec(arb_local_program(), 1..4),
+        msgs in proptest::collection::vec(5_000u64..150_000, 0..3),
+        slowdown_pct in 100u32..250,
+        offline_ms in proptest::option::of(1u64..300),
+        storm in proptest::option::of((0u64..200, 1u64..200, 1u32..8)),
+    ) {
+        let mut spec = quiet(2);
+        spec.node_faults = vec![(
+            0,
+            DegradeSpec {
+                slowdown_pct,
+                slowdown_onset_ns: 20_000_000,
+                offline_cpu_at_ns: offline_ms.map(|ms| ms * 1_000_000),
+                irq_storm: storm.map(|(start_ms, len_ms, irqs_per_tick)| IrqStormSpec {
+                    start_ns: start_ms * 1_000_000,
+                    end_ns: (start_ms + len_ms) * 1_000_000,
+                    irqs_per_tick,
+                }),
+            },
+        )];
+        let (d, r) = run_both(spec, |c| drive_traffic(c, &msgs, &progs));
+        prop_assert_eq!(d, r, "dynticks diverged from reference");
+    }
+
+    /// The fast (tick-lane, no coalescing) engine also matches dynticks, so
+    /// all three generations agree pairwise.
+    #[test]
+    fn fast_engine_equivalent(progs in proptest::collection::vec(arb_local_program(), 1..3)) {
+        let spec = quiet(1);
+        let mut dyn_c = Cluster::new(spec.clone());
+        let mut fast_c = Cluster::new_fast_engine(spec);
+        for (i, ops) in progs.iter().enumerate() {
+            dyn_c.spawn(0, TaskSpec::app(format!("p{i}"), Box::new(OpList::new(ops.clone()))));
+            fast_c.spawn(0, TaskSpec::app(format!("p{i}"), Box::new(OpList::new(ops.clone()))));
+        }
+        dyn_c.run_until_apps_exit(3_600 * NS_PER_SEC);
+        fast_c.run_until_apps_exit(3_600 * NS_PER_SEC);
+        prop_assert_eq!(dyn_c.now(), fast_c.now());
+        prop_assert_eq!(dyn_c.state_digest(), fast_c.state_digest());
+    }
+}

@@ -35,7 +35,7 @@ fn single_compute_task_runs_for_its_duration() {
 #[test]
 fn two_tasks_on_one_cpu_timeshare_and_preempt() {
     let mut spec = quiet_spec(1);
-    spec.nodes[0].detected_cpus = Some(1); // single-CPU node
+    std::sync::Arc::make_mut(&mut spec.nodes[0]).detected_cpus = Some(1); // single-CPU node
     let mut c = Cluster::new(spec);
     let a = c.spawn(0, compute_task(2));
     let b = c.spawn(0, compute_task(2));
@@ -187,7 +187,7 @@ fn sndbuf_backpressure_blocks_writer() {
 #[test]
 fn irq_all_to_cpu0_lands_on_cpu0_tasks() {
     let mut spec = quiet_spec(2);
-    spec.nodes[1].irq = IrqPolicy::AllToCpu0;
+    std::sync::Arc::make_mut(&mut spec.nodes[1]).irq = IrqPolicy::AllToCpu0;
     let mut c = Cluster::new(spec);
     let conn = c.open_conn(0, 1);
     let msg = 2_000_000u64;
@@ -233,7 +233,7 @@ fn irq_all_to_cpu0_lands_on_cpu0_tasks() {
 #[test]
 fn irq_balanced_spreads_interrupts() {
     let mut spec = quiet_spec(2);
-    spec.nodes[1].irq = IrqPolicy::Balanced;
+    std::sync::Arc::make_mut(&mut spec.nodes[1]).irq = IrqPolicy::Balanced;
     let mut c = Cluster::new(spec);
     let conn = c.open_conn(0, 1);
     let msg = 2_000_000u64;

@@ -25,7 +25,7 @@ fn arb_local_program() -> impl Strategy<Value = Vec<Op>> {
 fn run_programs(progs: Vec<Vec<Op>>, cpus: Option<u8>) -> (Cluster, Vec<Pid>) {
     let mut spec = ClusterSpec::chiba(1);
     spec.noise = NoiseSpec::silent();
-    spec.nodes[0].detected_cpus = cpus;
+    std::sync::Arc::make_mut(&mut spec.nodes[0]).detected_cpus = cpus;
     let mut c = Cluster::new(spec);
     let pids = progs
         .into_iter()

@@ -13,7 +13,7 @@ fn quiet(n: usize) -> ClusterSpec {
 #[should_panic(expected = "not online")]
 fn pinning_to_offline_cpu_is_rejected() {
     let mut spec = quiet(1);
-    spec.nodes[0].detected_cpus = Some(1);
+    std::sync::Arc::make_mut(&mut spec.nodes[0]).detected_cpus = Some(1);
     let mut c = Cluster::new(spec);
     c.spawn(
         0,
@@ -26,8 +26,8 @@ fn pinned_irq_policy_clamps_to_online_cpus() {
     // IRQs pinned to CPU 1 on a node that detected only one CPU must fall
     // back to CPU 0 rather than panic.
     let mut spec = quiet(2);
-    spec.nodes[1].detected_cpus = Some(1);
-    spec.nodes[1].irq = IrqPolicy::PinnedTo(1);
+    std::sync::Arc::make_mut(&mut spec.nodes[1]).detected_cpus = Some(1);
+    std::sync::Arc::make_mut(&mut spec.nodes[1]).irq = IrqPolicy::PinnedTo(1);
     let mut c = Cluster::new(spec);
     let conn = c.open_conn(0, 1);
     c.spawn(
@@ -113,7 +113,7 @@ fn zero_byte_send_and_recv_complete() {
 #[test]
 fn counters_track_scheduling_and_wakeups() {
     let mut spec = quiet(1);
-    spec.nodes[0].detected_cpus = Some(1);
+    std::sync::Arc::make_mut(&mut spec.nodes[0]).detected_cpus = Some(1);
     let mut c = Cluster::new(spec);
     let a = c.spawn(
         0,

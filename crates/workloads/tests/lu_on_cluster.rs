@@ -90,7 +90,7 @@ fn faulty_single_cpu_node_slows_the_whole_job() {
 
     let mut spec = ClusterSpec::chiba(2);
     spec.noise = NoiseSpec::silent();
-    spec.nodes[1].detected_cpus = Some(1); // the ccn10 fault
+    std::sync::Arc::make_mut(&mut spec.nodes[1]).detected_cpus = Some(1); // the ccn10 fault
     let mut faulty = Cluster::new(spec);
     launch(&mut faulty, "lu", &Layout::cyclic(2, 4), p.apps());
     let t_bad = faulty.run_until_apps_exit(300 * NS_PER_SEC);

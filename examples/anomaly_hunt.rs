@@ -18,7 +18,8 @@ const FAULTY: usize = 5;
 fn run(faulty: bool) -> (f64, Cluster, ktau::mpi::JobHandle) {
     let mut spec = ClusterSpec::chiba(NODES as usize);
     if faulty {
-        spec.nodes[FAULTY].detected_cpus = Some(1); // the silent fault
+        std::sync::Arc::make_mut(&mut spec.nodes[FAULTY]).detected_cpus = Some(1);
+        // the silent fault
     }
     let mut cluster = Cluster::new(spec);
     let mut p = LuParams::tiny(4, 4);

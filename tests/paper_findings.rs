@@ -31,10 +31,10 @@ fn run_config(
     let mut spec = ClusterSpec::chiba(nodes);
     spec.noise = NoiseSpec::silent();
     for n in &mut spec.nodes {
-        n.irq = irq;
+        std::sync::Arc::make_mut(n).irq = irq;
     }
     if let Some(f) = faulty {
-        spec.nodes[f].detected_cpus = Some(1);
+        std::sync::Arc::make_mut(&mut spec.nodes[f]).detected_cpus = Some(1);
     }
     let mut cluster = Cluster::new(spec);
     let job = launch(&mut cluster, "lu", &layout, lu_params().apps());

@@ -230,6 +230,23 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+/// `Value` serializes to itself, so pre-built trees pass straight through
+/// `serde_json::to_string*` and generic containers.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// `Value` deserializes from itself, so callers can parse arbitrary JSON
+/// into a tree (`serde_json::from_str::<Value>`) and inspect it with
+/// [`Value::obj_get`] / [`Value::arr_get`].
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
