@@ -15,18 +15,25 @@
 //!   the regime NO_HZ was invented for; the dynticks engine's closed-form
 //!   tick folding shows its full effect here.
 //!
+//! A third dimension sweeps the conservative-PDES shard count (1/2/4, plus
+//! any explicit `--shards N`) on the hz1000 dynticks engine, recording wall
+//! time and the window/barrier/mail/rollback diagnostics per row.
+//!
 //! `perf_smoke --check` additionally enforces the CI regression gate on the
 //! hz100 config: dynticks must dispatch < 40% of the reference engine's tick
 //! events, < 70% of its total events, and produce an identical state digest;
 //! on the hz1000 config it must dispatch < 40% of the reference engine's
-//! total events (ticks dominate there) with an identical digest.
+//! total events (ticks dominate there) with an identical digest.  The
+//! sharded digest gate asserts every shard count in the sweep reproduces
+//! the serial digest bit for bit (digest equality is also asserted
+//! unconditionally — `--check` only adds the explicit gate report).
 //!
 //! A baseline measured on an older commit can be folded in via
 //! `KTAU_SEED_COMMIT` / `KTAU_SEED_WALL_S` (same workload, same machine), and
 //! a cold-cache `run_all` wall measurement via `KTAU_RUNALL_WALL_S` /
 //! `KTAU_RUNALL_JOBS` / `KTAU_RUNALL_CORES`.
 use ktau_mpi::{launch, Layout};
-use ktau_oskern::{Cluster, ClusterSpec};
+use ktau_oskern::{Cluster, ClusterSpec, ShardStats};
 use ktau_workloads::LuParams;
 use serde::Serialize;
 use std::time::Instant;
@@ -79,6 +86,34 @@ struct ConfigNumbers {
 }
 
 #[derive(Serialize)]
+struct ShardRow {
+    shards: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    /// Serial (shards=1) wall / this wall on the same config.
+    speedup_vs_serial: f64,
+    /// Must match the serial dynticks digest exactly — enforced.
+    state_digest: String,
+    /// Lookahead windows executed (summed over replays).
+    windows: u64,
+    /// Barrier crossings per worker (max across workers).
+    barriers: u64,
+    /// Cross-shard events carried over the SPSC mesh.
+    mail_events: u64,
+    checkpoints: u64,
+    rollbacks: u64,
+    replayed_events: u64,
+}
+
+#[derive(Serialize)]
+struct ShardScaling {
+    hz: u32,
+    host_cores: u64,
+    note: String,
+    rows: Vec<ShardRow>,
+}
+
+#[derive(Serialize)]
 struct SeedBaseline {
     commit: String,
     wall_s: f64,
@@ -103,6 +138,8 @@ struct Report {
     /// Linux 2.6-era kernel config (HZ=1000): the tick-dominated regime
     /// NO_HZ targets, and the HZ the paper's instrumented kernels ran.
     hz1000: ConfigNumbers,
+    /// Conservative-PDES intra-run scaling on the hz1000 dynticks engine.
+    shard_scaling: ShardScaling,
     seed_baseline: Option<SeedBaseline>,
     run_all_cold_cache: Option<RunAllColdCache>,
     run_all_jobs_timing: Option<serde_json::Value>,
@@ -117,10 +154,12 @@ struct RunStats {
     simulated: u64,
     virtual_s: f64,
     digest: u64,
+    shard_stats: Option<ShardStats>,
 }
 
-/// One timed run on the chosen engine.
-fn run_once(engine: Engine, hz: u32) -> RunStats {
+/// One timed run on the chosen engine, split across `shards` PDES workers
+/// (1 = serial).
+fn run_once(engine: Engine, hz: u32, shards: usize) -> RunStats {
     let mut spec = ClusterSpec::chiba(NODES);
     spec.sched.hz = hz;
     let t0 = Instant::now();
@@ -129,6 +168,7 @@ fn run_once(engine: Engine, hz: u32) -> RunStats {
         Engine::Fast => Cluster::new_fast_engine(spec),
         Engine::Reference => Cluster::new_reference_engine(spec),
     };
+    cluster.set_shards(shards);
     let job = launch(
         &mut cluster,
         "lu.C.16",
@@ -149,6 +189,7 @@ fn run_once(engine: Engine, hz: u32) -> RunStats {
         simulated: cluster.events_simulated(),
         virtual_s: end as f64 / 1e9,
         digest: cluster.state_digest(),
+        shard_stats: cluster.shard_stats().copied(),
     }
 }
 
@@ -157,7 +198,7 @@ fn run_once(engine: Engine, hz: u32) -> RunStats {
 fn measure(label: &str, engine: Engine, hz: u32) -> (EngineNumbers, u64) {
     let mut best: Option<RunStats> = None;
     for i in 0..ITERATIONS {
-        let r = run_once(engine, hz);
+        let r = run_once(engine, hz, 1);
         eprintln!(
             "[perf_smoke] hz={hz} {label} iter {i}: {:.3} s wall, {} dispatched, {} simulated",
             r.wall_s, r.dispatched, r.simulated
@@ -224,10 +265,92 @@ fn measure_config(hz: u32) -> ConfigNumbers {
     }
 }
 
+/// Measures the sharded dynticks engine at each shard count on one HZ,
+/// enforcing the determinism contract: every sharded digest must equal the
+/// serial (shards=1) digest bit for bit.
+fn measure_shards(hz: u32, counts: &[usize]) -> ShardScaling {
+    let mut rows = Vec::new();
+    let mut serial: Option<(f64, u64)> = None;
+    for &n in counts {
+        let mut best: Option<RunStats> = None;
+        for i in 0..ITERATIONS {
+            let r = run_once(Engine::Dynticks, hz, n);
+            eprintln!(
+                "[perf_smoke] hz={hz} shards={n} iter {i}: {:.3} s wall, {} simulated",
+                r.wall_s, r.simulated
+            );
+            if let Some(b) = &best {
+                assert_eq!(b.digest, r.digest, "shards={n}: nondeterministic digest");
+            }
+            if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+                best = Some(r);
+            }
+        }
+        let r = best.unwrap();
+        let (serial_wall, serial_digest) = *serial.get_or_insert((r.wall_s, r.digest));
+        assert_eq!(
+            r.digest, serial_digest,
+            "hz={hz} shards={n}: sharded digest diverged from serial — \
+             the conservative-PDES runner is not exact"
+        );
+        let stats = r.shard_stats.unwrap_or_default();
+        rows.push(ShardRow {
+            shards: n as u64,
+            wall_s: r.wall_s,
+            events_per_sec: r.simulated as f64 / r.wall_s,
+            speedup_vs_serial: serial_wall / r.wall_s,
+            state_digest: format!("{:016x}", r.digest),
+            windows: stats.windows,
+            barriers: stats.barriers,
+            mail_events: stats.mail_events,
+            checkpoints: stats.checkpoints,
+            rollbacks: stats.rollbacks,
+            replayed_events: stats.replayed_events,
+        });
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    ShardScaling {
+        hz,
+        host_cores,
+        note: "digests are enforced bit-identical across shard counts; \
+               wall-time speedup requires >= `shards` idle cores, so on a \
+               single-core host the rows record barrier/window overhead \
+               rather than parallel gain"
+            .into(),
+        rows,
+    }
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let hz100 = measure_config(100);
     let hz1000 = measure_config(1000);
+    // Sweep shards 1/2/4 (plus any explicit `--shards N`) on the hz1000
+    // dynticks engine — the acceptance configuration for intra-run PDES.
+    let mut shard_counts = vec![1usize, 2, 4];
+    let requested = ktau_bench::shards();
+    if !shard_counts.contains(&requested) {
+        shard_counts.push(requested);
+        shard_counts.sort_unstable();
+    }
+    let shard_scaling = measure_shards(1000, &shard_counts);
+    assert_eq!(
+        shard_scaling.rows[0].state_digest, hz1000.dynticks_engine.state_digest,
+        "shards=1 sweep row diverged from the hz1000 dynticks measurement"
+    );
+    if check {
+        for row in &shard_scaling.rows {
+            assert_eq!(
+                row.state_digest, hz1000.dynticks_engine.state_digest,
+                "digest gate: shards={} diverged from serial",
+                row.shards
+            );
+        }
+        eprintln!(
+            "[perf_smoke --check] sharded digest gate passed (shards {:?})",
+            shard_counts
+        );
+    }
     if check {
         let tick_pct = hz100.dynticks_engine.ticks_dispatched as f64
             / hz100.reference_engine.ticks_dispatched as f64;
@@ -312,6 +435,7 @@ fn main() {
         iterations: ITERATIONS as u64,
         hz100,
         hz1000,
+        shard_scaling,
         seed_baseline,
         run_all_cold_cache,
         run_all_jobs_timing,

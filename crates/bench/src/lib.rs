@@ -23,6 +23,6 @@ pub mod scenarios;
 
 pub use controlled::{measure_direct_overheads, run_fig2_ab, run_fig2_c, run_fig2_e};
 pub use faults::{flaky_link_plan, run_flaky_link_lu16, FlakyLinkOutcome, FLAKY_NODE};
-pub use parallel::{jobs, prefetch, run_parallel, Experiment};
+pub use parallel::{jobs, prefetch, run_parallel, shards, Experiment};
 pub use records::{NodeProcRecord, RankRecord, RunRecord};
 pub use scenarios::{lu_record, run_lu, run_sweep, sweep_record, Config, ANOMALY_NODE};

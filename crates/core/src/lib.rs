@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod digest;
 pub mod event;
 pub mod measure;
 pub mod profile;

@@ -54,6 +54,17 @@ pub trait MpiApp: Send {
     /// Produces the rank's next MPI operation.  Must keep returning
     /// [`MpiOp::Finish`] once done.
     fn next(&mut self) -> MpiOp;
+
+    /// Deep-copies the app, mid-execution state included, so the rank's
+    /// process can be checkpointed (sharded-engine rollback, cluster
+    /// snapshots).
+    fn clone_app(&self) -> Box<dyn MpiApp>;
+}
+
+impl Clone for Box<dyn MpiApp> {
+    fn clone(&self) -> Self {
+        self.clone_app()
+    }
 }
 
 /// An app replaying a fixed list of MPI ops.
@@ -74,6 +85,10 @@ impl MpiOpList {
 impl MpiApp for MpiOpList {
     fn next(&mut self) -> MpiOp {
         self.ops.next().unwrap_or(MpiOp::Finish)
+    }
+
+    fn clone_app(&self) -> Box<dyn MpiApp> {
+        Box::new(self.clone())
     }
 }
 

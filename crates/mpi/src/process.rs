@@ -31,6 +31,7 @@ pub struct RetryPolicy {
 
 /// The per-rank runtime: routes `Send{to}`/`Recv{from}` onto connection ids
 /// and expands collectives.
+#[derive(Clone)]
 pub struct MpiProcess {
     rank: Rank,
     size: u32,
@@ -148,6 +149,10 @@ impl Program for MpiProcess {
             let next = self.app.next();
             self.expand(next);
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -20,7 +20,7 @@ use ktau_net::{
 use std::collections::{BTreeMap, VecDeque};
 
 /// Per-CPU state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cpu {
     /// CPU index within the node.
     pub id: u8,
@@ -53,6 +53,7 @@ pub struct Cpu {
 /// Fault-free connections carry `None` and take none of these code paths,
 /// which is what keeps zero-rate fault plans bit-identical to a fault-free
 /// build: no extra events are ever pushed.
+#[derive(Clone)]
 struct TxFault {
     injector: LinkInjector,
     /// Base retransmission timeout (before backoff).
@@ -71,6 +72,7 @@ struct TxFault {
     timer_fires: u64,
 }
 
+#[derive(Clone)]
 struct TxState {
     tx: SocketTx,
     waiting_writer: Option<Pid>,
@@ -83,6 +85,7 @@ struct TxState {
     pending_release: VecDeque<(Ns, u32)>,
 }
 
+#[derive(Clone)]
 struct RxState {
     rx: SocketRx,
     waiting_reader: Option<Pid>,
@@ -139,6 +142,7 @@ const DUP_GAP_NS: Ns = 20_000;
 const MAX_RTX_BACKOFF: u32 = 6;
 
 /// A simulated node (one kernel instance).
+#[derive(Clone)]
 pub struct Node {
     /// Node index within the cluster.
     pub id: u32,
@@ -174,6 +178,9 @@ pub struct Node {
     trace_capacity: Option<usize>,
     /// App tasks that exited (drives cluster completion tracking).
     pub(crate) apps_exited: u64,
+    /// App tasks ever spawned here (the sharded runner's per-shard
+    /// completion target; zombie reaping must not disturb it).
+    pub(crate) apps_spawned: u64,
     /// Node-degradation fault spec, if this node is configured to fail.
     pub(crate) degrade: Option<DegradeSpec>,
     /// The late-onset CPU removal already happened.
@@ -301,6 +308,7 @@ impl Node {
             sndbuf_bytes,
             trace_capacity,
             apps_exited: 0,
+            apps_spawned: 0,
             degrade: None,
             offline_done: false,
             dynticks: false,

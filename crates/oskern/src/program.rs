@@ -70,6 +70,18 @@ pub trait Program: Send {
     /// Produces the next operation.  Must keep returning [`Op::Exit`] once
     /// finished (the kernel stops asking after the first `Exit`).
     fn next_op(&mut self) -> Op;
+
+    /// Deep-copies the program, mid-execution state included.  Backs
+    /// checkpoint/rollback in the sharded engine (and mid-run cluster
+    /// snapshots generally): a cloned task must replay exactly the op
+    /// sequence the original would have produced.
+    fn clone_box(&self) -> Box<dyn Program>;
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A program replaying a fixed op list, then exiting.
@@ -91,14 +103,25 @@ impl Program for OpList {
     fn next_op(&mut self) -> Op {
         self.ops.next().unwrap_or(Op::Exit)
     }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
 }
 
-/// A program built from a closure.
-pub struct FnProgram<F: FnMut() -> Op + Send>(pub F);
+/// A program built from a closure.  The closure must be `Clone` so tasks
+/// running it can be checkpointed; captured state (counters, PRNGs) clones
+/// with it.
+#[derive(Clone)]
+pub struct FnProgram<F: FnMut() -> Op + Send + Clone>(pub F);
 
-impl<F: FnMut() -> Op + Send> Program for FnProgram<F> {
+impl<F: FnMut() -> Op + Send + Clone + 'static> Program for FnProgram<F> {
     fn next_op(&mut self) -> Op {
         (self.0)()
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 
@@ -127,6 +150,10 @@ impl Program for LoopProgram {
         let op = self.ops[self.idx];
         self.idx = (self.idx + 1) % self.ops.len();
         op
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

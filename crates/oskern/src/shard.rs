@@ -1,0 +1,688 @@
+//! Conservative parallel DES: one cluster sharded across worker threads.
+//!
+//! The serial engine processes the global event timeline in `(time,
+//! push-point, seq)` order.  This module runs the *same* timeline on `S`
+//! worker threads by partitioning nodes into contiguous shards, each with
+//! its own event queue, and advancing all shards inside *windows* bounded by
+//! the fabric's minimum cross-node link latency `w` (the *lookahead*):
+//!
+//! * every round, each shard publishes the time of its earliest pending
+//!   event; the global minimum `gmin` and the lookahead bound the window at
+//!   `gmin + w`;
+//! * a shard may safely process every local event strictly below that
+//!   horizon, because any event another shard could still mail it departs
+//!   at `>= gmin` and therefore arrives at `>= gmin + w`;
+//! * cross-shard events (segment and ACK arrivals — the only events that
+//!   cross nodes) are diverted by the queue's [`crate::sim::ShardRoute`]
+//!   hook into an outbox, flushed over SPSC rings at the window's end, and
+//!   ingested by the destination shard at the start of the next round.
+//!
+//! Determinism is the contract: for any shard count, the final cluster
+//! digest is bit-identical to the serial engines'.  Same-timestamp ordering
+//! inside a shard reuses the serial `(time, push-point)` order (push points
+//! are virtual times, globally comparable, and travel with mailed events);
+//! cross-shard ties at identical `(time, push-point)` would be resolved by
+//! arrival order, but do not occur in practice — boot ticks are staggered
+//! per node and cross-node arrivals carry distinct link-latency offsets —
+//! and the equivalence suite enforces digest equality at several shard
+//! counts over every committed configuration.
+//!
+//! Runs-until-exit needs one extra mechanism: the serial engine stops after
+//! draining the last app-exit nanosecond `T*`, but `T*` is only known once
+//! the exit has been processed, and by then other shards may have run past
+//! it ("contamination" — possible only in the very round that processed the
+//! final exit; earlier rounds cannot overshoot an exit that is still
+//! pending, and later rounds are capped).  Shards therefore checkpoint
+//! their state every [`CHECKPOINT_INTERVAL`] rounds; on contamination the
+//! runner rolls every shard back to the latest checkpoint and replays with
+//! windows *persistently* capped at `T* + 1`, which reproduces the serial
+//! stop state exactly.  An unlinked topology (no cross-node links at all)
+//! skips windows entirely: shards are causally independent, so each runs
+//! its own apps to completion and then everything advances to the global
+//! last-exit time.  A zero-latency cross-node link means zero lookahead —
+//! those topologies stay on the serial engine (see
+//! [`crate::sim::Cluster::set_shards`]).
+
+use crate::node::Node;
+use crate::sim::{dispatch_on, Cluster, Event, EventQueue};
+use ktau_core::time::Ns;
+use ktau_net::{Fabric, HandoffMesh};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Barrier, Mutex};
+
+/// Rounds between shard checkpoints while the final exit time is unknown.
+/// Bounds replay work after a rollback to at most this many windows.
+pub const CHECKPOINT_INTERVAL: u64 = 256;
+
+/// SPSC ring capacity per ordered shard pair; bursts beyond it spill
+/// losslessly inside the ring.
+const MAIL_RING_CAPACITY: usize = 64;
+
+/// Diagnostics from one sharded run (see
+/// [`Cluster::shard_stats`](crate::sim::Cluster::shard_stats)).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Worker threads the run actually used.
+    pub shards: usize,
+    /// Conservative windows executed per worker.
+    pub windows: u64,
+    /// Barrier crossings per worker.
+    pub barriers: u64,
+    /// Cross-shard events carried over the handoff rings (receiver count;
+    /// replayed rounds re-count re-mailed events).
+    pub mail_events: u64,
+    /// Checkpoints taken per worker.
+    pub checkpoints: u64,
+    /// Rollbacks performed (at most one per run-until-exit).
+    pub rollbacks: u64,
+    /// Events re-processed during post-rollback replay, summed over shards.
+    pub replayed_events: u64,
+    /// The topology had no cross-node links, so the run used the
+    /// independent-shards fast path instead of lookahead windows.
+    pub unlinked: bool,
+}
+
+/// What the workers agreed on; every worker leaves the run with the same
+/// outcome.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The run completed at this virtual time.
+    Done(Ns),
+    /// Nothing sharding can do (deadline exceeded or queue drained with
+    /// apps alive): merge back and let the serial loop reproduce the exact
+    /// serial diagnostics, panics included.
+    Fallback,
+}
+
+/// Worker 0's per-round verdict, published between barriers A and B.
+#[derive(Clone, Copy)]
+enum Decision {
+    /// Process local events strictly below `limit`, then flush mail.
+    Run {
+        limit: Ns,
+        /// Take a checkpoint at the start of the next round.
+        checkpoint_next: bool,
+    },
+    /// All events up to the final time are processed: settle and stop.
+    Done { t_star: Ns },
+    /// Contamination past the final exit time: restore the latest
+    /// checkpoint and replay with capped windows.
+    Rollback,
+    /// Hand the run back to the serial engine.
+    Fallback,
+}
+
+/// Cross-worker coordination state; all atomics are published before a
+/// barrier and read after it, so `Relaxed` suffices.
+struct Shared {
+    /// Per shard: earliest pending event time (`u64::MAX` when idle).  The
+    /// unlinked mode reuses this slot as its fallback flag.
+    mins: Vec<AtomicU64>,
+    /// Per shard: app tasks exited so far.
+    exited: Vec<AtomicU64>,
+    /// Per shard: latest app-exit time seen so far.
+    last_exit: Vec<AtomicU64>,
+    /// Per shard: latest event time processed in the previous window.
+    max_seen: Vec<AtomicU64>,
+    decision: Mutex<Decision>,
+    barrier: Barrier,
+}
+
+impl Shared {
+    fn new(s: usize) -> Self {
+        Shared {
+            mins: (0..s).map(|_| AtomicU64::new(0)).collect(),
+            exited: (0..s).map(|_| AtomicU64::new(0)).collect(),
+            last_exit: (0..s).map(|_| AtomicU64::new(0)).collect(),
+            max_seen: (0..s).map(|_| AtomicU64::new(0)).collect(),
+            decision: Mutex::new(Decision::Fallback),
+            barrier: Barrier::new(s),
+        }
+    }
+}
+
+/// One worker's slice of the cluster: a contiguous node range plus its own
+/// event queue (with the cross-shard route installed) and counters that
+/// merge back into the cluster afterwards.
+struct Shard {
+    idx: usize,
+    /// Global id of the first owned node.
+    lo: u32,
+    nodes: Vec<Node>,
+    queue: EventQueue,
+    now: Ns,
+    /// Latest app-exit time processed by this shard (0 = none yet).
+    last_exit: Ns,
+    events_processed: u64,
+    ticks_dispatched: u64,
+    // -- diagnostics (never rolled back) ---------------------------------
+    windows: u64,
+    barriers: u64,
+    mail_in: u64,
+    checkpoints: u64,
+    rollbacks: u64,
+    replayed_events: u64,
+}
+
+/// Everything a rollback must restore.  Diagnostics counters intentionally
+/// stay live across a restore; the simulation counters return to their
+/// checkpoint values so the committed timeline counts every event once,
+/// keeping `events_simulated` engine-independent.
+struct Checkpoint {
+    nodes: Vec<Node>,
+    queue: EventQueue,
+    now: Ns,
+    last_exit: Ns,
+    events_processed: u64,
+    ticks_dispatched: u64,
+}
+
+type Mail = (Ns, Ns, Event);
+
+impl Shard {
+    fn local_exited(&self) -> u64 {
+        self.nodes.iter().map(|n| n.apps_exited).sum()
+    }
+
+    fn local_spawned(&self) -> u64 {
+        self.nodes.iter().map(|n| n.apps_spawned).sum()
+    }
+
+    fn min_pending(&self) -> u64 {
+        self.queue.peek_time().unwrap_or(u64::MAX)
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        self.checkpoints += 1;
+        Checkpoint {
+            nodes: self.nodes.clone(),
+            queue: self.queue.clone(),
+            now: self.now,
+            last_exit: self.last_exit,
+            events_processed: self.events_processed,
+            ticks_dispatched: self.ticks_dispatched,
+        }
+    }
+
+    fn restore(&mut self, c: &Checkpoint) {
+        self.rollbacks += 1;
+        self.nodes = c.nodes.clone();
+        self.queue = c.queue.clone();
+        self.now = c.now;
+        self.last_exit = c.last_exit;
+        self.events_processed = c.events_processed;
+        self.ticks_dispatched = c.ticks_dispatched;
+    }
+
+    /// Ingests all mail addressed to this shard, in deterministic order:
+    /// ring scan order (producer shard index, then per-producer FIFO) made
+    /// canonical by a stable sort on `(time, push-point)`.
+    fn drain_inbox(&mut self, mesh: &HandoffMesh<Mail>, buf: &mut Vec<Mail>) {
+        buf.clear();
+        mesh.recv_all(self.idx, buf);
+        buf.sort_by_key(|&(t, p, _)| (t, p));
+        self.mail_in += buf.len() as u64;
+        for &(at, point, ev) in buf.iter() {
+            self.queue.push_at(at, ev, point);
+        }
+    }
+
+    /// Dispatches one event exactly as the serial engine would, tracking
+    /// app exits on the dispatched node (the only node where they can
+    /// occur — cross-node effects travel exclusively through queued
+    /// events).
+    fn handle(&mut self, fabric: &Fabric, tick_ns: Ns, coalesce: bool, t: Ns, p: Ns, ev: Event) {
+        let idx = (ev.node() - self.lo) as usize;
+        let exited_before = self.nodes[idx].apps_exited;
+        dispatch_on(
+            &mut self.nodes,
+            self.lo,
+            &mut self.queue,
+            fabric,
+            tick_ns,
+            coalesce,
+            &mut self.ticks_dispatched,
+            t,
+            p,
+            ev,
+        );
+        if self.nodes[idx].apps_exited > exited_before {
+            self.last_exit = self.last_exit.max(t);
+        }
+        self.now = t;
+        self.events_processed += 1;
+    }
+
+    /// Processes every local event strictly below `limit` (cascades that
+    /// land back inside the window included); returns the latest event time
+    /// processed (0 if none).
+    fn run_window(&mut self, fabric: &Fabric, tick_ns: Ns, coalesce: bool, limit: Ns) -> Ns {
+        let mut max_t = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= limit {
+                break;
+            }
+            let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
+            self.handle(fabric, tick_ns, coalesce, t, p, ev);
+            max_t = t;
+        }
+        self.windows += 1;
+        max_t
+    }
+
+    /// Ships everything the route hook diverted during the last window.
+    fn flush_outbox(&mut self, mesh: &HandoffMesh<Mail>, shard_of: &[u32]) {
+        for mail in self.queue.take_outbox() {
+            mesh.send(self.idx, shard_of[mail.2.node() as usize] as usize, mail);
+        }
+    }
+
+    /// Folds parked dynticks lanes below `horizon`, mirroring the serial
+    /// engine's end-of-run `settle_all`.
+    fn settle(&mut self, horizon: Ns, tick_ns: Ns, coalesce: bool) {
+        if coalesce {
+            for n in &mut self.nodes {
+                n.settle_parked(horizon, tick_ns, None);
+            }
+        }
+    }
+
+    fn barrier_wait(&mut self, shared: &Shared) {
+        shared.barrier.wait();
+        self.barriers += 1;
+    }
+}
+
+/// Splits the cluster into `s` contiguous shards, moving nodes and
+/// distributing the pending event queue in global `(time, point, seq)`
+/// order (per-shard re-push preserves each shard's relative order).
+/// Returns the shards plus the node-id → shard-index map.
+fn partition(cl: &mut Cluster, s: usize) -> (Vec<Shard>, Vec<u32>) {
+    let n = cl.nodes.len();
+    let mut shard_of = vec![0u32; n];
+    let mut pool: Vec<Node> = std::mem::take(&mut cl.nodes);
+    let mut rest = pool.len();
+    let mut shards: Vec<Shard> = Vec::with_capacity(s);
+    for i in (0..s).rev() {
+        let lo = (i * n / s) as u32;
+        let hi = ((i + 1) * n / s) as u32;
+        for node in lo..hi {
+            shard_of[node as usize] = i as u32;
+        }
+        let mut queue = cl.queue.new_like();
+        queue.set_route(lo, hi);
+        rest -= (hi - lo) as usize;
+        shards.push(Shard {
+            idx: i,
+            lo,
+            nodes: pool.split_off(rest),
+            queue,
+            now: cl.now,
+            last_exit: 0,
+            events_processed: 0,
+            ticks_dispatched: 0,
+            windows: 0,
+            barriers: 0,
+            mail_in: 0,
+            checkpoints: 0,
+            rollbacks: 0,
+            replayed_events: 0,
+        });
+    }
+    shards.reverse();
+    while let Some((t, p, ev)) = cl.queue.pop_full() {
+        let dest = shard_of[ev.node() as usize] as usize;
+        shards[dest].queue.push_at(t, ev, p);
+    }
+    (shards, shard_of)
+}
+
+/// Moves shard state back into the cluster: nodes in id order, leftover
+/// events stably merged on `(time, point)` (preserving each shard's FIFO
+/// for same-key events), counters summed, stats recorded.
+fn merge_back(cl: &mut Cluster, shards: Vec<Shard>, unlinked: bool) {
+    let mut stats = ShardStats {
+        shards: shards.len(),
+        unlinked,
+        ..ShardStats::default()
+    };
+    let mut leftover: Vec<Mail> = Vec::new();
+    let mut now = cl.now;
+    for mut sh in shards {
+        while let Some(mail) = sh.queue.pop_full() {
+            leftover.push(mail);
+        }
+        sh.queue.clear_route();
+        now = now.max(sh.now);
+        cl.events_processed += sh.events_processed;
+        cl.ticks_dispatched += sh.ticks_dispatched;
+        cl.nodes.extend(sh.nodes);
+        stats.windows = stats.windows.max(sh.windows);
+        stats.barriers = stats.barriers.max(sh.barriers);
+        stats.checkpoints = stats.checkpoints.max(sh.checkpoints);
+        stats.rollbacks = stats.rollbacks.max(sh.rollbacks);
+        stats.mail_events += sh.mail_in;
+        stats.replayed_events += sh.replayed_events;
+    }
+    leftover.sort_by_key(|&(t, p, _)| (t, p));
+    for (t, p, ev) in leftover {
+        cl.queue.push_at(t, ev, p);
+    }
+    cl.now = now;
+    cl.queue.set_now(now);
+    cl.last_shard_stats = Some(stats);
+}
+
+/// Worker 0's round verdict for the run-until-exit protocol.
+#[allow(clippy::too_many_arguments)]
+fn decide(
+    shared: &Shared,
+    apps_target: u64,
+    w: Ns,
+    deadline: Ns,
+    cutoff: &mut Option<Ns>,
+    round: u64,
+) -> Decision {
+    let s = shared.mins.len();
+    let mut gmin = u64::MAX;
+    let mut exited = 0u64;
+    let mut t_star = 0;
+    let mut max_seen = 0;
+    for i in 0..s {
+        gmin = gmin.min(shared.mins[i].load(Relaxed));
+        exited += shared.exited[i].load(Relaxed);
+        t_star = t_star.max(shared.last_exit[i].load(Relaxed));
+        max_seen = max_seen.max(shared.max_seen[i].load(Relaxed));
+    }
+    if exited >= apps_target {
+        // `t_star` is final: every app already exited, so no later exit can
+        // appear — and a replay rediscovers the same value.
+        debug_assert!(cutoff.is_none_or(|c| c == t_star));
+        if cutoff.is_none() && max_seen > t_star {
+            // Some shard ran past the final nanosecond before it was known.
+            // This can only happen in the round that processed the last
+            // exit, and the capped replay below cannot re-trigger it.
+            *cutoff = Some(t_star);
+            return Decision::Rollback;
+        }
+        if gmin > t_star {
+            return Decision::Done { t_star };
+        }
+        // Finish draining events at or before T* (the serial engine's
+        // terminal-nanosecond drain, spread over capped windows).
+        return Decision::Run {
+            limit: gmin.saturating_add(w).min(t_star + 1),
+            checkpoint_next: false,
+        };
+    }
+    if gmin == u64::MAX || gmin > deadline {
+        // Queue drained with apps alive, or deadline exceeded: the serial
+        // loop owns those panics and their diagnostics.
+        return Decision::Fallback;
+    }
+    let mut limit = gmin.saturating_add(w);
+    if let Some(c) = *cutoff {
+        limit = limit.min(c + 1);
+    }
+    Decision::Run {
+        limit: limit.min(deadline.saturating_add(1)),
+        checkpoint_next: cutoff.is_none() && (round + 1).is_multiple_of(CHECKPOINT_INTERVAL),
+    }
+}
+
+/// The window-protocol worker for linked topologies.
+#[allow(clippy::too_many_arguments)]
+fn worker_linked(
+    sh: &mut Shard,
+    mesh: &HandoffMesh<Mail>,
+    shared: &Shared,
+    shard_of: &[u32],
+    fabric: &Fabric,
+    tick_ns: Ns,
+    coalesce: bool,
+    apps_target: u64,
+    w: Ns,
+    deadline: Ns,
+) -> Outcome {
+    let me = sh.idx;
+    let mut inbox: Vec<Mail> = Vec::new();
+    let mut checkpoint = sh.checkpoint();
+    let mut do_checkpoint = false;
+    let mut replaying = false;
+    let mut round: u64 = 0;
+    let mut round_max: Ns = 0;
+    let mut cutoff: Option<Ns> = None; // worker 0 only
+    loop {
+        sh.drain_inbox(mesh, &mut inbox);
+        if do_checkpoint {
+            checkpoint = sh.checkpoint();
+            do_checkpoint = false;
+        }
+        shared.mins[me].store(sh.min_pending(), Relaxed);
+        shared.exited[me].store(sh.local_exited(), Relaxed);
+        shared.last_exit[me].store(sh.last_exit, Relaxed);
+        shared.max_seen[me].store(round_max, Relaxed);
+        sh.barrier_wait(shared); // A: all inputs published
+        if me == 0 {
+            *shared.decision.lock().unwrap() =
+                decide(shared, apps_target, w, deadline, &mut cutoff, round);
+        }
+        sh.barrier_wait(shared); // B: decision published
+        let decision = *shared.decision.lock().unwrap();
+        round += 1;
+        match decision {
+            Decision::Done { t_star } => {
+                sh.settle(t_star + 1, tick_ns, coalesce);
+                sh.now = t_star;
+                return Outcome::Done(t_star);
+            }
+            Decision::Fallback => return Outcome::Fallback,
+            Decision::Rollback => {
+                sh.restore(&checkpoint);
+                round_max = 0;
+                replaying = true;
+                // No barrier needed: the channels are empty (everything
+                // flushed last round was drained this round and restored
+                // away), and the next round's barrier A re-synchronizes.
+            }
+            Decision::Run {
+                limit,
+                checkpoint_next,
+            } => {
+                do_checkpoint = checkpoint_next;
+                let before = sh.events_processed;
+                round_max = sh.run_window(fabric, tick_ns, coalesce, limit);
+                if replaying {
+                    sh.replayed_events += sh.events_processed - before;
+                }
+                sh.flush_outbox(mesh, shard_of);
+                sh.barrier_wait(shared); // C: all mail shipped
+            }
+        }
+    }
+}
+
+/// The independent-shards worker for unlinked topologies (no cross-node
+/// links): phase 1 runs this shard's own apps to completion exactly like a
+/// private serial engine; phase 2 advances every shard to the global
+/// last-exit time.
+fn worker_unlinked(
+    sh: &mut Shard,
+    shared: &Shared,
+    fabric: &Fabric,
+    tick_ns: Ns,
+    coalesce: bool,
+    deadline: Ns,
+) -> Outcome {
+    let me = sh.idx;
+    let mut fallback = false;
+    let local_target = sh.local_spawned();
+    while sh.local_exited() < local_target {
+        match sh.queue.peek_time() {
+            Some(t) if t > deadline => {
+                fallback = true;
+                break;
+            }
+            Some(_) => {
+                let (t, p, ev) = sh.queue.pop_full().expect("peeked event vanished");
+                sh.handle(fabric, tick_ns, coalesce, t, p, ev);
+            }
+            None => {
+                fallback = true;
+                break;
+            }
+        }
+    }
+    shared.mins[me].store(fallback as u64, Relaxed);
+    shared.last_exit[me].store(sh.last_exit, Relaxed);
+    sh.barrier_wait(shared);
+    if me == 0 {
+        let s = shared.mins.len();
+        let any_fallback = (0..s).any(|i| shared.mins[i].load(Relaxed) != 0);
+        let t_star = (0..s)
+            .map(|i| shared.last_exit[i].load(Relaxed))
+            .max()
+            .unwrap_or(0);
+        *shared.decision.lock().unwrap() = if any_fallback {
+            Decision::Fallback
+        } else {
+            Decision::Done { t_star }
+        };
+    }
+    sh.barrier_wait(shared);
+    let decision = *shared.decision.lock().unwrap();
+    match decision {
+        Decision::Done { t_star } => {
+            // Phase 2: catch up to the cluster-wide finish time.  With no
+            // cross-node links there is no mail, so one window suffices.
+            sh.run_window(fabric, tick_ns, coalesce, t_star + 1);
+            debug_assert!(sh.queue.take_outbox().is_empty());
+            sh.settle(t_star + 1, tick_ns, coalesce);
+            sh.now = t_star;
+            Outcome::Done(t_star)
+        }
+        _ => Outcome::Fallback,
+    }
+}
+
+/// Sharded [`Cluster::run_until_apps_exit`].  Returns `None` when the run
+/// belongs on the serial path (nothing to do, deadline exceeded, or
+/// deadlock) — cluster state is merged back either way, and the serial loop
+/// then reproduces the exact serial outcome.
+pub(crate) fn run_until_apps_exit_sharded(cl: &mut Cluster, deadline_ns: Ns) -> Option<Ns> {
+    if cl.apps_exited() >= cl.apps_spawned {
+        return None;
+    }
+    let s = cl.shards.min(cl.nodes.len());
+    let lookahead = cl.fabric.min_link_latency();
+    let tick_ns = cl.spec.sched.tick_ns();
+    let coalesce = cl.coalesce_ticks;
+    let apps_target = cl.apps_spawned;
+    let (mut shards, shard_of) = partition(cl, s);
+    let fabric = &cl.fabric;
+    let mesh: HandoffMesh<Mail> = HandoffMesh::new(s, MAIL_RING_CAPACITY);
+    let shared = Shared::new(s);
+    let outcome = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .map(|sh| {
+                let (mesh, shared, shard_of) = (&mesh, &shared, &shard_of[..]);
+                scope.spawn(move || match lookahead {
+                    Some(w) => worker_linked(
+                        sh,
+                        mesh,
+                        shared,
+                        shard_of,
+                        fabric,
+                        tick_ns,
+                        coalesce,
+                        apps_target,
+                        w,
+                        deadline_ns,
+                    ),
+                    None => worker_unlinked(sh, shared, fabric, tick_ns, coalesce, deadline_ns),
+                })
+            })
+            .collect();
+        let mut outcome = None;
+        for h in handles {
+            let o = h.join().expect("shard worker panicked");
+            debug_assert!(outcome.is_none_or(|prev| prev == o));
+            outcome = Some(o);
+        }
+        outcome.expect("at least one shard")
+    });
+    debug_assert!(mesh.is_empty());
+    merge_back(cl, shards, lookahead.is_none());
+    match outcome {
+        Outcome::Done(t) => Some(t),
+        Outcome::Fallback => None,
+    }
+}
+
+/// Sharded [`Cluster::run_for`]: the same window protocol without exit
+/// tracking — no checkpoints or rollbacks, because the end time is known up
+/// front and windows never cross it.  An unlinked topology degenerates to
+/// one full-length window per shard (`w = ∞`).
+pub(crate) fn run_for_sharded(cl: &mut Cluster, dur: Ns) -> Ns {
+    let end = cl.now + dur;
+    let s = cl.shards.min(cl.nodes.len());
+    let w = cl.fabric.min_link_latency().unwrap_or(u64::MAX);
+    let tick_ns = cl.spec.sched.tick_ns();
+    let coalesce = cl.coalesce_ticks;
+    let (mut shards, shard_of) = partition(cl, s);
+    let fabric = &cl.fabric;
+    let mesh: HandoffMesh<Mail> = HandoffMesh::new(s, MAIL_RING_CAPACITY);
+    let shared = Shared::new(s);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .map(|sh| {
+                let (mesh, shared, shard_of) = (&mesh, &shared, &shard_of[..]);
+                scope.spawn(move || {
+                    let me = sh.idx;
+                    let mut inbox: Vec<Mail> = Vec::new();
+                    loop {
+                        sh.drain_inbox(mesh, &mut inbox);
+                        shared.mins[me].store(sh.min_pending(), Relaxed);
+                        sh.barrier_wait(shared); // A
+                        if me == 0 {
+                            let gmin = shared.mins.iter().map(|m| m.load(Relaxed)).min().unwrap();
+                            *shared.decision.lock().unwrap() = if gmin > end {
+                                Decision::Done { t_star: end }
+                            } else {
+                                Decision::Run {
+                                    limit: gmin.saturating_add(w).min(end + 1),
+                                    checkpoint_next: false,
+                                }
+                            };
+                        }
+                        sh.barrier_wait(shared); // B
+                        let decision = *shared.decision.lock().unwrap();
+                        match decision {
+                            Decision::Done { t_star } => {
+                                sh.settle(t_star + 1, tick_ns, coalesce);
+                                sh.now = t_star;
+                                return;
+                            }
+                            Decision::Run { limit, .. } => {
+                                sh.run_window(fabric, tick_ns, coalesce, limit);
+                                sh.flush_outbox(mesh, shard_of);
+                                sh.barrier_wait(shared); // C
+                            }
+                            _ => unreachable!("run_for never rolls back"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("shard worker panicked");
+        }
+    });
+    debug_assert!(mesh.is_empty());
+    merge_back(cl, shards, false);
+    cl.now = end;
+    cl.queue.set_now(end);
+    end
+}

@@ -116,6 +116,19 @@ impl Event {
     }
 }
 
+/// Cross-shard routing attached to a shard's event queue by the parallel
+/// runner.  While installed, any push addressed to a node outside the
+/// shard's contiguous `[lo, hi)` range is diverted into `outbox` (with its
+/// time and push point) instead of entering the local heap; the runner
+/// flushes the outbox over SPSC channels at window boundaries.  Node
+/// handlers stay completely unaware of sharding.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ShardRoute {
+    lo: u32,
+    hi: u32,
+    outbox: Vec<(Ns, Ns, Event)>,
+}
+
 /// One armed per-CPU timer interrupt, kept out of the main heap.
 #[derive(Debug, Clone, Copy)]
 struct TickLane {
@@ -136,7 +149,7 @@ struct TickLane {
 /// the two structures under the same global `(time, seq)` FIFO order, so the
 /// observable event sequence is bit-identical to a single shared heap (a
 /// unit test below proves this against an all-heap queue).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<(Ns, Ns, u64, Event)>>,
     lanes: Vec<TickLane>,
@@ -150,6 +163,8 @@ pub struct EventQueue {
     now: Ns,
     /// When false, ticks share the main heap (reference mode for tests).
     use_lanes: bool,
+    /// Cross-shard diversion, installed only on per-shard queues.
+    route: Option<ShardRoute>,
 }
 
 impl EventQueue {
@@ -178,6 +193,13 @@ impl EventQueue {
     /// engine pushed that tick one period before it fires, so the re-push
     /// must carry that original point to keep same-time ordering exact.
     pub fn push_at(&mut self, at: Ns, ev: Event, point: Ns) {
+        if let Some(route) = &mut self.route {
+            let node = ev.node();
+            if node < route.lo || node >= route.hi {
+                route.outbox.push((at, point, ev));
+                return;
+            }
+        }
         self.seq += 1;
         if self.use_lanes {
             if let Event::Tick { node, cpu } = ev {
@@ -237,6 +259,42 @@ impl EventQueue {
             (Some(l), Some(Reverse((ht, hp, hs, _)))) => (l.time, l.point, l.seq) < (*ht, *hp, *hs),
             (Some(_), None) => true,
             (None, _) => false,
+        }
+    }
+
+    /// An empty queue in the same engine mode (tick lanes on/off), for
+    /// partitioning one cluster queue into per-shard queues.
+    pub(crate) fn new_like(&self) -> EventQueue {
+        EventQueue {
+            use_lanes: self.use_lanes,
+            ..Default::default()
+        }
+    }
+
+    /// Installs cross-shard diversion: pushes addressed outside node range
+    /// `[lo, hi)` land in the outbox instead of the heap.
+    pub(crate) fn set_route(&mut self, lo: u32, hi: u32) {
+        self.route = Some(ShardRoute {
+            lo,
+            hi,
+            outbox: Vec::new(),
+        });
+    }
+
+    /// Takes everything diverted since the last call (empty when no route
+    /// is installed).
+    pub(crate) fn take_outbox(&mut self) -> Vec<(Ns, Ns, Event)> {
+        match &mut self.route {
+            Some(r) => std::mem::take(&mut r.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes the diversion (merge-back); panics if diverted events were
+    /// never collected — that would silently drop simulation events.
+    pub(crate) fn clear_route(&mut self) {
+        if let Some(r) = self.route.take() {
+            assert!(r.outbox.is_empty(), "clear_route with undelivered events");
         }
     }
 
@@ -321,12 +379,70 @@ fn lane_key(l: &TickLane) -> (Ns, u64) {
 }
 
 /// Folds one 64-bit word into a running FNV-1a hash (used by
-/// [`Cluster::state_digest`] and the per-node digest helpers).
+/// [`Cluster::state_digest`] and the per-node digest helpers).  Delegates to
+/// the shared fold in `ktau-core` so every digest producer in the workspace
+/// hashes identically.
 #[inline]
 pub(crate) fn fnv(h: &mut u64, word: u64) {
-    for b in word.to_le_bytes() {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    ktau_core::digest::fnv_word(h, word);
+}
+
+/// Handles one event against a slice of nodes whose global ids start at
+/// `base`: settles the target node's parked ticks up to the event time,
+/// dispatches the event, and re-parks or re-arms the node's tick lanes.
+///
+/// The serial engine calls this with the full node vector and `base == 0`;
+/// each worker of the sharded engine calls it with its own contiguous node
+/// range and per-shard queue.  Keeping both paths on the same function is
+/// what makes the bit-identical-digest guarantee structural rather than
+/// coincidental.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dispatch_on(
+    nodes: &mut [Node],
+    base: u32,
+    queue: &mut EventQueue,
+    fabric: &Fabric,
+    tick_ns: Ns,
+    coalesce: bool,
+    ticks_dispatched: &mut u64,
+    at: Ns,
+    point: Ns,
+    ev: Event,
+) {
+    queue.set_now(at);
+    let idx = (ev.node() - base) as usize;
+    if coalesce {
+        nodes[idx].settle_parked(at, tick_ns, Some(point));
+    }
+    let (n, q, f) = (&mut nodes[idx], &mut *queue, fabric);
+    match ev {
+        Event::Tick { node, cpu } => {
+            *ticks_dispatched += 1;
+            n.maybe_degrade_tick(cpu, at, q, f);
+            // A hot-removed CPU's tick lane dies here: its timer is
+            // simply never re-armed.  Fault-free runs always take this
+            // branch, preserving the exact push sequence.
+            if cpu < n.online {
+                n.on_tick(cpu, at, q, f);
+                if coalesce && n.tick_coalescible(cpu) {
+                    n.park_tick(cpu, at + tick_ns, at);
+                } else {
+                    q.push(at + tick_ns, Event::Tick { node, cpu });
+                }
+            }
+        }
+        Event::CpuDone { cpu, gen, .. } => n.on_cpu_done(cpu, gen, at, q, f),
+        Event::SegArrive {
+            conn, seq, payload, ..
+        } => n.on_segment(conn, seq, payload, at, q, f),
+        Event::AckArrive { conn, ack_seq, .. } => n.on_ack(conn, ack_seq, at, q, f),
+        Event::RtxTimer { conn, gen, .. } => n.on_rtx_timer(conn, gen, at, q, f),
+        Event::TxDone { conn, payload, .. } => n.on_tx_done(conn, payload, at, q),
+        Event::Wake { pid, .. } => n.on_wake(pid, at, q, f),
+        Event::ReleaseWake { conn, .. } => n.on_release_wake(conn, at, q),
+    }
+    if coalesce {
+        nodes[idx].arm_uncoalescible(queue);
     }
 }
 
@@ -376,20 +492,25 @@ impl std::fmt::Display for PendingSummary {
 /// The simulated cluster: nodes, fabric, and the event loop.
 pub struct Cluster {
     /// All nodes, indexed by node id.
-    nodes: Vec<Node>,
-    fabric: Fabric,
-    queue: EventQueue,
-    now: Ns,
-    apps_spawned: u64,
-    events_processed: u64,
-    ticks_dispatched: u64,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) fabric: Fabric,
+    pub(crate) queue: EventQueue,
+    pub(crate) now: Ns,
+    pub(crate) apps_spawned: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) ticks_dispatched: u64,
     /// Dynticks (NO_HZ-style) engine: coalescible timer ticks are parked
     /// per CPU and folded analytically instead of dispatched one by one,
     /// and per-segment `TxDone` bookkeeping events are elided into a lazy
     /// release ledger.  Simulated state is bit-identical to the per-tick
     /// engines.
-    coalesce_ticks: bool,
-    spec: ClusterSpec,
+    pub(crate) coalesce_ticks: bool,
+    pub(crate) spec: ClusterSpec,
+    /// Requested worker count for the conservative-PDES sharded runner;
+    /// 1 (the default) keeps every run on the serial path.
+    pub(crate) shards: usize,
+    /// Diagnostics from the most recent sharded run, if any.
+    pub(crate) last_shard_stats: Option<crate::shard::ShardStats>,
 }
 
 impl Cluster {
@@ -468,6 +589,8 @@ impl Cluster {
             ticks_dispatched: 0,
             coalesce_ticks,
             spec,
+            shards: 1,
+            last_shard_stats: None,
         };
         cluster.spawn_noise();
         cluster
@@ -525,6 +648,36 @@ impl Cluster {
         self.now
     }
 
+    /// Requests `n` conservative-PDES worker shards for subsequent runs
+    /// (clamped to at least 1; node count caps the effective value).  With
+    /// `n >= 2` an eligible topology — two or more nodes, non-zero minimum
+    /// cross-node link latency — runs the event loop on `n` threads with
+    /// bit-identical results to the serial engine; ineligible topologies
+    /// silently fall back to the serial path.
+    pub fn set_shards(&mut self, n: usize) {
+        self.shards = n.max(1);
+    }
+
+    /// The requested shard count (1 = serial).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Diagnostics from the most recent sharded run: windows, barriers,
+    /// cross-shard mail, checkpoint/rollback counts.  `None` until a run
+    /// actually executed on the sharded path.
+    pub fn shard_stats(&self) -> Option<&crate::shard::ShardStats> {
+        self.last_shard_stats.as_ref()
+    }
+
+    /// True when the current topology and shard request qualify for the
+    /// parallel runner.  A zero minimum link latency means zero lookahead —
+    /// conservative windows would have zero width — so such topologies stay
+    /// serial (an unlinked topology, `None`, shards trivially).
+    fn shard_eligible(&self) -> bool {
+        self.shards >= 2 && self.nodes.len() >= 2 && self.fabric.min_link_latency() != Some(0)
+    }
+
     /// The cluster spec this was booted from.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
@@ -556,6 +709,7 @@ impl Cluster {
     pub fn spawn(&mut self, node: u32, spec: TaskSpec) -> Pid {
         if spec.kind == crate::task::TaskKind::App {
             self.apps_spawned += 1;
+            self.nodes[node as usize].apps_spawned += 1;
         }
         let now = self.now;
         // A spawn mutates scheduler state outside any event handler: fold
@@ -600,79 +754,19 @@ impl Cluster {
 
     fn handle(&mut self, at: Ns, point: Ns, ev: Event) {
         self.now = at;
-        self.queue.set_now(at);
         self.events_processed += 1;
-        if self.coalesce_ticks {
-            self.settle_node(ev.node(), at, Some(point));
-        }
-        self.dispatch(at, ev);
-        if self.coalesce_ticks {
-            self.repark_or_arm(ev.node());
-        }
-    }
-
-    fn dispatch(&mut self, at: Ns, ev: Event) {
-        match ev {
-            Event::Tick { node, cpu } => {
-                self.ticks_dispatched += 1;
-                let tick_ns = self.spec.sched.tick_ns();
-                let coalesce = self.coalesce_ticks;
-                let (n, q, f) = self.parts(node);
-                n.maybe_degrade_tick(cpu, at, q, f);
-                // A hot-removed CPU's tick lane dies here: its timer is
-                // simply never re-armed.  Fault-free runs always take this
-                // branch, preserving the exact push sequence.
-                if cpu < n.online {
-                    n.on_tick(cpu, at, q, f);
-                    if coalesce && n.tick_coalescible(cpu) {
-                        n.park_tick(cpu, at + tick_ns, at);
-                    } else {
-                        q.push(at + tick_ns, Event::Tick { node, cpu });
-                    }
-                }
-            }
-            Event::CpuDone { node, cpu, gen } => {
-                let (n, q, f) = self.parts(node);
-                n.on_cpu_done(cpu, gen, at, q, f);
-            }
-            Event::SegArrive {
-                node,
-                conn,
-                seq,
-                payload,
-            } => {
-                let (n, q, f) = self.parts(node);
-                n.on_segment(conn, seq, payload, at, q, f);
-            }
-            Event::AckArrive {
-                node,
-                conn,
-                ack_seq,
-            } => {
-                let (n, q, f) = self.parts(node);
-                n.on_ack(conn, ack_seq, at, q, f);
-            }
-            Event::RtxTimer { node, conn, gen } => {
-                let (n, q, f) = self.parts(node);
-                n.on_rtx_timer(conn, gen, at, q, f);
-            }
-            Event::TxDone {
-                node,
-                conn,
-                payload,
-            } => {
-                let (n, q, _) = self.parts(node);
-                n.on_tx_done(conn, payload, at, q);
-            }
-            Event::Wake { node, pid } => {
-                let (n, q, f) = self.parts(node);
-                n.on_wake(pid, at, q, f);
-            }
-            Event::ReleaseWake { node, conn } => {
-                let (n, q, _) = self.parts(node);
-                n.on_release_wake(conn, at, q);
-            }
-        }
+        dispatch_on(
+            &mut self.nodes,
+            0,
+            &mut self.queue,
+            &self.fabric,
+            self.spec.sched.tick_ns(),
+            self.coalesce_ticks,
+            &mut self.ticks_dispatched,
+            at,
+            point,
+            ev,
+        );
     }
 
     /// Folds every node's parked ticks that fire strictly before `horizon`
@@ -746,7 +840,20 @@ impl Cluster {
     /// deadlock — e.g. mismatched sends/receives), identifying the stuck
     /// tasks.
     pub fn run_until_apps_exit(&mut self, deadline_ns: Ns) -> Ns {
-        let mut last_point = 0;
+        if self.shard_eligible() {
+            if let Some(t) = crate::shard::run_until_apps_exit_sharded(self, deadline_ns) {
+                return t;
+            }
+            // The sharded runner declined (nothing to do, deadline, or
+            // deadlock): state has been merged back, and the serial loop
+            // below reproduces the exact serial outcome — including the
+            // diagnostics panic, when one is due.
+        }
+        self.run_until_apps_exit_serial(deadline_ns)
+    }
+
+    pub(crate) fn run_until_apps_exit_serial(&mut self, deadline_ns: Ns) -> Ns {
+        let mut handled_any = false;
         while self.apps_exited() < self.apps_spawned {
             // Check the deadline against the *peeked* time so a deadline
             // panic leaves the offending event queued (an earlier version
@@ -762,7 +869,7 @@ impl Cluster {
                 }
                 Some(_) => {
                     let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
-                    last_point = p;
+                    handled_any = true;
                     self.handle(t, p, ev);
                 }
                 None => {
@@ -784,19 +891,39 @@ impl Cluster {
                 }
             }
         }
-        // The reference engine has by now dispatched every tick ordered
-        // before the finish event — including same-nanosecond ticks on
-        // *other* nodes that precede it in push-point order, which per-event
-        // settling (same node only) cannot have folded.  Fold them here so
-        // final profiles match exactly.
-        if self.coalesce_ticks {
-            self.settle_all(self.now, Some(last_point));
+        // Terminal-nanosecond drain: once the last app has exited at T*,
+        // keep dispatching every remaining event with time == T* (including
+        // cascades those dispatches push at T*).  The run then ends on a
+        // pure virtual-time predicate — "every event with time <= T* has
+        // been processed" — independent of the sub-nanosecond (push-point,
+        // seq) rank of the finishing event.  That predicate is what the
+        // sharded engine reproduces per shard, so serial and sharded runs
+        // stop on exactly the same prefix of the event timeline.
+        if handled_any {
+            self.drain_now();
         }
         self.now
     }
 
+    /// Dispatches every pending event whose time equals the current virtual
+    /// time, including same-nanosecond cascades, then folds all parked
+    /// ticks firing at or before it (the reference engine would have
+    /// dispatched those ticks during the drain).
+    pub(crate) fn drain_now(&mut self) {
+        while self.queue.peek_time() == Some(self.now) {
+            let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
+            self.handle(t, p, ev);
+        }
+        if self.coalesce_ticks {
+            self.settle_all(self.now + 1, None);
+        }
+    }
+
     /// Runs for `dur` nanoseconds of virtual time.
     pub fn run_for(&mut self, dur: Ns) -> Ns {
+        if self.shard_eligible() && dur > 0 {
+            return crate::shard::run_for_sharded(self, dur);
+        }
         let end = self.now + dur;
         while let Some(t) = self.queue.peek_time() {
             if t > end {

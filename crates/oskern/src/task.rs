@@ -132,6 +132,7 @@ pub enum OpState {
 }
 
 /// The task structure.
+#[derive(Clone)]
 pub struct Task {
     /// Process id (per node).
     pub pid: Pid,
@@ -251,7 +252,7 @@ impl Task {
 /// arithmetic instead of a tree walk per access.  Iteration stays in
 /// ascending-pid order — identical to the map's — which snapshot and report
 /// code depends on.  Reaped zombies leave a `None` slot behind.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TaskTable {
     slots: Vec<Option<Task>>,
 }

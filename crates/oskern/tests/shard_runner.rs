@@ -1,0 +1,189 @@
+//! Deterministic tests of the conservative-PDES sharded runner: eligibility
+//! fallbacks, forced checkpoint/rollback/replay, and diagnostics.
+
+use ktau_core::time::NS_PER_SEC;
+use ktau_oskern::{Cluster, ClusterSpec, NoiseSpec, Op, OpList, TaskSpec};
+
+fn quiet(n: usize) -> ClusterSpec {
+    let mut s = ClusterSpec::chiba(n);
+    s.noise = NoiseSpec::silent();
+    s
+}
+
+/// One sender→receiver pair per message between nodes 0 and 1.
+fn spawn_traffic(c: &mut Cluster, msgs: &[u64]) {
+    for (i, &bytes) in msgs.iter().enumerate() {
+        let conn = c.open_conn(0, 1);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                format!("s{i}"),
+                Box::new(OpList::new(vec![Op::Send { conn, bytes }])),
+            ),
+        );
+        c.spawn(
+            1,
+            TaskSpec::app(
+                format!("r{i}"),
+                Box::new(OpList::new(vec![Op::Recv { conn, bytes }])),
+            ),
+        );
+    }
+}
+
+fn run(spec: ClusterSpec, shards: usize, msgs: &[u64]) -> Cluster {
+    let mut c = Cluster::new(spec);
+    c.set_shards(shards);
+    spawn_traffic(&mut c, msgs);
+    c.run_until_apps_exit(600 * NS_PER_SEC);
+    c
+}
+
+/// Background daemons denser than the 60 µs lookahead guarantee that the
+/// round which processes the final app exit has already run past it on some
+/// shard — forcing the checkpoint/rollback/replay path — and the replayed
+/// run must still be bit-identical to the serial engine.
+#[test]
+fn forced_rollback_replays_identically() {
+    let mut spec = quiet(2);
+    spec.noise = NoiseSpec {
+        daemons_per_node: 2,
+        mean_period_ns: 20_000,
+        mean_busy_ns: 4_000,
+    };
+    let msgs = [50_000u64, 120_000];
+    let serial = run(spec.clone(), 1, &msgs);
+    let sharded = run(spec, 2, &msgs);
+    assert_eq!(serial.now(), sharded.now());
+    assert_eq!(serial.state_digest(), sharded.state_digest());
+    assert_eq!(serial.events_simulated(), sharded.events_simulated());
+    let stats = sharded.shard_stats().expect("sharded path must have run");
+    assert_eq!(stats.shards, 2);
+    assert!(
+        stats.rollbacks >= 1,
+        "dense noise should force a rollback, got {stats:?}"
+    );
+    assert!(
+        stats.replayed_events > 0,
+        "rollback implies replayed events"
+    );
+    assert!(stats.checkpoints >= 1);
+    assert!(serial.shard_stats().is_none(), "shards=1 stays serial");
+}
+
+/// A fault-free traffic run populates the window/mail diagnostics.
+#[test]
+fn shard_stats_populated() {
+    let c = run(quiet(2), 2, &[200_000]);
+    let stats = c.shard_stats().expect("sharded path must have run");
+    assert_eq!(stats.shards, 2);
+    assert!(stats.windows > 0);
+    assert!(stats.barriers > stats.windows, "3 barriers per run round");
+    assert!(
+        stats.mail_events > 0,
+        "cross-node traffic must cross shards: {stats:?}"
+    );
+    assert!(!stats.unlinked);
+    assert_eq!(
+        stats.rollbacks, 0,
+        "silent post-exit queues cannot overshoot"
+    );
+}
+
+/// Zero cross-node link latency means zero lookahead: the run must fall
+/// back to the serial engine rather than spin on zero-width windows.
+#[test]
+fn zero_latency_topology_stays_serial() {
+    let mut spec = quiet(2);
+    spec.fabric_latency_ns = 0;
+    let reference = run(spec.clone(), 1, &[80_000]);
+    let requested = run(spec, 4, &[80_000]);
+    assert!(
+        requested.shard_stats().is_none(),
+        "zero lookahead must stay serial"
+    );
+    assert_eq!(reference.state_digest(), requested.state_digest());
+}
+
+/// A single node cannot shard (no cross-node boundary to cut).
+#[test]
+fn single_node_stays_serial() {
+    let mut c = Cluster::new(quiet(1));
+    c.set_shards(4);
+    c.spawn(
+        0,
+        TaskSpec::app("p0", Box::new(OpList::new(vec![Op::Compute(5_000_000)]))),
+    );
+    c.run_until_apps_exit(600 * NS_PER_SEC);
+    assert!(c.shard_stats().is_none());
+}
+
+/// Requesting more shards than nodes clamps to the node count.
+#[test]
+fn shards_clamp_to_node_count() {
+    let c = run(quiet(2), 16, &[40_000]);
+    assert_eq!(c.shard_stats().expect("sharded").shards, 2);
+}
+
+/// An unlinked topology (apps but no cross-node connections) takes the
+/// independent-shards path, including shards that host no apps at all.
+#[test]
+fn unlinked_mode_runs_independent_shards() {
+    let mut spec = quiet(3);
+    spec.noise = NoiseSpec::default();
+    let drive = |c: &mut Cluster| {
+        // Apps only on node 0: shards 1 and 2 idle through phase 1.
+        c.spawn(
+            0,
+            TaskSpec::app(
+                "p0",
+                Box::new(OpList::new(vec![
+                    Op::Compute(40_000_000),
+                    Op::Sleep(5_000_000),
+                ])),
+            ),
+        );
+        c.run_until_apps_exit(600 * NS_PER_SEC);
+    };
+    let mut serial = Cluster::new(spec.clone());
+    drive(&mut serial);
+    let mut sharded = Cluster::new(spec);
+    sharded.set_shards(3);
+    drive(&mut sharded);
+    assert_eq!(serial.now(), sharded.now());
+    assert_eq!(serial.state_digest(), sharded.state_digest());
+    let stats = sharded.shard_stats().expect("sharded path must have run");
+    assert!(stats.unlinked);
+    assert_eq!(stats.mail_events, 0);
+}
+
+/// The deadline panic must survive sharding with the serial engine's exact
+/// message (the sharded runner merges back and lets the serial loop fail).
+#[test]
+#[should_panic(expected = "virtual deadline")]
+fn sharded_deadline_panics_like_serial() {
+    let mut c = Cluster::new(quiet(2));
+    c.set_shards(2);
+    let conn = c.open_conn(0, 1);
+    // A receiver with no sender: blocks forever on rx data.
+    c.spawn(
+        1,
+        TaskSpec::app(
+            "stuck",
+            Box::new(OpList::new(vec![Op::Recv { conn, bytes: 1_000 }])),
+        ),
+    );
+    c.run_until_apps_exit(NS_PER_SEC / 10);
+}
+
+/// Digest stability across repeated runs of the same sharded config (guards
+/// against nondeterministic thread interleaving leaking into state).
+#[test]
+fn sharded_runs_are_reproducible() {
+    let msgs = [30_000u64, 90_000, 250_000];
+    let a = run(quiet(4), 4, &msgs);
+    let b = run(quiet(4), 4, &msgs);
+    assert_eq!(a.now(), b.now());
+    assert_eq!(a.state_digest(), b.state_digest());
+    assert_eq!(a.shard_stats(), b.shard_stats());
+}

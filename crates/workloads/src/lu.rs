@@ -121,6 +121,7 @@ impl LuParams {
 }
 
 /// One rank of the LU skeleton.
+#[derive(Clone)]
 pub struct LuApp {
     p: LuParams,
     /// This rank (useful to callers composing jobs by hand).
@@ -276,6 +277,10 @@ impl MpiApp for LuApp {
             }
             self.gen_iteration();
         }
+    }
+
+    fn clone_app(&self) -> Box<dyn MpiApp> {
+        Box::new(self.clone())
     }
 }
 

@@ -95,6 +95,7 @@ const OCTANTS: [(i64, i64); 8] = [
 ];
 
 /// One rank of the Sweep3D skeleton.
+#[derive(Clone)]
 pub struct SweepApp {
     p: SweepParams,
     x: u32,
@@ -198,6 +199,10 @@ impl MpiApp for SweepApp {
             }
             self.gen_iteration();
         }
+    }
+
+    fn clone_app(&self) -> Box<dyn MpiApp> {
+        Box::new(self.clone())
     }
 }
 
