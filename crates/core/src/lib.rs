@@ -40,6 +40,9 @@ pub use control::{GroupSet, InstrumentationControl, OverheadModel, ProbeStatus};
 pub use event::{EventDesc, EventId, EventKind, EventRegistry, Group};
 pub use measure::{MergedStats, ProbeCost, ProbeEngine, TaskMeasurement};
 pub use profile::{AtomicStats, EntryExitStats, Profile, ProfileError};
-pub use snapshot::{ProfileSnapshot, TraceSnapshot};
+pub use snapshot::{
+    apply_delta, decode_delta, encode_delta, profile_delta, CodecError, ProfileDelta,
+    ProfileSnapshot, SectionDelta, TraceSnapshot,
+};
 pub use time::{CpuFreq, Cycles, HostClock, Ns, TimeSource};
 pub use trace::{TraceBuffer, TracePoint, TraceRecord};

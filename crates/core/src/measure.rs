@@ -134,7 +134,7 @@ impl WallTable {
 }
 
 /// Measurement state attached to each task's process control block.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct TaskMeasurement {
     /// Kernel-mode profile (KTAU).
     pub kernel: Profile,
@@ -152,6 +152,28 @@ pub struct TaskMeasurement {
     /// activations and scheduling intervals only) — the basis for the
     /// merged view's corrected "true exclusive time".
     pub wall: WallTable,
+    /// Dirty-marking generation: bumped on every enabled probe that touches
+    /// this state.  The KTAUD service compares it against the generation it
+    /// last observed to skip unchanged profiles without capturing them.
+    /// Engine-dependent (the dynticks fold bumps once per batch where the
+    /// reference engine bumps per tick), so it is deliberately excluded from
+    /// the cross-engine state digest via the manual [`std::fmt::Debug`] impl.
+    gen: u64,
+}
+
+// Reproduces the derived `Debug` output for the pre-`gen` field set:
+// `Cluster::state_digest` hashes this text, and the digest must stay
+// engine-independent while `gen` is not.
+impl std::fmt::Debug for TaskMeasurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskMeasurement")
+            .field("kernel", &self.kernel)
+            .field("user", &self.user)
+            .field("trace", &self.trace)
+            .field("merged", &self.merged)
+            .field("wall", &self.wall)
+            .finish()
+    }
 }
 
 impl TaskMeasurement {
@@ -186,6 +208,21 @@ impl TaskMeasurement {
     /// Merged stats for a specific (user routine, kernel event) pair.
     pub fn merged_stats(&self, user: Option<EventId>, kernel: EventId) -> MergedStats {
         self.merged.get((user, kernel)).copied().unwrap_or_default()
+    }
+
+    /// The dirty-marking generation: changes whenever measurement state may
+    /// have changed since the last time a caller recorded the value.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Marks the state dirty.  Probe paths bump this automatically; direct
+    /// mutators outside the probe engine (e.g. the profile-reset control op)
+    /// must call it so observers notice the change.
+    #[inline]
+    pub fn mark_dirty(&mut self) {
+        self.gen += 1;
     }
 }
 
@@ -304,6 +341,7 @@ impl ProbeEngine {
             ProbeStatus::CompiledOut => ProbeCost(0),
             ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
             ProbeStatus::Enabled => {
+                m.gen += 1;
                 m.kernel.start(ev, now);
                 let t = self.trace_push(m, ev, TracePoint::Entry, now);
                 ProbeCost(self.overhead.start_cycles + t)
@@ -327,6 +365,7 @@ impl ProbeEngine {
             ProbeStatus::CompiledOut => ProbeCost(0),
             ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
             ProbeStatus::Enabled => {
+                m.gen += 1;
                 match m.kernel.stop(ev, now) {
                     Ok(info) => {
                         // Attribute the event's own time (minus nested
@@ -366,6 +405,7 @@ impl ProbeEngine {
             ProbeStatus::CompiledOut => ProbeCost(0),
             ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
             ProbeStatus::Enabled => {
+                m.gen += 1;
                 m.kernel.atomic(ev, value);
                 let t = self.trace_push(m, ev, TracePoint::Atomic(value), now);
                 ProbeCost(self.overhead.atomic_cycles + t)
@@ -388,6 +428,7 @@ impl ProbeEngine {
             ProbeStatus::CompiledOut => ProbeCost(0),
             ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
             ProbeStatus::Enabled => {
+                m.gen += 1;
                 m.kernel.add_interval(ev, duration);
                 m.merged_add(ev, duration);
                 m.wall_add(duration);
@@ -445,6 +486,11 @@ impl ProbeEngine {
         }
         let outer_on = so == ProbeStatus::Enabled;
         let inner_on = si == ProbeStatus::Enabled;
+        if outer_on || inner_on {
+            // One bump per fold, not per folded tick: the count is
+            // engine-dependent either way and only inequality matters.
+            m.gen += 1;
+        }
         let user = m.user.top();
         match (outer_on, inner_on) {
             (true, true) => {
@@ -493,6 +539,7 @@ impl ProbeEngine {
             ProbeStatus::CompiledOut => ProbeCost(0),
             ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
             ProbeStatus::Enabled => {
+                m.gen += 1;
                 m.user.start(ev, now);
                 let t = self.trace_push(m, ev, TracePoint::Entry, now);
                 ProbeCost(self.overhead.start_cycles + t)
@@ -514,6 +561,7 @@ impl ProbeEngine {
             ProbeStatus::CompiledOut => ProbeCost(0),
             ProbeStatus::Disabled => ProbeCost(self.overhead.disabled_check_cycles),
             ProbeStatus::Enabled => {
+                m.gen += 1;
                 if let Err(e) = m.user.stop(ev, now) {
                     debug_assert!(false, "user probe nesting error: {e}");
                 }
@@ -658,6 +706,33 @@ mod tests {
         let mut m = TaskMeasurement::profiling();
         eng.kernel_atomic(&mut m, ev(3), Group::Tcp, 1460, 7);
         assert_eq!(m.kernel.atomic_stats(ev(3)).sum, 1460);
+    }
+
+    #[test]
+    fn generation_tracks_enabled_probes_only() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        let g0 = m.generation();
+        eng.kernel_entry(&mut m, ev(0), Group::Syscall, 0);
+        eng.kernel_exit(&mut m, ev(0), Group::Syscall, 10);
+        assert!(m.generation() > g0, "enabled probes must mark dirty");
+        let off = ProbeEngine::new(InstrumentationControl::ktau_off(), OverheadModel::default());
+        let g1 = m.generation();
+        off.kernel_entry(&mut m, ev(0), Group::Syscall, 20);
+        off.kernel_atomic(&mut m, ev(1), Group::Tcp, 5, 30);
+        assert_eq!(m.generation(), g1, "disabled probes must not mark dirty");
+        eng.kernel_pair_batch(&mut m, ev(2), Group::Irq, ev(3), Group::Timer, 10, 4);
+        assert!(m.generation() > g1, "the dynticks fold must mark dirty");
+    }
+
+    #[test]
+    fn debug_format_excludes_generation() {
+        // The cross-engine state digest hashes `{:?}` of this struct; the
+        // engine-dependent generation must be invisible to it.
+        let mut m = TaskMeasurement::profiling();
+        let before = format!("{m:?}");
+        m.mark_dirty();
+        assert_eq!(before, format!("{m:?}"));
     }
 
     #[test]

@@ -277,6 +277,12 @@ pub enum CodecError {
     Truncated,
     /// A string field was not valid UTF-8 / a field failed to parse.
     BadField(&'static str),
+    /// The input decoded completely but unread bytes remained — corrupt or
+    /// concatenated data that a session-less reader must not silently accept.
+    TrailingBytes,
+    /// A delta was applied against the wrong baseline: identity fields
+    /// disagree or the reconstruction failed the delta's check digest.
+    DeltaMismatch,
 }
 
 impl std::fmt::Display for CodecError {
@@ -286,6 +292,8 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported KTAU binary version {v}"),
             CodecError::Truncated => write!(f, "truncated KTAU data"),
             CodecError::BadField(s) => write!(f, "malformed field: {s}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after KTAU data"),
+            CodecError::DeltaMismatch => write!(f, "delta does not match its baseline"),
         }
     }
 }
@@ -391,6 +399,73 @@ fn read_event_row(r: &mut Reader<'_>) -> Result<EventRow, CodecError> {
     })
 }
 
+fn write_atomic_row(w: &mut Writer, r: &AtomicRow) {
+    w.str(&r.name);
+    w.u8(group_to_u8(r.group));
+    w.u64(r.stats.count);
+    w.u64(r.stats.sum);
+    w.u64(r.stats.min);
+    w.u64(r.stats.max);
+}
+
+fn read_atomic_row(r: &mut Reader<'_>) -> Result<AtomicRow, CodecError> {
+    Ok(AtomicRow {
+        name: r.str()?,
+        group: group_from_u8(r.u8()?)?,
+        stats: AtomicStats {
+            count: r.u64()?,
+            sum: r.u64()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        },
+    })
+}
+
+fn write_opt_str(w: &mut Writer, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            w.u8(1);
+            w.str(s);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_opt_str(r: &mut Reader<'_>, what: &'static str) -> Result<Option<String>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str()?)),
+        _ => Err(CodecError::BadField(what)),
+    }
+}
+
+fn write_merged_row(w: &mut Writer, r: &MergedRow) {
+    write_opt_str(w, &r.user);
+    w.str(&r.kernel);
+    w.u8(group_to_u8(r.kernel_group));
+    w.u64(r.count);
+    w.u64(r.ns);
+}
+
+fn read_merged_row(r: &mut Reader<'_>) -> Result<MergedRow, CodecError> {
+    Ok(MergedRow {
+        user: read_opt_str(r, "merged user tag")?,
+        kernel: r.str()?,
+        kernel_group: group_from_u8(r.u8()?)?,
+        count: r.u64()?,
+        ns: r.u64()?,
+    })
+}
+
+fn write_wall_row(w: &mut Writer, r: &(Option<String>, Ns)) {
+    write_opt_str(w, &r.0);
+    w.u64(r.1);
+}
+
+fn read_wall_row(r: &mut Reader<'_>) -> Result<(Option<String>, Ns), CodecError> {
+    Ok((read_opt_str(r, "wall user tag")?, r.u64()?))
+}
+
 /// Encodes a profile snapshot into the KTAU binary wire format.
 pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     let mut w = Writer::new();
@@ -406,12 +481,7 @@ pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     }
     w.u32(p.kernel_atomics.len() as u32);
     for r in &p.kernel_atomics {
-        w.str(&r.name);
-        w.u8(group_to_u8(r.group));
-        w.u64(r.stats.count);
-        w.u64(r.stats.sum);
-        w.u64(r.stats.min);
-        w.u64(r.stats.max);
+        write_atomic_row(&mut w, r);
     }
     w.u32(p.user_events.len() as u32);
     for r in &p.user_events {
@@ -419,28 +489,11 @@ pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     }
     w.u32(p.merged.len() as u32);
     for r in &p.merged {
-        match &r.user {
-            Some(u) => {
-                w.u8(1);
-                w.str(u);
-            }
-            None => w.u8(0),
-        }
-        w.str(&r.kernel);
-        w.u8(group_to_u8(r.kernel_group));
-        w.u64(r.count);
-        w.u64(r.ns);
+        write_merged_row(&mut w, r);
     }
     w.u32(p.kernel_wall.len() as u32);
-    for (u, ns) in &p.kernel_wall {
-        match u {
-            Some(u) => {
-                w.u8(1);
-                w.str(u);
-            }
-            None => w.u8(0),
-        }
-        w.u64(*ns);
+    for r in &p.kernel_wall {
+        write_wall_row(&mut w, r);
     }
     w.buf
 }
@@ -467,16 +520,7 @@ pub fn decode_profile(bytes: &[u8]) -> Result<ProfileSnapshot, CodecError> {
     let n = r.u32()? as usize;
     let mut kernel_atomics = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
-        kernel_atomics.push(AtomicRow {
-            name: r.str()?,
-            group: group_from_u8(r.u8()?)?,
-            stats: AtomicStats {
-                count: r.u64()?,
-                sum: r.u64()?,
-                min: r.u64()?,
-                max: r.u64()?,
-            },
-        });
+        kernel_atomics.push(read_atomic_row(&mut r)?);
     }
     let n = r.u32()? as usize;
     let mut user_events = Vec::with_capacity(n.min(4096));
@@ -486,28 +530,15 @@ pub fn decode_profile(bytes: &[u8]) -> Result<ProfileSnapshot, CodecError> {
     let n = r.u32()? as usize;
     let mut merged = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
-        let user = match r.u8()? {
-            0 => None,
-            1 => Some(r.str()?),
-            _ => return Err(CodecError::BadField("merged user tag")),
-        };
-        merged.push(MergedRow {
-            user,
-            kernel: r.str()?,
-            kernel_group: group_from_u8(r.u8()?)?,
-            count: r.u64()?,
-            ns: r.u64()?,
-        });
+        merged.push(read_merged_row(&mut r)?);
     }
     let n = r.u32()? as usize;
     let mut kernel_wall = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
-        let user = match r.u8()? {
-            0 => None,
-            1 => Some(r.str()?),
-            _ => return Err(CodecError::BadField("wall user tag")),
-        };
-        kernel_wall.push((user, r.u64()?));
+        kernel_wall.push(read_wall_row(&mut r)?);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes);
     }
     Ok(ProfileSnapshot {
         pid,
@@ -520,6 +551,240 @@ pub fn decode_profile(bytes: &[u8]) -> Result<ProfileSnapshot, CodecError> {
         merged,
         kernel_wall,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Incremental deltas (KTAUD monitoring service)
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every binary-encoded profile delta.
+pub const DELTA_MAGIC: &[u8; 4] = b"KTAD";
+/// Delta format version.
+pub const DELTA_VERSION: u16 = 1;
+
+/// An index-based diff of one snapshot section: the rows whose content
+/// changed (or that are new) since the baseline, plus the section's new
+/// length.  Profile sections are append-mostly (a row's identity is its
+/// position; `Profile` hands out dense ids and `capture` sorts stably), so
+/// positional diffs stay small for steady-state sweeps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SectionDelta<T> {
+    /// Length of the section after applying the delta (sections shrink only
+    /// on profile reset).
+    pub new_len: u32,
+    /// `(index, new row)` pairs for every changed or appended row.
+    pub changed: Vec<(u32, T)>,
+}
+
+impl<T: Clone + PartialEq> SectionDelta<T> {
+    fn diff(base: &[T], new: &[T]) -> Self {
+        let mut changed = Vec::new();
+        for (i, row) in new.iter().enumerate() {
+            if base.get(i) != Some(row) {
+                changed.push((i as u32, row.clone()));
+            }
+        }
+        SectionDelta {
+            new_len: new.len() as u32,
+            changed,
+        }
+    }
+
+    fn apply(&self, base: &[T]) -> Result<Vec<T>, CodecError> {
+        let n = self.new_len as usize;
+        let mut out: Vec<Option<T>> = base.iter().take(n).cloned().map(Some).collect();
+        out.resize(n, None);
+        for (i, row) in &self.changed {
+            let slot = out.get_mut(*i as usize).ok_or(CodecError::DeltaMismatch)?;
+            *slot = Some(row.clone());
+        }
+        // Appended positions beyond the baseline must all have been shipped.
+        out.into_iter()
+            .map(|r| r.ok_or(CodecError::DeltaMismatch))
+            .collect()
+    }
+}
+
+/// An incremental update from one profile snapshot (`base_seq`) to the next
+/// (`seq`), as shipped by the KTAUD monitoring service to a subscribed
+/// client.  The `check` digest is FNV-1a over the *binary encoding of the
+/// full new snapshot*: [`apply_delta`] re-encodes its reconstruction and
+/// verifies it, making `apply(base, delta) == full` a checked invariant —
+/// a client can never silently drift from the server's view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDelta {
+    /// Process id (must match the baseline's).
+    pub pid: u32,
+    /// Node the process runs on (must match the baseline's).
+    pub node: u32,
+    /// Sequence number of the baseline snapshot this delta applies to.
+    pub base_seq: u64,
+    /// Sequence number of the snapshot reached after applying this delta.
+    pub seq: u64,
+    /// Virtual time of the new snapshot.
+    pub taken_ns: Ns,
+    /// New command name when it changed, `None` otherwise.
+    pub comm: Option<String>,
+    /// Kernel entry/exit row changes.
+    pub kernel_events: SectionDelta<EventRow>,
+    /// Kernel atomic row changes.
+    pub kernel_atomics: SectionDelta<AtomicRow>,
+    /// User (TAU) row changes.
+    pub user_events: SectionDelta<EventRow>,
+    /// Merged-attribution row changes.
+    pub merged: SectionDelta<MergedRow>,
+    /// Kernel wall-time row changes.
+    pub kernel_wall: SectionDelta<(Option<String>, Ns)>,
+    /// FNV-1a digest of `encode_profile(full new snapshot)`.
+    pub check: u64,
+}
+
+impl ProfileDelta {
+    /// Total number of changed rows across all sections — the payload a
+    /// client actually receives beyond the fixed header.
+    pub fn changed_rows(&self) -> usize {
+        self.kernel_events.changed.len()
+            + self.kernel_atomics.changed.len()
+            + self.user_events.changed.len()
+            + self.merged.changed.len()
+            + self.kernel_wall.changed.len()
+    }
+}
+
+/// FNV-1a digest of a snapshot's binary encoding — the delta check value.
+pub fn profile_check_digest(p: &ProfileSnapshot) -> u64 {
+    let mut h = crate::digest::FNV_OFFSET;
+    crate::digest::fnv_bytes(&mut h, &encode_profile(p));
+    h
+}
+
+/// Computes the delta from `base` (sequence `base_seq`) to `new` (sequence
+/// `seq`).  Both snapshots must describe the same process on the same node.
+pub fn profile_delta(
+    base: &ProfileSnapshot,
+    new: &ProfileSnapshot,
+    base_seq: u64,
+    seq: u64,
+) -> ProfileDelta {
+    debug_assert_eq!(base.pid, new.pid, "delta across different pids");
+    debug_assert_eq!(base.node, new.node, "delta across different nodes");
+    ProfileDelta {
+        pid: new.pid,
+        node: new.node,
+        base_seq,
+        seq,
+        taken_ns: new.taken_ns,
+        comm: (base.comm != new.comm).then(|| new.comm.clone()),
+        kernel_events: SectionDelta::diff(&base.kernel_events, &new.kernel_events),
+        kernel_atomics: SectionDelta::diff(&base.kernel_atomics, &new.kernel_atomics),
+        user_events: SectionDelta::diff(&base.user_events, &new.user_events),
+        merged: SectionDelta::diff(&base.merged, &new.merged),
+        kernel_wall: SectionDelta::diff(&base.kernel_wall, &new.kernel_wall),
+        check: profile_check_digest(new),
+    }
+}
+
+/// Reconstructs the full snapshot `delta` describes from its baseline.
+///
+/// Fails with [`CodecError::DeltaMismatch`] when the baseline is not the one
+/// the delta was computed against: identity fields disagree, an appended row
+/// is missing, or — the catch-all — the reconstruction's binary encoding
+/// does not hash to the delta's `check` digest.
+pub fn apply_delta(
+    base: &ProfileSnapshot,
+    delta: &ProfileDelta,
+) -> Result<ProfileSnapshot, CodecError> {
+    if base.pid != delta.pid || base.node != delta.node {
+        return Err(CodecError::DeltaMismatch);
+    }
+    let full = ProfileSnapshot {
+        pid: delta.pid,
+        comm: delta.comm.clone().unwrap_or_else(|| base.comm.clone()),
+        node: delta.node,
+        taken_ns: delta.taken_ns,
+        kernel_events: delta.kernel_events.apply(&base.kernel_events)?,
+        kernel_atomics: delta.kernel_atomics.apply(&base.kernel_atomics)?,
+        user_events: delta.user_events.apply(&base.user_events)?,
+        merged: delta.merged.apply(&base.merged)?,
+        kernel_wall: delta.kernel_wall.apply(&base.kernel_wall)?,
+    };
+    if profile_check_digest(&full) != delta.check {
+        return Err(CodecError::DeltaMismatch);
+    }
+    Ok(full)
+}
+
+fn write_section<T>(w: &mut Writer, s: &SectionDelta<T>, write_row: impl Fn(&mut Writer, &T)) {
+    w.u32(s.new_len);
+    w.u32(s.changed.len() as u32);
+    for (i, row) in &s.changed {
+        w.u32(*i);
+        write_row(w, row);
+    }
+}
+
+fn read_section<T>(
+    r: &mut Reader<'_>,
+    read_row: impl Fn(&mut Reader<'_>) -> Result<T, CodecError>,
+) -> Result<SectionDelta<T>, CodecError> {
+    let new_len = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut changed = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let i = r.u32()?;
+        changed.push((i, read_row(r)?));
+    }
+    Ok(SectionDelta { new_len, changed })
+}
+
+/// Encodes a profile delta into the versioned binary wire format.
+pub fn encode_delta(d: &ProfileDelta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(DELTA_MAGIC);
+    w.u16(DELTA_VERSION);
+    w.u32(d.pid);
+    w.u32(d.node);
+    w.u64(d.base_seq);
+    w.u64(d.seq);
+    w.u64(d.taken_ns);
+    write_opt_str(&mut w, &d.comm);
+    write_section(&mut w, &d.kernel_events, write_event_row);
+    write_section(&mut w, &d.kernel_atomics, write_atomic_row);
+    write_section(&mut w, &d.user_events, write_event_row);
+    write_section(&mut w, &d.merged, write_merged_row);
+    write_section(&mut w, &d.kernel_wall, write_wall_row);
+    w.u64(d.check);
+    w.buf
+}
+
+/// Decodes a binary profile delta, rejecting trailing bytes.
+pub fn decode_delta(bytes: &[u8]) -> Result<ProfileDelta, CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != DELTA_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let ver = r.u16()?;
+    if ver != DELTA_VERSION {
+        return Err(CodecError::BadVersion(ver));
+    }
+    let d = ProfileDelta {
+        pid: r.u32()?,
+        node: r.u32()?,
+        base_seq: r.u64()?,
+        seq: r.u64()?,
+        taken_ns: r.u64()?,
+        comm: read_opt_str(&mut r, "delta comm tag")?,
+        kernel_events: read_section(&mut r, read_event_row)?,
+        kernel_atomics: read_section(&mut r, read_atomic_row)?,
+        user_events: read_section(&mut r, read_event_row)?,
+        merged: read_section(&mut r, read_merged_row)?,
+        kernel_wall: read_section(&mut r, read_wall_row)?,
+        check: r.u64()?,
+    };
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes);
+    }
+    Ok(d)
 }
 
 // ---------------------------------------------------------------------------
@@ -809,6 +1074,108 @@ mod tests {
                 "decode of {cut}-byte prefix should fail"
             );
         }
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let p = sample_snapshot();
+        let mut bytes = encode_profile(&p);
+        bytes.push(0);
+        assert_eq!(decode_profile(&bytes), Err(CodecError::TrailingBytes));
+        // Two concatenated valid profiles are not one valid profile.
+        let mut twice = encode_profile(&p);
+        twice.extend_from_slice(&encode_profile(&p));
+        assert_eq!(decode_profile(&twice), Err(CodecError::TrailingBytes));
+    }
+
+    /// A second snapshot derived from the sample by more probe activity.
+    fn grown_snapshot() -> ProfileSnapshot {
+        let mut p = sample_snapshot();
+        p.taken_ns += 5_000;
+        p.kernel_events[0].stats.count += 3;
+        p.kernel_events[0].stats.incl_ns += 900;
+        p.kernel_events.push(EventRow {
+            name: "do_irq".into(),
+            group: Group::Irq,
+            stats: EntryExitStats {
+                count: 1,
+                incl_ns: 50,
+                excl_ns: 50,
+                min_incl_ns: 50,
+                max_incl_ns: 50,
+            },
+        });
+        p
+    }
+
+    #[test]
+    fn delta_apply_reconstructs_full_snapshot() {
+        let base = sample_snapshot();
+        let new = grown_snapshot();
+        let d = profile_delta(&base, &new, 3, 4);
+        assert_eq!(d.base_seq, 3);
+        assert_eq!(d.seq, 4);
+        // Only the touched + appended kernel rows ship.
+        assert_eq!(d.kernel_events.changed.len(), 2);
+        assert!(d.kernel_atomics.changed.is_empty());
+        let full = apply_delta(&base, &d).unwrap();
+        assert_eq!(full, new);
+        assert_eq!(encode_profile(&full), encode_profile(&new));
+    }
+
+    #[test]
+    fn delta_against_wrong_baseline_is_rejected() {
+        let base = sample_snapshot();
+        let new = grown_snapshot();
+        let d = profile_delta(&base, &new, 0, 1);
+        // A baseline whose unchanged rows differ fails the check digest.
+        let mut wrong = base.clone();
+        wrong.kernel_atomics[0].stats.sum += 1;
+        assert_eq!(apply_delta(&wrong, &d), Err(CodecError::DeltaMismatch));
+        // A different process entirely fails on identity.
+        let mut other = base.clone();
+        other.pid += 1;
+        assert_eq!(apply_delta(&other, &d), Err(CodecError::DeltaMismatch));
+    }
+
+    #[test]
+    fn delta_handles_shrinking_sections_on_reset() {
+        // A profile reset empties the sections; the delta must carry that.
+        let base = grown_snapshot();
+        let mut reset = base.clone();
+        reset.kernel_events.clear();
+        reset.user_events.clear();
+        reset.merged.clear();
+        reset.taken_ns += 1;
+        let d = profile_delta(&base, &reset, 7, 8);
+        assert_eq!(d.kernel_events.new_len, 0);
+        assert_eq!(apply_delta(&base, &d).unwrap(), reset);
+    }
+
+    #[test]
+    fn delta_binary_roundtrip_and_rejections() {
+        let base = sample_snapshot();
+        let new = grown_snapshot();
+        let d = profile_delta(&base, &new, 1, 2);
+        let bytes = encode_delta(&d);
+        assert_eq!(decode_delta(&bytes).unwrap(), d);
+        // Truncation sweep: every strict prefix fails.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_delta(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte delta prefix should fail"
+            );
+        }
+        // Trailing bytes fail.
+        let mut padded = bytes.clone();
+        padded.push(7);
+        assert_eq!(decode_delta(&padded), Err(CodecError::TrailingBytes));
+        // Profile and delta magics are not interchangeable.
+        assert_eq!(decode_profile(&bytes), Err(CodecError::BadMagic));
+        assert_eq!(
+            decode_delta(&encode_profile(&base)),
+            Err(CodecError::BadMagic)
+        );
     }
 
     #[test]

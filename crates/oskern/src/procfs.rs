@@ -106,6 +106,27 @@ impl Node {
         self.pids()
     }
 
+    /// Lists live (non-zombie) pids only — the O(active) iteration the KTAUD
+    /// monitoring service sweeps, skipping dead tasks awaiting reaping.
+    pub fn proc_live_pids(&self) -> Vec<Pid> {
+        self.pids()
+            .into_iter()
+            .filter(|&p| self.task(p).is_some_and(|t| t.state != TaskState::Dead))
+            .collect()
+    }
+
+    /// `/proc/ktau/gen`: the dirty-marking generation of one task's
+    /// measurement state.  Cheap (no capture, no encode); a monitoring
+    /// client that remembers the last value it saw can skip unchanged
+    /// profiles entirely.
+    pub fn profile_gen(&self, pid: Pid) -> Result<u64, ProcError> {
+        Ok(self
+            .task(pid)
+            .ok_or(ProcError::NoSuchPid(pid))?
+            .meas
+            .generation())
+    }
+
     /// Reaps a zombie: discards a dead task's retained measurement state.
     /// Returns whether anything was removed.
     pub fn reap(&mut self, pid: Pid) -> bool {
@@ -262,6 +283,29 @@ mod tests {
         assert!(c.node_mut(0).reap(pid));
         assert!(c.node(0).proc_profile_size(pid, now).is_err());
         assert!(!c.node_mut(0).reap(pid));
+    }
+
+    #[test]
+    fn live_pids_exclude_zombies_and_gen_tracks_activity() {
+        let mut c = tiny_cluster();
+        let pid = c.spawn(
+            0,
+            TaskSpec::app("w", Box::new(OpList::new(vec![Op::SyscallNull]))),
+        );
+        let g0 = c.node(0).profile_gen(pid).unwrap();
+        assert!(c.node(0).proc_live_pids().contains(&pid));
+        c.run_until_apps_exit(1_000_000_000);
+        assert!(
+            c.node(0).profile_gen(pid).unwrap() > g0,
+            "probe activity must advance the generation"
+        );
+        // Dead but unreaped: visible to proc_pids, not to the live sweep.
+        assert!(c.node(0).proc_pids().contains(&pid));
+        assert!(!c.node(0).proc_live_pids().contains(&pid));
+        assert_eq!(
+            c.node(0).profile_gen(Pid(9999)),
+            Err(ProcError::NoSuchPid(Pid(9999)))
+        );
     }
 
     #[test]

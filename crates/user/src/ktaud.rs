@@ -9,11 +9,40 @@
 //!   `/proc/ktau` (this is the perturbation a daemon-based model causes —
 //!   one of the paper's arguments for daemon-less self-profiling);
 //! * the **collection**: snapshots taken through libKtau at each period.
+//!
+//! Two collection front-ends share that machinery:
+//!
+//! * [`Ktaud`] — the step-loop harness: every sweep reads *full* profiles
+//!   for every process into an in-memory history (the paper's original
+//!   periodic-dump design, fine at Chiba-City's 128 nodes);
+//! * [`KtaudService`] — the long-running monitoring service: per-client
+//!   subscription sessions with poll cursors, incremental
+//!   [`ProfileDelta`](ktau_core::snapshot::ProfileDelta)s instead of full
+//!   dumps, and an O(active) sweep that skips unchanged profiles via the
+//!   kernel's dirty-marking generation — the same design grown to
+//!   thousand-node scale with many concurrent observers.
 
-use crate::libktau::{ktau_get_profiles, AccessMode, KtauError};
-use ktau_core::snapshot::ProfileSnapshot;
+use crate::libktau::{ktau_get_profile, ktau_get_profiles, AccessMode, KtauError};
+use ktau_core::snapshot::{
+    apply_delta, decode_delta, decode_profile, encode_delta, encode_profile, profile_delta,
+    ProfileSnapshot,
+};
 use ktau_core::time::Ns;
-use ktau_oskern::{Cluster, LoopProgram, Op, Pid, TaskSpec};
+use ktau_oskern::{Cluster, FnProgram, Op, Pid, TaskKind, TaskSpec};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed per-wake cost of waking up and opening `/proc/ktau`.
+const SWEEP_BASE_NS: Ns = 500_000;
+/// Marginal cost of sizing + reading one live task's profile.
+const SWEEP_PER_TASK_NS: Ns = 250_000;
+
+/// CPU nanoseconds one daemon wake costs when `live_tasks` profiles are
+/// walked — the model behind the on-node perturbation.
+fn sweep_cost_ns(live_tasks: usize) -> Ns {
+    SWEEP_BASE_NS + SWEEP_PER_TASK_NS * live_tasks as u64
+}
 
 /// A periodic collection of every monitored node's profiles.
 #[derive(Debug, Clone)]
@@ -30,6 +59,10 @@ pub struct Ktaud {
     mode: AccessMode,
     nodes: Vec<u32>,
     daemon_pids: Vec<(u32, Pid)>,
+    /// Per node: the shared cell the daemon reads its next wake's sweep cost
+    /// (in ns) from.  Updated before every period from the live-task count,
+    /// so daemon perturbation tracks load instead of freezing at install.
+    cost_cells: Vec<(u32, Arc<AtomicU64>)>,
     /// Collected history.
     pub history: Vec<KtaudSample>,
 }
@@ -39,19 +72,40 @@ impl Ktaud {
     /// processes and prepares collection with the given period and mode.
     pub fn install(cluster: &mut Cluster, nodes: &[u32], period_ns: Ns, mode: AccessMode) -> Self {
         let mut daemon_pids = Vec::new();
+        let mut cost_cells = Vec::new();
         for &n in nodes {
-            // The daemon sleeps for a period, then spends ~2 ms of CPU
-            // reading and serializing /proc/ktau for all processes.
-            let cost_cycles = cluster.node(n).freq.ns_to_cycles(2_000_000);
-            let prog = LoopProgram::new(vec![Op::Sleep(period_ns), Op::Compute(cost_cycles)]);
+            // The daemon sleeps for a period, then burns the CPU cost of
+            // walking `/proc/ktau` for every live process.  The cost is
+            // re-read from the shared cell and converted to cycles at every
+            // wake: it scales with how many tasks the node is running, and
+            // the resulting compute chunk goes through the node's normal
+            // busy path, where CPU-degradation faults stretch it.
+            let cell = Arc::new(AtomicU64::new(sweep_cost_ns(
+                cluster.node(n).proc_live_pids().len(),
+            )));
+            let freq = cluster.node(n).freq;
+            let prog = {
+                let cell = Arc::clone(&cell);
+                let mut sleeping = false;
+                FnProgram(move || {
+                    sleeping = !sleeping;
+                    if sleeping {
+                        Op::Sleep(period_ns)
+                    } else {
+                        Op::Compute(freq.ns_to_cycles(cell.load(Ordering::Relaxed)))
+                    }
+                })
+            };
             let pid = cluster.spawn(n, TaskSpec::daemon("ktaud", Box::new(prog)));
             daemon_pids.push((n, pid));
+            cost_cells.push((n, cell));
         }
         Ktaud {
             period_ns,
             mode,
             nodes: nodes.to_vec(),
             daemon_pids,
+            cost_cells,
             history: Vec::new(),
         }
     }
@@ -61,9 +115,30 @@ impl Ktaud {
         &self.daemon_pids
     }
 
+    /// The monitored nodes.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// The sweep period.
+    pub fn period_ns(&self) -> Ns {
+        self.period_ns
+    }
+
+    /// Advances the cluster one period with the daemons' wake costs updated
+    /// to the current live-task counts — the shared on-node half of a sweep,
+    /// without any collection.
+    pub fn advance(&mut self, cluster: &mut Cluster) {
+        for (n, cell) in &self.cost_cells {
+            let live = cluster.node(*n).proc_live_pids().len();
+            cell.store(sweep_cost_ns(live), Ordering::Relaxed);
+        }
+        cluster.run_for(self.period_ns);
+    }
+
     /// Advances the cluster one period and takes a sweep of snapshots.
     pub fn step(&mut self, cluster: &mut Cluster) -> Result<(), KtauError> {
-        cluster.run_for(self.period_ns);
+        self.advance(cluster);
         let mut profiles = Vec::with_capacity(self.nodes.len());
         for &n in &self.nodes {
             profiles.push((n, ktau_get_profiles(cluster, n, &self.mode)?));
@@ -92,6 +167,10 @@ impl Ktaud {
 /// Per-interval rate of one kernel event for one process across a KTAUD
 /// history: `(interval end, calls/sec)` — online rate monitoring, the
 /// "provide online information" objective from the paper's §3.
+///
+/// A counter that *regresses* between sweeps (profile reset, or a new
+/// process observed under a reused pid) yields no rate for that interval;
+/// the baseline restarts from the new count instead of underflowing.
 pub fn event_rate(history: &[KtaudSample], node: u32, pid: u32, event: &str) -> Vec<(Ns, f64)> {
     let mut out = Vec::new();
     let mut prev: Option<(Ns, u64)> = None;
@@ -104,9 +183,11 @@ pub fn event_rate(history: &[KtaudSample], node: u32, pid: u32, event: &str) -> 
         };
         let count = p.kernel_event(event).map(|r| r.stats.count).unwrap_or(0);
         if let Some((t0, c0)) = prev {
-            let dt = (sample.taken_ns - t0) as f64 / 1e9;
-            if dt > 0.0 {
-                out.push((sample.taken_ns, (count - c0) as f64 / dt));
+            let dt = (sample.taken_ns.saturating_sub(t0)) as f64 / 1e9;
+            if let Some(diff) = count.checked_sub(c0) {
+                if dt > 0.0 {
+                    out.push((sample.taken_ns, diff as f64 / dt));
+                }
             }
         }
         prev = Some((sample.taken_ns, count));
@@ -125,6 +206,438 @@ pub fn run_ktau(
     let pid = cluster.spawn(node, spec);
     cluster.run_until_apps_exit(deadline_ns);
     crate::libktau::ktau_get_profile(cluster, node, pid)
+}
+
+// ---------------------------------------------------------------------------
+// The monitoring service
+// ---------------------------------------------------------------------------
+
+/// Which profiles one subscriber wants shipped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubscriptionFilter {
+    /// Restrict to these nodes (`None` = every monitored node).
+    pub nodes: Option<Vec<u32>>,
+    /// Restrict to these pids (`None` = every process).
+    pub pids: Option<Vec<u32>>,
+    /// Application processes only (drop daemons and idle threads).
+    pub apps_only: bool,
+}
+
+impl SubscriptionFilter {
+    /// Everything the service sweeps.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Only the given nodes.
+    pub fn for_nodes(nodes: Vec<u32>) -> Self {
+        SubscriptionFilter {
+            nodes: Some(nodes),
+            ..Self::default()
+        }
+    }
+
+    /// Only the given pids.
+    pub fn for_pids(pids: Vec<u32>) -> Self {
+        SubscriptionFilter {
+            pids: Some(pids),
+            ..Self::default()
+        }
+    }
+
+    /// Application processes only.
+    pub fn apps_only() -> Self {
+        SubscriptionFilter {
+            apps_only: true,
+            ..Self::default()
+        }
+    }
+
+    fn admits(&self, node: u32, pid: u32, is_app: bool) -> bool {
+        if let Some(nodes) = &self.nodes {
+            if !nodes.contains(&node) {
+                return false;
+            }
+        }
+        if let Some(pids) = &self.pids {
+            if !pids.contains(&pid) {
+                return false;
+            }
+        }
+        !self.apps_only || is_app
+    }
+}
+
+/// Handle for one subscribed client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientId(usize);
+
+/// One update shipped to a client by [`KtaudService::poll`].
+#[derive(Debug, Clone)]
+pub enum PollItem {
+    /// Complete binary-encoded profile: first contact with this process, or
+    /// the client's cursor gapped behind the server's retained delta.
+    FullSync {
+        /// Node the process runs on.
+        node: u32,
+        /// Process id.
+        pid: u32,
+        /// `encode_profile` bytes of the current snapshot.
+        bytes: Vec<u8>,
+    },
+    /// Incremental binary delta against the snapshot at the client's cursor.
+    Delta {
+        /// Node the process runs on.
+        node: u32,
+        /// Process id.
+        pid: u32,
+        /// `encode_delta` bytes advancing the cursor by one sequence.
+        bytes: Vec<u8>,
+    },
+    /// The process left the live set (exited); the client should drop it.
+    Removed {
+        /// Node the process ran on.
+        node: u32,
+        /// Process id.
+        pid: u32,
+    },
+}
+
+/// Per-client shipping accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Full snapshots shipped (first contact or cursor gap).
+    pub full_syncs: u64,
+    /// Incremental deltas shipped.
+    pub delta_syncs: u64,
+    /// Up-to-date entries skipped (nothing shipped).
+    pub skipped: u64,
+    /// Removal notices shipped.
+    pub removed: u64,
+    /// Bytes shipped as full snapshots.
+    pub bytes_full: u64,
+    /// Bytes shipped as deltas.
+    pub bytes_delta: u64,
+}
+
+impl ClientStats {
+    /// Total payload bytes shipped to this client.
+    pub fn bytes_shipped(&self) -> u64 {
+        self.bytes_full + self.bytes_delta
+    }
+}
+
+/// Server-side sweep accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Sweeps performed.
+    pub sweeps: u64,
+    /// Profiles captured and encoded (the generation said "dirty").
+    pub captures: u64,
+    /// Live profiles skipped without capture (generation unchanged).
+    pub gen_skips: u64,
+    /// Captures whose content turned out unchanged (e.g. only an open
+    /// activation moved): recorded, but no new sequence was minted.
+    pub unchanged_captures: u64,
+}
+
+struct Entry {
+    snap: ProfileSnapshot,
+    encoded: Vec<u8>,
+    gen: u64,
+    seq: u64,
+    /// The most recent delta, as `(base_seq, encoded bytes)`; always spans
+    /// `seq - 1 → seq`.  Clients exactly one sweep behind take it; anyone
+    /// further behind takes a full sync.
+    delta: Option<(u64, Vec<u8>)>,
+    is_app: bool,
+}
+
+struct ClientSession {
+    filter: SubscriptionFilter,
+    /// Per (node, pid): the sequence number of the snapshot this client has
+    /// reconstructed.
+    cursors: BTreeMap<(u32, u32), u64>,
+    stats: ClientStats,
+}
+
+/// KTAUD as a long-running monitoring service: one server-side store of
+/// per-process profile states, updated by O(active) sweeps, serving any
+/// number of subscribed clients incremental deltas through poll cursors.
+///
+/// Invariants:
+///
+/// * a sweep touches live tasks only, and captures a profile only when its
+///   kernel-side generation moved (dirty-marking) — unchanged profiles cost
+///   one integer compare;
+/// * `apply(base, delta) == full` is checked (delta check digests), and a
+///   client mirror that re-encodes its reconstruction gets bytes identical
+///   to the server's full encoding — enforced in tests and by
+///   `ktaud_scale --check` in CI.
+pub struct KtaudService {
+    harness: Ktaud,
+    store: BTreeMap<(u32, u32), Entry>,
+    clients: Vec<ClientSession>,
+    stats: ServiceStats,
+}
+
+impl KtaudService {
+    /// Installs the service on the given nodes: spawns the per-node daemon
+    /// processes (via [`Ktaud::install`]) and prepares an empty store.
+    pub fn install(cluster: &mut Cluster, nodes: &[u32], period_ns: Ns) -> Self {
+        KtaudService {
+            harness: Ktaud::install(cluster, nodes, period_ns, AccessMode::All),
+            store: BTreeMap::new(),
+            clients: Vec::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The underlying daemon harness (daemon pids, nodes, period).
+    pub fn harness(&self) -> &Ktaud {
+        &self.harness
+    }
+
+    /// Registers a client session; its first [`KtaudService::poll`] full-syncs
+    /// everything the filter admits.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> ClientId {
+        self.clients.push(ClientSession {
+            filter,
+            cursors: BTreeMap::new(),
+            stats: ClientStats::default(),
+        });
+        ClientId(self.clients.len() - 1)
+    }
+
+    /// Advances the cluster one period and refreshes the store from the
+    /// live tasks of every monitored node.
+    pub fn sweep(&mut self, cluster: &mut Cluster) -> Result<(), KtauError> {
+        self.harness.advance(cluster);
+        self.stats.sweeps += 1;
+        let mut live: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &n in &self.harness.nodes {
+            let node = cluster.node(n);
+            for pid in node.proc_live_pids() {
+                live.insert((n, pid.0));
+                let gen = node.profile_gen(pid)?;
+                if let Some(e) = self.store.get(&(n, pid.0)) {
+                    if e.gen == gen {
+                        self.stats.gen_skips += 1;
+                        continue;
+                    }
+                }
+                self.stats.captures += 1;
+                // The read goes through libKtau's session-less two-phase
+                // protocol like any other client of `/proc/ktau`.
+                let snap = ktau_get_profile(cluster, n, pid)?;
+                let is_app = node.task(pid).map(|t| t.kind == TaskKind::App) == Some(true);
+                match self.store.get_mut(&(n, pid.0)) {
+                    Some(e) => {
+                        if same_content(&e.snap, &snap) {
+                            // Generation moved but nothing observable did
+                            // (e.g. an entry probe opened an activation that
+                            // has not completed): no new sequence.
+                            e.gen = gen;
+                            self.stats.unchanged_captures += 1;
+                            continue;
+                        }
+                        let d = profile_delta(&e.snap, &snap, e.seq, e.seq + 1);
+                        e.delta = Some((e.seq, encode_delta(&d)));
+                        e.seq += 1;
+                        e.encoded = encode_profile(&snap);
+                        e.snap = snap;
+                        e.gen = gen;
+                        e.is_app = is_app;
+                    }
+                    None => {
+                        self.store.insert(
+                            (n, pid.0),
+                            Entry {
+                                encoded: encode_profile(&snap),
+                                snap,
+                                gen,
+                                seq: 1,
+                                delta: None,
+                                is_app,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Processes that left the live set (exited) drop out of the store;
+        // clients learn through removal notices at their next poll.
+        self.store.retain(|k, _| live.contains(k));
+        Ok(())
+    }
+
+    /// Runs `n` sweeps.
+    pub fn run(&mut self, cluster: &mut Cluster, n: usize) -> Result<(), KtauError> {
+        for _ in 0..n {
+            self.sweep(cluster)?;
+        }
+        Ok(())
+    }
+
+    /// Ships everything `client` is missing: removal notices for processes
+    /// that disappeared, a delta for every profile exactly one sequence
+    /// ahead of the client's cursor, and a full sync on first contact or
+    /// when the cursor gapped.  Up-to-date profiles ship nothing.
+    pub fn poll(&mut self, client: ClientId) -> Vec<PollItem> {
+        let c = &mut self.clients[client.0];
+        let mut out = Vec::new();
+        let gone: Vec<(u32, u32)> = c
+            .cursors
+            .keys()
+            .filter(|k| !self.store.contains_key(k))
+            .copied()
+            .collect();
+        for k in gone {
+            c.cursors.remove(&k);
+            c.stats.removed += 1;
+            out.push(PollItem::Removed {
+                node: k.0,
+                pid: k.1,
+            });
+        }
+        for (&(node, pid), e) in &self.store {
+            if !c.filter.admits(node, pid, e.is_app) {
+                continue;
+            }
+            match c.cursors.get(&(node, pid)) {
+                Some(&cur) if cur == e.seq => {
+                    c.stats.skipped += 1;
+                }
+                Some(&cur)
+                    if cur + 1 == e.seq && matches!(&e.delta, Some((base, _)) if *base == cur) =>
+                {
+                    let bytes = e.delta.as_ref().expect("matched above").1.clone();
+                    c.stats.delta_syncs += 1;
+                    c.stats.bytes_delta += bytes.len() as u64;
+                    c.cursors.insert((node, pid), e.seq);
+                    out.push(PollItem::Delta { node, pid, bytes });
+                }
+                _ => {
+                    let bytes = e.encoded.clone();
+                    c.stats.full_syncs += 1;
+                    c.stats.bytes_full += bytes.len() as u64;
+                    c.cursors.insert((node, pid), e.seq);
+                    out.push(PollItem::FullSync { node, pid, bytes });
+                }
+            }
+        }
+        out
+    }
+
+    /// Shipping accounting for one client.
+    pub fn client_stats(&self, client: ClientId) -> ClientStats {
+        self.clients[client.0].stats
+    }
+
+    /// Server-side sweep accounting.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Number of processes currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The server's current full binary encoding for one process — the
+    /// byte-identity reference a client reconstruction is checked against.
+    pub fn encoded_full(&self, node: u32, pid: u32) -> Option<&[u8]> {
+        self.store.get(&(node, pid)).map(|e| e.encoded.as_slice())
+    }
+}
+
+/// Content equality ignoring the capture timestamp: a sweep that finds only
+/// `taken_ns` advanced treats the profile as unchanged and mints no
+/// sequence, so steady-state processes produce *no* traffic at all.
+fn same_content(a: &ProfileSnapshot, b: &ProfileSnapshot) -> bool {
+    a.pid == b.pid
+        && a.comm == b.comm
+        && a.node == b.node
+        && a.kernel_events == b.kernel_events
+        && a.kernel_atomics == b.kernel_atomics
+        && a.user_events == b.user_events
+        && a.merged == b.merged
+        && a.kernel_wall == b.kernel_wall
+}
+
+/// Client-side reconstruction state: applies [`PollItem`]s and maintains the
+/// decoded snapshot per process.  [`KtaudMirror::encoded`] re-encodes a
+/// reconstruction for byte-comparison against the server — the lossless
+/// invariant the test suite and `ktaud_scale --check` enforce.
+#[derive(Default)]
+pub struct KtaudMirror {
+    snaps: BTreeMap<(u32, u32), ProfileSnapshot>,
+}
+
+impl KtaudMirror {
+    /// An empty mirror.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one shipped update.  Deltas verify their check digest; a
+    /// delta arriving without (or against the wrong) baseline is an error,
+    /// never silent drift.
+    pub fn apply(&mut self, item: &PollItem) -> Result<(), KtauError> {
+        let decode_err = |e: ktau_core::snapshot::CodecError| KtauError::Decode(e.to_string());
+        match item {
+            PollItem::FullSync { node, pid, bytes } => {
+                let snap = decode_profile(bytes).map_err(decode_err)?;
+                self.snaps.insert((*node, *pid), snap);
+            }
+            PollItem::Delta { node, pid, bytes } => {
+                let d = decode_delta(bytes).map_err(decode_err)?;
+                let base = self
+                    .snaps
+                    .get(&(*node, *pid))
+                    .ok_or_else(|| KtauError::Decode("delta without a baseline".into()))?;
+                let full = apply_delta(base, &d).map_err(decode_err)?;
+                self.snaps.insert((*node, *pid), full);
+            }
+            PollItem::Removed { node, pid } => {
+                self.snaps.remove(&(*node, *pid));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a whole poll batch.
+    pub fn apply_all(&mut self, items: &[PollItem]) -> Result<(), KtauError> {
+        for item in items {
+            self.apply(item)?;
+        }
+        Ok(())
+    }
+
+    /// The reconstructed snapshot for one process.
+    pub fn get(&self, node: u32, pid: u32) -> Option<&ProfileSnapshot> {
+        self.snaps.get(&(node, pid))
+    }
+
+    /// Re-encodes the reconstruction for one process (byte-identity checks).
+    pub fn encoded(&self, node: u32, pid: u32) -> Option<Vec<u8>> {
+        self.snaps.get(&(node, pid)).map(encode_profile)
+    }
+
+    /// Iterates reconstructed `((node, pid), snapshot)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), &ProfileSnapshot)> {
+        self.snaps.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of processes mirrored.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether the mirror is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +704,50 @@ mod tests {
         .unwrap();
         assert_eq!(snap.comm, "job");
         assert!(snap.kernel_event("sys_getpid").is_some());
+    }
+
+    /// Regression (pre-fix `event_rate` computed `count - c0` on `u64`):
+    /// a counter that regresses between sweeps — profile reset, or a new
+    /// process under a reused pid — must not underflow/panic; the baseline
+    /// restarts and rates resume from the new process's counts.
+    #[test]
+    fn event_rate_survives_counter_regression_and_pid_reuse() {
+        use ktau_core::snapshot::EventRow;
+        use ktau_core::{EntryExitStats, Group};
+        let snap_with_count = |count: u64| ProfileSnapshot {
+            pid: 7,
+            comm: "reused".into(),
+            node: 0,
+            taken_ns: 0,
+            kernel_events: vec![EventRow {
+                name: "sys_getpid".into(),
+                group: Group::Syscall,
+                stats: EntryExitStats {
+                    count,
+                    incl_ns: count * 10,
+                    excl_ns: count * 10,
+                    min_incl_ns: 10,
+                    max_incl_ns: 10,
+                },
+            }],
+            ..Default::default()
+        };
+        let sample = |t: Ns, count: u64| KtaudSample {
+            taken_ns: t,
+            profiles: vec![(0, vec![snap_with_count(count)])],
+        };
+        // Counts 100 → 600 → (pid reused, new process) 5 → 25.
+        let history = vec![
+            sample(NS_PER_SEC, 100),
+            sample(2 * NS_PER_SEC, 600),
+            sample(3 * NS_PER_SEC, 5),
+            sample(4 * NS_PER_SEC, 25),
+        ];
+        let rates = event_rate(&history, 0, 7, "sys_getpid");
+        // The regression interval yields no rate; the two monotone
+        // intervals yield 500/s and 20/s.
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0], (2 * NS_PER_SEC, 500.0));
+        assert_eq!(rates[1], (4 * NS_PER_SEC, 20.0));
     }
 }

@@ -130,6 +130,9 @@ pub fn ktau_reset_profile(cluster: &mut Cluster, node: u32, pid: Pid) -> Result<
     t.meas.kernel.reset();
     t.meas.user.reset();
     t.meas.merged.clear();
+    // A reset changes observable content without running any probe, so
+    // dirty-mark it or a generation-skipping monitor would never notice.
+    t.meas.mark_dirty();
     Ok(())
 }
 
