@@ -36,7 +36,14 @@ fn main() {
         "[run_all] jobs={j} shards={s} wall={wall:.3}s experiments={} cold={cold}",
         exps.len()
     );
-    record_timing(j, s, wall, exps.len(), cold);
+    if cold {
+        record_timing(j, s, wall, exps.len(), cold);
+    } else {
+        // Warm runs mostly replay the results cache; their wall time says
+        // nothing stable about the engine, and recording it would churn
+        // BENCH_engine.json on every invocation.
+        println!("[run_all] warm run: BENCH_engine.json untouched (KTAU_RERUN=1 records timing)");
+    }
     println!("cache populated under results/");
 }
 

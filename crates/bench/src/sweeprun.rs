@@ -1,0 +1,147 @@
+//! Resumable sweep execution: per-step `.done` markers with stale-run
+//! detection.
+//!
+//! Long sweeps (cold-twin validation runs, `--jobs` scaling baselines) can
+//! outlive the host's execution window — this repo's benchmark host is a
+//! single-CPU box where a cold `run_all` alone takes ~3.5 minutes.  A
+//! [`SweepCheckpoint`] lets a sweep driver persist each completed step's
+//! result as a small `.done` marker under the results directory; a rerun
+//! skips straight past completed steps and picks up where the previous
+//! invocation was interrupted.
+//!
+//! Stale runs are detected content-addressedly: the checkpoint directory
+//! records the sweep's *run id* (a hash of every input that can change step
+//! results — spec, workload, fork point, engine version).  Opening a
+//! checkpoint with a different run id wipes the directory first, so markers
+//! from an outdated sweep can never satisfy the current one.
+
+use std::path::PathBuf;
+
+/// A directory of per-step completion markers for one sweep, keyed by a
+/// content hash of the sweep's inputs.
+pub struct SweepCheckpoint {
+    dir: PathBuf,
+    run_id: String,
+}
+
+impl SweepCheckpoint {
+    /// Opens (or creates) the checkpoint directory for sweep `name` under
+    /// `results/sweeps/`, wiping any markers left by a run with a different
+    /// `run_id`.
+    pub fn open(name: &str, run_id: u64) -> Self {
+        Self::open_in(crate::scenarios::results_dir().join("sweeps"), name, run_id)
+    }
+
+    fn open_in(base: PathBuf, name: &str, run_id: u64) -> Self {
+        let dir = base.join(name);
+        let run_id = format!("{run_id:016x}");
+        let id_path = dir.join("run_id");
+        let existing = std::fs::read_to_string(&id_path).ok();
+        if existing.as_deref() != Some(run_id.as_str()) {
+            if existing.is_some() || dir.exists() {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(&id_path, &run_id);
+        }
+        SweepCheckpoint { dir, run_id }
+    }
+
+    /// The sweep's run id, hex-encoded.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// True when `step` completed in this or a previous same-id invocation.
+    pub fn is_done(&self, step: &str) -> bool {
+        self.dir.join(format!("{step}.done")).exists()
+    }
+
+    /// The payload recorded when `step` completed, if it has.
+    pub fn payload(&self, step: &str) -> Option<String> {
+        std::fs::read_to_string(self.dir.join(format!("{step}.done"))).ok()
+    }
+
+    /// Marks `step` complete, persisting `payload` for later invocations.
+    pub fn mark_done(&self, step: &str, payload: &str) {
+        let _ = std::fs::create_dir_all(&self.dir);
+        let _ = std::fs::write(self.dir.join(format!("{step}.done")), payload);
+    }
+
+    /// Runs `step` resumably: returns the persisted payload when the marker
+    /// exists, otherwise computes, persists, and returns it.
+    pub fn step(&self, step: &str, compute: impl FnOnce() -> String) -> String {
+        if let Some(p) = self.payload(step) {
+            return p;
+        }
+        let p = compute();
+        self.mark_done(step, &p);
+        p
+    }
+
+    /// Discards every marker (forced rerun).
+    pub fn clear(&self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+        let _ = std::fs::create_dir_all(&self.dir);
+        let _ = std::fs::write(self.dir.join("run_id"), &self.run_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ktau_sweeprun_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn steps_resume_across_invocations() {
+        let base = tmp("resume");
+        let cp = SweepCheckpoint::open_in(base.clone(), "s", 42);
+        assert!(!cp.is_done("cold_0"));
+        let p = cp.step("cold_0", || "digest=abc".into());
+        assert_eq!(p, "digest=abc");
+        // Second invocation with the same run id: marker survives, the
+        // compute closure must not run again.
+        let cp2 = SweepCheckpoint::open_in(base.clone(), "s", 42);
+        assert!(cp2.is_done("cold_0"));
+        let p2 = cp2.step("cold_0", || panic!("recomputed a done step"));
+        assert_eq!(p2, "digest=abc");
+        let _ = std::fs::remove_dir_all(base);
+    }
+
+    #[test]
+    fn different_run_id_wipes_stale_markers() {
+        let base = tmp("stale");
+        let cp = SweepCheckpoint::open_in(base.clone(), "s", 1);
+        cp.mark_done("cold_0", "old");
+        // Inputs changed -> new run id -> stale markers must not satisfy
+        // the new sweep.
+        let cp2 = SweepCheckpoint::open_in(base.clone(), "s", 2);
+        assert!(!cp2.is_done("cold_0"));
+        assert_eq!(cp2.run_id(), format!("{:016x}", 2u64));
+        // And going back to the old id does not resurrect the old marker
+        // either (the wipe is destructive, not namespaced).
+        let cp3 = SweepCheckpoint::open_in(base.clone(), "s", 1);
+        assert!(!cp3.is_done("cold_0"));
+        let _ = std::fs::remove_dir_all(base);
+    }
+
+    #[test]
+    fn clear_discards_markers() {
+        let base = tmp("clear");
+        let cp = SweepCheckpoint::open_in(base.clone(), "s", 9);
+        cp.mark_done("a", "1");
+        cp.mark_done("b", "2");
+        cp.clear();
+        assert!(!cp.is_done("a"));
+        assert!(!cp.is_done("b"));
+        // run_id survives a clear.
+        let cp2 = SweepCheckpoint::open_in(base.clone(), "s", 9);
+        assert!(!cp2.is_done("a"));
+        let _ = std::fs::remove_dir_all(base);
+    }
+}

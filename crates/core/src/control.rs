@@ -84,6 +84,16 @@ impl GroupSet {
     pub fn iter(&self) -> impl Iterator<Item = Group> + '_ {
         Group::ALL.into_iter().filter(|g| self.contains(*g))
     }
+
+    /// The raw bitmask, for serialization.
+    pub fn bits(&self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a set from a bitmask captured with [`GroupSet::bits`].
+    pub fn from_bits(bits: u32) -> Self {
+        GroupSet(bits)
+    }
 }
 
 /// Status of a probe as determined by the three control levels.
@@ -191,6 +201,22 @@ impl InstrumentationControl {
     /// Runtime toggle: disables a group without reboot or recompilation.
     pub fn runtime_disable(&mut self, g: Group) {
         self.runtime_enabled.remove(g);
+    }
+
+    /// Serializes the three control levels for the engine snapshot image.
+    pub fn encode_wire(&self, w: &mut crate::wire::Writer) {
+        w.u32(self.compiled.bits());
+        w.u32(self.boot_enabled.bits());
+        w.u32(self.runtime_enabled.bits());
+    }
+
+    /// Inverse of [`InstrumentationControl::encode_wire`].
+    pub fn decode_wire(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::CodecError> {
+        Ok(InstrumentationControl {
+            compiled: GroupSet::from_bits(r.u32()?),
+            boot_enabled: GroupSet::from_bits(r.u32()?),
+            runtime_enabled: GroupSet::from_bits(r.u32()?),
+        })
     }
 
     /// Resolves the status of a probe in the given group.

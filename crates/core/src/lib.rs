@@ -19,7 +19,9 @@
 //! * [`snapshot`] — serializable profile/trace snapshots and the binary and
 //!   ASCII codecs used across the `/proc/ktau` boundary;
 //! * [`time`] — virtual-time units, CPU frequency conversion, and host
-//!   clocks for real overhead measurement.
+//!   clocks for real overhead measurement;
+//! * [`wire`] — the little-endian writer/reader primitives every KTAU
+//!   binary format (profile codec, deltas, engine snapshot images) shares.
 //!
 //! The simulated kernel (`ktau-oskern`) embeds this crate at its
 //! instrumentation points; user-space clients (`ktau-user`) consume the
@@ -35,6 +37,7 @@ pub mod profile;
 pub mod snapshot;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use control::{GroupSet, InstrumentationControl, OverheadModel, ProbeStatus};
 pub use event::{EventDesc, EventId, EventKind, EventRegistry, Group};

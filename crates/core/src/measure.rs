@@ -13,6 +13,7 @@ use crate::event::{EventId, Group};
 use crate::profile::Profile;
 use crate::time::{Cycles, Ns};
 use crate::trace::{TraceBuffer, TracePoint, TraceRecord};
+use crate::wire::{CodecError, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Statistics for one (user routine × kernel event) cell of the merged view.
@@ -93,6 +94,37 @@ impl MergedTable {
     pub fn clear(&mut self) {
         self.rows.clear();
     }
+
+    /// Serializes the full table — row lengths included, so zero-valued
+    /// cells survive — for the engine snapshot image.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.rows.len() as u32);
+        for row in &self.rows {
+            w.u32(row.len() as u32);
+            for s in row {
+                w.u64(s.count);
+                w.u64(s.ns);
+            }
+        }
+    }
+
+    /// Inverse of [`MergedTable::encode_wire`].
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.u32()? as usize;
+        let mut rows = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let m = r.u32()? as usize;
+            let mut row = Vec::with_capacity(m.min(4096));
+            for _ in 0..m {
+                row.push(MergedStats {
+                    count: r.u64()?,
+                    ns: r.u64()?,
+                });
+            }
+            rows.push(row);
+        }
+        Ok(MergedTable { rows })
+    }
 }
 
 /// Dense non-overlapping kernel wall time per user-routine slot (same slot
@@ -130,6 +162,35 @@ impl WallTable {
     /// Discards all entries.
     pub fn clear(&mut self) {
         self.slots.clear();
+    }
+
+    /// Serializes all slots — `None` vs accumulated-zero preserved — for
+    /// the engine snapshot image.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.slots.len() as u32);
+        for s in &self.slots {
+            match s {
+                None => w.u8(0),
+                Some(ns) => {
+                    w.u8(1);
+                    w.u64(*ns);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`WallTable::encode_wire`].
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.u32()? as usize;
+        let mut slots = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            slots.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(CodecError::BadField("wall slot tag")),
+            });
+        }
+        Ok(WallTable { slots })
     }
 }
 
@@ -223,6 +284,46 @@ impl TaskMeasurement {
     #[inline]
     pub fn mark_dirty(&mut self) {
         self.gen += 1;
+    }
+
+    /// Serializes complete measurement state — both profiles, the trace
+    /// buffer, merged/wall tables, and the dirty generation — for the
+    /// engine snapshot image.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        self.kernel.encode_wire(w);
+        self.user.encode_wire(w);
+        match &self.trace {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                t.encode_wire(w);
+            }
+        }
+        self.merged.encode_wire(w);
+        self.wall.encode_wire(w);
+        w.u64(self.gen);
+    }
+
+    /// Inverse of [`TaskMeasurement::encode_wire`].
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let kernel = Profile::decode_wire(r)?;
+        let user = Profile::decode_wire(r)?;
+        let trace = match r.u8()? {
+            0 => None,
+            1 => Some(TraceBuffer::decode_wire(r)?),
+            _ => return Err(CodecError::BadField("trace tag")),
+        };
+        let merged = MergedTable::decode_wire(r)?;
+        let wall = WallTable::decode_wire(r)?;
+        let gen = r.u64()?;
+        Ok(TaskMeasurement {
+            kernel,
+            user,
+            trace,
+            merged,
+            wall,
+            gen,
+        })
     }
 }
 

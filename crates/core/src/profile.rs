@@ -9,6 +9,7 @@
 
 use crate::event::EventId;
 use crate::time::Ns;
+use crate::wire::{CodecError, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Statistics for one entry/exit event.
@@ -431,6 +432,87 @@ impl Profile {
             f.child_ns = 0;
             f.interval_ns = 0;
         }
+    }
+
+    /// Serializes complete profile state — statistics, the live activation
+    /// stack, and recursion counters — for the engine snapshot image.
+    /// Vector lengths are preserved exactly (including zero-valued rows) so
+    /// the reconstruction is `Debug`-identical, hence digest-identical.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u64(e.count);
+            w.u64(e.incl_ns);
+            w.u64(e.excl_ns);
+            w.u64(e.min_incl_ns);
+            w.u64(e.max_incl_ns);
+        }
+        w.u32(self.atomics.len() as u32);
+        for a in &self.atomics {
+            w.u64(a.count);
+            w.u64(a.sum);
+            w.u64(a.min);
+            w.u64(a.max);
+        }
+        w.u32(self.stack.len() as u32);
+        for f in &self.stack {
+            w.u32(f.event.0);
+            w.u64(f.entry_ns);
+            w.u64(f.child_ns);
+            w.u64(f.interval_ns);
+            w.bool(f.recursive);
+        }
+        w.u32(self.active.len() as u32);
+        for &c in &self.active {
+            w.u32(c);
+        }
+    }
+
+    /// Inverse of [`Profile::encode_wire`].
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            entries.push(EntryExitStats {
+                count: r.u64()?,
+                incl_ns: r.u64()?,
+                excl_ns: r.u64()?,
+                min_incl_ns: r.u64()?,
+                max_incl_ns: r.u64()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut atomics = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            atomics.push(AtomicStats {
+                count: r.u64()?,
+                sum: r.u64()?,
+                min: r.u64()?,
+                max: r.u64()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut stack = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            stack.push(Activation {
+                event: EventId(r.u32()?),
+                entry_ns: r.u64()?,
+                child_ns: r.u64()?,
+                interval_ns: r.u64()?,
+                recursive: r.bool()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut active = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            active.push(r.u32()?);
+        }
+        Ok(Profile {
+            entries,
+            atomics,
+            stack,
+            active,
+        })
     }
 }
 

@@ -266,103 +266,8 @@ impl TraceSnapshot {
 // Binary codec
 // ---------------------------------------------------------------------------
 
-/// Codec errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// Missing/incorrect magic bytes.
-    BadMagic,
-    /// Unsupported format version.
-    BadVersion(u16),
-    /// Input ended prematurely or contained malformed data.
-    Truncated,
-    /// A string field was not valid UTF-8 / a field failed to parse.
-    BadField(&'static str),
-    /// The input decoded completely but unread bytes remained — corrupt or
-    /// concatenated data that a session-less reader must not silently accept.
-    TrailingBytes,
-    /// A delta was applied against the wrong baseline: identity fields
-    /// disagree or the reconstruction failed the delta's check digest.
-    DeltaMismatch,
-}
-
-impl std::fmt::Display for CodecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CodecError::BadMagic => write!(f, "bad KTAU magic"),
-            CodecError::BadVersion(v) => write!(f, "unsupported KTAU binary version {v}"),
-            CodecError::Truncated => write!(f, "truncated KTAU data"),
-            CodecError::BadField(s) => write!(f, "malformed field: {s}"),
-            CodecError::TrailingBytes => write!(f, "trailing bytes after KTAU data"),
-            CodecError::DeltaMismatch => write!(f, "delta does not match its baseline"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn new() -> Self {
-        Writer {
-            buf: Vec::with_capacity(256),
-        }
-    }
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.pos + n > self.buf.len() {
-            return Err(CodecError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-    fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn str(&mut self) -> Result<String, CodecError> {
-        let n = self.u32()? as usize;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadField("utf8"))
-    }
-}
+pub use crate::wire::CodecError;
+use crate::wire::{Reader, Writer};
 
 fn group_to_u8(g: Group) -> u8 {
     g as u8
@@ -469,7 +374,7 @@ fn read_wall_row(r: &mut Reader<'_>) -> Result<(Option<String>, Ns), CodecError>
 /// Encodes a profile snapshot into the KTAU binary wire format.
 pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     let mut w = Writer::new();
-    w.buf.extend_from_slice(BINARY_MAGIC);
+    w.bytes(BINARY_MAGIC);
     w.u16(BINARY_VERSION);
     w.u32(p.pid);
     w.str(&p.comm);
@@ -495,7 +400,7 @@ pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     for r in &p.kernel_wall {
         write_wall_row(&mut w, r);
     }
-    w.buf
+    w.into_vec()
 }
 
 /// Decodes a binary profile snapshot.
@@ -537,9 +442,7 @@ pub fn decode_profile(bytes: &[u8]) -> Result<ProfileSnapshot, CodecError> {
     for _ in 0..n {
         kernel_wall.push(read_wall_row(&mut r)?);
     }
-    if r.pos != bytes.len() {
-        return Err(CodecError::TrailingBytes);
-    }
+    r.expect_end()?;
     Ok(ProfileSnapshot {
         pid,
         comm,
@@ -740,7 +643,7 @@ fn read_section<T>(
 /// Encodes a profile delta into the versioned binary wire format.
 pub fn encode_delta(d: &ProfileDelta) -> Vec<u8> {
     let mut w = Writer::new();
-    w.buf.extend_from_slice(DELTA_MAGIC);
+    w.bytes(DELTA_MAGIC);
     w.u16(DELTA_VERSION);
     w.u32(d.pid);
     w.u32(d.node);
@@ -754,7 +657,7 @@ pub fn encode_delta(d: &ProfileDelta) -> Vec<u8> {
     write_section(&mut w, &d.merged, write_merged_row);
     write_section(&mut w, &d.kernel_wall, write_wall_row);
     w.u64(d.check);
-    w.buf
+    w.into_vec()
 }
 
 /// Decodes a binary profile delta, rejecting trailing bytes.
@@ -781,9 +684,7 @@ pub fn decode_delta(bytes: &[u8]) -> Result<ProfileDelta, CodecError> {
         kernel_wall: read_section(&mut r, read_wall_row)?,
         check: r.u64()?,
     };
-    if r.pos != bytes.len() {
-        return Err(CodecError::TrailingBytes);
-    }
+    r.expect_end()?;
     Ok(d)
 }
 

@@ -8,6 +8,7 @@
 
 use crate::event::EventId;
 use crate::time::Ns;
+use crate::wire::{CodecError, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -113,6 +114,63 @@ impl TraceBuffer {
     /// and removes all buffered records, oldest first.
     pub fn drain(&mut self) -> Vec<TraceRecord> {
         self.buf.drain(..).collect()
+    }
+
+    /// Serializes the buffer — capacity, loss accounting, and every buffered
+    /// record in order — for the engine snapshot image.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u64(self.capacity as u64);
+        w.u64(self.lost);
+        w.u64(self.total);
+        w.u32(self.buf.len() as u32);
+        for rec in &self.buf {
+            w.u64(rec.ts_ns);
+            w.u32(rec.event.0);
+            match rec.point {
+                TracePoint::Entry => w.u8(0),
+                TracePoint::Exit => w.u8(1),
+                TracePoint::Atomic(v) => {
+                    w.u8(2);
+                    w.u64(v);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`TraceBuffer::encode_wire`].
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let capacity = r.u64()? as usize;
+        if capacity == 0 {
+            return Err(CodecError::BadField("trace capacity"));
+        }
+        let lost = r.u64()?;
+        let total = r.u64()?;
+        let n = r.u32()? as usize;
+        if n > capacity {
+            return Err(CodecError::BadField("trace length"));
+        }
+        let mut buf = VecDeque::with_capacity(capacity);
+        for _ in 0..n {
+            let ts_ns = r.u64()?;
+            let event = EventId(r.u32()?);
+            let point = match r.u8()? {
+                0 => TracePoint::Entry,
+                1 => TracePoint::Exit,
+                2 => TracePoint::Atomic(r.u64()?),
+                _ => return Err(CodecError::BadField("trace point")),
+            };
+            buf.push_back(TraceRecord {
+                ts_ns,
+                event,
+                point,
+            });
+        }
+        Ok(TraceBuffer {
+            buf,
+            capacity,
+            lost,
+            total,
+        })
     }
 }
 

@@ -70,6 +70,17 @@ impl Fabric {
         self.latency_ns
     }
 
+    /// All open connections in id order, for engine snapshots.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Rebuilds a fabric with its connection table already populated
+    /// (`links[i]` becomes `ConnId(i)`), for engine snapshots.
+    pub fn from_links(latency_ns: Ns, links: Vec<LinkSpec>) -> Self {
+        Fabric { links, latency_ns }
+    }
+
     /// Arrival time at the destination NIC for a segment whose last bit left
     /// the source NIC at `departed`.
     pub fn arrival(&self, departed: Ns) -> Ns {

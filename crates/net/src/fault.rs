@@ -145,6 +145,16 @@ impl FaultPlan {
         self.rules.iter().all(|(_, s)| s.is_zero())
     }
 
+    /// The rule list in application order, for engine snapshots.
+    pub fn rules(&self) -> &[(LinkMatch, FaultSpec)] {
+        &self.rules
+    }
+
+    /// Rebuilds a plan from its seed and rule list, for engine snapshots.
+    pub fn from_rules(seed: u64, rules: Vec<(LinkMatch, FaultSpec)>) -> Self {
+        FaultPlan { seed, rules }
+    }
+
     /// The effective spec for a link (last matching rule wins; zero-rate
     /// default when nothing matches).
     pub fn spec_for(&self, link: &LinkSpec) -> FaultSpec {
@@ -207,6 +217,22 @@ impl LinkInjector {
     /// The retransmission timeout for this link.
     pub fn rto_ns(&self) -> Ns {
         self.spec.rto_ns
+    }
+
+    /// The injector's PRNG state words, for engine snapshots.  An injector
+    /// rebuilt via [`LinkInjector::resume`] judges the remaining segments
+    /// identically to one that never stopped.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds an injector mid-stream from its spec and the PRNG state
+    /// captured with [`LinkInjector::rng_state`].
+    pub fn resume(spec: FaultSpec, rng_state: [u64; 4]) -> Self {
+        LinkInjector {
+            spec,
+            rng: SmallRng::from_state(rng_state),
+        }
     }
 
     /// Judges one segment transmitted at virtual time `now`.  Draws exactly

@@ -29,6 +29,12 @@ pub struct Spsc<T> {
     tail: AtomicUsize,
     /// Lossless overflow for bursts beyond the ring capacity.
     spill: Mutex<Vec<T>>,
+    /// Items currently in the spill (updated under the spill lock).  Both
+    /// sides read it to skip the lock while the spill is empty, and the
+    /// producer reads it to keep pushing through the spill while it is not
+    /// — a push diverted to the freed ring would overtake spilled items
+    /// and break per-producer FIFO order.
+    spill_len: AtomicUsize,
 }
 
 // One producer and one consumer may hold `&Spsc<T>` on different threads.
@@ -46,6 +52,7 @@ impl<T> Spsc<T> {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             spill: Mutex::new(Vec::new()),
+            spill_len: AtomicUsize::new(0),
         }
     }
 
@@ -54,8 +61,16 @@ impl<T> Spsc<T> {
     pub fn push(&self, v: T) {
         let tail = self.tail.load(Ordering::Relaxed);
         let next = (tail + 1) % self.slots.len();
-        if next == self.head.load(Ordering::Acquire) {
-            self.spill.lock().unwrap().push(v);
+        // Once anything has spilled, later pushes must follow it through the
+        // spill until the consumer drains it, or they would overtake the
+        // spilled items via the ring.  The producer can trust a zero read:
+        // it observes its own increments, and the consumer only decrements
+        // after actually removing an item.
+        if self.spill_len.load(Ordering::Acquire) != 0 || next == self.head.load(Ordering::Acquire)
+        {
+            let mut spill = self.spill.lock().unwrap();
+            spill.push(v);
+            self.spill_len.store(spill.len(), Ordering::Release);
             return;
         }
         // The slot at `tail` is outside the readable [head, tail) region, so
@@ -76,18 +91,23 @@ impl<T> Spsc<T> {
                 .store((head + 1) % self.slots.len(), Ordering::Release);
             return Some(v);
         }
+        if self.spill_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
         let mut spill = self.spill.lock().unwrap();
         if spill.is_empty() {
             None
         } else {
-            Some(spill.remove(0))
+            let v = spill.remove(0);
+            self.spill_len.store(spill.len(), Ordering::Release);
+            Some(v)
         }
     }
 
     /// True when nothing is queued in the ring or the spill.
     pub fn is_empty(&self) -> bool {
         self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
-            && self.spill.lock().unwrap().is_empty()
+            && self.spill_len.load(Ordering::Acquire) == 0
     }
 }
 
@@ -169,6 +189,18 @@ mod tests {
         }
         let got: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pushes_after_spill_do_not_overtake_spilled_items() {
+        let q = Spsc::new(2);
+        for i in 0..5 {
+            q.push(i); // 0,1 land in the ring; 2,3,4 spill
+        }
+        assert_eq!(q.pop(), Some(0)); // frees a ring slot
+        q.push(5); // must follow 2,3,4 through the spill, not jump the ring
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub use cost::NetCostModel;
 pub use fabric::{Fabric, LinkSpec};
 pub use fault::{FaultPlan, FaultSpec, LinkInjector, LinkMatch, SegmentFate, DEFAULT_RTO_NS};
 pub use handoff::{HandoffMesh, Spsc};
-pub use nic::Nic;
+pub use nic::{Nic, NicState};
 pub use segment::{segment_count, segment_sizes, Segment, MSS, WIRE_OVERHEAD};
-pub use socket::{ConnId, DeliverOutcome, SocketRx, SocketTx};
+pub use socket::{ConnId, DeliverOutcome, SocketRx, SocketRxState, SocketTx, SocketTxState};

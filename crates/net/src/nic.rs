@@ -65,6 +65,41 @@ impl Nic {
     pub fn total_segments(&self) -> u64 {
         self.total_segments
     }
+
+    /// Complete transmitter state, exported for engine snapshots.
+    pub fn export_state(&self) -> NicState {
+        NicState {
+            bits_per_sec: self.bits_per_sec,
+            tx_free_at: self.tx_free_at,
+            total_wire_bytes: self.total_wire_bytes,
+            total_segments: self.total_segments,
+        }
+    }
+
+    /// Rebuilds a NIC from exported state.  Panics on a zero rate, matching
+    /// [`Nic::new`].
+    pub fn from_state(s: NicState) -> Self {
+        assert!(s.bits_per_sec > 0, "NIC rate must be non-zero");
+        Nic {
+            bits_per_sec: s.bits_per_sec,
+            tx_free_at: s.tx_free_at,
+            total_wire_bytes: s.total_wire_bytes,
+            total_segments: s.total_segments,
+        }
+    }
+}
+
+/// Plain-data image of a [`Nic`], used by engine snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicState {
+    /// Transmit rate in bits per second.
+    pub bits_per_sec: u64,
+    /// Time at which the transmitter becomes free.
+    pub tx_free_at: Ns,
+    /// Total wire bytes ever transmitted.
+    pub total_wire_bytes: u64,
+    /// Total segments transmitted.
+    pub total_segments: u64,
 }
 
 #[cfg(test)]

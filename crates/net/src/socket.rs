@@ -89,6 +89,41 @@ impl SocketTx {
         );
         self.in_flight -= bytes;
     }
+
+    /// Complete sender-side state, exported for engine snapshots.
+    pub fn export_state(&self) -> SocketTxState {
+        SocketTxState {
+            capacity: self.capacity,
+            in_flight: self.in_flight,
+            next_seq: self.next_seq,
+            total_sent: self.total_sent,
+        }
+    }
+
+    /// Rebuilds a send buffer from exported state.  Panics on a zero
+    /// capacity, matching [`SocketTx::new`].
+    pub fn from_state(s: SocketTxState) -> Self {
+        assert!(s.capacity > 0, "sndbuf capacity must be non-zero");
+        SocketTx {
+            capacity: s.capacity,
+            in_flight: s.in_flight,
+            next_seq: s.next_seq,
+            total_sent: s.total_sent,
+        }
+    }
+}
+
+/// Plain-data image of a [`SocketTx`], used by engine snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketTxState {
+    /// Buffer capacity in bytes.
+    pub capacity: u64,
+    /// Bytes currently queued toward the NIC.
+    pub in_flight: u64,
+    /// Next sequence number to assign.
+    pub next_seq: u64,
+    /// Total bytes ever sent.
+    pub total_sent: u64,
 }
 
 /// What [`SocketRx::deliver`] did with a segment.
@@ -236,6 +271,65 @@ impl SocketRx {
         self.total_consumed += take;
         take
     }
+
+    /// Complete receiver-side state — reassembly buffer included — exported
+    /// for engine snapshots.  Out-of-order segments come out in sequence
+    /// order.
+    pub fn export_state(&self) -> SocketRxState {
+        SocketRxState {
+            available: self.available,
+            expected_seq: self.expected_seq,
+            total_received: self.total_received,
+            total_consumed: self.total_consumed,
+            capacity: self.capacity,
+            ooo: self.ooo.iter().map(|(&s, &b)| (s, b)).collect(),
+            ooo_bytes: self.ooo_bytes,
+            refused_bytes: self.refused_bytes,
+            refused_segments: self.refused_segments,
+            duplicate_segments: self.duplicate_segments,
+        }
+    }
+
+    /// Rebuilds a receive queue from exported state.
+    pub fn from_state(s: SocketRxState) -> Self {
+        SocketRx {
+            available: s.available,
+            expected_seq: s.expected_seq,
+            total_received: s.total_received,
+            total_consumed: s.total_consumed,
+            capacity: s.capacity,
+            ooo: s.ooo.into_iter().collect(),
+            ooo_bytes: s.ooo_bytes,
+            refused_bytes: s.refused_bytes,
+            refused_segments: s.refused_segments,
+            duplicate_segments: s.duplicate_segments,
+        }
+    }
+}
+
+/// Plain-data image of a [`SocketRx`], used by engine snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SocketRxState {
+    /// Consumable bytes.
+    pub available: u64,
+    /// Next in-order sequence number.
+    pub expected_seq: u64,
+    /// Total bytes ever made available.
+    pub total_received: u64,
+    /// Total bytes ever consumed.
+    pub total_consumed: u64,
+    /// Receive-queue bound (`None` = unbounded).
+    pub capacity: Option<u64>,
+    /// Out-of-order segments `(seq, bytes)`, sorted by sequence number.
+    pub ooo: Vec<(u64, u32)>,
+    /// Bytes held in the reassembly buffer.
+    pub ooo_bytes: u64,
+    /// Bytes refused because the rcvbuf was full.
+    pub refused_bytes: u64,
+    /// Segments refused because the rcvbuf was full.
+    pub refused_segments: u64,
+    /// Duplicate segments discarded.
+    pub duplicate_segments: u64,
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ pub mod procfs;
 pub mod program;
 pub mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod task;
 
 pub use config::{
@@ -43,4 +44,5 @@ pub use procfs::ProcError;
 pub use program::{FnProgram, LoopProgram, Op, OpList, Program};
 pub use shard::ShardStats;
 pub use sim::{Cluster, Event, EventQueue};
+pub use snapshot::{ClusterSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use task::{BlockedOn, OpState, Pid, SendRetry, SwitchOutReason, Task, TaskKind, TaskState};

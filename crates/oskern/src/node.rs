@@ -2087,4 +2087,517 @@ impl Node {
             fault_active,
         });
     }
+
+    /// Replaces the fault machinery of a sending connection in place,
+    /// keeping the socket/sndbuf accounting untouched.  Used by mid-run
+    /// fault-plan mutation (fork variants); returns whether the connection
+    /// still carries fault machinery (and so needs per-segment ACKs from
+    /// the receiving side).
+    ///
+    /// Segments already dropped on the wire exist only in the old
+    /// machinery's retransmit queue, so that bookkeeping (unacked map,
+    /// armed timer, backoff) is preserved across the swap — discarding it
+    /// would lose the data forever and deadlock the reader.  The injector
+    /// itself is replaced: a new plan's injector starts its PRNG stream at
+    /// position 0; clearing faults on a link with outstanding repair
+    /// obligations installs a zero-rate injector (judges every future
+    /// segment `Deliver`) so the queue can drain.  Only a link that is
+    /// fully repaired returns to the fault-free fast path.  All of this is
+    /// a pure function of the pre-mutation state, so a forked and an
+    /// uninterrupted cluster mutate identically.
+    pub(crate) fn set_tx_fault(
+        &mut self,
+        conn: ktau_net::ConnId,
+        injector: Option<LinkInjector>,
+    ) -> bool {
+        let Some(st) = self.tx_state_mut(conn) else {
+            return false;
+        };
+        let old = st.fault.take();
+        let in_repair = old
+            .as_ref()
+            .is_some_and(|f| !f.unacked.is_empty() || f.timer_armed);
+        st.fault = match (injector, old) {
+            (Some(injector), old) => Some(TxFault {
+                rto_ns: injector.rto_ns(),
+                injector,
+                unacked: old
+                    .as_ref()
+                    .filter(|_| in_repair)
+                    .map(|f| f.unacked.clone())
+                    .unwrap_or_default(),
+                timer_gen: old.as_ref().map_or(0, |f| f.timer_gen),
+                timer_armed: in_repair && old.as_ref().is_some_and(|f| f.timer_armed),
+                backoff: old.as_ref().filter(|_| in_repair).map_or(0, |f| f.backoff),
+                retransmits: old.as_ref().map_or(0, |f| f.retransmits),
+                timer_fires: old.as_ref().map_or(0, |f| f.timer_fires),
+            }),
+            (None, Some(old)) if in_repair => Some(TxFault {
+                injector: LinkInjector::resume(
+                    ktau_net::FaultSpec {
+                        rto_ns: old.rto_ns,
+                        ..Default::default()
+                    },
+                    old.injector.rng_state(),
+                ),
+                ..old
+            }),
+            (None, _) => None,
+        };
+        st.fault.is_some()
+    }
+
+    /// Flags a receiving connection as fault-active (ACK every segment) or
+    /// not, matching [`Node::set_tx_fault`] on the sending side.
+    pub(crate) fn set_rx_fault_active(&mut self, conn: ktau_net::ConnId, active: bool) {
+        if let Some(st) = self.rx_state_mut(conn) {
+            st.fault_active = active;
+        }
+    }
+
+    /// Installs (or clears) a degradation spec mid-run.  A completed
+    /// late-onset CPU removal stays done; a new `offline_cpu_at_ns` only
+    /// acts if the node has not offlined a CPU yet.
+    pub(crate) fn set_degrade(&mut self, d: Option<DegradeSpec>) {
+        self.degrade = d.filter(|d| !d.is_zero());
+    }
+}
+
+// -- engine snapshot codec ---------------------------------------------------
+
+use ktau_core::wire::{CodecError, Reader, Writer};
+
+fn w_opt_pid(w: &mut Writer, p: Option<Pid>) {
+    match p {
+        None => w.u8(0),
+        Some(p) => {
+            w.u8(1);
+            w.u32(p.0);
+        }
+    }
+}
+
+fn r_opt_pid(r: &mut Reader<'_>) -> Result<Option<Pid>, CodecError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(Pid(r.u32()?)),
+        _ => return Err(CodecError::BadField("pid option")),
+    })
+}
+
+fn w_opt_u64(w: &mut Writer, v: Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.u64(v);
+        }
+    }
+}
+
+fn r_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, CodecError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        _ => return Err(CodecError::BadField("u64 option")),
+    })
+}
+
+impl Node {
+    /// Serializes every dynamic field of the node for engine snapshots.
+    /// Structural state a fresh [`Node::boot`] from the same spec recreates
+    /// identically (name, kernel probe registrations, clock) is *not*
+    /// written; [`Node::apply_state`] overlays this image onto such a boot.
+    pub(crate) fn encode_state(&self, w: &mut Writer) {
+        w.u32(self.id);
+        w.u8(self.online);
+        w.u32(self.next_pid);
+        w.u8(self.irq_rr);
+        w.u64(self.apps_exited);
+        w.u64(self.apps_spawned);
+        w.bool(self.offline_done);
+        w.bool(self.dynticks);
+        w.u64(self.sched_gen);
+        w.u64(self.armed_gen);
+        w.u64(self.parked_min);
+        w.u64(self.ticks_coalesced);
+        w.u64(self.txdone_elided);
+        match &self.degrade {
+            None => w.u8(0),
+            Some(d) => {
+                w.u8(1);
+                crate::snapshot::encode_degrade_spec(w, d);
+            }
+        }
+        self.engine.control().encode_wire(w);
+        let o = self.engine.overhead();
+        for v in [
+            o.start_cycles,
+            o.stop_cycles,
+            o.atomic_cycles,
+            o.disabled_check_cycles,
+            o.trace_record_cycles,
+        ] {
+            w.u64(v);
+        }
+        let nic = self.nic.export_state();
+        w.u64(nic.bits_per_sec);
+        w.u64(nic.tx_free_at);
+        w.u64(nic.total_wire_bytes);
+        w.u64(nic.total_segments);
+        w.u32(self.cpus.len() as u32);
+        for c in &self.cpus {
+            w.u8(c.id);
+            w_opt_pid(w, c.current);
+            w.u32(c.idle_pid.0);
+            w.u64(c.gen);
+            w.u64(c.steal_ns);
+            w.u64(c.carry_cycles);
+            w.u64(c.slice_end);
+            w.u64(c.in_since);
+            w.u64(c.idle_since);
+            w.u64(c.idle_ns);
+            w.bool(c.chunk_pending);
+        }
+        w.u32(self.runqueues.len() as u32);
+        for rq in &self.runqueues {
+            w.u32(rq.len() as u32);
+            for p in rq {
+                w.u32(p.0);
+            }
+        }
+        w.u32(self.parked_tick.len() as u32);
+        for i in 0..self.parked_tick.len() {
+            w_opt_u64(w, self.parked_tick[i]);
+            w.u64(self.parked_gen[i]);
+            w.u64(self.parked_point[i]);
+        }
+        let slots = self.tasks.slots();
+        w.u32(slots.len() as u32);
+        for s in slots {
+            match s {
+                None => w.u8(0),
+                Some(t) => {
+                    w.u8(1);
+                    t.encode_wire(w);
+                }
+            }
+        }
+        w.u32(self.sock_tx.len() as u32);
+        for st in &self.sock_tx {
+            match st {
+                None => w.u8(0),
+                Some(st) => {
+                    w.u8(1);
+                    let tx = st.tx.export_state();
+                    w.u64(tx.capacity);
+                    w.u64(tx.in_flight);
+                    w.u64(tx.next_seq);
+                    w.u64(tx.total_sent);
+                    w_opt_pid(w, st.waiting_writer);
+                    match &st.fault {
+                        None => w.u8(0),
+                        Some(f) => {
+                            w.u8(1);
+                            crate::snapshot::encode_fault_spec(w, f.injector.spec());
+                            for word in f.injector.rng_state() {
+                                w.u64(word);
+                            }
+                            w.u64(f.rto_ns);
+                            w.u32(f.unacked.len() as u32);
+                            for (&seq, &payload) in &f.unacked {
+                                w.u64(seq);
+                                w.u32(payload);
+                            }
+                            w.u64(f.timer_gen);
+                            w.bool(f.timer_armed);
+                            w.u32(f.backoff);
+                            w.u64(f.retransmits);
+                            w.u64(f.timer_fires);
+                        }
+                    }
+                    w.u32(st.pending_release.len() as u32);
+                    for &(t, payload) in &st.pending_release {
+                        w.u64(t);
+                        w.u32(payload);
+                    }
+                }
+            }
+        }
+        w.u32(self.sock_rx.len() as u32);
+        for st in &self.sock_rx {
+            match st {
+                None => w.u8(0),
+                Some(st) => {
+                    w.u8(1);
+                    let rx = st.rx.export_state();
+                    w.u64(rx.available);
+                    w.u64(rx.expected_seq);
+                    w.u64(rx.total_received);
+                    w.u64(rx.total_consumed);
+                    w_opt_u64(w, rx.capacity);
+                    w.u32(rx.ooo.len() as u32);
+                    for (seq, payload) in &rx.ooo {
+                        w.u64(*seq);
+                        w.u32(*payload);
+                    }
+                    w.u64(rx.ooo_bytes);
+                    w.u64(rx.refused_bytes);
+                    w.u64(rx.refused_segments);
+                    w.u64(rx.duplicate_segments);
+                    w_opt_pid(w, st.waiting_reader);
+                    w_opt_pid(w, st.reader_pid);
+                    w.bool(st.loopback);
+                    w.u8(st.ack_pending);
+                    w.bool(st.fault_active);
+                }
+            }
+        }
+        w.u32(self.user_events.len() as u32);
+        for (name, id) in &self.user_events {
+            w.str(name);
+            w.u32(id.0);
+        }
+    }
+
+    /// Overlays a captured image onto this freshly booted node, making it
+    /// bit-identical (digest and future behaviour) to the captured one.
+    /// Returns the pids whose tasks had a program attached at capture; the
+    /// caller re-attaches the snapshot side-car clones under those pids.
+    pub(crate) fn apply_state(&mut self, r: &mut Reader<'_>) -> Result<Vec<Pid>, CodecError> {
+        if r.u32()? != self.id {
+            return Err(CodecError::BadField("node id"));
+        }
+        self.online = r.u8()?;
+        self.next_pid = r.u32()?;
+        self.irq_rr = r.u8()?;
+        self.apps_exited = r.u64()?;
+        self.apps_spawned = r.u64()?;
+        self.offline_done = r.bool()?;
+        if r.bool()? != self.dynticks {
+            return Err(CodecError::BadField("engine mode"));
+        }
+        self.sched_gen = r.u64()?;
+        self.armed_gen = r.u64()?;
+        self.parked_min = r.u64()?;
+        self.ticks_coalesced = r.u64()?;
+        self.txdone_elided = r.u64()?;
+        self.degrade = match r.u8()? {
+            0 => None,
+            1 => Some(crate::snapshot::decode_degrade_spec(r)?),
+            _ => return Err(CodecError::BadField("degrade option")),
+        };
+        let control = ktau_core::control::InstrumentationControl::decode_wire(r)?;
+        // Preserve the boot-time `Arc` sharing across nodes: only write
+        // (copy-on-write) when the captured control actually diverged.
+        if self.engine.control() != &control {
+            *self.engine.control_mut() = control;
+        }
+        let overhead = ktau_core::control::OverheadModel {
+            start_cycles: r.u64()?,
+            stop_cycles: r.u64()?,
+            atomic_cycles: r.u64()?,
+            disabled_check_cycles: r.u64()?,
+            trace_record_cycles: r.u64()?,
+        };
+        self.engine.set_overhead(overhead);
+        let nic = ktau_net::NicState {
+            bits_per_sec: r.u64()?,
+            tx_free_at: r.u64()?,
+            total_wire_bytes: r.u64()?,
+            total_segments: r.u64()?,
+        };
+        if nic.bits_per_sec == 0 {
+            return Err(CodecError::BadField("nic rate"));
+        }
+        self.nic = Nic::from_state(nic);
+        let n_cpus = r.u32()? as usize;
+        let mut cpus = Vec::with_capacity(n_cpus);
+        for _ in 0..n_cpus {
+            cpus.push(Cpu {
+                id: r.u8()?,
+                current: r_opt_pid(r)?,
+                idle_pid: Pid(r.u32()?),
+                gen: r.u64()?,
+                steal_ns: r.u64()?,
+                carry_cycles: r.u64()?,
+                slice_end: r.u64()?,
+                in_since: r.u64()?,
+                idle_since: r.u64()?,
+                idle_ns: r.u64()?,
+                chunk_pending: r.bool()?,
+            });
+        }
+        self.cpus = cpus;
+        let n_rq = r.u32()? as usize;
+        let mut runqueues = Vec::with_capacity(n_rq);
+        for _ in 0..n_rq {
+            let len = r.u32()? as usize;
+            let mut rq = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                rq.push_back(Pid(r.u32()?));
+            }
+            runqueues.push(rq);
+        }
+        self.runqueues = runqueues;
+        let n_lanes = r.u32()? as usize;
+        let mut parked_tick = Vec::with_capacity(n_lanes);
+        let mut parked_gen = Vec::with_capacity(n_lanes);
+        let mut parked_point = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            parked_tick.push(r_opt_u64(r)?);
+            parked_gen.push(r.u64()?);
+            parked_point.push(r.u64()?);
+        }
+        self.parked_tick = parked_tick;
+        self.parked_gen = parked_gen;
+        self.parked_point = parked_point;
+        let n_slots = r.u32()? as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        let mut needs_program = Vec::new();
+        for _ in 0..n_slots {
+            match r.u8()? {
+                0 => slots.push(None),
+                1 => {
+                    let (task, has_program) = Task::decode_wire(r)?;
+                    if has_program {
+                        needs_program.push(task.pid);
+                    }
+                    slots.push(Some(task));
+                }
+                _ => return Err(CodecError::BadField("task slot")),
+            }
+        }
+        self.tasks = TaskTable::from_slots(slots);
+        let n_tx = r.u32()? as usize;
+        let mut sock_tx = Vec::with_capacity(n_tx);
+        for _ in 0..n_tx {
+            match r.u8()? {
+                0 => sock_tx.push(None),
+                1 => {
+                    let txs = ktau_net::SocketTxState {
+                        capacity: r.u64()?,
+                        in_flight: r.u64()?,
+                        next_seq: r.u64()?,
+                        total_sent: r.u64()?,
+                    };
+                    if txs.capacity == 0 {
+                        return Err(CodecError::BadField("sndbuf capacity"));
+                    }
+                    let tx = SocketTx::from_state(txs);
+                    let waiting_writer = r_opt_pid(r)?;
+                    let fault = match r.u8()? {
+                        0 => None,
+                        1 => {
+                            let spec = crate::snapshot::decode_fault_spec(r)?;
+                            let mut state = [0u64; 4];
+                            for word in &mut state {
+                                *word = r.u64()?;
+                            }
+                            let injector = LinkInjector::resume(spec, state);
+                            let rto_ns = r.u64()?;
+                            let n_unacked = r.u32()? as usize;
+                            let mut unacked = BTreeMap::new();
+                            for _ in 0..n_unacked {
+                                let seq = r.u64()?;
+                                let payload = r.u32()?;
+                                unacked.insert(seq, payload);
+                            }
+                            Some(TxFault {
+                                injector,
+                                rto_ns,
+                                unacked,
+                                timer_gen: r.u64()?,
+                                timer_armed: r.bool()?,
+                                backoff: r.u32()?,
+                                retransmits: r.u64()?,
+                                timer_fires: r.u64()?,
+                            })
+                        }
+                        _ => return Err(CodecError::BadField("tx fault option")),
+                    };
+                    let n_rel = r.u32()? as usize;
+                    let mut pending_release = VecDeque::with_capacity(n_rel);
+                    for _ in 0..n_rel {
+                        let t = r.u64()?;
+                        let payload = r.u32()?;
+                        pending_release.push_back((t, payload));
+                    }
+                    sock_tx.push(Some(TxState {
+                        tx,
+                        waiting_writer,
+                        fault,
+                        pending_release,
+                    }));
+                }
+                _ => return Err(CodecError::BadField("tx slot")),
+            }
+        }
+        self.sock_tx = sock_tx;
+        let n_rx = r.u32()? as usize;
+        let mut sock_rx = Vec::with_capacity(n_rx);
+        for _ in 0..n_rx {
+            match r.u8()? {
+                0 => sock_rx.push(None),
+                1 => {
+                    let available = r.u64()?;
+                    let expected_seq = r.u64()?;
+                    let total_received = r.u64()?;
+                    let total_consumed = r.u64()?;
+                    let capacity = r_opt_u64(r)?;
+                    let n_ooo = r.u32()? as usize;
+                    let mut ooo = Vec::with_capacity(n_ooo);
+                    for _ in 0..n_ooo {
+                        let seq = r.u64()?;
+                        let payload = r.u32()?;
+                        ooo.push((seq, payload));
+                    }
+                    let rxs = ktau_net::SocketRxState {
+                        available,
+                        expected_seq,
+                        total_received,
+                        total_consumed,
+                        capacity,
+                        ooo,
+                        ooo_bytes: r.u64()?,
+                        refused_bytes: r.u64()?,
+                        refused_segments: r.u64()?,
+                        duplicate_segments: r.u64()?,
+                    };
+                    sock_rx.push(Some(RxState {
+                        rx: SocketRx::from_state(rxs),
+                        waiting_reader: r_opt_pid(r)?,
+                        reader_pid: r_opt_pid(r)?,
+                        loopback: r.bool()?,
+                        ack_pending: r.u8()?,
+                        fault_active: r.bool()?,
+                    }));
+                }
+                _ => return Err(CodecError::BadField("rx slot")),
+            }
+        }
+        self.sock_rx = sock_rx;
+        // Rebuild user-routine registrations by replaying them in capture
+        // order: the registry hands out dense ids deterministically, so
+        // each replayed id must equal the captured one.
+        let n_user = r.u32()? as usize;
+        for _ in 0..n_user {
+            let name = r.str()?;
+            let id = r.u32()?;
+            let interned = crate::snapshot::intern(name);
+            if self.user_event(interned).0 != id {
+                return Err(CodecError::BadField("user event id"));
+            }
+        }
+        Ok(needs_program)
+    }
+
+    /// Re-attaches a side-car program clone to a task after
+    /// [`Node::apply_state`].
+    pub(crate) fn attach_program(&mut self, pid: Pid, program: Box<dyn Program>) {
+        self.tasks
+            .get_mut(pid)
+            .expect("program side-car names a missing task")
+            .program = Some(program);
+    }
 }

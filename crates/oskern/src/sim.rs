@@ -334,6 +334,91 @@ impl EventQueue {
         s
     }
 
+    // -- engine snapshot codec ----------------------------------------------
+
+    /// True when ticks live in the dedicated lane heap (the engine-mode flag
+    /// a snapshot must reproduce on resume).
+    pub(crate) fn uses_lanes(&self) -> bool {
+        self.use_lanes
+    }
+
+    /// Serializes the queue: `now`, the FIFO sequence counter, and every
+    /// pending entry as `(time, push point, seq, event)` in canonical
+    /// `(time, point, seq)` order.  Heap and lane entries are merged into
+    /// one list; the mode flag decides where each lands again on decode.
+    ///
+    /// Panics if a shard route is installed: snapshots are taken only from
+    /// a quiescent serial cluster, never mid-window from a shard queue.
+    pub(crate) fn encode_wire(&self, w: &mut ktau_core::wire::Writer) {
+        assert!(
+            self.route.is_none(),
+            "snapshot of a shard-routed event queue"
+        );
+        w.u64(self.now);
+        w.u64(self.seq);
+        let mut entries: Vec<(Ns, Ns, u64, Event)> = self
+            .heap
+            .iter()
+            .map(|Reverse((t, p, s, ev))| (*t, *p, *s, *ev))
+            .collect();
+        entries.extend(self.lanes.iter().map(|l| {
+            (
+                l.time,
+                l.point,
+                l.seq,
+                Event::Tick {
+                    node: l.node,
+                    cpu: l.cpu,
+                },
+            )
+        }));
+        entries.sort_unstable_by_key(|&(t, p, s, _)| (t, p, s));
+        w.u32(entries.len() as u32);
+        for (t, p, s, ev) in entries {
+            w.u64(t);
+            w.u64(p);
+            w.u64(s);
+            encode_event(w, ev);
+        }
+    }
+
+    /// Rebuilds a queue from [`EventQueue::encode_wire`] bytes in the given
+    /// engine mode.  Each entry keeps its exact `(time, point, seq)` key, so
+    /// the pop sequence is bit-identical to the captured queue's.
+    pub(crate) fn decode_wire(
+        r: &mut ktau_core::wire::Reader<'_>,
+        use_lanes: bool,
+    ) -> Result<EventQueue, ktau_core::wire::CodecError> {
+        let mut q = if use_lanes {
+            EventQueue::new()
+        } else {
+            EventQueue::new_all_heap()
+        };
+        q.now = r.u64()?;
+        q.seq = r.u64()?;
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let time = r.u64()?;
+            let point = r.u64()?;
+            let seq = r.u64()?;
+            let ev = decode_event(r)?;
+            if use_lanes {
+                if let Event::Tick { node, cpu } = ev {
+                    q.lane_insert(TickLane {
+                        time,
+                        point,
+                        seq,
+                        node,
+                        cpu,
+                    });
+                    continue;
+                }
+            }
+            q.heap.push(Reverse((time, point, seq, ev)));
+        }
+        Ok(q)
+    }
+
     // -- tick-lane min-heap (keyed by `(time, seq)`) -------------------------
 
     fn lane_insert(&mut self, lane: TickLane) {
@@ -376,6 +461,119 @@ impl EventQueue {
 #[inline]
 fn lane_key(l: &TickLane) -> (Ns, u64) {
     (l.time, l.seq)
+}
+
+/// Binary encoding of one [`Event`] for engine snapshots: a kind tag byte
+/// followed by the variant's fields in declaration order.
+pub(crate) fn encode_event(w: &mut ktau_core::wire::Writer, ev: Event) {
+    match ev {
+        Event::Tick { node, cpu } => {
+            w.u8(0);
+            w.u32(node);
+            w.u8(cpu);
+        }
+        Event::CpuDone { node, cpu, gen } => {
+            w.u8(1);
+            w.u32(node);
+            w.u8(cpu);
+            w.u64(gen);
+        }
+        Event::SegArrive {
+            node,
+            conn,
+            seq,
+            payload,
+        } => {
+            w.u8(2);
+            w.u32(node);
+            w.u32(conn.0);
+            w.u64(seq);
+            w.u32(payload);
+        }
+        Event::TxDone {
+            node,
+            conn,
+            payload,
+        } => {
+            w.u8(3);
+            w.u32(node);
+            w.u32(conn.0);
+            w.u32(payload);
+        }
+        Event::AckArrive {
+            node,
+            conn,
+            ack_seq,
+        } => {
+            w.u8(4);
+            w.u32(node);
+            w.u32(conn.0);
+            w.u64(ack_seq);
+        }
+        Event::RtxTimer { node, conn, gen } => {
+            w.u8(5);
+            w.u32(node);
+            w.u32(conn.0);
+            w.u64(gen);
+        }
+        Event::Wake { node, pid } => {
+            w.u8(6);
+            w.u32(node);
+            w.u32(pid.0);
+        }
+        Event::ReleaseWake { node, conn } => {
+            w.u8(7);
+            w.u32(node);
+            w.u32(conn.0);
+        }
+    }
+}
+
+/// Inverse of [`encode_event`].
+pub(crate) fn decode_event(
+    r: &mut ktau_core::wire::Reader<'_>,
+) -> Result<Event, ktau_core::wire::CodecError> {
+    Ok(match r.u8()? {
+        0 => Event::Tick {
+            node: r.u32()?,
+            cpu: r.u8()?,
+        },
+        1 => Event::CpuDone {
+            node: r.u32()?,
+            cpu: r.u8()?,
+            gen: r.u64()?,
+        },
+        2 => Event::SegArrive {
+            node: r.u32()?,
+            conn: ConnId(r.u32()?),
+            seq: r.u64()?,
+            payload: r.u32()?,
+        },
+        3 => Event::TxDone {
+            node: r.u32()?,
+            conn: ConnId(r.u32()?),
+            payload: r.u32()?,
+        },
+        4 => Event::AckArrive {
+            node: r.u32()?,
+            conn: ConnId(r.u32()?),
+            ack_seq: r.u64()?,
+        },
+        5 => Event::RtxTimer {
+            node: r.u32()?,
+            conn: ConnId(r.u32()?),
+            gen: r.u64()?,
+        },
+        6 => Event::Wake {
+            node: r.u32()?,
+            pid: Pid(r.u32()?),
+        },
+        7 => Event::ReleaseWake {
+            node: r.u32()?,
+            conn: ConnId(r.u32()?),
+        },
+        _ => return Err(ktau_core::wire::CodecError::BadField("event kind")),
+    })
 }
 
 /// Folds one 64-bit word into a running FNV-1a hash (used by
@@ -537,7 +735,11 @@ impl Cluster {
         Cluster::boot_with_queue(spec, EventQueue::new_all_heap(), false)
     }
 
-    fn boot_with_queue(spec: ClusterSpec, mut queue: EventQueue, coalesce_ticks: bool) -> Self {
+    pub(crate) fn boot_with_queue(
+        spec: ClusterSpec,
+        mut queue: EventQueue,
+        coalesce_ticks: bool,
+    ) -> Self {
         let fabric = Fabric::new(spec.fabric_latency_ns);
         let control = std::sync::Arc::new(spec.control.clone());
         let mut nodes = Vec::with_capacity(spec.nodes.len());

@@ -9,6 +9,7 @@ use crate::program::{Op, Program};
 use ktau_core::event::{EventId, Group};
 use ktau_core::measure::TaskMeasurement;
 use ktau_core::time::{Cycles, Ns};
+use ktau_core::wire::{CodecError, Reader, Writer};
 use ktau_net::ConnId;
 
 /// Per-node process identifier.
@@ -242,6 +243,274 @@ impl Task {
     pub fn pin_mask(cpu: u8) -> u32 {
         1 << cpu
     }
+
+    /// Serializes every plain field of the task for engine snapshots.  The
+    /// program body is not byte-serializable (closures); only its presence
+    /// is recorded, and [`crate::snapshot::ClusterSnapshot`] carries the
+    /// deep-cloned program in an in-memory side-car instead.
+    pub(crate) fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.pid.0);
+        w.str(&self.comm);
+        w.u8(match self.kind {
+            TaskKind::App => 0,
+            TaskKind::Daemon => 1,
+            TaskKind::Idle => 2,
+        });
+        w.u8(match self.state {
+            TaskState::Running => 0,
+            TaskState::Runnable => 1,
+            TaskState::Blocked => 2,
+            TaskState::Dead => 3,
+        });
+        w.u32(self.affinity);
+        w.u8(self.last_cpu);
+        w.u32(self.slice_left);
+        w.u8(match self.out_reason {
+            SwitchOutReason::Preempted => 0,
+            SwitchOutReason::Voluntary => 1,
+        });
+        w.u64(self.out_since);
+        match self.blocked_on {
+            None => w.u8(0),
+            Some(BlockedOn::RxData(c)) => {
+                w.u8(1);
+                w.u32(c.0);
+            }
+            Some(BlockedOn::TxSpace(c)) => {
+                w.u8(2);
+                w.u32(c.0);
+            }
+            Some(BlockedOn::Timer) => w.u8(3),
+        }
+        encode_op_state(w, &self.op);
+        w.bool(self.program.is_some());
+        self.meas.encode_wire(w);
+        let c = &self.counters;
+        for v in [
+            c.migrations,
+            c.preemptions,
+            c.voluntary_switches,
+            c.syscalls,
+            c.page_faults,
+            c.signals,
+            c.wakeups,
+            c.interrupts,
+            c.send_timeouts,
+        ] {
+            w.u64(v);
+        }
+        w.u64(self.cpu_ns);
+        w.u64(self.created_ns);
+        w.u64(self.exited_ns);
+        match self.pending_kernel_exit {
+            None => w.u8(0),
+            Some((ev, g)) => {
+                w.u8(1);
+                w.u32(ev.0);
+                w.u8(crate::snapshot::group_tag(g));
+            }
+        }
+        match &self.last_error {
+            None => w.u8(0),
+            Some(s) => {
+                w.u8(1);
+                w.str(s);
+            }
+        }
+    }
+
+    /// Inverse of [`Task::encode_wire`].  Returns the task (with `program`
+    /// set to `None`) and whether the captured task had a program attached —
+    /// the caller re-attaches the side-car clone under that flag.
+    pub(crate) fn decode_wire(r: &mut Reader<'_>) -> Result<(Task, bool), CodecError> {
+        let pid = Pid(r.u32()?);
+        let comm = r.str()?;
+        let kind = match r.u8()? {
+            0 => TaskKind::App,
+            1 => TaskKind::Daemon,
+            2 => TaskKind::Idle,
+            _ => return Err(CodecError::BadField("task kind")),
+        };
+        let state = match r.u8()? {
+            0 => TaskState::Running,
+            1 => TaskState::Runnable,
+            2 => TaskState::Blocked,
+            3 => TaskState::Dead,
+            _ => return Err(CodecError::BadField("task state")),
+        };
+        let affinity = r.u32()?;
+        let last_cpu = r.u8()?;
+        let slice_left = r.u32()?;
+        let out_reason = match r.u8()? {
+            0 => SwitchOutReason::Preempted,
+            1 => SwitchOutReason::Voluntary,
+            _ => return Err(CodecError::BadField("out reason")),
+        };
+        let out_since = r.u64()?;
+        let blocked_on = match r.u8()? {
+            0 => None,
+            1 => Some(BlockedOn::RxData(ConnId(r.u32()?))),
+            2 => Some(BlockedOn::TxSpace(ConnId(r.u32()?))),
+            3 => Some(BlockedOn::Timer),
+            _ => return Err(CodecError::BadField("blocked_on")),
+        };
+        let op = decode_op_state(r)?;
+        let has_program = r.bool()?;
+        let meas = TaskMeasurement::decode_wire(r)?;
+        let counters = TaskCounters {
+            migrations: r.u64()?,
+            preemptions: r.u64()?,
+            voluntary_switches: r.u64()?,
+            syscalls: r.u64()?,
+            page_faults: r.u64()?,
+            signals: r.u64()?,
+            wakeups: r.u64()?,
+            interrupts: r.u64()?,
+            send_timeouts: r.u64()?,
+        };
+        let cpu_ns = r.u64()?;
+        let created_ns = r.u64()?;
+        let exited_ns = r.u64()?;
+        let pending_kernel_exit = match r.u8()? {
+            0 => None,
+            1 => {
+                let ev = EventId(r.u32()?);
+                let g = crate::snapshot::group_from_tag(r.u8()?)?;
+                Some((ev, g))
+            }
+            _ => return Err(CodecError::BadField("pending kernel exit")),
+        };
+        let last_error = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            _ => return Err(CodecError::BadField("last error")),
+        };
+        Ok((
+            Task {
+                pid,
+                comm,
+                kind,
+                state,
+                affinity,
+                last_cpu,
+                slice_left,
+                out_reason,
+                out_since,
+                blocked_on,
+                op,
+                program: None,
+                meas,
+                counters,
+                cpu_ns,
+                created_ns,
+                exited_ns,
+                pending_kernel_exit,
+                last_error,
+            },
+            has_program,
+        ))
+    }
+}
+
+fn encode_retry_opt(w: &mut Writer, retry: &Option<SendRetry>) {
+    match retry {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            w.u64(s.deadline);
+            w.u32(s.left);
+            w.u64(s.timeout_ns);
+        }
+    }
+}
+
+fn decode_retry_opt(r: &mut Reader<'_>) -> Result<Option<SendRetry>, CodecError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(SendRetry {
+            deadline: r.u64()?,
+            left: r.u32()?,
+            timeout_ns: r.u64()?,
+        }),
+        _ => return Err(CodecError::BadField("send retry")),
+    })
+}
+
+fn encode_op_state(w: &mut Writer, op: &OpState) {
+    match *op {
+        OpState::Fetch => w.u8(0),
+        OpState::Computing { remaining } => {
+            w.u8(1);
+            w.u64(remaining);
+        }
+        OpState::SendReserving {
+            conn,
+            remaining,
+            ref retry,
+        } => {
+            w.u8(2);
+            w.u32(conn.0);
+            w.u64(remaining);
+            encode_retry_opt(w, retry);
+        }
+        OpState::SendProcessing {
+            conn,
+            remaining_after,
+            ref retry,
+        } => {
+            w.u8(3);
+            w.u32(conn.0);
+            w.u64(remaining_after);
+            encode_retry_opt(w, retry);
+        }
+        OpState::RecvWaiting { conn, remaining } => {
+            w.u8(4);
+            w.u32(conn.0);
+            w.u64(remaining);
+        }
+        OpState::RecvCopying {
+            conn,
+            remaining_after,
+        } => {
+            w.u8(5);
+            w.u32(conn.0);
+            w.u64(remaining_after);
+        }
+        OpState::Sleeping => w.u8(6),
+        OpState::KernelBusy => w.u8(7),
+        OpState::Exited => w.u8(8),
+    }
+}
+
+fn decode_op_state(r: &mut Reader<'_>) -> Result<OpState, CodecError> {
+    Ok(match r.u8()? {
+        0 => OpState::Fetch,
+        1 => OpState::Computing {
+            remaining: r.u64()?,
+        },
+        2 => OpState::SendReserving {
+            conn: ConnId(r.u32()?),
+            remaining: r.u64()?,
+            retry: decode_retry_opt(r)?,
+        },
+        3 => OpState::SendProcessing {
+            conn: ConnId(r.u32()?),
+            remaining_after: r.u64()?,
+            retry: decode_retry_opt(r)?,
+        },
+        4 => OpState::RecvWaiting {
+            conn: ConnId(r.u32()?),
+            remaining: r.u64()?,
+        },
+        5 => OpState::RecvCopying {
+            conn: ConnId(r.u32()?),
+            remaining_after: r.u64()?,
+        },
+        6 => OpState::Sleeping,
+        7 => OpState::KernelBusy,
+        8 => OpState::Exited,
+        _ => return Err(CodecError::BadField("op state")),
+    })
 }
 
 /// Dense task slab indexed directly by pid.
@@ -306,6 +575,18 @@ impl TaskTable {
     /// Pids of live tasks in ascending order.
     pub fn pids(&self) -> Vec<Pid> {
         self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// The raw slot array (index = pid), `None` holes included.  Engine
+    /// snapshots must reproduce reaped-zombie holes and trailing empty
+    /// slots exactly, so they walk slots rather than live tasks.
+    pub(crate) fn slots(&self) -> &[Option<Task>] {
+        &self.slots
+    }
+
+    /// Rebuilds a table from a raw slot array (engine snapshot resume).
+    pub(crate) fn from_slots(slots: Vec<Option<Task>>) -> Self {
+        TaskTable { slots }
     }
 }
 

@@ -6,7 +6,7 @@
 //! counters, and scheduler state, so a single mis-charged tick fails these.
 
 use ktau_core::time::NS_PER_SEC;
-use ktau_net::{FaultPlan, FaultSpec};
+use ktau_net::{FaultPlan, FaultSpec, LinkMatch};
 use ktau_oskern::{
     Cluster, ClusterSpec, DegradeSpec, IrqStormSpec, NoiseSpec, Op, OpList, TaskSpec,
 };
@@ -383,5 +383,200 @@ proptest! {
             let sharded = run_with_shards(quiet(4), s, drive);
             prop_assert_eq!(serial, sharded, "run_for shards={} diverged", s);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/fork determinism: capturing a cluster mid-run and resuming it must
+// be invisible — the resumed cluster's future is bit-identical to the
+// original's, under every engine generation, and a mid-run mutation applied
+// to a fork matches the same mutation applied to an uninterrupted run.
+// ---------------------------------------------------------------------------
+
+/// Boots the spec under engine generation `engine`
+/// (0 = dynticks, 1 = fast tick-lane, 2 = all-heap reference).
+fn boot_engine(spec: ClusterSpec, engine: u8) -> Cluster {
+    match engine {
+        0 => Cluster::new(spec),
+        1 => Cluster::new_fast_engine(spec),
+        _ => Cluster::new_reference_engine(spec),
+    }
+}
+
+/// Opens one sender/receiver pair per message between nodes 0 and 1, plus
+/// local programs — the spawn phase only; callers drive the run.
+fn setup_traffic(c: &mut Cluster, msgs: &[u64], extra: &[Vec<Op>]) {
+    for (i, &bytes) in msgs.iter().enumerate() {
+        let conn = c.open_conn(0, 1);
+        c.spawn(
+            0,
+            TaskSpec::app(
+                format!("s{i}"),
+                Box::new(OpList::new(vec![Op::Send { conn, bytes }])),
+            ),
+        );
+        c.spawn(
+            1,
+            TaskSpec::app(
+                format!("r{i}"),
+                Box::new(OpList::new(vec![Op::Recv { conn, bytes }])),
+            ),
+        );
+    }
+    for (i, ops) in extra.iter().enumerate() {
+        c.spawn(
+            (i % 2) as u32,
+            TaskSpec::app(format!("x{i}"), Box::new(OpList::new(ops.clone()))),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Snapshot → resume round trip under all three engine generations,
+    /// with and without a lossy link: the resumed cluster reproduces the
+    /// original's end time and full-state digest exactly.
+    #[test]
+    fn snapshot_resume_equivalent(
+        msgs in arb_message_bytes(),
+        extra in proptest::collection::vec(arb_local_program(), 0..3),
+        engine in 0u8..3,
+        prefix_ms in 5u64..120,
+        lossy in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut spec = quiet(2);
+        if lossy {
+            spec.fault_plan = FaultPlan::flaky_node(
+                seed,
+                1,
+                FaultSpec {
+                    drop_prob: 0.1,
+                    dup_prob: 0.05,
+                    delay_prob: 0.05,
+                    delay_ns: 150_000,
+                    onset_ns: 0,
+                    rto_ns: 2_000_000,
+                },
+            );
+        }
+        let mut original = boot_engine(spec, engine);
+        setup_traffic(&mut original, &msgs, &extra);
+        original.run_for(prefix_ms * 1_000_000);
+        let snap = original.snapshot();
+        let mut resumed = Cluster::resume(&snap).expect("resume failed");
+        prop_assert_eq!(resumed.now(), original.now());
+        prop_assert_eq!(resumed.state_digest(), original.state_digest());
+        original.run_until_apps_exit(600 * NS_PER_SEC);
+        resumed.run_until_apps_exit(600 * NS_PER_SEC);
+        prop_assert_eq!(resumed.now(), original.now(), "resumed end time diverged");
+        prop_assert_eq!(
+            resumed.state_digest(),
+            original.state_digest(),
+            "resumed digest diverged"
+        );
+    }
+
+    /// Fork determinism: a fault-plan + degradation mutation applied to a
+    /// resumed fork at the capture time yields the same end state as the
+    /// identical mutation applied to an uninterrupted run at the same
+    /// virtual time — the property the CI `fork_sweep --check` gate rests on.
+    #[test]
+    fn forked_mutation_matches_cold_run(
+        msgs in arb_message_bytes(),
+        engine in 0u8..3,
+        prefix_ms in 5u64..80,
+        seed in any::<u64>(),
+        drop_pct in 0u32..25,
+        slowdown_pct in 100u32..200,
+        prefix_lossy in any::<bool>(),
+    ) {
+        // A lossy prefix leaves in-flight retransmission state at the fork
+        // point — the hard case for plan swapping (the repair queue must
+        // survive the mutation identically on both paths).
+        let mut spec = quiet(2);
+        if prefix_lossy {
+            spec.fault_plan = FaultPlan::flaky_node(
+                seed.wrapping_add(1),
+                1,
+                FaultSpec {
+                    drop_prob: 0.1,
+                    dup_prob: 0.02,
+                    delay_prob: 0.05,
+                    delay_ns: 150_000,
+                    onset_ns: 0,
+                    rto_ns: 2_000_000,
+                },
+            );
+        }
+        let plan = FaultPlan::new(seed).with_rule(
+            LinkMatch::Between(0, 1),
+            FaultSpec {
+                drop_prob: drop_pct as f64 / 100.0,
+                dup_prob: 0.02,
+                delay_prob: 0.05,
+                delay_ns: 120_000,
+                onset_ns: 0,
+                rto_ns: 2_000_000,
+            },
+        );
+        let degrade = DegradeSpec {
+            slowdown_pct,
+            slowdown_onset_ns: 0,
+            offline_cpu_at_ns: None,
+            irq_storm: None,
+        };
+        let t_f = prefix_ms * 1_000_000;
+
+        // Warm path: prefix once, snapshot, fork, mutate, run out.
+        let mut prefix = boot_engine(spec.clone(), engine);
+        setup_traffic(&mut prefix, &msgs, &[]);
+        prefix.run_for(t_f);
+        let snap = prefix.snapshot();
+        let mut fork = Cluster::resume(&snap).expect("resume failed");
+        fork.install_fault_plan(plan.clone());
+        fork.set_node_degrade(1, Some(degrade));
+        fork.run_until_apps_exit(600 * NS_PER_SEC);
+
+        // Cold twin: uninterrupted run with the same mutation at the same
+        // virtual time.
+        let mut cold = boot_engine(spec, engine);
+        setup_traffic(&mut cold, &msgs, &[]);
+        cold.run_for(t_f);
+        cold.install_fault_plan(plan);
+        cold.set_node_degrade(1, Some(degrade));
+        cold.run_until_apps_exit(600 * NS_PER_SEC);
+
+        prop_assert_eq!(fork.now(), cold.now(), "forked end time diverged from cold run");
+        prop_assert_eq!(
+            fork.state_digest(),
+            cold.state_digest(),
+            "forked digest diverged from cold run"
+        );
+    }
+
+    /// A resumed cluster can continue on the sharded runner: resume,
+    /// request shards, and the end state still matches the original's
+    /// serial continuation.
+    #[test]
+    fn snapshot_resume_sharded_equivalent(
+        msgs in proptest::collection::vec(5_000u64..200_000, 1..4),
+        prefix_ms in 5u64..80,
+    ) {
+        let mut original = Cluster::new(quiet(2));
+        setup_traffic(&mut original, &msgs, &[]);
+        original.run_for(prefix_ms * 1_000_000);
+        let snap = original.snapshot();
+        let mut resumed = Cluster::resume(&snap).expect("resume failed");
+        resumed.set_shards(2);
+        original.run_until_apps_exit(600 * NS_PER_SEC);
+        resumed.run_until_apps_exit(600 * NS_PER_SEC);
+        prop_assert_eq!(resumed.now(), original.now());
+        prop_assert_eq!(
+            resumed.state_digest(),
+            original.state_digest(),
+            "sharded continuation of a resumed cluster diverged"
+        );
     }
 }

@@ -120,6 +120,21 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The generator's internal state words, for checkpointing.  A
+        /// generator rebuilt via [`SmallRng::from_state`] continues the
+        /// stream exactly where this one stands.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator mid-stream from state words previously
+        /// captured with [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
@@ -176,6 +191,18 @@ mod tests {
             assert!((-2.0..=2.0).contains(&f));
             let u = r.gen_range(1u32..10);
             assert!((1..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.gen_range(0u64..1_000);
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
         }
     }
 
