@@ -26,17 +26,24 @@ use std::time::Instant;
 const PERIOD_NS: u64 = 50_000_000; // 50 ms sweeps
 const SWEEPS: usize = 6;
 
-/// Instrumented user routines the burst phase walks through.  Each one
-/// creates a user-event row plus merged (routine × kernel event) rows that
-/// never move again afterwards — the wide, mostly-frozen profile shape an
-/// MPI application's init phase leaves behind.
-const ROUTINES: [&str; 24] = [
+/// Instrumented user routines.  The first [`COMMON`] are entered by every
+/// rank (the MPI init/teardown spine); the rest are *specialized* — rank
+/// `k` enters only those with `index % 4 == k % 4`, the way real codes
+/// split work (only some ranks do I/O, own a boundary, drive checkpoints).
+/// With several ranks per node the per-rank bursts interleave, so the
+/// node's event registry hands out ids round-robin across rank classes:
+/// every task ends up firing a *sparse subset* of a wide id space — the
+/// regime the lazy arena tables are built for, and what a dense layout
+/// pays O(user_slots × kernel_events) for.
+const ROUTINES: [&str; 64] = [
     "MPI_Init",
     "MPI_Comm_rank",
     "MPI_Comm_size",
     "MPI_Barrier",
     "MPI_Bcast",
     "MPI_Allreduce",
+    "MPI_Finalize",
+    "steady_loop",
     "setup_grid",
     "read_input",
     "alloc_buffers",
@@ -54,21 +61,70 @@ const ROUTINES: [&str; 24] = [
     "timer_calibrate",
     "log_banner",
     "checkpoint_open",
-    "steady_loop",
+    "io_aggregate",
+    "gather_metadata",
+    "write_header",
+    "halo_pack",
+    "halo_unpack",
+    "ghost_sync",
+    "corner_exchange",
+    "fft_forward",
+    "fft_backward",
+    "transpose_xy",
+    "transpose_yz",
+    "stencil_warm",
+    "coeff_tables",
+    "precond_setup",
+    "coarsen_grid",
+    "prolongate",
+    "restrict_residual",
+    "smoother_init",
+    "krylov_basis",
+    "dot_products",
+    "norm_check",
+    "line_search",
+    "load_balance",
+    "graph_color",
+    "partition_refine",
+    "migrate_cells",
+    "rebuild_index",
+    "tracer_seed",
+    "particle_bin",
+    "neighbor_list",
+    "force_tables",
+    "ewald_setup",
+    "bond_topology",
+    "angle_terms",
+    "constraint_init",
+    "thermostat_init",
+    "barostat_init",
+    "output_schema",
+    "progress_meter",
 ];
+
+/// Routines every rank enters.
+const COMMON: usize = 8;
+
+/// The specialized-routine indices rank class `class` (0..4) enters.
+fn routines_of(class: usize) -> Vec<usize> {
+    (0..ROUTINES.len())
+        .filter(|&i| i < COMMON || i % 4 == class)
+        .collect()
+}
 
 /// Burst-then-steady rank body (see module docs).  Clone-safe so tasks can
 /// be checkpointed by the sharded engine.  A `quiescent` rank goes fully
 /// idle after its burst instead of entering the steady loop, exercising the
 /// generation-skip path at scale.
-fn rank_program(quiescent: bool) -> FnProgram<impl FnMut() -> Op + Send + Clone> {
+fn rank_program(class: usize, quiescent: bool) -> FnProgram<impl FnMut() -> Op + Send + Clone> {
+    let mine = routines_of(class);
     let mut i = 0usize;
     FnProgram(move || {
         let k = i;
         i += 1;
-        let burst_len = ROUTINES.len() * 4;
+        let burst_len = mine.len() * 4;
         if k < burst_len {
-            let r = k / 4;
+            let r = mine[k / 4];
             match k % 4 {
                 0 => Op::UserEnter(ROUTINES[r]),
                 1 => match r % 4 {
@@ -98,12 +154,16 @@ fn build_cluster(nodes: usize, ranks_per_node: usize) -> Cluster {
     let mut c = Cluster::new(spec);
     for n in 0..nodes as u32 {
         for r in 0..ranks_per_node {
+            let global = n as usize * ranks_per_node + r;
             // Every fourth rank quiesces after its burst: a monitoring
             // service at scale always watches a mix of hot and idle ranks.
-            let quiescent = (n as usize * ranks_per_node + r) % 4 == 3;
+            let quiescent = global % 4 == 3;
             c.spawn(
                 n,
-                TaskSpec::app(format!("rank{r}"), Box::new(rank_program(quiescent))),
+                TaskSpec::app(
+                    format!("rank{r}"),
+                    Box::new(rank_program(global % 4, quiescent)),
+                ),
             );
         }
     }
@@ -143,6 +203,31 @@ struct Row {
     /// What the same client would ingest per node per sweep if every
     /// shipped profile were a full dump.
     full_bytes_per_node_sweep: f64,
+    /// In-kernel measurement footprint per node after the run (arena-backed
+    /// sparse tables, live tasks only).
+    profile_bytes_per_node: f64,
+    /// The same state priced in the pre-arena dense layout
+    /// (O(user_slots × kernel_events) merged tables, eager probe vectors).
+    dense_profile_bytes_per_node: f64,
+    /// dense / arena — the compact-arena saving the 10k-node axis rests on.
+    arena_reduction: f64,
+}
+
+/// Sums the live tasks' measurement footprint across the cluster:
+/// `(arena bytes, dense-equivalent bytes)`.
+fn measurement_footprint(c: &Cluster, nodes: usize) -> (u64, u64) {
+    let mut arena = 0u64;
+    let mut dense = 0u64;
+    for n in 0..nodes as u32 {
+        let node = c.node(n);
+        for pid in node.proc_live_pids() {
+            if let Some(t) = node.task(pid) {
+                arena += t.meas.measurement_bytes() as u64;
+                dense += t.meas.dense_equivalent_bytes() as u64;
+            }
+        }
+    }
+    (arena, dense)
 }
 
 fn run_config(nodes: usize, ranks_per_node: usize, clients: usize) -> Row {
@@ -173,6 +258,7 @@ fn run_config(nodes: usize, ranks_per_node: usize, clients: usize) -> Row {
         bytes_full += s.bytes_full;
         bytes_delta += s.bytes_delta;
     }
+    let (arena_bytes, dense_bytes) = measurement_footprint(&c, nodes);
     let srv = svc.stats();
     let visits = srv.captures + srv.gen_skips;
     let per_full = bytes_full as f64 / full_syncs.max(1) as f64;
@@ -200,6 +286,9 @@ fn run_config(nodes: usize, ranks_per_node: usize, clients: usize) -> Row {
         delta_to_full_ratio: per_delta / per_full,
         delta_bytes_per_node_sweep: bytes_delta as f64 / (nodes as f64 * steady_polls),
         full_bytes_per_node_sweep: (delta_syncs as f64 * per_full) / (nodes as f64 * steady_polls),
+        profile_bytes_per_node: arena_bytes as f64 / nodes as f64,
+        dense_profile_bytes_per_node: dense_bytes as f64 / nodes as f64,
+        arena_reduction: dense_bytes as f64 / arena_bytes.max(1) as f64,
     }
 }
 
@@ -214,12 +303,13 @@ struct Bench {
 
 /// The CI gate: a reduced config with real client mirrors, asserting after
 /// every poll that each mirror's re-encoded reconstruction is byte-identical
-/// to the server's full encoding for every tracked process.
-fn check() {
-    const NODES: usize = 8;
+/// to the server's full encoding for every tracked process.  Read-only: no
+/// BENCH file is touched.  `nodes` scales the gate (`--check 2048` in CI's
+/// bounded job; plain `--check` stays at 8).
+fn check(nodes: usize) {
     const CLIENTS: usize = 3;
-    let mut c = build_cluster(NODES, 2);
-    let all_nodes: Vec<u32> = (0..NODES as u32).collect();
+    let mut c = build_cluster(nodes, 4);
+    let all_nodes: Vec<u32> = (0..nodes as u32).collect();
     let mut svc = KtaudService::install(&mut c, &all_nodes, PERIOD_NS);
     // Client 2 polls only every other sweep, exercising the gap → full-sync
     // path inside the gate as well.
@@ -253,18 +343,31 @@ fn check() {
         deltas = ids.iter().map(|&id| svc.client_stats(id).delta_syncs).sum();
     }
     assert!(deltas > 0, "check ran without exercising the delta path");
+    // The tentpole claim, enforced: the arena layout must hold the burst
+    // profiles in at least 3× fewer bytes than the dense layout would.
+    let (arena_bytes, dense_bytes) = measurement_footprint(&c, nodes);
+    assert!(
+        arena_bytes.saturating_mul(3) <= dense_bytes,
+        "arena layout too fat: {arena_bytes} arena bytes vs {dense_bytes} dense-equivalent"
+    );
     println!(
         "[ktaud_scale] CHECK OK: {compared} reconstructions byte-identical to server \
-         ({deltas} delta syncs, {} full syncs)",
+         ({deltas} delta syncs, {} full syncs, arena reduction {:.1}x)",
         ids.iter()
             .map(|&id| svc.client_stats(id).full_syncs)
-            .sum::<u64>()
+            .sum::<u64>(),
+        dense_bytes as f64 / arena_bytes.max(1) as f64
     );
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--check") {
-        check();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let nodes = args
+            .get(i + 1)
+            .and_then(|a| a.parse::<usize>().ok())
+            .unwrap_or(8);
+        check(nodes);
         return;
     }
     let configs: &[(usize, usize, usize)] = &[
@@ -273,6 +376,7 @@ fn main() {
         (64, 4, 2),
         (256, 1, 4),
         (1024, 1, 4),
+        (10240, 4, 2),
     ];
     let rows: Vec<Row> = configs
         .iter()
@@ -280,8 +384,12 @@ fn main() {
             let row = run_config(n, r, cl);
             eprintln!(
                 "[ktaud_scale]   {:.2} s wall, {} tracked, delta/full ratio {:.3}, \
-                 gen-skip {:.1}%",
-                row.wall_s, row.tracked, row.delta_to_full_ratio, row.gen_skip_pct
+                 gen-skip {:.1}%, arena reduction {:.1}x",
+                row.wall_s,
+                row.tracked,
+                row.delta_to_full_ratio,
+                row.gen_skip_pct,
+                row.arena_reduction
             );
             row
         })

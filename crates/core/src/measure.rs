@@ -30,15 +30,82 @@ pub struct MergedStats {
 /// fired.
 pub type MergedKey = (Option<EventId>, EventId);
 
-/// Dense merged-attribution table: one row per user-routine slot (slot 0 is
-/// "no routine", slot `i + 1` is user event id `i`), one column per kernel
-/// event id.  Event ids are handed out densely by the registry, so this
-/// replaces a `HashMap<MergedKey, MergedStats>` that was hashed on every
-/// kernel probe exit; rows and columns grow lazily to what a task actually
-/// touches.
-#[derive(Debug, Clone, Default)]
+/// Compact merged-attribution table: one row head per user-routine slot
+/// (slot 0 is "no routine", slot `i + 1` is user event id `i`), with each
+/// row's recorded (kernel-event column → stats) cells stored as a
+/// column-sorted chain in one shared cell arena — O(cells actually touched)
+/// instead of the previous `Vec<Vec<MergedStats>>` whose every row was
+/// dense up to the largest kernel event id it saw.  The dense layout stays
+/// the *observable* shape: each row head records the length its old dense
+/// row would have, and `Debug`/the v1 codec synthesize the zero cells, so
+/// engine state digests and v1 KTAS images are unchanged.
+#[derive(Clone, Default)]
 pub struct MergedTable {
-    rows: Vec<Vec<MergedStats>>,
+    rows: Vec<MergedRowHead>,
+    cells: Vec<MergedCell>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct MergedRowHead {
+    /// Length the old dense row would have (largest column touched + 1).
+    dense_len: u32,
+    /// First cell of the row's column-sorted chain + 1 (`0` = empty row).
+    head: u32,
+}
+
+#[derive(Clone, Copy)]
+struct MergedCell {
+    /// Kernel event id of this cell.
+    col: u32,
+    /// Next cell of the same row + 1 (`0` = end of chain).
+    next: u32,
+    stats: MergedStats,
+}
+
+/// Walks one row's cell chain in ascending column order.
+struct ChainCells<'a> {
+    cells: &'a [MergedCell],
+    cur: u32,
+}
+
+impl<'a> Iterator for ChainCells<'a> {
+    type Item = &'a MergedCell;
+    fn next(&mut self) -> Option<&'a MergedCell> {
+        if self.cur == 0 {
+            return None;
+        }
+        let cell = &self.cells[self.cur as usize - 1];
+        self.cur = cell.next;
+        Some(cell)
+    }
+}
+
+/// Synthesizes one row's old dense cells — recorded stats at their columns,
+/// defaults in the gaps — up to the row's dense length.
+struct DenseRow<'a> {
+    cells: &'a [MergedCell],
+    cur: u32,
+    next_col: u32,
+    len: u32,
+}
+
+impl Iterator for DenseRow<'_> {
+    type Item = MergedStats;
+    fn next(&mut self) -> Option<MergedStats> {
+        if self.next_col >= self.len {
+            return None;
+        }
+        let col = self.next_col;
+        self.next_col += 1;
+        if self.cur != 0 {
+            let cell = &self.cells[self.cur as usize - 1];
+            if cell.col == col {
+                self.cur = cell.next;
+                return Some(cell.stats);
+            }
+        }
+        Some(MergedStats::default())
+    }
 }
 
 impl MergedTable {
@@ -47,19 +114,51 @@ impl MergedTable {
         user.map_or(0, |id| id.index() + 1)
     }
 
-    /// The cell for `key`, growing the table as needed.
+    fn dense_row(&self, row: &MergedRowHead) -> DenseRow<'_> {
+        DenseRow {
+            cells: &self.cells,
+            cur: row.head,
+            next_col: 0,
+            len: row.dense_len,
+        }
+    }
+
+    /// The cell for `key`, growing the table as needed.  Rows hold a
+    /// handful of kernel events each, so the sorted-chain walk stays O(1)ish
+    /// on the probe hot path.
     #[inline]
     pub fn cell_mut(&mut self, key: MergedKey) -> &mut MergedStats {
         let r = Self::slot(key.0);
         if self.rows.len() <= r {
-            self.rows.resize_with(r + 1, Vec::new);
+            self.rows.resize(r + 1, MergedRowHead::default());
         }
-        let row = &mut self.rows[r];
-        let c = key.1.index();
-        if row.len() <= c {
-            row.resize(c + 1, MergedStats::default());
+        let c = key.1.index() as u32;
+        self.rows[r].dense_len = self.rows[r].dense_len.max(c + 1);
+        let mut prev = 0u32;
+        let mut cur = self.rows[r].head;
+        while cur != 0 {
+            let cell = self.cells[cur as usize - 1];
+            if cell.col == c {
+                return &mut self.cells[cur as usize - 1].stats;
+            }
+            if cell.col > c {
+                break;
+            }
+            prev = cur;
+            cur = cell.next;
         }
-        &mut row[c]
+        self.cells.push(MergedCell {
+            col: c,
+            next: cur,
+            stats: MergedStats::default(),
+        });
+        let new = self.cells.len() as u32;
+        if prev == 0 {
+            self.rows[r].head = new;
+        } else {
+            self.cells[prev as usize - 1].next = new;
+        }
+        &mut self.cells[new as usize - 1].stats
     }
 
     /// Adds `n` activations of `ns_each` nanoseconds to one cell in closed
@@ -73,124 +172,363 @@ impl MergedTable {
 
     /// The cell for `key`, if it was ever recorded.
     pub fn get(&self, key: MergedKey) -> Option<&MergedStats> {
-        self.rows
-            .get(Self::slot(key.0))?
-            .get(key.1.index())
-            .filter(|s| s.count > 0)
+        let row = self.rows.get(Self::slot(key.0))?;
+        let c = key.1.index() as u32;
+        ChainCells {
+            cells: &self.cells,
+            cur: row.head,
+        }
+        .take_while(|cell| cell.col <= c)
+        .find(|cell| cell.col == c)
+        .map(|cell| &cell.stats)
+        .filter(|s| s.count > 0)
     }
 
     /// Iterates recorded `(key, stats)` cells in dense (user, kernel) order.
     pub fn iter(&self) -> impl Iterator<Item = (MergedKey, &MergedStats)> {
-        self.rows.iter().enumerate().flat_map(|(r, row)| {
+        self.rows.iter().enumerate().flat_map(move |(r, row)| {
             let user = (r > 0).then(|| EventId((r - 1) as u32));
-            row.iter()
-                .enumerate()
-                .filter(|(_, s)| s.count > 0)
-                .map(move |(c, s)| ((user, EventId(c as u32)), s))
+            ChainCells {
+                cells: &self.cells,
+                cur: row.head,
+            }
+            .filter(|cell| cell.stats.count > 0)
+            .map(move |cell| ((user, EventId(cell.col)), &cell.stats))
         })
+    }
+
+    /// Heap bytes held by the compact storage (row heads + cell arena).
+    pub fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows.len() * size_of::<MergedRowHead>() + self.cells.len() * size_of::<MergedCell>()
+    }
+
+    /// Heap bytes the pre-arena `Vec<Vec<MergedStats>>` layout would hold
+    /// for the same state: every row dense up to its largest column, plus
+    /// one inner-`Vec` header per row in the outer vector.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows
+            .iter()
+            .map(|r| {
+                r.dense_len as usize * size_of::<MergedStats>() + size_of::<Vec<MergedStats>>()
+            })
+            .sum()
     }
 
     /// Discards all cells (profile reset control op).
     pub fn clear(&mut self) {
         self.rows.clear();
+        self.cells.clear();
     }
 
-    /// Serializes the full table — row lengths included, so zero-valued
-    /// cells survive — for the engine snapshot image.
-    pub fn encode_wire(&self, w: &mut Writer) {
+    /// Serializes the table in the *dense* v1 KTAS layout — old row lengths
+    /// synthesized exactly, zero cells included — so a v1 image decodes
+    /// `Debug`-identical, hence digest-identical.
+    pub fn encode_wire_dense(&self, w: &mut Writer) {
         w.u32(self.rows.len() as u32);
         for row in &self.rows {
-            w.u32(row.len() as u32);
-            for s in row {
+            w.u32(row.dense_len);
+            for s in self.dense_row(row) {
                 w.u64(s.count);
                 w.u64(s.ns);
             }
         }
     }
 
-    /// Inverse of [`MergedTable::encode_wire`].
-    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let n = r.u32()? as usize;
-        let mut rows = Vec::with_capacity(n.min(4096));
+    /// Inverse of [`MergedTable::encode_wire_dense`] (v1 KTAS images).
+    /// Only non-default cells allocate arena space.
+    pub fn decode_wire_dense(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.counted(4, "merged row count")?;
+        let mut rows = Vec::with_capacity(n);
+        let mut cells: Vec<MergedCell> = Vec::new();
         for _ in 0..n {
-            let m = r.u32()? as usize;
-            let mut row = Vec::with_capacity(m.min(4096));
-            for _ in 0..m {
-                row.push(MergedStats {
+            let m = r.counted(16, "merged row length")?;
+            let mut head = 0u32;
+            let mut tail = 0u32;
+            for c in 0..m {
+                let stats = MergedStats {
                     count: r.u64()?,
                     ns: r.u64()?,
+                };
+                if stats == MergedStats::default() {
+                    continue;
+                }
+                cells.push(MergedCell {
+                    col: c as u32,
+                    next: 0,
+                    stats,
                 });
+                let idx = cells.len() as u32;
+                if tail == 0 {
+                    head = idx;
+                } else {
+                    cells[tail as usize - 1].next = idx;
+                }
+                tail = idx;
             }
-            rows.push(row);
+            rows.push(MergedRowHead {
+                dense_len: m as u32,
+                head,
+            });
         }
-        Ok(MergedTable { rows })
+        Ok(MergedTable { rows, cells })
+    }
+
+    /// Serializes the table in the compact v2 KTAS layout: per row, the
+    /// dense watermark plus only the recorded cells in column order.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.rows.len() as u32);
+        for row in &self.rows {
+            w.u32(row.dense_len);
+            let n = ChainCells {
+                cells: &self.cells,
+                cur: row.head,
+            }
+            .count();
+            w.u32(n as u32);
+            let chain = ChainCells {
+                cells: &self.cells,
+                cur: row.head,
+            };
+            for cell in chain {
+                w.u32(cell.col);
+                w.u64(cell.stats.count);
+                w.u64(cell.stats.ns);
+            }
+        }
+    }
+
+    /// Inverse of [`MergedTable::encode_wire`] (v2 KTAS images).  Columns
+    /// must be strictly ascending and inside the row's dense watermark;
+    /// anything else is a corrupt image and fails loudly.
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.counted(8, "merged row count")?;
+        let mut rows = Vec::with_capacity(n);
+        let mut cells: Vec<MergedCell> = Vec::new();
+        for _ in 0..n {
+            let dense_len = r.u32()?;
+            if dense_len > crate::profile::MAX_DENSE_LEN {
+                return Err(CodecError::Corrupt("merged row length"));
+            }
+            let m = r.counted(20, "merged cell count")?;
+            let mut head = 0u32;
+            let mut tail = 0u32;
+            let mut next_min = 0u32;
+            for _ in 0..m {
+                let col = r.u32()?;
+                if col < next_min || col >= dense_len {
+                    return Err(CodecError::Corrupt("merged cell column"));
+                }
+                next_min = col + 1;
+                let stats = MergedStats {
+                    count: r.u64()?,
+                    ns: r.u64()?,
+                };
+                cells.push(MergedCell {
+                    col,
+                    next: 0,
+                    stats,
+                });
+                let idx = cells.len() as u32;
+                if tail == 0 {
+                    head = idx;
+                } else {
+                    cells[tail as usize - 1].next = idx;
+                }
+                tail = idx;
+            }
+            rows.push(MergedRowHead { dense_len, head });
+        }
+        Ok(MergedTable { rows, cells })
     }
 }
 
-/// Dense non-overlapping kernel wall time per user-routine slot (same slot
-/// scheme as [`MergedTable`]).  `None` entries distinguish "never recorded"
-/// from an accumulated zero.
-#[derive(Debug, Clone, Default)]
+// Reproduces the derived `Debug` output of the old `Vec<Vec<MergedStats>>`
+// layout (state digests hash this text): rows printed dense up to their
+// watermark, untouched columns as default cells.
+impl std::fmt::Debug for MergedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        struct Row<'a>(&'a MergedTable, &'a MergedRowHead);
+        impl std::fmt::Debug for Row<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list().entries(self.0.dense_row(self.1)).finish()
+            }
+        }
+        struct Rows<'a>(&'a MergedTable);
+        impl std::fmt::Debug for Rows<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list()
+                    .entries(self.0.rows.iter().map(|r| Row(self.0, r)))
+                    .finish()
+            }
+        }
+        f.debug_struct("MergedTable")
+            .field("rows", &Rows(self))
+            .finish()
+    }
+}
+
+/// Non-overlapping kernel wall time per user-routine slot (same slot scheme
+/// as [`MergedTable`]).  Only slots ever recorded are stored — an entry's
+/// *presence* distinguishes "never recorded" from an accumulated zero, the
+/// distinction the old `Vec<Option<Ns>>` layout carried with a `None` per
+/// untouched slot.  The dense shape survives as a watermark for `Debug` and
+/// v1-codec synthesis.
+#[derive(Clone, Default)]
 pub struct WallTable {
-    slots: Vec<Option<Ns>>,
+    /// Length the old dense `Vec<Option<Ns>>` would have.
+    dense_len: u32,
+    /// Slot ids ever recorded, ascending.  Parallel to [`WallTable::ns`]:
+    /// two packed arrays keep an entry at 4 + 8 bytes where a
+    /// `Vec<(u32, Ns)>` pads each pair to 16.
+    slots: Vec<u32>,
+    /// Accumulated wall time per recorded slot, parallel to `slots`.
+    ns: Vec<Ns>,
 }
 
 impl WallTable {
     /// Accumulates `ns` of kernel wall time under `user`.
     #[inline]
     pub fn add(&mut self, user: Option<EventId>, ns: Ns) {
-        let s = MergedTable::slot(user);
-        if self.slots.len() <= s {
-            self.slots.resize(s + 1, None);
+        let s = MergedTable::slot(user) as u32;
+        self.dense_len = self.dense_len.max(s + 1);
+        match self.slots.binary_search(&s) {
+            Ok(i) => self.ns[i] += ns,
+            Err(i) => {
+                self.slots.insert(i, s);
+                self.ns.insert(i, ns);
+            }
         }
-        *self.slots[s].get_or_insert(0) += ns;
+    }
+
+    #[inline]
+    fn slot_value(&self, s: u32) -> Option<Ns> {
+        self.slots.binary_search(&s).ok().map(|i| self.ns[i])
     }
 
     /// Accumulated wall time under `user`, if ever recorded.
     pub fn get(&self, user: Option<EventId>) -> Option<Ns> {
-        self.slots.get(MergedTable::slot(user)).copied().flatten()
+        self.slot_value(MergedTable::slot(user) as u32)
     }
 
     /// Iterates recorded `(user, ns)` entries in dense slot order.
     pub fn iter(&self) -> impl Iterator<Item = (Option<EventId>, Ns)> + '_ {
         self.slots
             .iter()
-            .enumerate()
-            .filter_map(|(s, ns)| ns.map(|ns| ((s > 0).then(|| EventId((s - 1) as u32)), ns)))
+            .zip(&self.ns)
+            .map(|(&s, &ns)| ((s > 0).then(|| EventId(s - 1)), ns))
+    }
+
+    /// Heap bytes held by the compact storage.
+    pub fn bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>() + self.ns.len() * std::mem::size_of::<Ns>()
+    }
+
+    /// Heap bytes the pre-arena dense `Vec<Option<Ns>>` would hold.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        self.dense_len as usize * std::mem::size_of::<Option<Ns>>()
     }
 
     /// Discards all entries.
     pub fn clear(&mut self) {
+        self.dense_len = 0;
         self.slots.clear();
+        self.ns.clear();
     }
 
-    /// Serializes all slots — `None` vs accumulated-zero preserved — for
-    /// the engine snapshot image.
-    pub fn encode_wire(&self, w: &mut Writer) {
-        w.u32(self.slots.len() as u32);
-        for s in &self.slots {
-            match s {
+    /// Serializes in the *dense* v1 KTAS layout — every slot up to the
+    /// watermark, `None` vs accumulated-zero preserved.
+    pub fn encode_wire_dense(&self, w: &mut Writer) {
+        w.u32(self.dense_len);
+        for s in 0..self.dense_len {
+            match self.slot_value(s) {
                 None => w.u8(0),
                 Some(ns) => {
                     w.u8(1);
-                    w.u64(*ns);
+                    w.u64(ns);
                 }
             }
         }
     }
 
-    /// Inverse of [`WallTable::encode_wire`].
-    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let n = r.u32()? as usize;
-        let mut slots = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
-            slots.push(match r.u8()? {
-                0 => None,
-                1 => Some(r.u64()?),
+    /// Inverse of [`WallTable::encode_wire_dense`] (v1 KTAS images).
+    pub fn decode_wire_dense(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.counted(1, "wall slot count")?;
+        let mut slots = Vec::new();
+        let mut ns = Vec::new();
+        for s in 0..n {
+            match r.u8()? {
+                0 => {}
+                1 => {
+                    slots.push(s as u32);
+                    ns.push(r.u64()?);
+                }
                 _ => return Err(CodecError::BadField("wall slot tag")),
-            });
+            }
         }
-        Ok(WallTable { slots })
+        Ok(WallTable {
+            dense_len: n as u32,
+            slots,
+            ns,
+        })
+    }
+
+    /// Serializes in the compact v2 KTAS layout: the dense watermark plus
+    /// only the recorded slots in ascending order.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.dense_len);
+        w.u32(self.slots.len() as u32);
+        for (&s, &ns) in self.slots.iter().zip(&self.ns) {
+            w.u32(s);
+            w.u64(ns);
+        }
+    }
+
+    /// Inverse of [`WallTable::encode_wire`] (v2 KTAS images).  Slots must
+    /// be strictly ascending and inside the dense watermark.
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let dense_len = r.u32()?;
+        if dense_len > crate::profile::MAX_DENSE_LEN {
+            return Err(CodecError::Corrupt("wall dense length"));
+        }
+        let n = r.counted(12, "wall slot count")?;
+        let mut slots = Vec::with_capacity(n);
+        let mut ns = Vec::with_capacity(n);
+        let mut next_min = 0u32;
+        for _ in 0..n {
+            let s = r.u32()?;
+            if s < next_min || s >= dense_len {
+                return Err(CodecError::Corrupt("wall slot id"));
+            }
+            next_min = s + 1;
+            slots.push(s);
+            ns.push(r.u64()?);
+        }
+        Ok(WallTable {
+            dense_len,
+            slots,
+            ns,
+        })
+    }
+}
+
+// Reproduces the derived `Debug` output of the old `Vec<Option<Ns>>` layout
+// (state digests hash this text): all slots up to the watermark, untouched
+// ones as `None`.
+impl std::fmt::Debug for WallTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        struct Slots<'a>(&'a WallTable);
+        impl std::fmt::Debug for Slots<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list()
+                    .entries((0..self.0.dense_len).map(|s| self.0.slot_value(s)))
+                    .finish()
+            }
+        }
+        f.debug_struct("WallTable")
+            .field("slots", &Slots(self))
+            .finish()
     }
 }
 
@@ -286,12 +624,47 @@ impl TaskMeasurement {
         self.gen += 1;
     }
 
+    /// Approximate heap bytes this task's measurement state occupies under
+    /// the compact arena layout (profiles, merged/wall tables, and the trace
+    /// buffer's configured capacity when present).
+    pub fn measurement_bytes(&self) -> usize {
+        self.kernel.bytes()
+            + self.user.bytes()
+            + self.merged.bytes()
+            + self.wall.bytes()
+            + self
+                .trace
+                .as_ref()
+                .map_or(0, |t| t.capacity() * std::mem::size_of::<TraceRecord>())
+    }
+
+    /// Approximate heap bytes the pre-arena dense layout would occupy for
+    /// the same state — the baseline the compact layout is measured against
+    /// in `BENCH_ktaud.json`.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        self.kernel.dense_equivalent_bytes()
+            + self.user.dense_equivalent_bytes()
+            + self.merged.dense_equivalent_bytes()
+            + self.wall.dense_equivalent_bytes()
+            + self
+                .trace
+                .as_ref()
+                .map_or(0, |t| t.capacity() * std::mem::size_of::<TraceRecord>())
+    }
+
     /// Serializes complete measurement state — both profiles, the trace
     /// buffer, merged/wall tables, and the dirty generation — for the
-    /// engine snapshot image.
-    pub fn encode_wire(&self, w: &mut Writer) {
-        self.kernel.encode_wire(w);
-        self.user.encode_wire(w);
+    /// engine snapshot image.  `compact` selects the v2 arena section
+    /// layout; `false` emits the dense v1 layout for backward-compatible
+    /// images.
+    pub fn encode_wire(&self, w: &mut Writer, compact: bool) {
+        if compact {
+            self.kernel.encode_wire(w);
+            self.user.encode_wire(w);
+        } else {
+            self.kernel.encode_wire_dense(w);
+            self.user.encode_wire_dense(w);
+        }
         match &self.trace {
             None => w.u8(0),
             Some(t) => {
@@ -299,22 +672,41 @@ impl TaskMeasurement {
                 t.encode_wire(w);
             }
         }
-        self.merged.encode_wire(w);
-        self.wall.encode_wire(w);
+        if compact {
+            self.merged.encode_wire(w);
+            self.wall.encode_wire(w);
+        } else {
+            self.merged.encode_wire_dense(w);
+            self.wall.encode_wire_dense(w);
+        }
         w.u64(self.gen);
     }
 
-    /// Inverse of [`TaskMeasurement::encode_wire`].
-    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let kernel = Profile::decode_wire(r)?;
-        let user = Profile::decode_wire(r)?;
+    /// Inverse of [`TaskMeasurement::encode_wire`]; `compact` must match
+    /// the image version the section came from (KTAS v1 = dense, v2+ =
+    /// compact).
+    pub fn decode_wire(r: &mut Reader<'_>, compact: bool) -> Result<Self, CodecError> {
+        let (kernel, user) = if compact {
+            (Profile::decode_wire(r)?, Profile::decode_wire(r)?)
+        } else {
+            (
+                Profile::decode_wire_dense(r)?,
+                Profile::decode_wire_dense(r)?,
+            )
+        };
         let trace = match r.u8()? {
             0 => None,
             1 => Some(TraceBuffer::decode_wire(r)?),
             _ => return Err(CodecError::BadField("trace tag")),
         };
-        let merged = MergedTable::decode_wire(r)?;
-        let wall = WallTable::decode_wire(r)?;
+        let (merged, wall) = if compact {
+            (MergedTable::decode_wire(r)?, WallTable::decode_wire(r)?)
+        } else {
+            (
+                MergedTable::decode_wire_dense(r)?,
+                WallTable::decode_wire_dense(r)?,
+            )
+        };
         let gen = r.u64()?;
         Ok(TaskMeasurement {
             kernel,
@@ -834,6 +1226,120 @@ mod tests {
         let before = format!("{m:?}");
         m.mark_dirty();
         assert_eq!(before, format!("{m:?}"));
+    }
+
+    #[test]
+    fn measurement_wire_roundtrips_preserve_debug_both_versions() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        // Touch columns out of order so chains must sort, leave a kernel
+        // activation live, and spread user routines across sparse slots.
+        eng.user_entry(&mut m, ev(40), Group::User, 0);
+        eng.kernel_entry(&mut m, ev(7), Group::Syscall, 10);
+        eng.kernel_exit(&mut m, ev(7), Group::Syscall, 60);
+        eng.kernel_entry(&mut m, ev(3), Group::Tcp, 70);
+        eng.kernel_exit(&mut m, ev(3), Group::Tcp, 90);
+        eng.kernel_atomic(&mut m, ev(9), Group::Tcp, 1460, 95);
+        eng.user_exit(&mut m, ev(40), Group::User, 100);
+        eng.kernel_entry(&mut m, ev(5), Group::Irq, 110); // stays live
+        let before = format!("{m:?}");
+
+        for compact in [false, true] {
+            let mut w = Writer::new();
+            m.encode_wire(&mut w, compact);
+            let bytes = w.into_vec();
+            let mut r = Reader::new(&bytes);
+            let d = TaskMeasurement::decode_wire(&mut r, compact).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(format!("{d:?}"), before, "compact={compact}");
+            assert_eq!(d.generation(), m.generation());
+        }
+    }
+
+    #[test]
+    fn arena_layout_cuts_bytes_vs_dense_for_sparse_rows() {
+        let eng = ProbeEngine::prof_all();
+        let mut m = TaskMeasurement::profiling();
+        // One user routine with a high id touching one high-id kernel event:
+        // the old layout allocated a full dense row and dense profile rows.
+        eng.user_entry(&mut m, ev(48), Group::User, 0);
+        eng.kernel_entry(&mut m, ev(30), Group::Syscall, 10);
+        eng.kernel_exit(&mut m, ev(30), Group::Syscall, 20);
+        eng.user_exit(&mut m, ev(48), Group::User, 30);
+        assert!(
+            m.measurement_bytes() * 3 <= m.dense_equivalent_bytes(),
+            "arena {} vs dense {}",
+            m.measurement_bytes(),
+            m.dense_equivalent_bytes()
+        );
+    }
+
+    #[test]
+    fn hostile_merged_and_wall_counts_fail_loudly() {
+        // Dense merged image claiming u32::MAX rows in a tiny input.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        w.u32(0);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            MergedTable::decode_wire_dense(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("merged row count"))
+        ));
+        // Dense merged image with one row claiming an absurd column count.
+        let mut w = Writer::new();
+        w.u32(1);
+        w.u32(1 << 30);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            MergedTable::decode_wire_dense(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("merged row length"))
+        ));
+        // Compact merged image with a cell column outside its dense row.
+        let mut w = Writer::new();
+        w.u32(1); // one row
+        w.u32(2); // dense_len 2
+        w.u32(1); // one cell
+        w.u32(7); // column 7 >= dense_len
+        w.u64(1);
+        w.u64(5);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            MergedTable::decode_wire(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("merged cell column"))
+        ));
+        // Dense wall image claiming more slots than bytes remain.
+        let mut w = Writer::new();
+        w.u32(1 << 20);
+        w.u8(0);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            WallTable::decode_wire_dense(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("wall slot count"))
+        ));
+        // Compact wall image with out-of-order slots.
+        let mut w = Writer::new();
+        w.u32(4); // dense_len
+        w.u32(2); // two entries
+        w.u32(2);
+        w.u64(10);
+        w.u32(1); // slot goes backwards
+        w.u64(20);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            WallTable::decode_wire(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("wall slot id"))
+        ));
+    }
+
+    #[test]
+    fn wall_preserves_accumulated_zero_vs_never_recorded() {
+        let mut wt = WallTable::default();
+        wt.add(Some(ev(2)), 0);
+        assert_eq!(wt.get(Some(ev(2))), Some(0));
+        assert_eq!(wt.get(Some(ev(1))), None);
+        assert_eq!(wt.get(None), None);
+        let dbg = format!("{wt:?}");
+        assert!(dbg.contains("[None, None, None, Some(0)]"), "{dbg}");
     }
 
     #[test]

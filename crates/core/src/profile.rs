@@ -202,14 +202,73 @@ impl std::error::Error for ProfileError {}
 /// assert_eq!(outer.incl_ns, 1_000);
 /// assert_eq!(outer.excl_ns, 700);  // child time carved out
 /// ```
-#[derive(Debug, Clone, Default)]
+/// Storage is *lazy* (PR 9): statistics live in compact slot arenas
+/// allocated on an event's first fire, with a dense `u32` index translating
+/// event ids to slots — O(ids touched × 4 bytes + slots fired × 44 bytes)
+/// instead of the previous O(max id × 44 bytes) dense vectors.  The dense
+/// layout remains the *observable* shape: `entries_len`/`active_len`/
+/// `atomics_len` record the lengths the old vectors would have, and the
+/// manual [`std::fmt::Debug`] impl plus the v1 wire codec synthesize
+/// default cells for unallocated ids, so engine state digests and v1 KTAS
+/// images are byte-identical to the dense era.
+#[derive(Clone, Default)]
 pub struct Profile {
-    entries: Vec<EntryExitStats>,
-    atomics: Vec<AtomicStats>,
+    /// Event index → entry-slot index + 1 (`0` = never fired).
+    entry_idx: Vec<u32>,
+    /// Entry/exit stats, allocated on first fire.  [`Profile::entry_active`]
+    /// is the parallel recursion-counter arena: two packed arrays instead of
+    /// one padded struct-of-both (48 bytes a slot) keep a fired slot at
+    /// 40 + 4 bytes.
+    entry_slots: Vec<EntryExitStats>,
+    /// Live-activation count per fired slot, parallel to `entry_slots`.
+    entry_active: Vec<u32>,
+    /// Event index → atomic-slot index + 1 (`0` = never fired).
+    atomic_idx: Vec<u32>,
+    atomic_slots: Vec<AtomicStats>,
     stack: Vec<Activation>,
-    /// Per-event count of activations currently on the stack (recursion
-    /// tracking).
-    active: Vec<u32>,
+    /// Dense length the old layout's `entries` vector would have (largest
+    /// event id touched + 1) — the `Debug`/v1-codec synthesis bound.
+    entries_len: u32,
+    /// Dense length of the old `active` vector.  Tracks `entries_len`
+    /// except across [`Profile::absorb`], which only extended `entries`.
+    active_len: u32,
+    /// Dense length of the old `atomics` vector.
+    atomics_len: u32,
+}
+
+/// Dense watermarks beyond this are structurally impossible for real
+/// profiles (event ids are handed out densely by the registry) — compact
+/// decoders reject larger values before synthesizing anything from them.
+pub(crate) const MAX_DENSE_LEN: u32 = 1 << 20;
+
+/// Slot-arena lookup shared by the entry and atomic tables: maps event
+/// index `i` to its slot, allocating a default slot on first touch.
+#[inline]
+fn alloc_slot<T: Default>(idx: &mut Vec<u32>, slots: &mut Vec<T>, i: usize) -> usize {
+    if idx.len() <= i {
+        idx.resize(i + 1, 0);
+    }
+    if idx[i] == 0 {
+        slots.push(T::default());
+        idx[i] = slots.len() as u32;
+    }
+    idx[i] as usize - 1
+}
+
+/// Entry-table variant of [`alloc_slot`]: the stats and recursion-counter
+/// arenas grow in lockstep.
+#[inline]
+fn alloc_entry(
+    idx: &mut Vec<u32>,
+    slots: &mut Vec<EntryExitStats>,
+    active: &mut Vec<u32>,
+    i: usize,
+) -> usize {
+    let s = alloc_slot(idx, slots, i);
+    if active.len() < slots.len() {
+        active.resize(slots.len(), 0);
+    }
+    s
 }
 
 impl Profile {
@@ -218,29 +277,74 @@ impl Profile {
         Self::default()
     }
 
+    /// Probe-path slot lookup: allocates on first fire and advances both
+    /// dense watermarks, exactly as the old `ensure_entry` grew both the
+    /// `entries` and `active` vectors together.
     #[inline]
-    fn ensure_entry(&mut self, id: EventId) {
-        if self.entries.len() <= id.index() {
-            self.entries
-                .resize(id.index() + 1, EntryExitStats::default());
-        }
-        if self.active.len() <= id.index() {
-            self.active.resize(id.index() + 1, 0);
+    fn ensure_entry(&mut self, id: EventId) -> usize {
+        let i = id.index();
+        let s = alloc_entry(
+            &mut self.entry_idx,
+            &mut self.entry_slots,
+            &mut self.entry_active,
+            i,
+        );
+        self.entries_len = self.entries_len.max(i as u32 + 1);
+        self.active_len = self.active_len.max(i as u32 + 1);
+        s
+    }
+
+    #[inline]
+    fn ensure_atomic(&mut self, id: EventId) -> &mut AtomicStats {
+        let i = id.index();
+        let s = alloc_slot(&mut self.atomic_idx, &mut self.atomic_slots, i);
+        self.atomics_len = self.atomics_len.max(i as u32 + 1);
+        &mut self.atomic_slots[s]
+    }
+
+    #[inline]
+    fn entry_pos(&self, i: usize) -> Option<usize> {
+        match self.entry_idx.get(i) {
+            Some(&s) if s != 0 => Some(s as usize - 1),
+            _ => None,
         }
     }
 
     #[inline]
-    fn ensure_atomic(&mut self, id: EventId) {
-        if self.atomics.len() <= id.index() {
-            self.atomics.resize(id.index() + 1, AtomicStats::default());
+    fn atomic_slot(&self, i: usize) -> Option<&AtomicStats> {
+        match self.atomic_idx.get(i) {
+            Some(&s) if s != 0 => Some(&self.atomic_slots[s as usize - 1]),
+            _ => None,
         }
+    }
+
+    /// Heap bytes held by the compact storage (index maps, fired slots, the
+    /// live activation stack).
+    pub fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.entry_idx.len() * size_of::<u32>()
+            + self.entry_slots.len() * size_of::<EntryExitStats>()
+            + self.entry_active.len() * size_of::<u32>()
+            + self.atomic_idx.len() * size_of::<u32>()
+            + self.atomic_slots.len() * size_of::<AtomicStats>()
+            + self.stack.len() * size_of::<Activation>()
+    }
+
+    /// Heap bytes the pre-arena dense layout would hold for the same state:
+    /// one stats row per event id up to the largest touched, fired or not.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.entries_len as usize * size_of::<EntryExitStats>()
+            + self.active_len as usize * size_of::<u32>()
+            + self.atomics_len as usize * size_of::<AtomicStats>()
+            + self.stack.len() * size_of::<Activation>()
     }
 
     /// Entry probe: pushes an activation at time `now`.
     pub fn start(&mut self, event: EventId, now: Ns) {
-        self.ensure_entry(event);
-        let recursive = self.active[event.index()] > 0;
-        self.active[event.index()] += 1;
+        let s = self.ensure_entry(event);
+        let recursive = self.entry_active[s] > 0;
+        self.entry_active[s] += 1;
         self.stack.push(Activation {
             event,
             entry_ns: now,
@@ -268,10 +372,11 @@ impl Profile {
             return Err(ProfileError::TimeWentBackwards);
         }
         self.stack.pop();
-        self.active[event.index()] -= 1;
         let incl = now - top.entry_ns;
         let excl = incl.saturating_sub(top.child_ns);
-        self.entries[event.index()].record(incl, excl, !top.recursive);
+        let s = self.ensure_entry(event);
+        self.entry_active[s] -= 1;
+        self.entry_slots[s].record(incl, excl, !top.recursive);
         if let Some(parent) = self.stack.last_mut() {
             // A recursive child's inclusive time is already inside the outer
             // activation of the same event; still credit it to the direct
@@ -287,8 +392,7 @@ impl Profile {
 
     /// Atomic-event probe.
     pub fn atomic(&mut self, event: EventId, value: u64) {
-        self.ensure_atomic(event);
-        self.atomics[event.index()].record(value);
+        self.ensure_atomic(event).record(value);
     }
 
     /// Records `n` identical completed non-recursive activations of `event`
@@ -301,13 +405,12 @@ impl Profile {
         if n == 0 {
             return;
         }
-        self.ensure_entry(event);
+        let i = self.ensure_entry(event);
         debug_assert_eq!(
-            self.active[event.index()],
-            0,
+            self.entry_active[i], 0,
             "record_repeat on an active event would mis-handle recursion"
         );
-        let s = &mut self.entries[event.index()];
+        let s = &mut self.entry_slots[i];
         let first = s.count == 0;
         s.count += n;
         s.excl_ns += excl * n;
@@ -334,8 +437,8 @@ impl Profile {
     /// Adds externally-computed entry/exit statistics (used by the scheduler,
     /// which measures switched-out intervals rather than nested activations).
     pub fn add_interval(&mut self, event: EventId, duration: Ns) {
-        self.ensure_entry(event);
-        self.entries[event.index()].record(duration, duration, true);
+        let s = self.ensure_entry(event);
+        self.entry_slots[s].record(duration, duration, true);
         // Credit the interval as child time of any live activation so that
         // e.g. time descheduled inside a syscall is not double-counted as
         // syscall exclusive time.
@@ -366,64 +469,86 @@ impl Profile {
 
     /// Entry/exit stats for an event (default if never fired).
     pub fn entry_stats(&self, event: EventId) -> EntryExitStats {
-        self.entries.get(event.index()).copied().unwrap_or_default()
+        self.entry_pos(event.index())
+            .map(|s| self.entry_slots[s])
+            .unwrap_or_default()
     }
 
     /// Atomic stats for an event (default if never fired).
     pub fn atomic_stats(&self, event: EventId) -> AtomicStats {
-        self.atomics.get(event.index()).copied().unwrap_or_default()
+        self.atomic_slot(event.index()).copied().unwrap_or_default()
     }
 
     /// Iterates `(EventId, stats)` for events with at least one completion.
     pub fn iter_entries(&self) -> impl Iterator<Item = (EventId, &EntryExitStats)> {
-        self.entries
+        self.entry_idx
             .iter()
             .enumerate()
+            .filter(|(_, &s)| s != 0)
+            .map(|(i, &s)| (EventId(i as u32), &self.entry_slots[s as usize - 1]))
             .filter(|(_, s)| s.count > 0)
-            .map(|(i, s)| (EventId(i as u32), s))
     }
 
     /// Iterates `(EventId, stats)` for atomic events with occurrences.
     pub fn iter_atomics(&self) -> impl Iterator<Item = (EventId, &AtomicStats)> {
-        self.atomics
+        self.atomic_idx
             .iter()
             .enumerate()
+            .filter(|(_, &s)| s != 0)
+            .map(|(i, &s)| (EventId(i as u32), &self.atomic_slots[s as usize - 1]))
             .filter(|(_, s)| s.count > 0)
-            .map(|(i, s)| (EventId(i as u32), s))
     }
 
     /// Total exclusive time across all events — for a quiescent profile this
     /// equals total instrumented wall time.
     pub fn total_excl_ns(&self) -> Ns {
-        self.entries.iter().map(|s| s.excl_ns).sum()
+        self.entry_slots.iter().map(|s| s.excl_ns).sum()
     }
 
     /// Merges another profile's statistics into this one (kernel-wide view
     /// aggregation).  Activation stacks are not merged; both profiles should
     /// be quiescent or the in-flight activations are simply ignored.
     pub fn absorb(&mut self, other: &Profile) {
-        if self.entries.len() < other.entries.len() {
-            self.entries
-                .resize(other.entries.len(), EntryExitStats::default());
+        // The old dense absorb resized `entries`/`atomics` (but not
+        // `active`) to the other profile's length before merging; only the
+        // watermarks move here, cells stay lazy.
+        self.entries_len = self.entries_len.max(other.entries_len);
+        self.atomics_len = self.atomics_len.max(other.atomics_len);
+        for (i, &s) in other.entry_idx.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let o = &other.entry_slots[s as usize - 1];
+            if o.count == 0 {
+                continue;
+            }
+            let si = alloc_entry(
+                &mut self.entry_idx,
+                &mut self.entry_slots,
+                &mut self.entry_active,
+                i,
+            );
+            self.entry_slots[si].absorb(o);
         }
-        for (i, s) in other.entries.iter().enumerate() {
-            self.entries[i].absorb(s);
-        }
-        if self.atomics.len() < other.atomics.len() {
-            self.atomics
-                .resize(other.atomics.len(), AtomicStats::default());
-        }
-        for (i, s) in other.atomics.iter().enumerate() {
-            self.atomics[i].absorb(s);
+        for (i, &s) in other.atomic_idx.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let o = &other.atomic_slots[s as usize - 1];
+            if o.count == 0 {
+                continue;
+            }
+            let si = alloc_slot(&mut self.atomic_idx, &mut self.atomic_slots, i);
+            self.atomic_slots[si].absorb(o);
         }
     }
 
     /// Clears all statistics but keeps allocation (profile reset control op).
     pub fn reset(&mut self) {
-        for e in &mut self.entries {
-            *e = EntryExitStats::default();
+        for s in &mut self.entry_slots {
+            *s = EntryExitStats::default();
         }
-        for a in &mut self.atomics {
+        for a in &mut self.atomic_slots {
             *a = AtomicStats::default();
         }
         // In-flight activations remain so nesting stays consistent, but their
@@ -434,26 +559,7 @@ impl Profile {
         }
     }
 
-    /// Serializes complete profile state — statistics, the live activation
-    /// stack, and recursion counters — for the engine snapshot image.
-    /// Vector lengths are preserved exactly (including zero-valued rows) so
-    /// the reconstruction is `Debug`-identical, hence digest-identical.
-    pub fn encode_wire(&self, w: &mut Writer) {
-        w.u32(self.entries.len() as u32);
-        for e in &self.entries {
-            w.u64(e.count);
-            w.u64(e.incl_ns);
-            w.u64(e.excl_ns);
-            w.u64(e.min_incl_ns);
-            w.u64(e.max_incl_ns);
-        }
-        w.u32(self.atomics.len() as u32);
-        for a in &self.atomics {
-            w.u64(a.count);
-            w.u64(a.sum);
-            w.u64(a.min);
-            w.u64(a.max);
-        }
+    fn encode_stack(&self, w: &mut Writer) {
         w.u32(self.stack.len() as u32);
         for f in &self.stack {
             w.u32(f.event.0);
@@ -462,37 +568,12 @@ impl Profile {
             w.u64(f.interval_ns);
             w.bool(f.recursive);
         }
-        w.u32(self.active.len() as u32);
-        for &c in &self.active {
-            w.u32(c);
-        }
     }
 
-    /// Inverse of [`Profile::encode_wire`].
-    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let n = r.u32()? as usize;
-        let mut entries = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
-            entries.push(EntryExitStats {
-                count: r.u64()?,
-                incl_ns: r.u64()?,
-                excl_ns: r.u64()?,
-                min_incl_ns: r.u64()?,
-                max_incl_ns: r.u64()?,
-            });
-        }
-        let n = r.u32()? as usize;
-        let mut atomics = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
-            atomics.push(AtomicStats {
-                count: r.u64()?,
-                sum: r.u64()?,
-                min: r.u64()?,
-                max: r.u64()?,
-            });
-        }
-        let n = r.u32()? as usize;
-        let mut stack = Vec::with_capacity(n.min(4096));
+    /// One activation is at least 29 bytes on the wire.
+    fn decode_stack(r: &mut Reader<'_>) -> Result<Vec<Activation>, CodecError> {
+        let n = r.counted(29, "activation stack depth")?;
+        let mut stack = Vec::with_capacity(n);
         for _ in 0..n {
             stack.push(Activation {
                 event: EventId(r.u32()?),
@@ -502,17 +583,261 @@ impl Profile {
                 recursive: r.bool()?,
             });
         }
-        let n = r.u32()? as usize;
-        let mut active = Vec::with_capacity(n.min(4096));
-        for _ in 0..n {
-            active.push(r.u32()?);
+        Ok(stack)
+    }
+
+    /// Serializes complete profile state — statistics, the live activation
+    /// stack, and recursion counters — in the *dense* v1 KTAS layout: the
+    /// old vector lengths are synthesized exactly (including zero-valued
+    /// rows) so a v1 image decodes `Debug`-identical, hence digest-identical.
+    pub fn encode_wire_dense(&self, w: &mut Writer) {
+        w.u32(self.entries_len);
+        for i in 0..self.entries_len as usize {
+            let e = self
+                .entry_pos(i)
+                .map(|s| self.entry_slots[s])
+                .unwrap_or_default();
+            w.u64(e.count);
+            w.u64(e.incl_ns);
+            w.u64(e.excl_ns);
+            w.u64(e.min_incl_ns);
+            w.u64(e.max_incl_ns);
+        }
+        w.u32(self.atomics_len);
+        for i in 0..self.atomics_len as usize {
+            let a = self.atomic_slot(i).copied().unwrap_or_default();
+            w.u64(a.count);
+            w.u64(a.sum);
+            w.u64(a.min);
+            w.u64(a.max);
+        }
+        self.encode_stack(w);
+        w.u32(self.active_len);
+        for i in 0..self.active_len as usize {
+            w.u32(self.entry_pos(i).map_or(0, |s| self.entry_active[s]));
+        }
+    }
+
+    /// Inverse of [`Profile::encode_wire_dense`] (v1 KTAS images).  Only
+    /// non-default rows allocate slots, so a dense image rehydrates into the
+    /// same compact state a live run would have built.
+    pub fn decode_wire_dense(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut entry_idx = Vec::new();
+        let mut entry_slots: Vec<EntryExitStats> = Vec::new();
+        let mut entry_active: Vec<u32> = Vec::new();
+        let entries_len = r.counted(40, "profile entry count")? as u32;
+        for i in 0..entries_len as usize {
+            let e = EntryExitStats {
+                count: r.u64()?,
+                incl_ns: r.u64()?,
+                excl_ns: r.u64()?,
+                min_incl_ns: r.u64()?,
+                max_incl_ns: r.u64()?,
+            };
+            if e != EntryExitStats::default() {
+                let s = alloc_entry(&mut entry_idx, &mut entry_slots, &mut entry_active, i);
+                entry_slots[s] = e;
+            }
+        }
+        let mut atomic_idx = Vec::new();
+        let mut atomic_slots: Vec<AtomicStats> = Vec::new();
+        let atomics_len = r.counted(32, "profile atomic count")? as u32;
+        for i in 0..atomics_len as usize {
+            let a = AtomicStats {
+                count: r.u64()?,
+                sum: r.u64()?,
+                min: r.u64()?,
+                max: r.u64()?,
+            };
+            if a != AtomicStats::default() {
+                let s = alloc_slot(&mut atomic_idx, &mut atomic_slots, i);
+                atomic_slots[s] = a;
+            }
+        }
+        let stack = Self::decode_stack(r)?;
+        let active_len = r.counted(4, "active counter count")? as u32;
+        for i in 0..active_len as usize {
+            let c = r.u32()?;
+            if c != 0 {
+                let s = alloc_entry(&mut entry_idx, &mut entry_slots, &mut entry_active, i);
+                entry_active[s] = c;
+            }
         }
         Ok(Profile {
-            entries,
-            atomics,
+            entry_idx,
+            entry_slots,
+            entry_active,
+            atomic_idx,
+            atomic_slots,
             stack,
-            active,
+            entries_len,
+            active_len,
+            atomics_len,
         })
+    }
+
+    /// Serializes complete profile state in the compact v2 KTAS layout:
+    /// dense watermarks plus only the allocated slots, keyed by event id in
+    /// ascending order.
+    pub fn encode_wire(&self, w: &mut Writer) {
+        w.u32(self.entries_len);
+        w.u32(self.active_len);
+        let live = self.entry_idx.iter().filter(|&&s| s != 0).count();
+        w.u32(live as u32);
+        for (i, &s) in self.entry_idx.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let st = &self.entry_slots[s as usize - 1];
+            w.u32(i as u32);
+            w.u64(st.count);
+            w.u64(st.incl_ns);
+            w.u64(st.excl_ns);
+            w.u64(st.min_incl_ns);
+            w.u64(st.max_incl_ns);
+            w.u32(self.entry_active[s as usize - 1]);
+        }
+        w.u32(self.atomics_len);
+        let live = self.atomic_idx.iter().filter(|&&s| s != 0).count();
+        w.u32(live as u32);
+        for (i, &s) in self.atomic_idx.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let a = &self.atomic_slots[s as usize - 1];
+            w.u32(i as u32);
+            w.u64(a.count);
+            w.u64(a.sum);
+            w.u64(a.min);
+            w.u64(a.max);
+        }
+        self.encode_stack(w);
+    }
+
+    /// Inverse of [`Profile::encode_wire`] (v2 KTAS images).  Slot ids must
+    /// be strictly ascending and inside the dense watermarks; anything else
+    /// is a corrupt image and fails loudly.
+    pub fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let entries_len = r.u32()?;
+        let active_len = r.u32()?;
+        if entries_len.max(active_len) > MAX_DENSE_LEN {
+            return Err(CodecError::Corrupt("profile dense length"));
+        }
+        let dense_cap = entries_len.max(active_len);
+        let mut entry_idx = Vec::new();
+        let mut entry_slots: Vec<EntryExitStats> = Vec::new();
+        let mut entry_active: Vec<u32> = Vec::new();
+        let n = r.counted(48, "profile slot count")?;
+        let mut next_min = 0u32;
+        for _ in 0..n {
+            let id = r.u32()?;
+            if id < next_min || id >= dense_cap {
+                return Err(CodecError::Corrupt("profile slot id"));
+            }
+            next_min = id + 1;
+            let stats = EntryExitStats {
+                count: r.u64()?,
+                incl_ns: r.u64()?,
+                excl_ns: r.u64()?,
+                min_incl_ns: r.u64()?,
+                max_incl_ns: r.u64()?,
+            };
+            let active = r.u32()?;
+            let s = alloc_entry(
+                &mut entry_idx,
+                &mut entry_slots,
+                &mut entry_active,
+                id as usize,
+            );
+            entry_slots[s] = stats;
+            entry_active[s] = active;
+        }
+        let atomics_len = r.u32()?;
+        if atomics_len > MAX_DENSE_LEN {
+            return Err(CodecError::Corrupt("profile atomic dense length"));
+        }
+        let mut atomic_idx = Vec::new();
+        let mut atomic_slots: Vec<AtomicStats> = Vec::new();
+        let n = r.counted(36, "profile atomic slot count")?;
+        let mut next_min = 0u32;
+        for _ in 0..n {
+            let id = r.u32()?;
+            if id < next_min || id >= atomics_len {
+                return Err(CodecError::Corrupt("profile atomic slot id"));
+            }
+            next_min = id + 1;
+            let a = AtomicStats {
+                count: r.u64()?,
+                sum: r.u64()?,
+                min: r.u64()?,
+                max: r.u64()?,
+            };
+            let s = alloc_slot(&mut atomic_idx, &mut atomic_slots, id as usize);
+            atomic_slots[s] = a;
+        }
+        let stack = Self::decode_stack(r)?;
+        Ok(Profile {
+            entry_idx,
+            entry_slots,
+            entry_active,
+            atomic_idx,
+            atomic_slots,
+            stack,
+            entries_len,
+            active_len,
+            atomics_len,
+        })
+    }
+}
+
+// Reproduces the derived `Debug` output of the old dense layout:
+// `Cluster::state_digest` hashes this text, so the arena representation
+// must be invisible to it.  Event ids below the dense watermarks that never
+// allocated a slot print as default cells, exactly as the old zero-filled
+// vectors did.
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        struct Entries<'a>(&'a Profile);
+        impl std::fmt::Debug for Entries<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list()
+                    .entries((0..self.0.entries_len as usize).map(|i| {
+                        self.0
+                            .entry_pos(i)
+                            .map(|s| self.0.entry_slots[s])
+                            .unwrap_or_default()
+                    }))
+                    .finish()
+            }
+        }
+        struct Atomics<'a>(&'a Profile);
+        impl std::fmt::Debug for Atomics<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list()
+                    .entries(
+                        (0..self.0.atomics_len as usize)
+                            .map(|i| self.0.atomic_slot(i).copied().unwrap_or_default()),
+                    )
+                    .finish()
+            }
+        }
+        struct Active<'a>(&'a Profile);
+        impl std::fmt::Debug for Active<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list()
+                    .entries(
+                        (0..self.0.active_len as usize)
+                            .map(|i| self.0.entry_pos(i).map_or(0, |s| self.0.entry_active[s])),
+                    )
+                    .finish()
+            }
+        }
+        f.debug_struct("Profile")
+            .field("entries", &Entries(self))
+            .field("atomics", &Atomics(self))
+            .field("stack", &self.stack)
+            .field("active", &Active(self))
+            .finish()
     }
 }
 
@@ -670,6 +995,118 @@ mod tests {
         p.start(ev(7), 1);
         assert_eq!(p.outermost(), Some(ev(3)));
         assert_eq!(p.top(), Some(ev(7)));
+    }
+
+    #[test]
+    fn lazy_slots_beat_dense_layout_for_sparse_high_ids() {
+        let mut p = Profile::new();
+        // One routine with a large event id: the old layout allocated 44
+        // bytes for every id below it.
+        p.start(ev(500), 0);
+        p.stop(ev(500), 100).unwrap();
+        assert!(p.bytes() * 3 <= p.dense_equivalent_bytes());
+        // The dense shape is still what Debug reports.
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("count: 1"));
+        assert_eq!(dbg.matches("count: 0").count(), 500);
+    }
+
+    #[test]
+    fn dense_and_compact_wire_roundtrips_preserve_debug() {
+        let mut p = Profile::new();
+        p.start(ev(3), 0);
+        p.start(ev(3), 5); // recursive, stays live
+        p.start(ev(7), 10);
+        p.stop(ev(7), 40).unwrap();
+        p.atomic(ev(12), 1460);
+        p.add_interval(ev(1), 250);
+        let before = format!("{p:?}");
+
+        let mut w = crate::wire::Writer::new();
+        p.encode_wire_dense(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let d = Profile::decode_wire_dense(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(format!("{d:?}"), before);
+
+        let mut w = crate::wire::Writer::new();
+        p.encode_wire(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let c = Profile::decode_wire(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(format!("{c:?}"), before);
+    }
+
+    #[test]
+    fn absorb_extends_entries_watermark_but_not_active() {
+        let mut a = Profile::new();
+        let mut b = Profile::new();
+        b.start(ev(9), 0);
+        b.stop(ev(9), 10).unwrap();
+        a.absorb(&b);
+        // Old behavior: `entries` resized to 10 rows, `active` untouched.
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("active: []"), "{dbg}");
+        assert_eq!(a.entry_stats(ev(9)).count, 1);
+    }
+
+    #[test]
+    fn hostile_counts_fail_loudly() {
+        // A dense image claiming 2^31 entries in a 12-byte input.
+        let mut w = crate::wire::Writer::new();
+        w.u32(1 << 31);
+        w.u64(0);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            Profile::decode_wire_dense(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("profile entry count"))
+        ));
+        // A compact image with an absurd dense watermark.
+        let mut w = crate::wire::Writer::new();
+        w.u32(u32::MAX);
+        w.u32(0);
+        w.u32(0);
+        let bytes = w.into_vec();
+        assert!(matches!(
+            Profile::decode_wire(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("profile dense length"))
+        ));
+        // A compact image with out-of-order slot ids.
+        let mut p = Profile::new();
+        p.start(ev(2), 0);
+        p.stop(ev(2), 1).unwrap();
+        p.start(ev(5), 2);
+        p.stop(ev(5), 3).unwrap();
+        let mut w = crate::wire::Writer::new();
+        p.encode_wire(&mut w);
+        let mut bytes = w.into_vec();
+        // Swap the first slot id (2, at offset 12) to 5 so ids repeat.
+        bytes[12] = 5;
+        assert!(matches!(
+            Profile::decode_wire(&mut Reader::new(&bytes)),
+            Err(CodecError::Corrupt("profile slot id"))
+        ));
+    }
+
+    #[test]
+    fn decode_needs_derived_debug_parity_for_zero_count_rows() {
+        // A hand-built dense image with a zero-count row carrying nonzero
+        // fields must survive the rehydration Debug-identically.
+        let mut w = crate::wire::Writer::new();
+        w.u32(1); // one entry row
+        w.u64(0); // count 0
+        w.u64(77); // but nonzero incl
+        w.u64(0);
+        w.u64(0);
+        w.u64(0);
+        w.u32(0); // no atomics
+        w.u32(0); // empty stack
+        w.u32(0); // no active counters
+        let bytes = w.into_vec();
+        let p = Profile::decode_wire_dense(&mut Reader::new(&bytes)).unwrap();
+        assert!(format!("{p:?}").contains("incl_ns: 77"));
     }
 
     #[test]

@@ -374,6 +374,14 @@ fn read_wall_row(r: &mut Reader<'_>) -> Result<(Option<String>, Ns), CodecError>
 /// Encodes a profile snapshot into the KTAU binary wire format.
 pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     let mut w = Writer::new();
+    encode_profile_into(&mut w, p);
+    w.into_vec()
+}
+
+/// [`encode_profile`] into a caller-owned [`Writer`] — clear and reuse one
+/// scratch writer across an encode-heavy loop (the KTAUD sweep path) to
+/// avoid reallocating the buffer per profile.
+pub fn encode_profile_into(w: &mut Writer, p: &ProfileSnapshot) {
     w.bytes(BINARY_MAGIC);
     w.u16(BINARY_VERSION);
     w.u32(p.pid);
@@ -382,25 +390,24 @@ pub fn encode_profile(p: &ProfileSnapshot) -> Vec<u8> {
     w.u64(p.taken_ns);
     w.u32(p.kernel_events.len() as u32);
     for r in &p.kernel_events {
-        write_event_row(&mut w, r);
+        write_event_row(w, r);
     }
     w.u32(p.kernel_atomics.len() as u32);
     for r in &p.kernel_atomics {
-        write_atomic_row(&mut w, r);
+        write_atomic_row(w, r);
     }
     w.u32(p.user_events.len() as u32);
     for r in &p.user_events {
-        write_event_row(&mut w, r);
+        write_event_row(w, r);
     }
     w.u32(p.merged.len() as u32);
     for r in &p.merged {
-        write_merged_row(&mut w, r);
+        write_merged_row(w, r);
     }
     w.u32(p.kernel_wall.len() as u32);
     for r in &p.kernel_wall {
-        write_wall_row(&mut w, r);
+        write_wall_row(w, r);
     }
-    w.into_vec()
 }
 
 /// Decodes a binary profile snapshot.
@@ -556,8 +563,15 @@ impl ProfileDelta {
 
 /// FNV-1a digest of a snapshot's binary encoding — the delta check value.
 pub fn profile_check_digest(p: &ProfileSnapshot) -> u64 {
+    profile_check_digest_of(&encode_profile(p))
+}
+
+/// [`profile_check_digest`] over an already-encoded snapshot.  Callers that
+/// hold the `encode_profile` bytes (the KTAUD sweep reads them straight off
+/// `/proc/ktau`) hash those instead of re-encoding the snapshot.
+pub fn profile_check_digest_of(encoded: &[u8]) -> u64 {
     let mut h = crate::digest::FNV_OFFSET;
-    crate::digest::fnv_bytes(&mut h, &encode_profile(p));
+    crate::digest::fnv_bytes(&mut h, encoded);
     h
 }
 
@@ -569,8 +583,24 @@ pub fn profile_delta(
     base_seq: u64,
     seq: u64,
 ) -> ProfileDelta {
+    profile_delta_with_check(base, new, base_seq, seq, profile_check_digest(new))
+}
+
+/// [`profile_delta`] with the check digest supplied by the caller, who must
+/// have computed it as [`profile_check_digest_of`] over `new`'s binary
+/// encoding.  Skips the full re-encode of `new` that [`profile_delta`]
+/// performs — the KTAUD sweep already holds those bytes from the
+/// `/proc/ktau` read.
+pub fn profile_delta_with_check(
+    base: &ProfileSnapshot,
+    new: &ProfileSnapshot,
+    base_seq: u64,
+    seq: u64,
+    check: u64,
+) -> ProfileDelta {
     debug_assert_eq!(base.pid, new.pid, "delta across different pids");
     debug_assert_eq!(base.node, new.node, "delta across different nodes");
+    debug_assert_eq!(check, profile_check_digest(new), "wrong check digest");
     ProfileDelta {
         pid: new.pid,
         node: new.node,
@@ -583,7 +613,7 @@ pub fn profile_delta(
         user_events: SectionDelta::diff(&base.user_events, &new.user_events),
         merged: SectionDelta::diff(&base.merged, &new.merged),
         kernel_wall: SectionDelta::diff(&base.kernel_wall, &new.kernel_wall),
-        check: profile_check_digest(new),
+        check,
     }
 }
 

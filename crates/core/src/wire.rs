@@ -25,6 +25,12 @@ pub enum CodecError {
     /// A delta was applied against the wrong baseline: identity fields
     /// disagree or the reconstruction failed the delta's check digest.
     DeltaMismatch,
+    /// A structurally impossible value — e.g. an element count larger than
+    /// the bytes left to hold it, or an out-of-range index — in an otherwise
+    /// well-framed image.  Distinct from [`CodecError::Truncated`]: the input
+    /// is long enough, its *contents* are hostile or corrupt, and the decoder
+    /// rejects them before reserving any memory for them.
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -36,6 +42,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadField(s) => write!(f, "malformed field: {s}"),
             CodecError::TrailingBytes => write!(f, "trailing bytes after KTAU data"),
             CodecError::DeltaMismatch => write!(f, "delta does not match its baseline"),
+            CodecError::Corrupt(s) => write!(f, "corrupt KTAU data: {s}"),
         }
     }
 }
@@ -90,6 +97,15 @@ impl Writer {
     /// True when nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+    /// The bytes written so far, without consuming the writer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+    /// Empties the writer, keeping its allocation — scratch-buffer reuse
+    /// for encode-heavy loops (e.g. the KTAUD sweep path).
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
     /// Consumes the writer, yielding the encoded bytes.
     pub fn into_vec(self) -> Vec<u8> {
@@ -153,6 +169,19 @@ impl<'a> Reader<'a> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadField("utf8"))
+    }
+    /// Reads a `u32` element count and validates it against the bytes
+    /// actually left in the input: each element occupies at least
+    /// `min_bytes`, so any count exceeding `remaining / min_bytes` is
+    /// structurally impossible and fails with [`CodecError::Corrupt`]
+    /// *before* the caller reserves memory for it.
+    pub fn counted(&mut self, min_bytes: usize, what: &'static str) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        debug_assert!(min_bytes > 0, "counted() needs a nonzero element size");
+        if n > self.remaining() / min_bytes.max(1) {
+            return Err(CodecError::Corrupt(what));
+        }
+        Ok(n)
     }
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {

@@ -1,0 +1,499 @@
+//! Property tests: the arena-backed measurement tables (lazy profile slots,
+//! merged cell chains, sparse wall entries) are observation-equivalent to
+//! the old dense layouts they replaced.  Each test drives the real table and
+//! a dense reference model — plain `Vec`s indexed by event id, exactly the
+//! pre-arena storage — through the same random probe / batch-fold / reset
+//! sequence, then checks every observable surface: point reads, iteration
+//! order, totals, `Debug` text (what state digests hash), and byte-for-byte
+//! parity of the dense v1 wire image against one hand-encoded from the
+//! model.
+
+use ktau_core::measure::{MergedStats, MergedTable, WallTable};
+use ktau_core::profile::{AtomicStats, EntryExitStats, Profile};
+use ktau_core::wire::{Reader, Writer};
+use ktau_core::EventId;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Dense reference arithmetic (the stats math is shared by both layouts; the
+// property under test is the *storage*, so the model re-states it verbatim)
+// ---------------------------------------------------------------------------
+
+fn model_record(e: &mut EntryExitStats, incl: u64, excl: u64, outermost: bool) {
+    e.count += 1;
+    e.excl_ns += excl;
+    if outermost {
+        e.incl_ns += incl;
+        if e.count == 1 || incl < e.min_incl_ns {
+            e.min_incl_ns = incl;
+        }
+        if incl > e.max_incl_ns {
+            e.max_incl_ns = incl;
+        }
+    }
+}
+
+fn model_atomic(a: &mut AtomicStats, v: u64) {
+    if a.count == 0 {
+        a.min = v;
+        a.max = v;
+    } else {
+        a.min = a.min.min(v);
+        a.max = a.max.max(v);
+    }
+    a.count += 1;
+    a.sum += v;
+}
+
+fn grow<T: Clone + Default>(v: &mut Vec<T>, i: usize) {
+    if v.len() <= i {
+        v.resize(i + 1, T::default());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profile: probes (start/stop), batch folds (record_repeat), scheduler
+// intervals, atomics, resets
+// ---------------------------------------------------------------------------
+
+const IDS: u32 = 40;
+
+#[derive(Debug, Clone)]
+enum POp {
+    Start {
+        id: u32,
+        dwell: u64,
+    },
+    Stop {
+        dwell: u64,
+    },
+    RecordRepeat {
+        id: u32,
+        incl: u64,
+        extra: u64,
+        n: u64,
+    },
+    AddInterval {
+        id: u32,
+        d: u64,
+    },
+    Atomic {
+        id: u32,
+        v: u64,
+    },
+    Reset,
+}
+
+fn arb_pop() -> impl Strategy<Value = POp> {
+    prop_oneof![
+        (0..IDS, 1..500u64).prop_map(|(id, dwell)| POp::Start { id, dwell }),
+        (1..500u64).prop_map(|dwell| POp::Stop { dwell }),
+        (0..IDS, 1..1000u64, 0..300u64, 1..5u64)
+            .prop_map(|(id, incl, extra, n)| POp::RecordRepeat { id, incl, extra, n }),
+        (0..IDS, 1..800u64).prop_map(|(id, d)| POp::AddInterval { id, d }),
+        (0..IDS, 0..10_000u64).prop_map(|(id, v)| POp::Atomic { id, v }),
+        Just(POp::Reset),
+    ]
+}
+
+/// Mirror of one live activation frame, kept so the model can reproduce the
+/// stop-time inclusive/exclusive arithmetic and the v1 stack encoding.
+struct Frame {
+    id: u32,
+    entry: u64,
+    child: u64,
+    interval: u64,
+    recursive: bool,
+}
+
+proptest! {
+    #[test]
+    fn profile_arena_matches_dense_model(ops in proptest::collection::vec(arb_pop(), 1..120)) {
+        let mut p = Profile::new();
+        // The dense model: stats/active vectors up to the touched watermark,
+        // exactly the old eager layout.
+        let mut entries: Vec<EntryExitStats> = Vec::new();
+        let mut active: Vec<u32> = Vec::new();
+        let mut atomics: Vec<AtomicStats> = Vec::new();
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut now: u64 = 1;
+
+        for op in &ops {
+            match *op {
+                POp::Start { id, dwell } => {
+                    if stack.len() >= 6 {
+                        continue;
+                    }
+                    grow(&mut entries, id as usize);
+                    grow(&mut active, id as usize);
+                    let recursive = active[id as usize] > 0;
+                    active[id as usize] += 1;
+                    p.start(EventId(id), now);
+                    stack.push(Frame { id, entry: now, child: 0, interval: 0, recursive });
+                    now += dwell;
+                }
+                POp::Stop { dwell } => {
+                    let Some(f) = stack.pop() else { continue };
+                    p.stop(EventId(f.id), now).unwrap();
+                    active[f.id as usize] -= 1;
+                    let incl = now - f.entry;
+                    let excl = incl.saturating_sub(f.child);
+                    model_record(&mut entries[f.id as usize], incl, excl, !f.recursive);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child += incl;
+                    }
+                    now += dwell;
+                }
+                POp::RecordRepeat { id, incl, extra, n } => {
+                    grow(&mut entries, id as usize);
+                    grow(&mut active, id as usize);
+                    if active[id as usize] > 0 {
+                        continue; // folding an active event is a contract violation
+                    }
+                    let excl = incl.saturating_sub(extra);
+                    p.record_repeat(EventId(id), incl, excl, n);
+                    let e = &mut entries[id as usize];
+                    let first = e.count == 0;
+                    e.count += n;
+                    e.excl_ns += excl * n;
+                    e.incl_ns += incl * n;
+                    if first || incl < e.min_incl_ns {
+                        e.min_incl_ns = incl;
+                    }
+                    if incl > e.max_incl_ns {
+                        e.max_incl_ns = incl;
+                    }
+                }
+                POp::AddInterval { id, d } => {
+                    grow(&mut entries, id as usize);
+                    grow(&mut active, id as usize);
+                    p.add_interval(EventId(id), d);
+                    model_record(&mut entries[id as usize], d, d, true);
+                    if let Some(top) = stack.last_mut() {
+                        top.child += d;
+                    }
+                    for f in &mut stack {
+                        f.interval += d;
+                    }
+                }
+                POp::Atomic { id, v } => {
+                    grow(&mut atomics, id as usize);
+                    p.atomic(EventId(id), v);
+                    model_atomic(&mut atomics[id as usize], v);
+                }
+                POp::Reset => {
+                    p.reset();
+                    for e in &mut entries {
+                        *e = EntryExitStats::default();
+                    }
+                    for a in &mut atomics {
+                        *a = AtomicStats::default();
+                    }
+                    for f in &mut stack {
+                        f.child = 0;
+                        f.interval = 0;
+                    }
+                }
+            }
+        }
+
+        // Point reads: fired ids match the model, never-fired ids (and ids
+        // past the watermark) read as defaults.
+        for i in 0..IDS + 8 {
+            let want = entries.get(i as usize).copied().unwrap_or_default();
+            prop_assert_eq!(p.entry_stats(EventId(i)), want);
+            let want = atomics.get(i as usize).copied().unwrap_or_default();
+            prop_assert_eq!(p.atomic_stats(EventId(i)), want);
+        }
+
+        // Iteration: exactly the model's count>0 rows, ascending id.
+        let got: Vec<(u32, EntryExitStats)> = p.iter_entries().map(|(id, s)| (id.0, *s)).collect();
+        let want: Vec<(u32, EntryExitStats)> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.count > 0)
+            .map(|(i, e)| (i as u32, *e))
+            .collect();
+        prop_assert_eq!(got, want);
+        let got: Vec<(u32, AtomicStats)> = p.iter_atomics().map(|(id, s)| (id.0, *s)).collect();
+        let want: Vec<(u32, AtomicStats)> = atomics
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.count > 0)
+            .map(|(i, a)| (i as u32, *a))
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(p.total_excl_ns(), entries.iter().map(|e| e.excl_ns).sum::<u64>());
+
+        // The dense v1 wire image must be byte-identical to one hand-encoded
+        // straight from the dense model — the arena synthesizes exactly the
+        // old layout.
+        let mut w = Writer::new();
+        p.encode_wire_dense(&mut w);
+        let mut m = Writer::new();
+        m.u32(entries.len() as u32);
+        for e in &entries {
+            m.u64(e.count);
+            m.u64(e.incl_ns);
+            m.u64(e.excl_ns);
+            m.u64(e.min_incl_ns);
+            m.u64(e.max_incl_ns);
+        }
+        m.u32(atomics.len() as u32);
+        for a in &atomics {
+            m.u64(a.count);
+            m.u64(a.sum);
+            m.u64(a.min);
+            m.u64(a.max);
+        }
+        m.u32(stack.len() as u32);
+        for f in &stack {
+            m.u32(f.id);
+            m.u64(f.entry);
+            m.u64(f.child);
+            m.u64(f.interval);
+            m.bool(f.recursive);
+        }
+        m.u32(active.len() as u32);
+        for &a in &active {
+            m.u32(a);
+        }
+        prop_assert_eq!(w.as_slice(), m.as_slice());
+
+        // Both codecs roundtrip to Debug-identical state (digests hash the
+        // Debug text), and dense-decoded state re-encodes to the identical
+        // compact image regardless of slot allocation order.
+        let dbg = format!("{p:?}");
+        let d1 = Profile::decode_wire_dense(&mut Reader::new(w.as_slice())).unwrap();
+        prop_assert_eq!(format!("{d1:?}"), dbg.clone());
+        let mut w2 = Writer::new();
+        p.encode_wire(&mut w2);
+        let d2 = Profile::decode_wire(&mut Reader::new(w2.as_slice())).unwrap();
+        prop_assert_eq!(format!("{d2:?}"), dbg.clone());
+        // The dense image is canonical: rehydrating and re-encoding it
+        // reproduces it byte-for-byte, even though in-memory slot allocation
+        // order (and zeroed slots a reset leaves behind) may differ.
+        let mut w3 = Writer::new();
+        d1.encode_wire_dense(&mut w3);
+        prop_assert_eq!(w3.as_slice(), w.as_slice());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MergedTable: add_n folds, bare cell touches (count-0 cells must survive as
+// dense-shape watermarks without becoming observations), clears
+// ---------------------------------------------------------------------------
+
+const USERS: u32 = 10;
+const KERNELS: u32 = 24;
+
+#[derive(Debug, Clone)]
+enum MOp {
+    Add {
+        user: Option<u32>,
+        kernel: u32,
+        ns: u64,
+        n: u64,
+    },
+    Touch {
+        user: Option<u32>,
+        kernel: u32,
+    },
+    Clear,
+}
+
+fn arb_user() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), (0..USERS).prop_map(Some)]
+}
+
+fn arb_mop() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        (arb_user(), 0..KERNELS, 1..1000u64, 1..4u64).prop_map(|(user, kernel, ns, n)| MOp::Add {
+            user,
+            kernel,
+            ns,
+            n
+        }),
+        (arb_user(), 0..KERNELS).prop_map(|(user, kernel)| MOp::Touch { user, kernel }),
+        Just(MOp::Clear),
+    ]
+}
+
+fn mkey(user: Option<u32>, kernel: u32) -> (Option<EventId>, EventId) {
+    (user.map(EventId), EventId(kernel))
+}
+
+fn mslot(user: Option<u32>) -> usize {
+    user.map_or(0, |u| u as usize + 1)
+}
+
+proptest! {
+    #[test]
+    fn merged_arena_matches_dense_model(ops in proptest::collection::vec(arb_mop(), 1..100)) {
+        let mut t = MergedTable::default();
+        // The dense model: the old Vec<Vec<MergedStats>>, each row dense up
+        // to the largest kernel column it ever saw.
+        let mut rows: Vec<Vec<MergedStats>> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                MOp::Add { user, kernel, ns, n } => {
+                    t.add_n(mkey(user, kernel), ns, n);
+                    grow(&mut rows, mslot(user));
+                    grow(&mut rows[mslot(user)], kernel as usize);
+                    let c = &mut rows[mslot(user)][kernel as usize];
+                    c.count += n;
+                    c.ns += ns * n;
+                }
+                MOp::Touch { user, kernel } => {
+                    t.cell_mut(mkey(user, kernel));
+                    grow(&mut rows, mslot(user));
+                    grow(&mut rows[mslot(user)], kernel as usize);
+                }
+                MOp::Clear => {
+                    t.clear();
+                    rows.clear();
+                }
+            }
+        }
+
+        // Point reads across the whole grid (touched-but-zero cells and
+        // never-touched cells both read back as absent).
+        for user in std::iter::once(None).chain((0..USERS).map(Some)) {
+            for kernel in 0..KERNELS {
+                let want = rows
+                    .get(mslot(user))
+                    .and_then(|r| r.get(kernel as usize))
+                    .filter(|c| c.count > 0)
+                    .copied();
+                prop_assert_eq!(t.get(mkey(user, kernel)).copied(), want);
+            }
+        }
+
+        // Iteration: row-major over the dense model, recorded cells only.
+        let got: Vec<(usize, u32, MergedStats)> = t
+            .iter()
+            .map(|((u, k), s)| (mslot(u.map(|e| e.0)), k.0, *s))
+            .collect();
+        let want: Vec<(usize, u32, MergedStats)> = rows
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.count > 0)
+                    .map(move |(k, c)| (r, k as u32, *c))
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+
+        // Byte-exact v1 image parity against the hand-encoded dense model.
+        let mut w = Writer::new();
+        t.encode_wire_dense(&mut w);
+        let mut m = Writer::new();
+        m.u32(rows.len() as u32);
+        for row in &rows {
+            m.u32(row.len() as u32);
+            for c in row {
+                m.u64(c.count);
+                m.u64(c.ns);
+            }
+        }
+        prop_assert_eq!(w.as_slice(), m.as_slice());
+
+        // Codec roundtrips preserve the Debug text digests hash.
+        let dbg = format!("{t:?}");
+        let d1 = MergedTable::decode_wire_dense(&mut Reader::new(w.as_slice())).unwrap();
+        prop_assert_eq!(format!("{d1:?}"), dbg.clone());
+        let mut w2 = Writer::new();
+        t.encode_wire(&mut w2);
+        let d2 = MergedTable::decode_wire(&mut Reader::new(w2.as_slice())).unwrap();
+        prop_assert_eq!(format!("{d2:?}"), dbg.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WallTable: sparse entries vs the old Vec<Option<Ns>> — presence must keep
+// distinguishing "never recorded" from an accumulated zero
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum WOp {
+    Add { user: Option<u32>, ns: u64 },
+    Clear,
+}
+
+fn arb_wop() -> impl Strategy<Value = WOp> {
+    prop_oneof![
+        (arb_user(), 0..800u64).prop_map(|(user, ns)| WOp::Add { user, ns }),
+        Just(WOp::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wall_arena_matches_dense_model(ops in proptest::collection::vec(arb_wop(), 1..80)) {
+        let mut wt = WallTable::default();
+        // The dense model: the old Vec<Option<Ns>> itself.
+        let mut model: Vec<Option<u64>> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                WOp::Add { user, ns } => {
+                    wt.add(user.map(EventId), ns);
+                    grow(&mut model, mslot(user));
+                    let c = model[mslot(user)].get_or_insert(0);
+                    *c += ns;
+                }
+                WOp::Clear => {
+                    wt.clear();
+                    model.clear();
+                }
+            }
+        }
+
+        // Point reads, including a zero-ns accumulation staying Some.
+        for user in std::iter::once(None).chain((0..USERS).map(Some)) {
+            let want = model.get(mslot(user)).copied().flatten();
+            prop_assert_eq!(wt.get(user.map(EventId)), want);
+        }
+
+        // Iteration in dense slot order.
+        let got: Vec<(usize, u64)> = wt.iter().map(|(u, ns)| (mslot(u.map(|e| e.0)), ns)).collect();
+        let want: Vec<(usize, u64)> = model
+            .iter()
+            .enumerate()
+            .filter_map(|(s, o)| o.map(|ns| (s, ns)))
+            .collect();
+        prop_assert_eq!(got, want);
+
+        // Debug parity: the arena must print exactly what the old dense
+        // vector printed (digests hash this text).
+        prop_assert_eq!(format!("{wt:?}"), format!("WallTable {{ slots: {model:?} }}"));
+
+        // Byte-exact v1 image parity against the hand-encoded dense model.
+        let mut w = Writer::new();
+        wt.encode_wire_dense(&mut w);
+        let mut m = Writer::new();
+        m.u32(model.len() as u32);
+        for o in &model {
+            match o {
+                None => m.u8(0),
+                Some(ns) => {
+                    m.u8(1);
+                    m.u64(*ns);
+                }
+            }
+        }
+        prop_assert_eq!(w.as_slice(), m.as_slice());
+
+        // Codec roundtrips preserve the Debug text.
+        let dbg = format!("{wt:?}");
+        let d1 = WallTable::decode_wire_dense(&mut Reader::new(w.as_slice())).unwrap();
+        prop_assert_eq!(format!("{d1:?}"), dbg.clone());
+        let mut w2 = Writer::new();
+        wt.encode_wire(&mut w2);
+        let d2 = WallTable::decode_wire(&mut Reader::new(w2.as_slice())).unwrap();
+        prop_assert_eq!(format!("{d2:?}"), dbg.clone());
+    }
+}

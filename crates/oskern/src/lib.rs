@@ -44,5 +44,5 @@ pub use procfs::ProcError;
 pub use program::{FnProgram, LoopProgram, Op, OpList, Program};
 pub use shard::ShardStats;
 pub use sim::{Cluster, Event, EventQueue};
-pub use snapshot::{ClusterSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{ClusterSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_MIN};
 pub use task::{BlockedOn, OpState, Pid, SendRetry, SwitchOutReason, Task, TaskKind, TaskState};

@@ -2208,7 +2208,9 @@ impl Node {
     /// Structural state a fresh [`Node::boot`] from the same spec recreates
     /// identically (name, kernel probe registrations, clock) is *not*
     /// written; [`Node::apply_state`] overlays this image onto such a boot.
-    pub(crate) fn encode_state(&self, w: &mut Writer) {
+    /// `compact` selects the KTAS v2 arena layout for the per-task
+    /// measurement sections (v1 images use the dense layout).
+    pub(crate) fn encode_state(&self, w: &mut Writer, compact: bool) {
         w.u32(self.id);
         w.u8(self.online);
         w.u32(self.next_pid);
@@ -2279,7 +2281,7 @@ impl Node {
                 None => w.u8(0),
                 Some(t) => {
                     w.u8(1);
-                    t.encode_wire(w);
+                    t.encode_wire(w, compact);
                 }
             }
         }
@@ -2364,7 +2366,13 @@ impl Node {
     /// bit-identical (digest and future behaviour) to the captured one.
     /// Returns the pids whose tasks had a program attached at capture; the
     /// caller re-attaches the snapshot side-car clones under those pids.
-    pub(crate) fn apply_state(&mut self, r: &mut Reader<'_>) -> Result<Vec<Pid>, CodecError> {
+    /// `compact` must match the image version (KTAS v1 = dense measurement
+    /// sections, v2+ = compact).
+    pub(crate) fn apply_state(
+        &mut self,
+        r: &mut Reader<'_>,
+        compact: bool,
+    ) -> Result<Vec<Pid>, CodecError> {
         if r.u32()? != self.id {
             return Err(CodecError::BadField("node id"));
         }
@@ -2459,7 +2467,7 @@ impl Node {
             match r.u8()? {
                 0 => slots.push(None),
                 1 => {
-                    let (task, has_program) = Task::decode_wire(r)?;
+                    let (task, has_program) = Task::decode_wire(r, compact)?;
                     if has_program {
                         needs_program.push(task.pid);
                     }

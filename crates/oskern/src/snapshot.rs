@@ -43,8 +43,12 @@ use std::sync::{Arc, Mutex};
 
 /// Magic prefix of engine snapshot images.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"KTAS";
-/// Current snapshot image version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current snapshot image version.  v2 (PR 9) stores per-task measurement
+/// sections in the compact arena layout; v1 images (dense measurement
+/// vectors) still decode — [`Cluster::resume`] accepts both.
+pub const SNAPSHOT_VERSION: u16 = 2;
+/// Oldest snapshot image version [`Cluster::resume`] still decodes.
+pub const SNAPSHOT_VERSION_MIN: u16 = 1;
 
 // -- event-group tags --------------------------------------------------------
 
@@ -432,7 +436,7 @@ impl ClusterSnapshot {
             return Err(CodecError::BadMagic);
         }
         let v = r.u16()?;
-        if v != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&v) {
             return Err(CodecError::BadVersion(v));
         }
         // Skip the spec (variable length) by decoding it.
@@ -461,9 +465,22 @@ impl Cluster {
     /// (sharded runs tear their routing down before returning, so any
     /// cluster you can call this on qualifies).
     pub fn snapshot(&self) -> ClusterSnapshot {
+        self.snapshot_versioned(SNAPSHOT_VERSION)
+    }
+
+    /// [`Cluster::snapshot`] at an explicit image version — v1 emits the
+    /// dense pre-arena measurement sections so old readers (and the
+    /// version-compat tests) can round-trip current state.
+    #[doc(hidden)]
+    pub fn snapshot_versioned(&self, ver: u16) -> ClusterSnapshot {
+        assert!(
+            (SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&ver),
+            "unsupported snapshot version {ver}"
+        );
+        let compact = ver >= 2;
         let mut w = Writer::new();
         w.bytes(SNAPSHOT_MAGIC);
-        w.u16(SNAPSHOT_VERSION);
+        w.u16(ver);
         encode_spec(&mut w, &self.spec);
         w.bool(self.coalesce_ticks);
         w.bool(self.queue.uses_lanes());
@@ -481,7 +498,7 @@ impl Cluster {
         self.queue.encode_wire(&mut w);
         w.u32(self.nodes.len() as u32);
         for n in &self.nodes {
-            n.encode_state(&mut w);
+            n.encode_state(&mut w, compact);
         }
         let digest = self.state_digest();
         w.u64(digest);
@@ -517,9 +534,10 @@ impl Cluster {
             return Err(CodecError::BadMagic);
         }
         let v = r.u16()?;
-        if v != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&v) {
             return Err(CodecError::BadVersion(v));
         }
+        let compact = v >= 2;
         let spec = decode_spec(&mut r)?;
         let coalesce_ticks = r.bool()?;
         let use_lanes = r.bool()?;
@@ -548,7 +566,7 @@ impl Cluster {
         }
         let mut needs_program = 0usize;
         for node in &mut cluster.nodes {
-            needs_program += node.apply_state(&mut r)?.len();
+            needs_program += node.apply_state(&mut r, compact)?.len();
         }
         let digest = r.u64()?;
         r.expect_end()?;
@@ -688,6 +706,24 @@ mod tests {
         let a = intern("fork_test_routine".to_string());
         let b = intern("fork_test_routine".to_string());
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn unknown_snapshot_versions_are_rejected() {
+        let mut c = Cluster::new(ClusterSpec::chiba(1));
+        c.run_for(1_000_000);
+        let mut snap = c.snapshot();
+        // Patch the u16 version field (little-endian, right after the magic).
+        snap.image[4] = 99;
+        snap.image[5] = 0;
+        assert!(matches!(
+            Cluster::resume(&snap),
+            Err(CodecError::BadVersion(99))
+        ));
+        assert!(matches!(
+            snap.captured_at(),
+            Err(CodecError::BadVersion(99))
+        ));
     }
 
     #[test]

@@ -580,3 +580,50 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// KTAS image version compatibility: v1 images carry the dense pre-arena
+// measurement layout, v2 the compact arena one.  Both must reconstruct the
+// identical cluster, and their futures must match bit-for-bit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v1_dense_snapshot_images_still_resume() {
+    for engine in 0u8..3 {
+        let mut original = boot_engine(quiet(2), engine);
+        setup_traffic(
+            &mut original,
+            &[4 * 1024, 96 * 1024],
+            &[vec![Op::Compute(2_000_000), Op::SyscallNull]],
+        );
+        original.run_for(40 * 1_000_000);
+
+        let v2 = original.snapshot();
+        let v1 = original.snapshot_versioned(1);
+        assert_eq!(v1.digest(), v2.digest());
+        assert_eq!(v1.captured_at().unwrap(), v2.captured_at().unwrap());
+        // Same state, two encodings: the dense image is never smaller.
+        assert!(
+            v1.image().len() >= v2.image().len(),
+            "engine {engine}: dense v1 image ({}) smaller than compact v2 ({})",
+            v1.image().len(),
+            v2.image().len()
+        );
+
+        let mut from_v1 = Cluster::resume(&v1).expect("v1 resume failed");
+        let mut from_v2 = Cluster::resume(&v2).expect("v2 resume failed");
+        assert_eq!(from_v1.state_digest(), original.state_digest());
+        assert_eq!(from_v2.state_digest(), original.state_digest());
+
+        original.run_until_apps_exit(600 * NS_PER_SEC);
+        from_v1.run_until_apps_exit(600 * NS_PER_SEC);
+        from_v2.run_until_apps_exit(600 * NS_PER_SEC);
+        assert_eq!(from_v1.now(), original.now());
+        assert_eq!(
+            from_v1.state_digest(),
+            original.state_digest(),
+            "engine {engine}: v1-image future diverged"
+        );
+        assert_eq!(from_v2.state_digest(), original.state_digest());
+    }
+}

@@ -22,10 +22,10 @@
 //!   kernel's dirty-marking generation — the same design grown to
 //!   thousand-node scale with many concurrent observers.
 
-use crate::libktau::{ktau_get_profile, ktau_get_profiles, AccessMode, KtauError};
+use crate::libktau::{ktau_get_profile_bytes, ktau_get_profiles, AccessMode, KtauError};
 use ktau_core::snapshot::{
-    apply_delta, decode_delta, decode_profile, encode_delta, encode_profile, profile_delta,
-    ProfileSnapshot,
+    apply_delta, decode_delta, decode_profile, encode_delta, encode_profile,
+    profile_check_digest_of, profile_delta_with_check, ProfileSnapshot,
 };
 use ktau_core::time::Ns;
 use ktau_oskern::{Cluster, FnProgram, Op, Pid, TaskKind, TaskSpec};
@@ -427,9 +427,19 @@ impl KtaudService {
                     }
                 }
                 self.stats.captures += 1;
-                // The read goes through libKtau's session-less two-phase
-                // protocol like any other client of `/proc/ktau`.
-                let snap = ktau_get_profile(cluster, n, pid)?;
+                // The read goes through libKtau's session-less `/proc/ktau`
+                // protocol like any other client, but the daemon amortizes
+                // it: the previous read's size seeds the buffer (skipping
+                // the size pass in steady state), and the returned bytes —
+                // exactly `encode_profile(&snap)` — become the stored full
+                // encoding and the delta check digest, so a changed capture
+                // encodes each profile once, not four times.
+                let hint = self
+                    .store
+                    .get(&(n, pid.0))
+                    .map(|e| e.encoded.len())
+                    .unwrap_or(0);
+                let (bytes, snap) = ktau_get_profile_bytes(cluster, n, pid, hint)?;
                 let is_app = node.task(pid).map(|t| t.kind == TaskKind::App) == Some(true);
                 match self.store.get_mut(&(n, pid.0)) {
                     Some(e) => {
@@ -441,10 +451,11 @@ impl KtaudService {
                             self.stats.unchanged_captures += 1;
                             continue;
                         }
-                        let d = profile_delta(&e.snap, &snap, e.seq, e.seq + 1);
+                        let check = profile_check_digest_of(&bytes);
+                        let d = profile_delta_with_check(&e.snap, &snap, e.seq, e.seq + 1, check);
                         e.delta = Some((e.seq, encode_delta(&d)));
                         e.seq += 1;
-                        e.encoded = encode_profile(&snap);
+                        e.encoded = bytes;
                         e.snap = snap;
                         e.gen = gen;
                         e.is_app = is_app;
@@ -453,7 +464,7 @@ impl KtaudService {
                         self.store.insert(
                             (n, pid.0),
                             Entry {
-                                encoded: encode_profile(&snap),
+                                encoded: bytes,
                                 snap,
                                 gen,
                                 seq: 1,

@@ -57,13 +57,37 @@ pub fn ktau_get_profile(
     node: u32,
     pid: Pid,
 ) -> Result<ProfileSnapshot, KtauError> {
+    ktau_get_profile_bytes(cluster, node, pid, 0).map(|(_, snap)| snap)
+}
+
+/// [`ktau_get_profile`] returning the raw `/proc/ktau/profile` bytes along
+/// with the decode — they are exactly `encode_profile(&snap)`, so a caller
+/// that stores or hashes the encoding (the KTAUD sweep) reuses them instead
+/// of re-encoding.
+///
+/// `size_hint` is the caller's guess at the profile's encoded size, e.g.
+/// the size of the previous read of the same pid; `0` asks the size query
+/// first.  A sufficient hint saves the size pass (and its capture+encode) —
+/// how a periodic daemon really amortizes the two-phase protocol.  A stale
+/// hint just costs one `BufferTooSmall` retry.
+pub fn ktau_get_profile_bytes(
+    cluster: &Cluster,
+    node: u32,
+    pid: Pid,
+    size_hint: usize,
+) -> Result<(Vec<u8>, ProfileSnapshot), KtauError> {
     let now = cluster.now();
     let n = cluster.node(node);
-    let mut size = n.proc_profile_size(pid, now)?;
+    let mut size = if size_hint > 0 {
+        size_hint
+    } else {
+        n.proc_profile_size(pid, now)?
+    };
     for _ in 0..8 {
         match n.proc_profile_read(pid, size, now) {
             Ok(bytes) => {
-                return decode_profile(&bytes).map_err(|e| KtauError::Decode(e.to_string()))
+                let snap = decode_profile(&bytes).map_err(|e| KtauError::Decode(e.to_string()))?;
+                return Ok((bytes, snap));
             }
             Err(ProcError::BufferTooSmall { needed }) => size = needed,
             Err(e) => return Err(e.into()),
