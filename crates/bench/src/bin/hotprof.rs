@@ -1,0 +1,54 @@
+//! Scratch profiling driver (not wired into run_all): one hz1000 LU-16 run
+//! per engine argument, timed.  Used while optimizing the hot path.
+use ktau_core::selfprof;
+use ktau_mpi::{launch, Layout};
+use ktau_oskern::{Cluster, ClusterSpec};
+use ktau_workloads::LuParams;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = args.first().map(|s| s.as_str()).unwrap_or("dynticks");
+    let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let hz: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    for i in 0..iters {
+        let mut spec = ClusterSpec::chiba(16);
+        spec.sched.hz = hz;
+        let t0 = Instant::now();
+        let mut cluster = match engine {
+            "fast" => Cluster::new_fast_engine(spec),
+            "reference" => Cluster::new_reference_engine(spec),
+            _ => Cluster::new(spec),
+        };
+        launch(
+            &mut cluster,
+            "lu.C.16",
+            &Layout::one_per_node(16),
+            LuParams::class_c_16().apps(),
+        );
+        cluster.run_until_apps_exit(3_600_000_000_000);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "iter {i}: {engine} hz={hz} wall {:.3}s dispatched {} simulated {} eps {:.0} digest {:016x}",
+            wall,
+            cluster.events_processed(),
+            cluster.events_simulated(),
+            cluster.events_simulated() as f64 / wall,
+            cluster.state_digest()
+        );
+    }
+    if selfprof::enabled() {
+        let s = selfprof::snapshot();
+        for (name, v) in selfprof::COUNTER_NAMES.iter().zip(s.counters.iter()) {
+            eprintln!("selfprof {name} {v}");
+        }
+        for i in 0..selfprof::NUM_EVENT_CLASSES {
+            eprintln!(
+                "selfprof dispatch {} count {} ns {}",
+                selfprof::EVENT_CLASS_NAMES[i],
+                s.dispatch_count[i],
+                s.dispatch_ns[i]
+            );
+        }
+    }
+}

@@ -33,7 +33,7 @@
 //! a cold-cache `run_all` wall measurement via `KTAU_RUNALL_WALL_S` /
 //! `KTAU_RUNALL_JOBS` / `KTAU_RUNALL_CORES`.
 use ktau_mpi::{launch, Layout};
-use ktau_oskern::{Cluster, ClusterSpec, ShardStats};
+use ktau_oskern::{Cluster, ClusterSpec, Event, EventQueue, ShardStats};
 use ktau_workloads::LuParams;
 use serde::Serialize;
 use std::time::Instant;
@@ -129,6 +129,30 @@ struct RunAllColdCache {
 }
 
 #[derive(Serialize)]
+struct QueueMicroRow {
+    /// Push-delta distribution: `uniform` (1 µs–1 ms, the wheel's bread
+    /// and butter), `bursty` (64-deep same-nanosecond storms every 100 µs,
+    /// the same-slot sort path), or `dynticks_parked` (16–300 ms daemon
+    /// sleeps, the wheel rim and overflow heap).
+    mix: String,
+    /// Operations per timed phase.
+    events: u64,
+    /// One `push` into a fresh queue, amortized (best of 3 passes).
+    ns_per_push: f64,
+    /// One `pop_full` + `set_now` draining that queue, amortized.
+    ns_per_pop: f64,
+    /// One `push_at` with an explicit older push point (the dynticks
+    /// re-arm shape), amortized.
+    ns_per_push_at: f64,
+}
+
+#[derive(Serialize)]
+struct QueueMicro {
+    note: String,
+    rows: Vec<QueueMicroRow>,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     workload: String,
@@ -140,6 +164,12 @@ struct Report {
     hz1000: ConfigNumbers,
     /// Conservative-PDES intra-run scaling on the hz1000 dynticks engine.
     shard_scaling: ShardScaling,
+    /// Event-queue micro-benchmarks, isolated from the simulation proper.
+    queue_micro: QueueMicro,
+    /// Engine self-profile from a `--features selfprof` build (see
+    /// `perf_smoke --selfprof`); preserved read-modify-write by default
+    /// builds, which cannot collect it.
+    selfprof: Option<serde_json::Value>,
     seed_baseline: Option<SeedBaseline>,
     run_all_cold_cache: Option<RunAllColdCache>,
     run_all_jobs_timing: Option<serde_json::Value>,
@@ -322,8 +352,237 @@ fn measure_shards(hz: u32, counts: &[usize]) -> ShardScaling {
     }
 }
 
+/// Deterministic 64-bit PRNG (splitmix64) so micro-benchmark event streams
+/// are identical run to run.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Times `push`, `pop`, and `push_at` over one pre-generated ascending
+/// event-time stream.  Each phase runs `passes` times on a fresh queue and
+/// keeps the fastest, damping host noise; the queue contents are identical
+/// across passes so the work measured is too.
+fn micro_mix(mix: &str, times: &[u64], passes: usize) -> QueueMicroRow {
+    let n = times.len();
+    let ev = |i: usize| Event::CpuDone {
+        node: (i % 16) as u32,
+        cpu: 0,
+        gen: i as u64,
+    };
+    let mut best_push = f64::MAX;
+    let mut best_pop = f64::MAX;
+    let mut best_push_at = f64::MAX;
+    for _ in 0..passes {
+        let mut q = EventQueue::new();
+        let t0 = Instant::now();
+        for (i, &at) in times.iter().enumerate() {
+            q.push(at, ev(i));
+        }
+        best_push = best_push.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        while let Some((t, _, _)) = q.pop_full() {
+            q.set_now(t);
+        }
+        best_pop = best_pop.min(t0.elapsed().as_secs_f64());
+        // The dynticks re-arm shape: an explicit push point one tick period
+        // (1 ms) before the event fires, always older than `now` (= 0).
+        let mut q = EventQueue::new();
+        let t0 = Instant::now();
+        for (i, &at) in times.iter().enumerate() {
+            q.push_at(at, ev(i), at.saturating_sub(1_000_000));
+        }
+        best_push_at = best_push_at.min(t0.elapsed().as_secs_f64());
+    }
+    QueueMicroRow {
+        mix: mix.into(),
+        events: n as u64,
+        ns_per_push: best_push * 1e9 / n as f64,
+        ns_per_pop: best_pop * 1e9 / n as f64,
+        ns_per_push_at: best_push_at * 1e9 / n as f64,
+    }
+}
+
+/// Ascending event times from a per-gap generator, as a dispatch loop
+/// would schedule them.
+fn cumulative_times(n: usize, seed: u64, mut gap: impl FnMut(&mut u64, usize) -> u64) -> Vec<u64> {
+    let mut rng = seed;
+    let mut t = 0u64;
+    (0..n)
+        .map(|i| {
+            t += gap(&mut rng, i);
+            t
+        })
+        .collect()
+}
+
+/// Micro-benchmarks the event queue in isolation over three push-delta
+/// mixes (uniform, bursty, dynticks-parked).
+fn queue_micro() -> QueueMicro {
+    let uniform = cumulative_times(1 << 18, 1, |r, _| 1_000 + splitmix64(r) % 999_000);
+    let bursty = cumulative_times(1 << 18, 2, |_, i| if i % 64 == 0 { 100_000 } else { 0 });
+    let parked = cumulative_times(1 << 15, 3, |r, _| 16_000_000 + splitmix64(r) % 284_000_000);
+    let rows = vec![
+        micro_mix("uniform", &uniform, 3),
+        micro_mix("bursty", &bursty, 3),
+        micro_mix("dynticks_parked", &parked, 3),
+    ];
+    for r in &rows {
+        eprintln!(
+            "[perf_smoke] queue_micro {}: push {:.1} ns, pop {:.1} ns, push_at {:.1} ns \
+             ({} events, best of 3)",
+            r.mix, r.ns_per_push, r.ns_per_pop, r.ns_per_push_at, r.events
+        );
+    }
+    QueueMicro {
+        note: "EventQueue in isolation (no dispatch, no kernel model); \
+               per-op cost amortized over the stream, best of 3 passes"
+            .into(),
+        rows,
+    }
+}
+
+/// `--selfprof` mode: one instrumented dynticks hz1000 run, folded into the
+/// existing `BENCH_engine.json` as the `selfprof` block.  Requires a
+/// `--features selfprof` build — the default build's counters are
+/// compiled out and would silently read zero.
+fn selfprof_pass() {
+    if !ktau_core::selfprof::enabled() {
+        panic!(
+            "perf_smoke --selfprof needs the instrumented build:\n  \
+             cargo run --release --features selfprof -p ktau-bench --bin perf_smoke -- --selfprof"
+        );
+    }
+    ktau_core::selfprof::reset();
+    let r = run_once(Engine::Dynticks, 1000, 1);
+    let s = ktau_core::selfprof::snapshot();
+    let u = |n: u64| serde_json::Value::U64(n);
+    let f = |x: f64| serde_json::Value::F64(x);
+    let counters = serde_json::Value::Obj(
+        ktau_core::selfprof::COUNTER_NAMES
+            .iter()
+            .zip(s.counters.iter())
+            .map(|(name, v)| (name.to_string(), u(*v)))
+            .collect(),
+    );
+    let dispatch = serde_json::Value::Arr(
+        (0..ktau_core::selfprof::NUM_EVENT_CLASSES)
+            .map(|i| {
+                serde_json::Value::Obj(vec![
+                    (
+                        "class".into(),
+                        serde_json::Value::Str(
+                            ktau_core::selfprof::EVENT_CLASS_NAMES[i].to_string(),
+                        ),
+                    ),
+                    ("count".into(), u(s.dispatch_count[i])),
+                    ("ns".into(), u(s.dispatch_ns[i])),
+                    (
+                        "ns_per_event".into(),
+                        f(if s.dispatch_count[i] == 0 {
+                            0.0
+                        } else {
+                            s.dispatch_ns[i] as f64 / s.dispatch_count[i] as f64
+                        }),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let block = serde_json::Value::Obj(vec![
+        (
+            "workload".into(),
+            serde_json::Value::Str(
+                "one dynticks hz1000 LU-16 run, instrumented (--features selfprof) build".into(),
+            ),
+        ),
+        (
+            "note".into(),
+            serde_json::Value::Str(
+                "wall times elsewhere in this file come from the default build; \
+                 the instrumented build trades ~10-15% wall for these counters"
+                    .into(),
+            ),
+        ),
+        ("wall_s_instrumented".into(), f(r.wall_s)),
+        ("events_dispatched".into(), u(r.dispatched)),
+        ("counters".into(), counters),
+        ("dispatch_classes".into(), dispatch),
+    ]);
+    let text = std::fs::read_to_string("BENCH_engine.json")
+        .expect("BENCH_engine.json must exist (run perf_smoke without flags first)");
+    let mut doc: serde_json::Value = serde_json::from_str(&text).expect("parse BENCH_engine.json");
+    match &mut doc {
+        serde_json::Value::Obj(fields) => match fields.iter_mut().find(|(k, _)| k == "selfprof") {
+            Some((_, v)) => *v = block,
+            None => fields.push(("selfprof".into(), block)),
+        },
+        _ => panic!("BENCH_engine.json is not a JSON object"),
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write("BENCH_engine.json", json + "\n").expect("write BENCH_engine.json");
+    eprintln!("[perf_smoke --selfprof] selfprof block updated in BENCH_engine.json");
+}
+
+/// `--check`: the committed artifact must be fully populated — a `null`
+/// where a regen step was skipped fails here, loudly, with the command
+/// that fills it.
+fn check_bench_fields() {
+    let text = std::fs::read_to_string("BENCH_engine.json")
+        .expect("BENCH_engine.json missing; regenerate with: cargo run --release -p ktau-bench --bin perf_smoke");
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).expect("BENCH_engine.json is not valid JSON");
+    let required: &[(&str, &str)] = &[
+        (
+            "queue_micro",
+            "cargo run --release -p ktau-bench --bin perf_smoke",
+        ),
+        (
+            "selfprof",
+            "cargo run --release --features selfprof -p ktau-bench --bin perf_smoke -- --selfprof",
+        ),
+        (
+            "run_all_cold_cache",
+            "KTAU_RERUN=1 time cargo run --release -p ktau-bench --bin run_all, \
+             then rerun perf_smoke with KTAU_RUNALL_WALL_S=<seconds> KTAU_RUNALL_JOBS=1",
+        ),
+        (
+            "run_all_jobs_timing",
+            "cargo run --release -p ktau-bench --bin run_all -- --jobs N \
+             (each run merges its own timing row)",
+        ),
+        (
+            "fork_sweep",
+            "cargo run --release -p ktau-bench --bin fork_sweep",
+        ),
+    ];
+    let mut missing = Vec::new();
+    for (key, fix) in required {
+        if matches!(doc.obj_get(key), serde_json::Value::Null) {
+            missing.push(format!("  {key}: null — fill with: {fix}"));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "BENCH_engine.json has unpopulated required fields:\n{}\n\
+         (see EXPERIMENTS.md for the full regeneration order)",
+        missing.join("\n")
+    );
+    eprintln!("[perf_smoke --check] BENCH_engine.json required fields all populated");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--selfprof") {
+        selfprof_pass();
+        return;
+    }
     let check = std::env::args().any(|a| a == "--check");
+    if check {
+        check_bench_fields();
+    }
     let hz100 = measure_config(100);
     let hz1000 = measure_config(1000);
     // Sweep shards 1/2/4 (plus any explicit `--shards N`) on the hz1000
@@ -433,6 +692,9 @@ fn main() {
     };
     let run_all_jobs_timing = keep("run_all_jobs_timing");
     let fork_sweep = keep("fork_sweep");
+    // The selfprof block needs an instrumented build; default builds carry
+    // the committed one forward (see `--selfprof`).
+    let selfprof = keep("selfprof");
     let report = Report {
         bench: "perf_smoke".into(),
         workload: format!(
@@ -442,6 +704,8 @@ fn main() {
         hz100,
         hz1000,
         shard_scaling,
+        queue_micro: queue_micro(),
+        selfprof,
         seed_baseline,
         run_all_cold_cache,
         run_all_jobs_timing,

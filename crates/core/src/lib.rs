@@ -34,6 +34,7 @@ pub mod digest;
 pub mod event;
 pub mod measure;
 pub mod profile;
+pub mod selfprof;
 pub mod snapshot;
 pub mod time;
 pub mod trace;

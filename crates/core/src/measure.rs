@@ -43,7 +43,20 @@ pub type MergedKey = (Option<EventId>, EventId);
 pub struct MergedTable {
     rows: Vec<MergedRowHead>,
     cells: Vec<MergedCell>,
+    /// Direct-mapped `(row, col, cell + 1)` cache of recent
+    /// [`MergedTable::cell_mut`] resolutions, indexed by the column's low
+    /// bits.  Probe firing cycles through a small working set of (user
+    /// routine, kernel event) pairs — a lone entry thrashes when two kernel
+    /// events alternate (the tick fold records an outer/inner pair every
+    /// call), so a few ways keep the chain walk off the repeat-fire fast
+    /// path.  Cells are never moved or removed, so a hit can only be exact
+    /// or miss — never stale.  Not part of the observable state: `Debug`,
+    /// codecs and comparisons ignore it.
+    cache: [(u32, u32, u32); MERGED_CACHE_WAYS],
 }
+
+/// Ways in [`MergedTable`]'s direct-mapped cell cache.
+const MERGED_CACHE_WAYS: usize = 8;
 
 #[derive(Clone, Copy, Default)]
 struct MergedRowHead {
@@ -129,16 +142,24 @@ impl MergedTable {
     #[inline]
     pub fn cell_mut(&mut self, key: MergedKey) -> &mut MergedStats {
         let r = Self::slot(key.0);
+        let c = key.1.index() as u32;
+        let way = c as usize & (MERGED_CACHE_WAYS - 1);
+        let e = self.cache[way];
+        if e.2 != 0 && e.0 == r as u32 && e.1 == c {
+            // Repeat fire of the same pair: the cached cell is exact
+            // (dense_len was already raised past `c` when it was created).
+            return &mut self.cells[e.2 as usize - 1].stats;
+        }
         if self.rows.len() <= r {
             self.rows.resize(r + 1, MergedRowHead::default());
         }
-        let c = key.1.index() as u32;
         self.rows[r].dense_len = self.rows[r].dense_len.max(c + 1);
         let mut prev = 0u32;
         let mut cur = self.rows[r].head;
         while cur != 0 {
             let cell = self.cells[cur as usize - 1];
             if cell.col == c {
+                self.cache[way] = (r as u32, c, cur);
                 return &mut self.cells[cur as usize - 1].stats;
             }
             if cell.col > c {
@@ -158,6 +179,7 @@ impl MergedTable {
         } else {
             self.cells[prev as usize - 1].next = new;
         }
+        self.cache[way] = (r as u32, c, new);
         &mut self.cells[new as usize - 1].stats
     }
 
@@ -220,6 +242,7 @@ impl MergedTable {
     pub fn clear(&mut self) {
         self.rows.clear();
         self.cells.clear();
+        self.cache = [(0, 0, 0); MERGED_CACHE_WAYS];
     }
 
     /// Serializes the table in the *dense* v1 KTAS layout — old row lengths
@@ -272,7 +295,11 @@ impl MergedTable {
                 head,
             });
         }
-        Ok(MergedTable { rows, cells })
+        Ok(MergedTable {
+            rows,
+            cells,
+            cache: [(0, 0, 0); MERGED_CACHE_WAYS],
+        })
     }
 
     /// Serializes the table in the compact v2 KTAS layout: per row, the
@@ -340,7 +367,11 @@ impl MergedTable {
             }
             rows.push(MergedRowHead { dense_len, head });
         }
-        Ok(MergedTable { rows, cells })
+        Ok(MergedTable {
+            rows,
+            cells,
+            cache: [(0, 0, 0); MERGED_CACHE_WAYS],
+        })
     }
 }
 
@@ -385,19 +416,36 @@ pub struct WallTable {
     slots: Vec<u32>,
     /// Accumulated wall time per recorded slot, parallel to `slots`.
     ns: Vec<Ns>,
+    /// Index of the last slot [`WallTable::add`] resolved; re-validated
+    /// before use, so staleness after an insert only costs a re-search.
+    /// Not observable state: `Debug`, codecs and comparisons ignore it.
+    last_idx: u32,
 }
 
 impl WallTable {
-    /// Accumulates `ns` of kernel wall time under `user`.
+    /// Accumulates `ns` of kernel wall time under `user`.  A one-entry
+    /// index cache serves the repeat-fire fast path (probes attribute long
+    /// runs of kernel time to the same user routine); insertions shift
+    /// positions, so the cached index is re-validated against the slot id
+    /// before use and refreshed on every resolution.
     #[inline]
     pub fn add(&mut self, user: Option<EventId>, ns: Ns) {
         let s = MergedTable::slot(user) as u32;
+        let li = self.last_idx as usize;
+        if self.slots.get(li) == Some(&s) {
+            self.ns[li] += ns;
+            return;
+        }
         self.dense_len = self.dense_len.max(s + 1);
         match self.slots.binary_search(&s) {
-            Ok(i) => self.ns[i] += ns,
+            Ok(i) => {
+                self.ns[i] += ns;
+                self.last_idx = i as u32;
+            }
             Err(i) => {
                 self.slots.insert(i, s);
                 self.ns.insert(i, ns);
+                self.last_idx = i as u32;
             }
         }
     }
@@ -471,6 +519,7 @@ impl WallTable {
             dense_len: n as u32,
             slots,
             ns,
+            last_idx: 0,
         })
     }
 
@@ -509,6 +558,7 @@ impl WallTable {
             dense_len,
             slots,
             ns,
+            last_idx: 0,
         })
     }
 }
@@ -733,6 +783,11 @@ pub struct ProbeCost(pub Cycles);
 pub struct ProbeEngine {
     control: std::sync::Arc<InstrumentationControl>,
     overhead: OverheadModel,
+    /// Bumped on every path that can change probe statuses or costs
+    /// ([`ProbeEngine::control_mut`], [`ProbeEngine::set_overhead`]), so
+    /// callers may cache derived cost figures and revalidate with one
+    /// compare instead of re-deriving them per fold.
+    cost_gen: u64,
 }
 
 impl ProbeEngine {
@@ -747,7 +802,11 @@ impl ProbeEngine {
         control: std::sync::Arc<InstrumentationControl>,
         overhead: OverheadModel,
     ) -> Self {
-        ProbeEngine { control, overhead }
+        ProbeEngine {
+            control,
+            overhead,
+            cost_gen: 0,
+        }
     }
 
     /// Engine with everything enabled and default (Table 4) overheads.
@@ -764,7 +823,15 @@ impl ProbeEngine {
     /// a node that shares the cluster-wide control detaches its own copy
     /// the first time it is written.
     pub fn control_mut(&mut self) -> &mut InstrumentationControl {
+        self.cost_gen = self.cost_gen.wrapping_add(1);
         std::sync::Arc::make_mut(&mut self.control)
+    }
+
+    /// Generation of the current (control, overhead) configuration; changes
+    /// whenever cached probe-cost figures could go stale.
+    #[inline]
+    pub fn cost_gen(&self) -> u64 {
+        self.cost_gen
     }
 
     /// Cycle cost of one entry probe for `group`'s current status, for an
@@ -798,6 +865,7 @@ impl ProbeEngine {
 
     /// Replaces the overhead model (tests, what-if studies).
     pub fn set_overhead(&mut self, m: OverheadModel) {
+        self.cost_gen = self.cost_gen.wrapping_add(1);
         self.overhead = m;
     }
 

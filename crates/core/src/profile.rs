@@ -129,9 +129,17 @@ impl AtomicStats {
 }
 
 /// One frame of the activation (instrumentation) stack.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Debug` is implemented manually (printing exactly the five observable
+/// fields, in declaration order, as the pre-`slot` derive did): the stack
+/// is part of [`Profile`]'s `Debug` output, which engine state digests
+/// hash, so the cached slot must stay invisible to it.
+#[derive(Clone, Copy)]
 struct Activation {
     event: EventId,
+    /// Entry-arena slot of `event`, resolved once by the entry probe so the
+    /// exit probe and codecs never repeat the id→slot index lookup.
+    slot: u32,
     entry_ns: Ns,
     /// Inclusive time of already-completed children, used to derive the
     /// parent's exclusive time.
@@ -143,6 +151,18 @@ struct Activation {
     interval_ns: Ns,
     /// Whether an activation of the same event was already on the stack.
     recursive: bool,
+}
+
+impl std::fmt::Debug for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Activation")
+            .field("event", &self.event)
+            .field("entry_ns", &self.entry_ns)
+            .field("child_ns", &self.child_ns)
+            .field("interval_ns", &self.interval_ns)
+            .field("recursive", &self.recursive)
+            .finish()
+    }
 }
 
 /// Result of closing an activation.
@@ -347,6 +367,7 @@ impl Profile {
         self.entry_active[s] += 1;
         self.stack.push(Activation {
             event,
+            slot: s as u32,
             entry_ns: now,
             child_ns: 0,
             interval_ns: 0,
@@ -374,7 +395,10 @@ impl Profile {
         self.stack.pop();
         let incl = now - top.entry_ns;
         let excl = incl.saturating_sub(top.child_ns);
-        let s = self.ensure_entry(event);
+        // The entry probe resolved (and if needed allocated) the slot; the
+        // exit probe reuses it from the frame instead of repeating the
+        // id→slot lookup and watermark updates.
+        let s = top.slot as usize;
         self.entry_active[s] -= 1;
         self.entry_slots[s].record(incl, excl, !top.recursive);
         if let Some(parent) = self.stack.last_mut() {
@@ -570,13 +594,15 @@ impl Profile {
         }
     }
 
-    /// One activation is at least 29 bytes on the wire.
+    /// One activation is at least 29 bytes on the wire.  Slots are rebound
+    /// by [`Profile::rebind_stack_slots`] once the entry tables exist.
     fn decode_stack(r: &mut Reader<'_>) -> Result<Vec<Activation>, CodecError> {
         let n = r.counted(29, "activation stack depth")?;
         let mut stack = Vec::with_capacity(n);
         for _ in 0..n {
             stack.push(Activation {
                 event: EventId(r.u32()?),
+                slot: 0,
                 entry_ns: r.u64()?,
                 child_ns: r.u64()?,
                 interval_ns: r.u64()?,
@@ -584,6 +610,23 @@ impl Profile {
             });
         }
         Ok(stack)
+    }
+
+    /// Re-resolves every decoded activation frame's cached entry slot (the
+    /// slot is not serialized — it is an index into in-memory arenas the
+    /// codec rebuilds in its own order).  A live frame's event normally has
+    /// a slot already, via its non-zero recursion counter; allocating here
+    /// covers images that lost that invariant, without moving watermarks.
+    fn rebind_stack_slots(&mut self) {
+        for i in 0..self.stack.len() {
+            let ev = self.stack[i].event;
+            self.stack[i].slot = alloc_entry(
+                &mut self.entry_idx,
+                &mut self.entry_slots,
+                &mut self.entry_active,
+                ev.index(),
+            ) as u32;
+        }
     }
 
     /// Serializes complete profile state — statistics, the live activation
@@ -663,7 +706,7 @@ impl Profile {
                 entry_active[s] = c;
             }
         }
-        Ok(Profile {
+        let mut p = Profile {
             entry_idx,
             entry_slots,
             entry_active,
@@ -673,7 +716,9 @@ impl Profile {
             entries_len,
             active_len,
             atomics_len,
-        })
+        };
+        p.rebind_stack_slots();
+        Ok(p)
     }
 
     /// Serializes complete profile state in the compact v2 KTAS layout:
@@ -776,7 +821,7 @@ impl Profile {
             atomic_slots[s] = a;
         }
         let stack = Self::decode_stack(r)?;
-        Ok(Profile {
+        let mut p = Profile {
             entry_idx,
             entry_slots,
             entry_active,
@@ -786,7 +831,9 @@ impl Profile {
             entries_len,
             active_len,
             atomics_len,
-        })
+        };
+        p.rebind_stack_slots();
+        Ok(p)
     }
 }
 

@@ -51,13 +51,142 @@ impl CpuFreq {
     }
 
     /// Converts a cycle count into nanoseconds (rounding to nearest).
+    ///
+    /// `floor((c·10⁹ + ⌊hz/2⌋) / hz)`, computed in u64 whenever the numerator
+    /// fits (covers every hot-path operand: per-event handler costs and tick
+    /// periods are far below the ~18.4 s-of-cycles u64 ceiling) and falling
+    /// back to the u128 form — bit-identical by construction, the u64 branch
+    /// evaluates the same integer expression — only when it cannot.
+    #[inline]
     pub fn cycles_to_ns(&self, cycles: Cycles) -> Ns {
-        ((cycles as u128 * NS_PER_SEC as u128 + (self.hz as u128 / 2)) / self.hz as u128) as Ns
+        let h2 = self.hz >> 1;
+        match cycles
+            .checked_mul(NS_PER_SEC)
+            .and_then(|x| x.checked_add(h2))
+        {
+            Some(num) => num / self.hz,
+            None => ((cycles as u128 * NS_PER_SEC as u128 + h2 as u128) / self.hz as u128) as Ns,
+        }
     }
 
-    /// Converts nanoseconds into cycles (rounding to nearest).
+    /// Converts nanoseconds into cycles (rounding to nearest).  Same u64
+    /// fast path as [`CpuFreq::cycles_to_ns`], same exactness argument.
+    #[inline]
     pub fn ns_to_cycles(&self, ns: Ns) -> Cycles {
-        ((ns as u128 * self.hz as u128 + (NS_PER_SEC as u128 / 2)) / NS_PER_SEC as u128) as Cycles
+        const N2: u64 = NS_PER_SEC / 2;
+        match ns.checked_mul(self.hz).and_then(|x| x.checked_add(N2)) {
+            Some(num) => num / NS_PER_SEC,
+            None => ((ns as u128 * self.hz as u128 + N2 as u128) / NS_PER_SEC as u128) as Cycles,
+        }
+    }
+}
+
+/// Exact precomputed reciprocal of a non-zero `u64` divisor: computes
+/// `floor(n / d)` for *every* `u64` numerator with one 64×64→128 multiply
+/// and two shifts instead of a hardware divide (Granlund–Montgomery
+/// round-up method, "Division by Invariant Integers using Multiplication",
+/// Theorem 4.2).
+///
+/// Construction picks `l = ceil(log2 d)` and `m = ceil(2^(64+l) / d)`.
+/// Then `m·d - 2^(64+l) < d ≤ 2^l`, which is exactly the theorem's
+/// precondition `2^(64+l) ≤ m·d ≤ 2^(64+l) + 2^l`, so
+/// `floor(m·n / 2^(64+l)) = floor(n / d)` for all `n < 2^64`.  `m` needs at
+/// most 65 bits; it is stored as `hi·2^64 + lo` with `hi ∈ {0, 1}` and
+/// evaluated as `(hi·n + mulhi(lo, n)) >> l`, exact by the nested-floor
+/// identity `floor(floor(x / 2^64) / 2^l) = floor(x / 2^(64+l))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivRecip {
+    /// Low 64 bits of `m`.
+    lo: u64,
+    /// Bit 64 of `m` (0 or 1).
+    hi: u64,
+    /// `l = ceil(log2 d)`.
+    shift: u32,
+    /// The divisor, for the `d > 2^63` fallback (where `l` would be 64 and
+    /// `2^(64+l)` overflows the construction; the quotient is then 0 or 1).
+    d: u64,
+}
+
+impl DivRecip {
+    /// Precomputes the reciprocal of `d`.  Panics when `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero");
+        let l = 64 - (d - 1).leading_zeros();
+        if l == 64 {
+            return DivRecip {
+                lo: 0,
+                hi: 0,
+                shift: 64,
+                d,
+            };
+        }
+        let m = (1u128 << (64 + l)).div_ceil(d as u128);
+        DivRecip {
+            lo: m as u64,
+            hi: (m >> 64) as u64,
+            shift: l,
+            d,
+        }
+    }
+
+    /// `floor(n / d)`, bit-identical to the hardware divide for every `n`.
+    #[inline]
+    pub fn div(&self, n: u64) -> u64 {
+        if self.shift == 64 {
+            // d > 2^63: at most one multiple of d fits in a u64.
+            return (n >= self.d) as u64;
+        }
+        let t = ((self.lo as u128 * n as u128) >> 64) + self.hi as u128 * n as u128;
+        (t >> self.shift) as u64
+    }
+
+    /// The divisor this reciprocal inverts.
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+}
+
+/// Division-free cycles↔ns converter for one [`CpuFreq`]: the frequency is
+/// run-invariant, so the `/ hz` in [`CpuFreq::cycles_to_ns`] — the one
+/// runtime-divisor divide on the simulator's per-event path — is replaced
+/// with a [`DivRecip`] multiply.  (`ns_to_cycles` divides by the constant
+/// `NS_PER_SEC`, which the compiler already strength-reduces.)  Conversion
+/// results are bit-identical to [`CpuFreq`]'s by [`DivRecip`]'s exactness.
+#[derive(Debug, Clone, Copy)]
+pub struct FreqConv {
+    freq: CpuFreq,
+    recip: DivRecip,
+}
+
+impl FreqConv {
+    /// Precomputes the reciprocal for `freq`.
+    pub fn new(freq: CpuFreq) -> Self {
+        FreqConv {
+            freq,
+            recip: DivRecip::new(freq.hz),
+        }
+    }
+
+    /// See [`CpuFreq::cycles_to_ns`]; same rounding, no hardware divide on
+    /// the u64 fast path.
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: Cycles) -> Ns {
+        let h2 = self.freq.hz >> 1;
+        match cycles
+            .checked_mul(NS_PER_SEC)
+            .and_then(|x| x.checked_add(h2))
+        {
+            Some(num) => self.recip.div(num),
+            None => {
+                ((cycles as u128 * NS_PER_SEC as u128 + h2 as u128) / self.freq.hz as u128) as Ns
+            }
+        }
+    }
+
+    /// See [`CpuFreq::ns_to_cycles`].
+    #[inline]
+    pub fn ns_to_cycles(&self, ns: Ns) -> Cycles {
+        self.freq.ns_to_cycles(ns)
     }
 }
 
@@ -159,6 +288,75 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_frequency_panics() {
         let _ = CpuFreq::from_hz(0);
+    }
+
+    #[test]
+    fn div_recip_matches_hardware_divide() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            7,
+            9,
+            11,
+            20,
+            1000,
+            450_000_000,
+            550_000_000,
+            999_999_937,
+            NS_PER_SEC,
+            (1 << 32) - 1,
+            (1 << 32) + 1,
+            (1 << 63) - 1,
+            (1 << 63) + 1,
+            u64::MAX,
+        ];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64; // splitmix64 stream
+        for &d in &divisors {
+            let r = DivRecip::new(d);
+            assert_eq!(r.divisor(), d);
+            for n in [
+                0u64,
+                1,
+                d.saturating_sub(1),
+                d,
+                d.saturating_add(1),
+                d.saturating_mul(12345),
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                assert_eq!(r.div(n), n / d, "n={n} d={d}");
+            }
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(1);
+                let n = x ^ (x >> 31);
+                assert_eq!(r.div(n), n / d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn freq_conv_matches_cpufreq() {
+        for mhz in [1u64, 450, 550, 1000, 2800, 5000] {
+            let f = CpuFreq::from_mhz(mhz);
+            let conv = FreqConv::new(f);
+            let mut x = mhz.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+            for n in [0u64, u64::MAX]
+                .into_iter()
+                .chain((0..64u32).map(|b| 1u64 << b))
+                .chain((0..10_000).map(|_| {
+                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(1);
+                    x ^ (x >> 31)
+                }))
+            {
+                assert_eq!(
+                    conv.cycles_to_ns(n),
+                    f.cycles_to_ns(n),
+                    "cycles={n} mhz={mhz}"
+                );
+                assert_eq!(conv.ns_to_cycles(n), f.ns_to_cycles(n), "ns={n} mhz={mhz}");
+            }
+        }
     }
 
     #[test]

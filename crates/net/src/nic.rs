@@ -35,8 +35,17 @@ impl Nic {
     }
 
     /// Serialization time for `wire_bytes` at line rate.
+    ///
+    /// `floor(bytes·8·10⁹ / bps)`; the numerator fits u64 for every segment
+    /// under ~2.3 GB, so the u128 fallback never runs in practice but keeps
+    /// the full-u32 domain exact.
+    #[inline]
     pub fn tx_time_ns(&self, wire_bytes: u32) -> Ns {
-        (wire_bytes as u128 * 8 * 1_000_000_000 / self.bits_per_sec as u128) as Ns
+        const BITS_NS: u64 = 8 * 1_000_000_000;
+        match (wire_bytes as u64).checked_mul(BITS_NS) {
+            Some(num) => num / self.bits_per_sec,
+            None => (wire_bytes as u128 * BITS_NS as u128 / self.bits_per_sec as u128) as Ns,
+        }
     }
 
     /// Enqueues a segment at `now`; returns the time its last bit leaves the

@@ -12,7 +12,7 @@ use crate::task::{
 };
 use ktau_core::event::{EventId, EventKind, EventRegistry, Group};
 use ktau_core::measure::{ProbeEngine, TaskMeasurement};
-use ktau_core::time::{CpuFreq, Cycles, Ns};
+use ktau_core::time::{CpuFreq, Cycles, FreqConv, Ns};
 use ktau_net::{
     segment_sizes, Fabric, LinkInjector, NetCostModel, Nic, SegmentFate, SocketRx, SocketTx,
     WIRE_OVERHEAD,
@@ -154,6 +154,10 @@ pub struct Node {
     pub online: u8,
     /// CPU clock.
     pub freq: CpuFreq,
+    /// Division-free cycles↔ns converter derived from `freq` (the clock is
+    /// fixed for the node's lifetime); bit-identical to converting through
+    /// `freq` directly.
+    conv: FreqConv,
     pub(crate) cpus: Vec<Cpu>,
     pub(crate) runqueues: Vec<VecDeque<Pid>>,
     pub(crate) tasks: TaskTable,
@@ -183,6 +187,11 @@ pub struct Node {
     pub(crate) apps_spawned: u64,
     /// Node-degradation fault spec, if this node is configured to fail.
     pub(crate) degrade: Option<DegradeSpec>,
+    /// Cached `(cost_gen, d, steal_each)` figures for the dynticks tick
+    /// fold, derived from the probe engine's control/overhead configuration
+    /// and revalidated against [`ProbeEngine::cost_gen`] — the fold fires
+    /// millions of times per run and the derivation costs two divisions.
+    fold_costs: Option<(u64, Ns, Ns)>,
     /// The late-onset CPU removal already happened.
     offline_done: bool,
     /// Dynticks (NO_HZ-style) engine enabled: coalescible ticks park in
@@ -291,6 +300,7 @@ impl Node {
             id,
             name: spec.name.clone(),
             freq: spec.freq,
+            conv: FreqConv::new(spec.freq),
             online,
             cpus: Vec::new(),
             runqueues: (0..online).map(|_| VecDeque::new()).collect(),
@@ -310,6 +320,7 @@ impl Node {
             apps_exited: 0,
             apps_spawned: 0,
             degrade: None,
+            fold_costs: None,
             offline_done: false,
             dynticks: false,
             parked_tick: vec![None; online as usize],
@@ -380,7 +391,7 @@ impl Node {
     /// Cycles → nanoseconds at this node's clock.
     #[inline]
     pub fn c2n(&self, c: Cycles) -> Ns {
-        self.freq.cycles_to_ns(c)
+        self.conv.cycles_to_ns(c)
     }
 
     /// Nanoseconds → cycles at this node's clock.
@@ -660,7 +671,7 @@ impl Node {
         let c = &mut self.cpus[ci];
         let total = cycles + c.carry_cycles;
         c.carry_cycles = 0;
-        let mut dur = self.freq.cycles_to_ns(total);
+        let mut dur = self.conv.cycles_to_ns(total);
         // Degraded hardware (thermal throttling, failing VRM): every busy
         // chunk stretches once the slowdown onset passes.
         if let Some(d) = self.degrade {
@@ -1953,13 +1964,22 @@ impl Node {
         for ci in 0..self.parked_tick.len() {
             if let Some(first) = self.parked_tick[ci] {
                 // Grid points in [first, horizon), spaced tick_ns apart.
+                // Hot case: the lane head is within one period of the
+                // horizon, so exactly one tick folds and the division
+                // (whose quotient would be zero) is skipped.
                 let mut k = if first < horizon {
-                    (horizon - 1 - first) / tick_ns + 1
+                    let gap = horizon - 1 - first;
+                    if gap < tick_ns {
+                        1
+                    } else {
+                        gap / tick_ns + 1
+                    }
                 } else {
                     0
                 };
+                let mut next = first + k * tick_ns;
                 if let Some(p) = tie_point {
-                    if first + k * tick_ns == horizon {
+                    if next == horizon {
                         // The tick tying with the event: its reference push
                         // point is the recorded one if it is the lane head,
                         // else one period back (it was re-armed at the
@@ -1971,13 +1991,14 @@ impl Node {
                         };
                         if pt < p {
                             k += 1;
+                            next += tick_ns;
                         }
                     }
                 }
                 if k > 0 {
                     self.fold_ticks(ci as u8, k);
-                    self.parked_tick[ci] = Some(first + k * tick_ns);
-                    self.parked_point[ci] = first + k * tick_ns - tick_ns;
+                    self.parked_tick[ci] = Some(next);
+                    self.parked_point[ci] = next - tick_ns;
                 }
                 min = min.min(self.parked_tick[ci].unwrap());
             }
@@ -1995,12 +2016,24 @@ impl Node {
         let ci = cpu as usize;
         let attr_pid = self.cpus[ci].current.unwrap_or(self.cpus[ci].idle_pid);
         let busy = self.cpus[ci].current.is_some();
-        let inner = self.sched.tick_cycles
-            + self.engine.entry_cost(Group::Irq)
-            + self.engine.entry_cost(Group::Timer);
-        let d = self.c2n(inner);
-        let total = inner + self.engine.exit_cost(Group::Timer) + self.engine.exit_cost(Group::Irq);
-        let steal_each = self.c2n(total);
+        // `d`/`steal_each` depend only on static scheduler parameters, the
+        // CPU frequency, and the probe configuration; re-derive them only
+        // when the configuration generation moves.
+        let gen = self.engine.cost_gen();
+        let (d, steal_each) = match self.fold_costs {
+            Some((g, d, s)) if g == gen => (d, s),
+            _ => {
+                let inner = self.sched.tick_cycles
+                    + self.engine.entry_cost(Group::Irq)
+                    + self.engine.entry_cost(Group::Timer);
+                let d = self.c2n(inner);
+                let total =
+                    inner + self.engine.exit_cost(Group::Timer) + self.engine.exit_cost(Group::Irq);
+                let steal_each = self.c2n(total);
+                self.fold_costs = Some((gen, d, steal_each));
+                (d, steal_each)
+            }
+        };
         let t = self
             .tasks
             .get_mut(attr_pid)

@@ -188,7 +188,7 @@ impl Shard {
         self.nodes.iter().map(|n| n.apps_spawned).sum()
     }
 
-    fn min_pending(&self) -> u64 {
+    fn min_pending(&mut self) -> u64 {
         self.queue.peek_time().unwrap_or(u64::MAX)
     }
 
@@ -258,13 +258,12 @@ impl Shard {
     /// processed (0 if none).
     fn run_window(&mut self, fabric: &Fabric, tick_ns: Ns, coalesce: bool, limit: Ns) -> Ns {
         let mut max_t = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t >= limit {
-                break;
+        if let Some(bound) = limit.checked_sub(1) {
+            // One fused selection per event: pops everything with t < limit.
+            while let Some((t, p, ev)) = self.queue.pop_due(bound) {
+                self.handle(fabric, tick_ns, coalesce, t, p, ev);
+                max_t = t;
             }
-            let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
-            self.handle(fabric, tick_ns, coalesce, t, p, ev);
-            max_t = t;
         }
         self.windows += 1;
         max_t
@@ -518,15 +517,10 @@ fn worker_unlinked(
     let mut fallback = false;
     let local_target = sh.local_spawned();
     while sh.local_exited() < local_target {
-        match sh.queue.peek_time() {
-            Some(t) if t > deadline => {
-                fallback = true;
-                break;
-            }
-            Some(_) => {
-                let (t, p, ev) = sh.queue.pop_full().expect("peeked event vanished");
-                sh.handle(fabric, tick_ns, coalesce, t, p, ev);
-            }
+        // Beyond-deadline and empty both fall back; `pop_due` folds the
+        // deadline check into the pop's own key selection.
+        match sh.queue.pop_due(deadline) {
+            Some((t, p, ev)) => sh.handle(fabric, tick_ns, coalesce, t, p, ev),
             None => {
                 fallback = true;
                 break;

@@ -7,18 +7,18 @@
 use crate::config::ClusterSpec;
 use crate::node::{Node, TaskSpec};
 use crate::task::{Pid, TaskState};
+use ktau_core::selfprof::{self, Counter as SpCounter};
 use ktau_core::time::Ns;
 use ktau_net::{ConnId, Fabric};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Simulation events.
 ///
-/// The derived total order only breaks ties among events with identical
-/// `(time, seq)` heap keys — which cannot happen because `seq` is unique —
-/// so any consistent order works; deriving it avoids the lossy integer
-/// encode/decode roundtrip the queue used to do per push/pop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// Deliberately *not* `Ord`: the queue orders entries purely by their
+/// `(time, point, seq)` key — `seq` is unique, so an event-payload
+/// tie-break can never be reached — and keeping `Ord` off the payload makes
+/// that correct by construction (nothing can quietly start comparing
+/// payloads again) while keeping sift/sort comparisons payload-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// Periodic timer interrupt on one CPU.
     Tick {
@@ -139,47 +139,173 @@ struct TickLane {
     cpu: u8,
 }
 
-/// Priority queue of `(time, fifo-sequence, event)`.
+/// Wheel slot width as a power of two: `1 << 15` ns ≈ 32.8 µs per slot.
+/// Measured on the LU-16 workload, ~70% of pushes land 4 µs–1 ms ahead of
+/// now; this granularity keeps typical slots one or two events deep, which
+/// shifts work from sorted same-slot inserts into (occupancy-bitmap-guided,
+/// so nearly free) maturity advances — the faster trade on that workload.
+const WHEEL_SHIFT: u32 = 15;
+/// Wheel span in slots (must be a power of two): 8192 × 32.8 µs ≈ 268 ms of
+/// horizon, chosen to cover the second mode of the measured push-delta
+/// distribution (daemon sleeps at 16–268 ms, ~23% of LU-16 traffic).
+/// Pushes beyond it go to the overflow min-heap instead.  The maturity
+/// scan's total cost is `virtual time / slot width` independent of the slot
+/// count, so a wide wheel costs only its 8192 bucket headers.
+const WHEEL_SLOTS: u64 = 8192;
+/// Words in the wheel occupancy bitmap (one bit per physical slot).
+const WHEEL_WORDS: usize = (WHEEL_SLOTS as usize) / 64;
+/// Drain-run representation threshold: at or above this many entries the
+/// run is kept as a min-heap, below it as a sorted-descending `Vec` whose
+/// pop is O(1).  64 keeps every LU-16 bucket (one or two events deep) on
+/// the cheap sorted path while capping a sorted insert's memmove at 63
+/// keys; 10k-node buckets with thousands of events heapify instead.
+const CUR_HEAP_MIN: usize = 64;
+
+/// Ordering key of one queued entry: the global `(time, point, seq)` total
+/// order plus the slab handle of the payload.  The handle is *never*
+/// compared — `seq` is unique — which is why [`QKey::key`] exists and every
+/// comparison in the queue goes through it.
+#[derive(Debug, Clone, Copy)]
+struct QKey {
+    time: Ns,
+    point: Ns,
+    seq: u64,
+    handle: u32,
+}
+
+impl QKey {
+    #[inline]
+    fn key(&self) -> (Ns, Ns, u64) {
+        (self.time, self.point, self.seq)
+    }
+}
+
+/// Indexed two-tier priority queue over `(time, push-point, fifo-sequence)`.
 ///
-/// Periodic [`Event::Tick`]s dominate the event population (HZ per CPU per
-/// node), yet at any instant exactly one is armed per CPU.  They live in a
-/// dedicated *tick-lane* min-heap sized by CPU count instead of churning
-/// through the main heap alongside every transient event, which shrinks the
-/// main heap and its per-operation log factor.  `pop` takes the earlier of
-/// the two structures under the same global `(time, seq)` FIFO order, so the
-/// observable event sequence is bit-identical to a single shared heap (a
-/// unit test below proves this against an all-heap queue).
-#[derive(Debug, Default, Clone)]
+/// Event payloads live exactly once in a free-listed slab; everything that
+/// orders them moves only 32-byte [`QKey`]s.  Three tiers share one total
+/// order:
+///
+/// * **Tick lanes** — periodic [`Event::Tick`]s dominate the event
+///   population (HZ per CPU per node), yet at any instant exactly one is
+///   armed per CPU, so they live in a dedicated min-heap sized by CPU count.
+/// * **Time wheel** — everything else lands by target slot
+///   (`time >> WHEEL_SHIFT`).  Future slots within the `WHEEL_SLOTS`
+///   horizon are unsorted buckets, ordered *once* when they mature into
+///   the drain run `cur` — sorted descending below [`CUR_HEAP_MIN`]
+///   entries (pop is a plain `Vec::pop`), Floyd-heapified at or above it.
+///   Pushing is O(1) for the ~81% of events that target a future slot;
+///   same-slot cascades cost at most `CUR_HEAP_MIN` key moves on the
+///   sorted path or O(log bucket) sifts on the heap path — bounded by the
+///   slot population, never the queue population, which matters at
+///   10k-node scale where one 32.8 µs slot can hold thousands of events
+///   (an always-sorted drain run degraded to O(bucket) memmoves per push
+///   there; an always-heap run taxed every small-bucket pop with sifts).
+/// * **Overflow heap** — entries beyond the wheel horizon.  They are never
+///   migrated; `pop` simply compares the overflow minimum against the other
+///   tiers, which keeps the order exact without re-homing churn.
+///
+/// Ordering proof sketch: `cur` holds only keys with slot ≤ `cur_slot`,
+/// wheel buckets only slots in `(cur_slot, cur_slot + WHEEL_SLOTS]`, so
+/// every bucket key is strictly later than every `cur` key (slot is a
+/// monotone function of time) and the earliest non-empty bucket holds the
+/// wheel's global minimum.  `pop` therefore takes the minimum of three
+/// ordered structures — `cur` root, `overflow` root, lane root — under
+/// the full `(time, point, seq)` key, which is exactly the single-heap
+/// order; a unit test plus a property test against a `BinaryHeap` model
+/// pin this.
+#[derive(Debug, Clone)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Ns, Ns, u64, Event)>>,
+    /// Event payloads, indexed by [`QKey::handle`].
+    slab: Vec<Event>,
+    /// Slab slots awaiting reuse.
+    free: Vec<u32>,
+    /// The slot being drained: sorted descending (next pop is an O(1)
+    /// `Vec::pop`) below [`CUR_HEAP_MIN`] entries, min-heap (next pop is
+    /// `cur[0]`) at or above it — see [`EventQueue::cur_is_heap`].
+    cur: Vec<QKey>,
+    /// Representation flag for `cur`.  Small buckets (the common case —
+    /// LU-16 averages under two events per matured slot) keep the sorted
+    /// layout whose pop is a plain `Vec::pop`; big buckets (10k-node
+    /// clusters can put thousands of events in one 32.8 µs slot) switch to
+    /// a min-heap so same-slot cascade pushes cost O(log bucket) sifts
+    /// instead of O(bucket) memmoves.  Chosen per bucket at maturity, and
+    /// a sorted run converts once (O(bucket) heapify) if pushes grow it
+    /// past the threshold mid-drain.  Pop order is identical either way:
+    /// keys are unique, so the sorted tail and the heap root are the same
+    /// global minimum.
+    cur_is_heap: bool,
+    /// Absolute slot index (`time >> WHEEL_SHIFT`) bounding `cur`: every
+    /// key in `cur` has slot ≤ `cur_slot`, every wheel bucket only keys in
+    /// `(cur_slot, cur_slot + WHEEL_SLOTS]`.
+    cur_slot: u64,
+    /// Future slots: bucket `s % WHEEL_SLOTS` holds the (unsorted) events
+    /// of exactly one absolute slot `s` within the horizon.
+    wheel: Vec<Vec<QKey>>,
+    /// Total entries across all wheel buckets.
+    wheel_len: usize,
+    /// Occupancy bitmap over physical wheel slots: bit `p` set iff
+    /// `wheel[p]` is non-empty.  Lets the maturity scan skip runs of empty
+    /// buckets a word (64 slots) at a time instead of probing bucket
+    /// headers one by one.
+    wheel_bits: [u64; WHEEL_WORDS],
+    /// Beyond-horizon entries, as a hand-rolled min-heap (see
+    /// [`heap_push`]/[`heap_pop`]) so key comparisons stay countable by the
+    /// self-profiler.
+    overflow: Vec<QKey>,
     lanes: Vec<TickLane>,
     seq: u64,
     /// Simulated time of the dispatch currently executing; every `push`
-    /// records it as the entry's *push point*.  Heap order is
+    /// records it as the entry's *push point*.  Queue order is
     /// `(time, point, seq)`, which is provably identical to `(time, seq)`
     /// (dispatch time is monotone, so seq order implies point order) — the
     /// point exists so the dynticks engine can replay reference tie-breaks
     /// between a parked tick and an event firing at the same nanosecond.
     now: Ns,
-    /// When false, ticks share the main heap (reference mode for tests).
+    /// When false, ticks share the wheel/heap tiers (reference mode).
     use_lanes: bool,
     /// Cross-shard diversion, installed only on per-shard queues.
     route: Option<ShardRoute>,
 }
 
+impl Default for EventQueue {
+    /// Matches [`EventQueue::new_all_heap`] (no tick lanes), the historical
+    /// `derive(Default)` behaviour.
+    fn default() -> Self {
+        EventQueue::make(false)
+    }
+}
+
 impl EventQueue {
-    /// An empty queue with tick lanes enabled.
-    pub fn new() -> Self {
+    fn make(use_lanes: bool) -> Self {
         EventQueue {
-            use_lanes: true,
-            ..Default::default()
+            slab: Vec::new(),
+            free: Vec::new(),
+            cur: Vec::new(),
+            cur_is_heap: false,
+            cur_slot: 0,
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            wheel_bits: [0; WHEEL_WORDS],
+            overflow: Vec::new(),
+            lanes: Vec::new(),
+            seq: 0,
+            now: 0,
+            use_lanes,
+            route: None,
         }
     }
 
-    /// Reference queue keeping every event, ticks included, in one heap.
-    /// Exists so tests can prove lane/heap ordering equivalence.
+    /// An empty queue with tick lanes enabled.
+    pub fn new() -> Self {
+        EventQueue::make(true)
+    }
+
+    /// Reference queue keeping every event, ticks included, in the shared
+    /// wheel/heap tiers.  Exists so tests can prove lane ordering
+    /// equivalence.
     pub fn new_all_heap() -> Self {
-        EventQueue::default()
+        EventQueue::make(false)
     }
 
     /// Schedules `ev` at absolute time `at`, stamped with the current
@@ -201,8 +327,10 @@ impl EventQueue {
             }
         }
         self.seq += 1;
+        selfprof::inc(SpCounter::QueuePush);
         if self.use_lanes {
             if let Event::Tick { node, cpu } = ev {
+                selfprof::inc(SpCounter::PushLane);
                 self.lane_insert(TickLane {
                     time: at,
                     point,
@@ -213,12 +341,150 @@ impl EventQueue {
                 return;
             }
         }
-        self.heap.push(Reverse((at, point, self.seq, ev)));
+        let handle = self.alloc(ev);
+        self.insert_key(QKey {
+            time: at,
+            point,
+            seq: self.seq,
+            handle,
+        });
     }
 
-    /// Marks `at` as the dispatch time stamped onto subsequent pushes.
+    /// Parks `ev` in the slab, reusing a freed slot when one exists.
+    #[inline]
+    fn alloc(&mut self, ev: Event) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                selfprof::inc(SpCounter::SlabHit);
+                self.slab[h as usize] = ev;
+                h
+            }
+            None => {
+                selfprof::inc(SpCounter::SlabMiss);
+                self.slab.push(ev);
+                (self.slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Routes a key to its tier by target slot.
+    #[inline]
+    fn insert_key(&mut self, k: QKey) {
+        let slot = k.time >> WHEEL_SHIFT;
+        if slot <= self.cur_slot {
+            // Belongs to the run being drained (same-time cascades and
+            // decoded snapshot stragglers).
+            selfprof::inc(SpCounter::PushCur);
+            self.cur_insert(k);
+        } else if slot - self.cur_slot <= WHEEL_SLOTS {
+            selfprof::inc(SpCounter::PushWheel);
+            let p = (slot % WHEEL_SLOTS) as usize;
+            self.wheel[p].push(k);
+            self.wheel_bits[p >> 6] |= 1 << (p & 63);
+            self.wheel_len += 1;
+        } else {
+            selfprof::inc(SpCounter::PushOverflow);
+            heap_push(&mut self.overflow, k);
+        }
+    }
+
+    /// When the drained run is empty but the wheel holds entries, advances
+    /// to the earliest non-empty future slot and sorts it into `cur`.  The
+    /// capacities of `cur` and the emptied bucket are swapped, so steady
+    /// state allocates nothing.
+    fn mature(&mut self) {
+        if !self.cur.is_empty() || self.wheel_len == 0 {
+            return;
+        }
+        // Word-at-a-time scan of the occupancy bitmap, starting at the slot
+        // after `cur_slot` and wrapping once around the wheel.  `wheel_len
+        // > 0` guarantees a set bit within `WHEEL_SLOTS` positions.
+        let start = ((self.cur_slot + 1) % WHEEL_SLOTS) as usize;
+        let mut w = start >> 6;
+        let mut bits = self.wheel_bits[w] & (!0u64 << (start & 63));
+        let mut scanned = 0usize;
+        while bits == 0 {
+            scanned += 1;
+            debug_assert!(
+                scanned <= WHEEL_WORDS,
+                "wheel_len > 0 but no bucket within the horizon"
+            );
+            w = (w + 1) & (WHEEL_WORDS - 1);
+            bits = self.wheel_bits[w];
+        }
+        let p = (w << 6) | bits.trailing_zeros() as usize;
+        let skipped = (p + WHEEL_SLOTS as usize - start) % WHEEL_SLOTS as usize;
+        selfprof::add(SpCounter::MatureScan, skipped as u64);
+        selfprof::inc(SpCounter::SlotsMatured);
+        std::mem::swap(&mut self.cur, &mut self.wheel[p]);
+        self.wheel_bits[w] &= !(1u64 << (p & 63));
+        self.wheel_len -= self.cur.len();
+        self.cur_slot = self.cur_slot + 1 + skipped as u64;
+        self.cur_is_heap = self.cur.len() >= CUR_HEAP_MIN;
+        if self.cur_is_heap {
+            heap_build(&mut self.cur);
+        } else {
+            cur_sort(&mut self.cur);
+        }
+    }
+
+    /// Inserts a key into the drain run, preserving whichever representation
+    /// it is in; a sorted run that outgrows [`CUR_HEAP_MIN`] converts to a
+    /// heap once (O(bucket) Floyd build) rather than paying growing memmoves.
+    #[inline]
+    fn cur_insert(&mut self, k: QKey) {
+        if self.cur_is_heap {
+            heap_push(&mut self.cur, k);
+        } else if self.cur.len() + 1 >= CUR_HEAP_MIN {
+            self.cur.push(k);
+            self.cur_is_heap = true;
+            heap_build(&mut self.cur);
+        } else {
+            let key = k.key();
+            selfprof::add(
+                SpCounter::KeyCmp,
+                (self.cur.len() as u64 + 2).ilog2() as u64,
+            );
+            let pos = self.cur.partition_point(|e| e.key() > key);
+            self.cur.insert(pos, k);
+        }
+    }
+
+    /// Minimum of the drain run: the sorted layout keeps it at the tail,
+    /// the heap at the root.
+    #[inline]
+    fn cur_min(&self) -> Option<&QKey> {
+        if self.cur_is_heap {
+            self.cur.first()
+        } else {
+            self.cur.last()
+        }
+    }
+
+    /// Removes and returns the drain-run minimum.
+    #[inline]
+    fn cur_pop(&mut self) -> Option<QKey> {
+        if self.cur_is_heap {
+            heap_pop(&mut self.cur)
+        } else {
+            self.cur.pop()
+        }
+    }
+
+    /// Marks `at` as the dispatch time stamped onto subsequent pushes, and
+    /// advances the wheel's drain position: every pending entry now has
+    /// time ≥ `at`, so slots before `at`'s are provably empty and the next
+    /// maturity scan can start just behind it.
     pub fn set_now(&mut self, at: Ns) {
         self.now = at;
+        let slot = at >> WHEEL_SHIFT;
+        if slot > self.cur_slot {
+            debug_assert!(
+                self.cur.is_empty(),
+                "drained run held an entry earlier than the dispatch time"
+            );
+            self.cur_slot = slot - 1;
+        }
     }
 
     /// Pops the earliest event under the global `(time, point, seq)` order.
@@ -228,38 +494,75 @@ impl EventQueue {
 
     /// Like [`pop`](Self::pop) but also returns the event's push point.
     pub fn pop_full(&mut self) -> Option<(Ns, Ns, Event)> {
-        if self.lane_wins() {
+        self.pop_due(Ns::MAX)
+    }
+
+    /// Pops the earliest pending event if its time is at most `deadline`;
+    /// a later event stays queued (callers' deadline diagnostics must find
+    /// it still inspectable).  Fusing the bound check into the pop lets the
+    /// dispatch loop run one three-way selection per event instead of a
+    /// `peek_time` + `pop_full` pair.
+    pub fn pop_due(&mut self, deadline: Ns) -> Option<(Ns, Ns, Event)> {
+        self.mature();
+        // Tier selection, cheapest-first: the drain run almost always wins,
+        // the overflow heap is empty outside long daemon sleeps, and lanes
+        // only exist in the fast engine.  Keys are unique (`seq`), so strict
+        // comparison is unambiguous; two comparisons pick the minimum.
+        selfprof::add(SpCounter::KeyCmp, 2);
+        let mut src: u8 = 0;
+        let mut best = (Ns::MAX, Ns::MAX, u64::MAX);
+        if let Some(k) = self.cur_min() {
+            best = k.key();
+            src = 1;
+        }
+        if let Some(k) = self.overflow.first() {
+            let kk = k.key();
+            if src == 0 || kk < best {
+                best = kk;
+                src = 2;
+            }
+        }
+        if let Some(l) = self.lanes.first() {
+            let lk = (l.time, l.point, l.seq);
+            if src == 0 || lk < best {
+                best = lk;
+                src = 3;
+            }
+        }
+        if src == 0 || best.0 > deadline {
+            return None;
+        }
+        selfprof::inc(SpCounter::QueuePop);
+        if src == 3 {
             let lane = self.lane_remove_root();
-            Some((
+            return Some((
                 lane.time,
                 lane.point,
                 Event::Tick {
                     node: lane.node,
                     cpu: lane.cpu,
                 },
-            ))
-        } else {
-            self.heap.pop().map(|Reverse((t, p, _, ev))| (t, p, ev))
+            ));
         }
+        let k = if src == 1 {
+            self.cur_pop().expect("selected from cur")
+        } else {
+            heap_pop(&mut self.overflow).expect("selected from overflow")
+        };
+        let ev = self.slab[k.handle as usize];
+        self.free.push(k.handle);
+        Some((k.time, k.point, ev))
     }
 
-    /// Time of the earliest pending event without removing it.
-    pub fn peek_time(&self) -> Option<Ns> {
-        if self.lane_wins() {
-            self.lanes.first().map(|l| l.time)
-        } else {
-            self.heap.peek().map(|Reverse((t, _, _, _))| *t)
-        }
-    }
-
-    /// True when the next event comes from the tick lanes rather than the
-    /// main heap.
-    fn lane_wins(&self) -> bool {
-        match (self.lanes.first(), self.heap.peek()) {
-            (Some(l), Some(Reverse((ht, hp, hs, _)))) => (l.time, l.point, l.seq) < (*ht, *hp, *hs),
-            (Some(_), None) => true,
-            (None, _) => false,
-        }
+    /// Time of the earliest pending event without removing it.  Takes
+    /// `&mut self` because locating the wheel minimum may mature the next
+    /// slot into the drain run — observable queue contents are unchanged.
+    pub fn peek_time(&mut self) -> Option<Ns> {
+        self.mature();
+        let cur_t = self.cur_min().map(|k| k.time);
+        let ovf_t = self.overflow.first().map(|k| k.time);
+        let lane_t = self.lanes.first().map(|l| l.time);
+        [cur_t, ovf_t, lane_t].into_iter().flatten().min()
     }
 
     /// An empty queue in the same engine mode (tick lanes on/off), for
@@ -300,12 +603,20 @@ impl EventQueue {
 
     /// Number of pending events (armed ticks included).
     pub fn len(&self) -> usize {
-        self.heap.len() + self.lanes.len()
+        self.cur.len() + self.wheel_len + self.overflow.len() + self.lanes.len()
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.lanes.is_empty()
+        self.len() == 0
+    }
+
+    /// Every non-lane entry's key, in no particular order.
+    fn iter_keys(&self) -> impl Iterator<Item = &QKey> {
+        self.cur
+            .iter()
+            .chain(self.overflow.iter())
+            .chain(self.wheel.iter().flatten())
     }
 
     /// Pending event counts by kind, as a lazily-formatted value: counting
@@ -319,7 +630,7 @@ impl EventQueue {
             tick: self.lanes.len(),
             ..PendingSummary::default()
         };
-        for Reverse((_, _, _, ev)) in self.heap.iter() {
+        for ev in self.iter_keys().map(|k| &self.slab[k.handle as usize]) {
             match ev {
                 Event::Tick { .. } => s.tick += 1,
                 Event::CpuDone { .. } => s.cpu_done += 1,
@@ -357,9 +668,8 @@ impl EventQueue {
         w.u64(self.now);
         w.u64(self.seq);
         let mut entries: Vec<(Ns, Ns, u64, Event)> = self
-            .heap
-            .iter()
-            .map(|Reverse((t, p, s, ev))| (*t, *p, *s, *ev))
+            .iter_keys()
+            .map(|k| (k.time, k.point, k.seq, self.slab[k.handle as usize]))
             .collect();
         entries.extend(self.lanes.iter().map(|l| {
             (
@@ -396,6 +706,11 @@ impl EventQueue {
         };
         q.now = r.u64()?;
         q.seq = r.u64()?;
+        // Start the drain position at `now`'s slot: pending entries at the
+        // capture point all had time ≥ now, so earlier slots are dead.
+        // Entries landing at or below `cur_slot` insert into the drain
+        // run, which is correct for any key in either representation.
+        q.cur_slot = q.now >> WHEEL_SHIFT;
         let n = r.u32()? as usize;
         for _ in 0..n {
             let time = r.u64()?;
@@ -414,7 +729,13 @@ impl EventQueue {
                     continue;
                 }
             }
-            q.heap.push(Reverse((time, point, seq, ev)));
+            let handle = q.alloc(ev);
+            q.insert_key(QKey {
+                time,
+                point,
+                seq,
+                handle,
+            });
         }
         Ok(q)
     }
@@ -426,6 +747,7 @@ impl EventQueue {
         let mut i = self.lanes.len() - 1;
         while i > 0 {
             let parent = (i - 1) / 2;
+            selfprof::inc(SpCounter::KeyCmp);
             if lane_key(&self.lanes[i]) < lane_key(&self.lanes[parent]) {
                 self.lanes.swap(i, parent);
                 i = parent;
@@ -442,6 +764,7 @@ impl EventQueue {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut smallest = i;
+            selfprof::add(SpCounter::KeyCmp, 2);
             if l < len && lane_key(&self.lanes[l]) < lane_key(&self.lanes[smallest]) {
                 smallest = l;
             }
@@ -461,6 +784,100 @@ impl EventQueue {
 #[inline]
 fn lane_key(l: &TickLane) -> (Ns, u64) {
     (l.time, l.seq)
+}
+
+/// Floyd heapify: turns an arbitrary key array into a min-heap in O(len),
+/// used when a wheel bucket matures into the drain run.
+fn heap_build(heap: &mut [QKey]) {
+    let len = heap.len();
+    if len < 2 {
+        return;
+    }
+    for start in (0..len / 2).rev() {
+        let mut i = start;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            selfprof::add(SpCounter::KeyCmp, 2);
+            if l < len && heap[l].key() < heap[smallest].key() {
+                smallest = l;
+            }
+            if r < len && heap[r].key() < heap[smallest].key() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// Sorts a small matured bucket descending so the minimum sits at the tail
+/// and every pop is a plain `Vec::pop`.  Zero- and one-entry runs (the
+/// LU-16 common case) cost nothing; the comparison estimate for larger runs
+/// is `n log n`, matching what `sort_unstable_by` actually does closely
+/// enough for tier attribution.
+fn cur_sort(run: &mut [QKey]) {
+    match run.len() {
+        0 | 1 => {}
+        2 => {
+            selfprof::inc(SpCounter::KeyCmp);
+            if run[0].key() < run[1].key() {
+                run.swap(0, 1);
+            }
+        }
+        n => {
+            selfprof::add(SpCounter::KeyCmp, (n as u64) * (n.ilog2() as u64 + 1));
+            run.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        }
+    }
+}
+
+/// Sifts `k` into a `QKey` min-heap (`heap[0]` is the minimum) — the
+/// beyond-horizon overflow tier and the large-bucket drain run share this
+/// shape.
+fn heap_push(heap: &mut Vec<QKey>, k: QKey) {
+    heap.push(k);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        selfprof::inc(SpCounter::KeyCmp);
+        if heap[i].key() < heap[parent].key() {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Removes and returns the minimum of a `QKey` min-heap.
+fn heap_pop(heap: &mut Vec<QKey>) -> Option<QKey> {
+    if heap.is_empty() {
+        return None;
+    }
+    let root = heap.swap_remove(0);
+    let len = heap.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        selfprof::add(SpCounter::KeyCmp, 2);
+        if l < len && heap[l].key() < heap[smallest].key() {
+            smallest = l;
+        }
+        if r < len && heap[r].key() < heap[smallest].key() {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+    Some(root)
 }
 
 /// Binary encoding of one [`Event`] for engine snapshots: a kind tag byte
@@ -608,6 +1025,8 @@ pub(crate) fn dispatch_on(
     ev: Event,
 ) {
     queue.set_now(at);
+    #[cfg(feature = "selfprof")]
+    let sp_start = std::time::Instant::now();
     let idx = (ev.node() - base) as usize;
     if coalesce {
         nodes[idx].settle_parked(at, tick_ns, Some(point));
@@ -641,6 +1060,24 @@ pub(crate) fn dispatch_on(
     }
     if coalesce {
         nodes[idx].arm_uncoalescible(queue);
+    }
+    #[cfg(feature = "selfprof")]
+    selfprof::dispatch_ns(event_class(&ev), sp_start.elapsed().as_nanos() as u64);
+}
+
+/// The self-profiler's event-class index for an event: its wire tag, which
+/// [`ktau_core::selfprof::EVENT_CLASS_NAMES`] is aligned with.
+#[cfg(feature = "selfprof")]
+fn event_class(ev: &Event) -> usize {
+    match ev {
+        Event::Tick { .. } => 0,
+        Event::CpuDone { .. } => 1,
+        Event::SegArrive { .. } => 2,
+        Event::TxDone { .. } => 3,
+        Event::AckArrive { .. } => 4,
+        Event::RtxTimer { .. } => 5,
+        Event::Wake { .. } => 6,
+        Event::ReleaseWake { .. } => 7,
     }
 }
 
@@ -1056,23 +1493,32 @@ impl Cluster {
 
     pub(crate) fn run_until_apps_exit_serial(&mut self, deadline_ns: Ns) -> Ns {
         let mut handled_any = false;
-        while self.apps_exited() < self.apps_spawned {
-            // Check the deadline against the *peeked* time so a deadline
+        // Exit counting is incremental: a dispatch can only retire app tasks
+        // on the node the event addresses (the same invariant the sharded
+        // engine's replay check leans on), so the loop tracks the cluster
+        // total with one per-node delta instead of re-summing all nodes
+        // every event.
+        let mut exited = self.apps_exited();
+        while exited < self.apps_spawned {
+            // `pop_due` bounds the pop by the deadline, so a deadline
             // panic leaves the offending event queued (an earlier version
             // silently discarded it, corrupting post-mortem inspection).
-            match self.queue.peek_time() {
-                Some(t) if t > deadline_ns => {
+            match self.queue.pop_due(deadline_ns) {
+                Some((t, p, ev)) => {
+                    handled_any = true;
+                    let ni = ev.node() as usize;
+                    let before = self.nodes[ni].apps_exited;
+                    self.handle(t, p, ev);
+                    exited += self.nodes[ni].apps_exited - before;
+                    debug_assert_eq!(exited, self.apps_exited());
+                }
+                None if self.queue.peek_time().is_some() => {
                     let stuck = self.stuck_report();
                     panic!(
                         "virtual deadline {deadline_ns} ns exceeded (possible deadlock) with {} of {} app tasks remaining:\n{stuck}",
                         self.apps_spawned - self.apps_exited(),
                         self.apps_spawned
                     );
-                }
-                Some(_) => {
-                    let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
-                    handled_any = true;
-                    self.handle(t, p, ev);
                 }
                 None => {
                     if self.coalesce_ticks && self.nodes.iter().any(|n| n.parked_lanes() > 0) {
@@ -1112,8 +1558,10 @@ impl Cluster {
     /// ticks firing at or before it (the reference engine would have
     /// dispatched those ticks during the drain).
     pub(crate) fn drain_now(&mut self) {
-        while self.queue.peek_time() == Some(self.now) {
-            let (t, p, ev) = self.queue.pop_full().expect("peeked event vanished");
+        // No pending event can precede `now` (pops are monotone in time and
+        // handlers never schedule into the past), so "time == now" and
+        // "time <= now" select the same events.
+        while let Some((t, p, ev)) = self.queue.pop_due(self.now) {
             self.handle(t, p, ev);
         }
         if self.coalesce_ticks {
